@@ -1,0 +1,42 @@
+//! Criterion microbenches behind E10: formula compile and eval.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use domino_bench::workload::{make_doc, rng};
+use domino_formula::{EvalEnv, Formula};
+
+fn bench_formula(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formula");
+    let mut r = rng(1);
+    let doc = make_doc(&mut r, 10, 60, 0);
+    let env = EvalEnv::default();
+
+    group.bench_function("compile_select", |b| {
+        b.iter(|| {
+            Formula::compile(r#"SELECT Form = "Doc" & Priority >= 2 & Category != "cat9""#)
+                .unwrap()
+        });
+    });
+
+    let select =
+        Formula::compile(r#"SELECT Form = "Doc" & Priority >= 2 & Category != "cat9""#).unwrap();
+    group.bench_function("eval_select", |b| {
+        b.iter(|| select.selects(&doc, &env).unwrap());
+    });
+
+    let column = Formula::compile(r#"@Uppercase(@Left(F0; 10)) + "-" + @Text(Priority)"#).unwrap();
+    group.bench_function("eval_column", |b| {
+        b.iter(|| column.eval(&doc, &env).unwrap());
+    });
+
+    let pipeline =
+        Formula::compile(r#"@Implode(@Sort(@Unique(@Explode(F0; " "))); ",")"#).unwrap();
+    group.bench_function("eval_list_pipeline", |b| {
+        b.iter(|| pipeline.eval(&doc, &env).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_formula);
+criterion_main!(benches);

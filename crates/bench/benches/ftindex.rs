@@ -1,0 +1,38 @@
+//! Criterion microbenches behind E9: full-text indexing and queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use domino_bench::workload::{make_db, make_doc, populate, rng};
+use domino_ftindex::FtIndex;
+
+fn bench_ftindex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ftindex");
+
+    let db = make_db("bench", 9, 1);
+    populate(&db, &mut rng(1), 10_000, 3, 200, 0);
+    let ft = FtIndex::detached();
+    ft.rebuild(&db).unwrap();
+
+    group.bench_function("word_query", |b| {
+        b.iter(|| ft.search("storage").unwrap().len());
+    });
+
+    group.bench_function("and_query", |b| {
+        b.iter(|| ft.search("storage AND network").unwrap().len());
+    });
+
+    group.bench_function("phrase_query", |b| {
+        b.iter(|| ft.search("\"project review\"").unwrap().len());
+    });
+
+    group.bench_function("index_one_doc", |b| {
+        let mut r = rng(2);
+        let doc = make_doc(&mut r, 3, 400, 0);
+        b.iter(|| ft.index_note(&doc));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ftindex);
+criterion_main!(benches);

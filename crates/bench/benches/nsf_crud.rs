@@ -1,0 +1,57 @@
+//! Criterion microbenches behind E1: note-store CRUD primitives.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use domino_bench::workload::{make_db, make_doc, populate, rng};
+use domino_types::Value;
+
+fn bench_crud(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsf_crud");
+
+    group.bench_function("create", |b| {
+        let db = make_db("bench", 1, 1);
+        let mut r = rng(1);
+        b.iter_batched(
+            || make_doc(&mut r, 8, 48, 0),
+            |mut doc| db.save(&mut doc).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+
+    let db = make_db("bench", 1, 2);
+    let ids = populate(&db, &mut rng(2), 10_000, 8, 48, 4096);
+    let mut i = 0usize;
+
+    group.bench_function("read_full", |b| {
+        b.iter(|| {
+            i = (i + 7919) % ids.len();
+            db.open_note(ids[i]).unwrap()
+        });
+    });
+
+    group.bench_function("read_summary_only", |b| {
+        b.iter(|| {
+            i = (i + 7919) % ids.len();
+            db.open_summary(ids[i]).unwrap()
+        });
+    });
+
+    group.bench_function("update_one_field", |b| {
+        b.iter(|| {
+            i = (i + 7919) % ids.len();
+            let mut d = db.open_note(ids[i]).unwrap();
+            d.set("F0", Value::text("tick"));
+            db.save(&mut d).unwrap();
+        });
+    });
+
+    group.bench_function("lookup_by_unid", |b| {
+        let unid = db.open_note(ids[0]).unwrap().unid();
+        b.iter(|| db.open_by_unid(unid).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_crud);
+criterion_main!(benches);

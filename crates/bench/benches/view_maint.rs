@@ -1,0 +1,42 @@
+//! Criterion microbenches behind E3: incremental view maintenance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use domino_bench::workload::{make_db, populate, rng};
+use domino_types::Value;
+use domino_views::{ColumnSpec, SortDir, View, ViewDesign};
+
+fn design() -> ViewDesign {
+    ViewDesign::new("v", r#"SELECT Form = "Doc""#)
+        .unwrap()
+        .column(ColumnSpec::new("Category", "Category").unwrap().categorized())
+        .column(ColumnSpec::new("F0", "F0").unwrap().sorted(SortDir::Ascending))
+}
+
+fn bench_view_maint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_maint");
+
+    let db = make_db("bench", 1, 1);
+    let ids = populate(&db, &mut rng(1), 10_000, 4, 32, 0);
+    let _view = View::attach(&db, design()).unwrap();
+
+    let mut i = 0usize;
+    group.bench_function("save_with_attached_view", |b| {
+        b.iter(|| {
+            i = (i + 7919) % ids.len();
+            let mut d = db.open_note(ids[i]).unwrap();
+            d.set("F0", Value::text(format!("edit{i}")));
+            db.save(&mut d).unwrap();
+        });
+    });
+
+    group.bench_function("full_rebuild_10k", |b| {
+        let fresh = View::detached(&db, design()).unwrap();
+        b.iter(|| fresh.rebuild().unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_maint);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion microbenches behind E4: view navigation and rollups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use domino_bench::workload::{make_db, populate, rng};
+use domino_types::Value;
+use domino_views::{ColumnSpec, SortDir, View, ViewDesign};
+
+fn bench_view_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_read");
+
+    let db = make_db("bench", 1, 1);
+    populate(&db, &mut rng(1), 10_000, 4, 32, 0);
+    let view = View::attach(
+        &db,
+        ViewDesign::new("v", r#"SELECT Form = "Doc""#)
+            .unwrap()
+            .column(ColumnSpec::new("Category", "Category").unwrap().categorized())
+            .column(
+                ColumnSpec::new("Priority", "Priority")
+                    .unwrap()
+                    .sorted(SortDir::Ascending)
+                    .totaled(),
+            ),
+    )
+    .unwrap();
+
+    group.bench_function("rows_full_scan", |b| {
+        b.iter(|| view.rows().len());
+    });
+
+    group.bench_function("category_prefix_range", |b| {
+        b.iter(|| view.rows_by_prefix(0, &[Value::text("cat3")]).len());
+    });
+
+    group.bench_function("category_rollup", |b| {
+        b.iter(|| view.categories().len());
+    });
+
+    group.bench_function("column_total", |b| {
+        b.iter(|| view.column_total(1));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_read);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion microbenches behind E2: log append/flush and commit modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use domino_bench::workload::{make_doc, rng};
+use domino_core::{Database, DbConfig};
+use domino_storage::{EngineConfig, MemDisk};
+use domino_types::{LogicalClock, ReplicaId};
+use domino_wal::{LogManager, LogRecord, Lsn, MemLogStore, TxId};
+
+fn bench_log(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal");
+
+    group.bench_function("append_update_record", |b| {
+        let log = LogManager::open(MemLogStore::new()).unwrap();
+        let rec = LogRecord::Update {
+            tx: TxId(1),
+            prev: Lsn::NIL,
+            page: 7,
+            offset: 128,
+            before: vec![0u8; 64],
+            after: vec![1u8; 64],
+        };
+        b.iter(|| log.append(&rec).unwrap());
+    });
+
+    group.bench_function("append_and_force", |b| {
+        let log = LogManager::open(MemLogStore::new()).unwrap();
+        b.iter(|| {
+            let lsn = log.append(&LogRecord::Commit { tx: TxId(1) }).unwrap();
+            log.flush(lsn).unwrap();
+        });
+    });
+
+    for (label, logging, force) in [
+        ("commit_durable", true, true),
+        ("commit_noforce", true, false),
+        ("commit_nolog", false, false),
+    ] {
+        group.bench_function(label, |b| {
+            let engine = EngineConfig {
+                logging,
+                flush_on_commit: force,
+                ..EngineConfig::default()
+            };
+            let log: Option<Box<dyn domino_wal::LogStore>> = if logging {
+                Some(Box::new(MemLogStore::new()))
+            } else {
+                None
+            };
+            let db = Database::open(
+                Box::new(MemDisk::new()),
+                log,
+                DbConfig::new("b", ReplicaId(1), ReplicaId(1)).with_engine(engine),
+                LogicalClock::new(),
+            )
+            .unwrap();
+            let mut r = rng(3);
+            b.iter(|| {
+                let mut d = make_doc(&mut r, 4, 32, 0);
+                db.save(&mut d).unwrap();
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_log);
+criterion_main!(benches);

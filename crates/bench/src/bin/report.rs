@@ -1,0 +1,49 @@
+//! Regenerate the experiment tables/figures (E1–E13).
+//!
+//! ```text
+//! report all            # every experiment, full scale
+//! report e3 e5          # selected experiments
+//! report all --quick    # small datasets (seconds, for CI)
+//! report all --json out.json
+//! ```
+
+use std::io::Write;
+
+use domino_bench::{all_experiments, Scale, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned());
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| json_path.as_deref() != Some(a.as_str()))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
+
+    let mut results: Vec<Table> = Vec::new();
+    for (id, f) in all_experiments(scale) {
+        if !run_all && !wanted.iter().any(|w| w == id) {
+            continue;
+        }
+        eprintln!("running {id} ({:?})...", scale);
+        let t0 = std::time::Instant::now();
+        let table = f(scale);
+        eprintln!("  {id} done in {:.2}s", t0.elapsed().as_secs_f64());
+        println!("{}", table.to_markdown());
+        results.push(table);
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("serialize");
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        f.write_all(json.as_bytes()).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

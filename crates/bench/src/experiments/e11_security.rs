@@ -1,0 +1,90 @@
+//! E11 (Table 7) — reader-field enforcement overhead on reads.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use domino_core::Session;
+use domino_formula::Formula;
+use domino_security::{AccessLevel, Acl, AclEntry, Directory};
+use domino_types::{ItemFlags, Value};
+
+use crate::table::{fmt, micros_per, Table};
+use crate::workload::{make_db, populate, rng};
+use crate::Scale;
+
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "e11",
+        "Table 7",
+        "Reader-field security: enforcement overhead and filtering",
+        "Per-document reader lists are enforced at read time at modest cost, \
+         scaling with the fraction of protected documents",
+    )
+    .columns(&[
+        "protected fraction",
+        "visible docs",
+        "unsecured search µs",
+        "session search µs",
+        "overhead",
+    ]);
+
+    let n = scale.pick(500, 5_000);
+    for protected_pct in [0usize, 25, 75, 100] {
+        let db = make_db("e11", 11, 1);
+        let mut r = rng(0xE11);
+        let ids = populate(&db, &mut r, n, 4, 32, 0);
+        // Protect a fraction of documents with a role-based reader field.
+        for (i, id) in ids.iter().enumerate() {
+            if i % 100 < protected_pct {
+                let mut d = db.open_note(*id).expect("open");
+                d.set_with_flags(
+                    "$Readers",
+                    Value::text_list(["[Vault]"]),
+                    ItemFlags::SUMMARY | ItemFlags::READERS,
+                );
+                db.save(&mut d).expect("save");
+            }
+        }
+        let mut acl = Acl::new(AccessLevel::NoAccess);
+        acl.set("worker", AclEntry::new(AccessLevel::Editor));
+        db.set_acl(&acl).expect("acl");
+
+        let f = Formula::compile(r#"SELECT Form = "Doc""#).expect("f");
+        let reps = 5;
+
+        let t0 = Instant::now();
+        let mut raw_count = 0;
+        for _ in 0..reps {
+            raw_count = db.search(&f, &Default::default()).expect("search").len();
+        }
+        let raw = t0.elapsed();
+
+        let session = Session::new(Arc::clone(&db), "worker", Directory::new());
+        let t0 = Instant::now();
+        let mut visible = 0;
+        for _ in 0..reps {
+            visible = session.search(&f).expect("search").len();
+        }
+        let secured = t0.elapsed();
+
+        assert_eq!(raw_count, n);
+        assert_eq!(visible, n - n * protected_pct / 100);
+
+        table.row(vec![
+            format!("{protected_pct}%"),
+            fmt(visible as f64),
+            micros_per(reps, raw),
+            micros_per(reps, secured),
+            format!(
+                "{}x",
+                fmt(secured.as_secs_f64() / raw.as_secs_f64().max(1e-9))
+            ),
+        ]);
+    }
+    table.takeaway(
+        "enforcement filters exactly the protected fraction; the per-read check \
+         adds a small constant factor over the unsecured scan (ACL resolution + \
+         list matching), independent of how many documents end up hidden",
+    );
+    table
+}

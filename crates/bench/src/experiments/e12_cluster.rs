@@ -1,0 +1,93 @@
+//! E12 (Figure 5) — failover staleness: cluster (event-driven) replication
+//! vs scheduled replication.
+//!
+//! A stream of updates hits the primary. At random instants we "fail over"
+//! and count how many committed documents the backup is missing. The
+//! cluster mate receives pushes per commit; the scheduled replica syncs
+//! every `interval` ticks.
+
+use domino_replica::{Cluster, ReplicationOptions};
+use domino_types::{Clock, LogicalClock, Value};
+use rand::Rng;
+
+use domino_net::{LinkSpec, Network, Topology};
+
+use crate::table::{fmt, Table};
+use crate::workload::rng;
+use crate::Scale;
+
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "e12",
+        "Figure 5",
+        "Failover staleness: cluster push vs scheduled replication",
+        "Event-driven cluster replication keeps failover replicas current to the \
+         last committed change; scheduled replication lags by up to its interval",
+    )
+    .columns(&[
+        "updates between syncs",
+        "sched interval (ticks)",
+        "missing @ failover (sched)",
+        "missing @ failover (cluster)",
+        "sched max lag (docs)",
+    ]);
+
+    let trials = scale.pick(5, 10);
+    for (update_every, interval) in [(10u64, 200u64), (10, 1000), (50, 1000), (5, 2000)] {
+        let clock = LogicalClock::new();
+        let mut net = Network::new(3, Topology::Mesh, LinkSpec::default(), clock.clone());
+        net.create_replica_set("app").expect("replicas");
+        // Server 1 is the cluster mate; server 2 the scheduled replica.
+        let primary = net.db(0, "app").expect("db");
+        let mate = net.db(1, "app").expect("db");
+        let _cluster = Cluster::join(&[primary.clone(), mate.clone()]).expect("cluster");
+        net.schedule_replication("app", interval, ReplicationOptions::default());
+
+        let mut r = rng(update_every + interval);
+        let mut committed = 0u64;
+        let mut sched_missing_total = 0u64;
+        let mut cluster_missing_total = 0u64;
+        let mut sched_max = 0u64;
+        let horizon = interval * trials as u64;
+        let mut next_update = update_every;
+        let mut failover_points: Vec<u64> = (0..trials)
+            .map(|_| r.random_range(1..horizon))
+            .collect();
+        failover_points.sort_unstable();
+        let mut fp = 0usize;
+
+        while clock.peek().0 < horizon {
+            net.step(update_every.min(17)).expect("step");
+            let now = clock.peek().0;
+            if now >= next_update {
+                let mut d = domino_core::Note::document("Doc");
+                d.set("Seq", Value::Number(committed as f64));
+                net.db(0, "app").expect("db").save(&mut d).expect("save");
+                committed += 1;
+                next_update += update_every;
+            }
+            while fp < failover_points.len() && failover_points[fp] <= now {
+                let sched = net.db(2, "app").expect("db").document_count().expect("n") as u64;
+                let clus = net.db(1, "app").expect("db").document_count().expect("n") as u64;
+                let sm = committed.saturating_sub(sched);
+                sched_missing_total += sm;
+                sched_max = sched_max.max(sm);
+                cluster_missing_total += committed.saturating_sub(clus);
+                fp += 1;
+            }
+        }
+        table.row(vec![
+            fmt(update_every as f64),
+            fmt(interval as f64),
+            fmt(sched_missing_total as f64 / trials as f64),
+            fmt(cluster_missing_total as f64 / trials as f64),
+            fmt(sched_max as f64),
+        ]);
+    }
+    table.takeaway(
+        "the cluster mate misses ~0 documents at any failover instant; the \
+         scheduled replica misses up to interval/update-rate documents — \
+         staleness scales with the schedule, not the workload",
+    );
+    table
+}

@@ -1,0 +1,97 @@
+//! E1 (Table 1) — note-store CRUD throughput and the summary/non-summary
+//! access-path distinction.
+
+use std::time::Instant;
+
+use rand::Rng;
+
+use domino_types::Value;
+
+use crate::table::{fmt, rate, Table};
+use crate::workload::{make_db, populate, rng};
+use crate::Scale;
+
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "e1",
+        "Table 1",
+        "NSF note store: CRUD ops/s and summary vs full reads",
+        "The note store supports efficient CRUD on semi-structured documents; \
+         summary items give views cheap access without reading full notes",
+    )
+    .columns(&[
+        "notes",
+        "create/s",
+        "read/s",
+        "summary-read/s",
+        "update/s",
+        "delete/s",
+        "pages(summary)",
+        "pages(full)",
+    ]);
+
+    let sizes = match scale {
+        Scale::Quick => vec![1_000, 5_000],
+        Scale::Full => vec![1_000, 10_000, 100_000],
+    };
+    for n in sizes {
+        let db = make_db("e1", 1, 1);
+        let mut r = rng(0xE1);
+
+        let t0 = Instant::now();
+        let ids = populate(&db, &mut r, n, 8, 48, 8_192);
+        let create = t0.elapsed();
+
+        // Random-order full reads.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, r.random_range(0..=i));
+        }
+        let probe = n.min(2_000);
+        let t0 = Instant::now();
+        for i in order.iter().take(probe) {
+            db.open_note(ids[*i]).expect("read");
+        }
+        let read = t0.elapsed();
+
+        let t0 = Instant::now();
+        for i in order.iter().take(probe) {
+            db.open_summary(ids[*i]).expect("summary read");
+        }
+        let summary_read = t0.elapsed();
+
+        let t0 = Instant::now();
+        for i in order.iter().take(probe) {
+            let mut doc = db.open_note(ids[*i]).expect("open");
+            doc.set("F0", Value::text("updated"));
+            db.save(&mut doc).expect("update");
+        }
+        let update = t0.elapsed();
+
+        // Page accounting on one representative note.
+        let pages_summary = db.pages_touched(ids[0], true).expect("pages");
+        let pages_full = db.pages_touched(ids[0], false).expect("pages");
+
+        let t0 = Instant::now();
+        for i in order.iter().take(probe) {
+            db.delete(ids[*i]).expect("delete");
+        }
+        let delete = t0.elapsed();
+
+        table.row(vec![
+            fmt(n as f64),
+            rate(n, create),
+            rate(probe, read),
+            rate(probe, summary_read),
+            rate(probe, update),
+            rate(probe, delete),
+            fmt(pages_summary as f64),
+            fmt(pages_full as f64),
+        ]);
+    }
+    table.takeaway(
+        "summary reads touch ~1-2 pages regardless of body size and run several times \
+         faster than full reads; throughput degrades gently (B-tree depth) as N grows",
+    );
+    table
+}

@@ -1,0 +1,97 @@
+//! E8 (Table 5) — deletion stubs, the purge interval, and the resurrection
+//! anomaly.
+//!
+//! Scenario per trial: replica A deletes a document. Replica C last
+//! replicated *before* the deletion and comes back online only after
+//! `offline_ticks`. If A purges its stubs before C returns, A can no
+//! longer refute C's live copy and the deleted document resurrects.
+
+use std::sync::Arc;
+
+use domino_core::{Database, DbConfig, Note};
+use domino_replica::{ReplicationOptions, Replicator};
+use domino_types::{LogicalClock, ReplicaId, Value};
+
+use crate::table::{fmt, Table};
+use crate::Scale;
+
+fn trial(purge_interval: u64, offline_ticks: u64) -> (bool, usize) {
+    let clock = LogicalClock::new();
+    let a = Arc::new(
+        Database::open_in_memory(
+            DbConfig::new("e8", ReplicaId(8), ReplicaId(1)).with_purge_interval(purge_interval),
+            clock.clone(),
+        )
+        .expect("open"),
+    );
+    let c = Arc::new(
+        Database::open_in_memory(
+            DbConfig::new("e8", ReplicaId(8), ReplicaId(2)).with_purge_interval(purge_interval),
+            clock.clone(),
+        )
+        .expect("open"),
+    );
+    let mut repl = Replicator::new(ReplicationOptions::default());
+
+    let mut doc = Note::document("Doc");
+    doc.set("Subject", Value::text("to be deleted"));
+    a.save(&mut doc).expect("save");
+    repl.sync(&a, &c).expect("sync"); // C holds a live copy
+
+    a.delete(a.id_of_unid(doc.unid()).expect("id").expect("bound"))
+        .expect("delete");
+
+    // C is offline for `offline_ticks`; A purges on its schedule.
+    clock.advance(offline_ticks);
+    let purged = a.purge_stubs().expect("purge");
+
+    // C returns and replicates.
+    repl.sync(&a, &c).expect("sync");
+    repl.sync(&a, &c).expect("sync");
+    let resurrected = a.open_by_unid(doc.unid()).is_ok();
+    (resurrected, purged)
+}
+
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "e8",
+        "Table 5",
+        "Deletion stubs and the purge-interval anomaly",
+        "Deletions propagate via stubs; purging stubs sooner than the slowest \
+         replica replicates resurrects deleted documents — the administrator \
+         trap the tutorial warns about",
+    )
+    .columns(&[
+        "purge interval (ticks)",
+        "replica offline (ticks)",
+        "stub purged before return",
+        "document resurrected",
+    ]);
+    let _ = scale;
+
+    for (purge, offline) in [
+        (10_000u64, 1_000u64), // healthy: purge ≫ replication gap
+        (10_000, 5_000),
+        (10_000, 20_000), // straggler outlives the stub
+        (2_000, 5_000),
+        (50_000, 20_000),
+    ] {
+        let (resurrected, purged) = trial(purge, offline);
+        let expected_anomaly = offline > purge;
+        assert_eq!(
+            resurrected, expected_anomaly,
+            "anomaly occurs exactly when the replica outlives the purge interval"
+        );
+        table.row(vec![
+            fmt(purge as f64),
+            fmt(offline as f64),
+            if purged > 0 { "yes" } else { "no" }.to_string(),
+            if resurrected { "YES (anomaly)" } else { "no" }.to_string(),
+        ]);
+    }
+    table.takeaway(
+        "resurrection happens exactly when the offline window exceeds the purge \
+         interval; with purge ≫ replication interval, deletions stay deleted",
+    );
+    table
+}

@@ -1,0 +1,88 @@
+//! E9 (Figure 4) — full-text index: build throughput, query latency by
+//! class, incremental maintenance.
+
+use std::time::Instant;
+
+use domino_ftindex::FtIndex;
+use domino_types::Value;
+
+use crate::table::{fmt, micros_per, rate, Table};
+use crate::workload::{make_db, populate, rng, text};
+use crate::Scale;
+
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "e9",
+        "Figure 4",
+        "Full-text index: build rate, query latency, incremental updates",
+        "A per-database inverted index gives interactive word/boolean/phrase \
+         search and updates incrementally as documents change",
+    )
+    .columns(&[
+        "corpus docs",
+        "build docs/s",
+        "word µs",
+        "AND µs",
+        "OR µs",
+        "phrase µs",
+        "reindex-1-doc µs",
+        "terms",
+    ]);
+
+    let sizes = match scale {
+        Scale::Quick => vec![500, 2_000],
+        Scale::Full => vec![1_000, 10_000, 50_000],
+    };
+    for n in sizes {
+        let db = make_db("e9", 9, 1);
+        let mut r = rng(0xE9);
+        let ids = populate(&db, &mut r, n, 3, 200, 0);
+
+        let ft = FtIndex::detached();
+        let t0 = Instant::now();
+        ft.rebuild(&db).expect("build");
+        let build = t0.elapsed();
+
+        let reps = 200;
+        let time_query = |q: &str| {
+            let t0 = Instant::now();
+            let mut hits = 0;
+            for _ in 0..reps {
+                hits = ft.search(q).expect("search").len();
+            }
+            (t0.elapsed(), hits)
+        };
+        let (word, wh) = time_query("storage");
+        let (and, ah) = time_query("storage AND network");
+        let (or, oh) = time_query("storage OR network");
+        let (phrase, _ph) = time_query("\"project review\"");
+        assert!(wh > 0 && ah <= oh, "sane result sizes");
+
+        // Incremental: re-index one changed document.
+        let t0 = Instant::now();
+        let reindex_reps = 50;
+        for i in 0..reindex_reps {
+            let mut d = db.open_note(ids[i % ids.len()]).expect("open");
+            d.set("F0", Value::text(text(&mut r, 20)));
+            ft.index_note(&d);
+        }
+        let reindex = t0.elapsed();
+
+        table.row(vec![
+            fmt(n as f64),
+            rate(n, build),
+            micros_per(reps, word),
+            micros_per(reps, and),
+            micros_per(reps, or),
+            micros_per(reps, phrase),
+            micros_per(reindex_reps, reindex),
+            fmt(ft.stats().terms as f64),
+        ]);
+    }
+    table.takeaway(
+        "query latency grows with posting-list length (sublinearly vs corpus \
+         size thanks to intersection ordering); incremental re-index of one \
+         document is microseconds — independent of corpus size",
+    );
+    table
+}

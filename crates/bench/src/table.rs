@@ -1,0 +1,150 @@
+//! Result tables: what each experiment prints and what EXPERIMENTS.md
+//! records.
+
+use serde::Serialize;
+
+/// One regenerated table/figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id ("e1"...).
+    pub id: String,
+    /// "Table 1" / "Figure 3" designation from DESIGN.md.
+    pub kind: String,
+    pub title: String,
+    /// The paper claim this quantifies.
+    pub claim: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// One-line reading of the measured shape.
+    pub takeaway: String,
+}
+
+impl Table {
+    pub fn new(id: &str, kind: &str, title: &str, claim: &str) -> Table {
+        Table {
+            id: id.to_string(),
+            kind: kind.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            columns: Vec::new(),
+            rows: Vec::new(),
+            takeaway: String::new(),
+        }
+    }
+
+    pub fn columns(mut self, cols: &[&str]) -> Table {
+        self.columns = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn takeaway(&mut self, s: impl Into<String>) {
+        self.takeaway = s.into();
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## {} ({}) — {}\n\n*Claim:* {}\n\n",
+            self.id.to_uppercase(),
+            self.kind,
+            self.title,
+            self.claim
+        ));
+        let widths: Vec<usize> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                self.rows
+                    .iter()
+                    .map(|r| r[i].len())
+                    .chain([c.len()])
+                    .max()
+                    .unwrap_or(4)
+            })
+            .collect();
+        let line = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", padded.join(" | "))
+        };
+        out.push_str(&line(&self.columns));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&line(&dashes));
+        for row in &self.rows {
+            out.push_str(&line(row));
+        }
+        if !self.takeaway.is_empty() {
+            out.push_str(&format!("\n*Measured shape:* {}\n", self.takeaway));
+        }
+        out
+    }
+}
+
+/// Format a float tersely.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Ops/second from a count and elapsed duration.
+pub fn rate(ops: usize, elapsed: std::time::Duration) -> String {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    fmt(ops as f64 / secs)
+}
+
+/// Microseconds per op.
+pub fn micros_per(ops: usize, elapsed: std::time::Duration) -> String {
+    let us = elapsed.as_secs_f64() * 1e6 / ops.max(1) as f64;
+    fmt(us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders() {
+        let mut t = Table::new("e0", "Table 0", "demo", "things hold")
+            .columns(&["n", "ops/s"]);
+        t.row(vec!["10".into(), "123".into()]);
+        t.takeaway("flat");
+        let md = t.to_markdown();
+        assert!(md.contains("## E0"));
+        assert!(md.contains("| n "));
+        assert!(md.contains("| 10"));
+        assert!(md.contains("*Measured shape:* flat"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "t", "t", "c").columns(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.0), "42.0");
+        assert_eq!(fmt(1.5), "1.500");
+        assert_eq!(rate(100, std::time::Duration::from_secs(1)), "100.0");
+    }
+}

@@ -1,0 +1,156 @@
+//! Synthetic workload generators (the substitution for production
+//! groupware traces — DESIGN.md §2). Everything is seeded, so runs are
+//! reproducible.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use domino_core::{Database, DbConfig, Note};
+use domino_types::{LogicalClock, ReplicaId, Timestamp, Value};
+
+/// Deterministic RNG for a named workload.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A fresh in-memory database.
+pub fn make_db(title: &str, lineage: u64, instance: u64) -> Arc<Database> {
+    Arc::new(
+        Database::open_in_memory(
+            DbConfig::new(title, ReplicaId(lineage), ReplicaId(instance)),
+            LogicalClock::starting_at(Timestamp(instance * 1000)),
+        )
+        .expect("open database"),
+    )
+}
+
+/// A vocabulary of plausible words for text generation.
+const WORDS: &[&str] = &[
+    "project", "review", "quarterly", "budget", "deploy", "replica", "server",
+    "meeting", "agenda", "status", "release", "storage", "index", "network",
+    "client", "update", "launch", "report", "metric", "design", "schema",
+    "latency", "backup", "restore", "mailbox", "thread", "topic", "response",
+];
+
+/// `n` words of pseudo-text: common vocabulary words most of the time,
+/// with a Zipf-ish tail of rare terms (`termNNNN`) so inverted-index
+/// vocabularies grow realistically with corpus size.
+pub fn text(rng: &mut StdRng, n: usize) -> String {
+    (0..n)
+        .map(|_| {
+            if rng.random_bool(0.8) {
+                WORDS[rng.random_range(0..WORDS.len())].to_string()
+            } else {
+                // Quadratic skew: low ids are much more common.
+                let r: f64 = rng.random();
+                let id = (r * r * 5000.0) as u32;
+                format!("term{id:04}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Build one synthetic document: `fields` summary items of ~`field_len`
+/// chars plus an optional non-summary body of `body_len` bytes.
+pub fn make_doc(rng: &mut StdRng, fields: usize, field_len: usize, body_len: usize) -> Note {
+    let mut n = Note::document("Doc");
+    for f in 0..fields {
+        n.set(
+            &format!("F{f}"),
+            Value::text(text(rng, (field_len / 8).max(1))),
+        );
+    }
+    n.set("Category", Value::text(format!("cat{}", rng.random_range(0..8))));
+    n.set("Priority", Value::Number(rng.random_range(1..=5) as f64));
+    if body_len > 0 {
+        let body: Vec<u8> = (0..body_len).map(|_| rng.random_range(32..127) as u8).collect();
+        n.set_body("Body", Value::RichText(body));
+    }
+    n
+}
+
+/// Populate a database with `n` documents; returns their note ids.
+pub fn populate(
+    db: &Database,
+    rng: &mut StdRng,
+    n: usize,
+    fields: usize,
+    field_len: usize,
+    body_len: usize,
+) -> Vec<domino_types::NoteId> {
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut doc = make_doc(rng, fields, field_len, body_len);
+        db.save(&mut doc).expect("save");
+        ids.push(doc.id);
+        // Bound log growth during large loads, like a production server.
+        if i % 5000 == 4999 {
+            db.checkpoint().expect("checkpoint");
+        }
+    }
+    ids
+}
+
+/// Discussion-thread workload: `topics` top-level topics, each with a
+/// geometric number of responses (mean ~`mean_responses`).
+pub fn populate_threads(
+    db: &Database,
+    rng: &mut StdRng,
+    topics: usize,
+    mean_responses: usize,
+) -> usize {
+    let mut total = 0;
+    for t in 0..topics {
+        let mut topic = Note::document("Topic");
+        topic.set("Subject", Value::text(format!("topic {t}: {}", text(rng, 4))));
+        topic.set("Category", Value::text(format!("cat{}", t % 5)));
+        db.save(&mut topic).expect("save topic");
+        total += 1;
+        let mut parent = topic.unid();
+        let replies = rng.random_range(0..=mean_responses * 2);
+        for _ in 0..replies {
+            let mut resp = Note::document("Response");
+            resp.set("Subject", Value::text(format!("re: {}", text(rng, 3))));
+            resp.set("Category", Value::text(format!("cat{}", t % 5)));
+            resp.set_parent(parent);
+            db.save(&mut resp).expect("save response");
+            total += 1;
+            // Half the time, chain deeper.
+            if rng.random_bool(0.5) {
+                parent = resp.unid();
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let mut r1 = rng(7);
+        let mut r2 = rng(7);
+        assert_eq!(text(&mut r1, 6), text(&mut r2, 6));
+    }
+
+    #[test]
+    fn populate_creates_n_docs() {
+        let db = make_db("w", 1, 2);
+        let ids = populate(&db, &mut rng(1), 50, 4, 32, 0);
+        assert_eq!(ids.len(), 50);
+        assert_eq!(db.document_count().unwrap(), 50);
+    }
+
+    #[test]
+    fn threads_have_responses() {
+        let db = make_db("w", 1, 2);
+        let total = populate_threads(&db, &mut rng(2), 10, 3);
+        assert_eq!(db.document_count().unwrap(), total);
+        assert!(total > 10);
+    }
+}

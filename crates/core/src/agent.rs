@@ -1,0 +1,268 @@
+//! Agents: stored formula programs run over the database.
+//!
+//! Notes agents automate workflow: a selection formula picks documents and
+//! `FIELD` assignments mutate them (the tutorial's "workflow on top of the
+//! document store" story). Agents are design notes, so they replicate with
+//! the database and run wherever the documents are.
+
+use domino_formula::{EvalEnv, Formula};
+use domino_types::{Clock, DominoError, NoteClass, Result, Value};
+
+use crate::db::Database;
+use crate::note::Note;
+
+/// When an agent is meant to run (informational for schedulers; `run`
+/// executes regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgentTrigger {
+    Manual,
+    /// Run on a schedule (every `ticks`).
+    Scheduled(u64),
+    /// Run after new/updated documents arrive (e.g. post-replication).
+    OnUpdate,
+}
+
+/// A stored agent.
+#[derive(Debug, Clone)]
+pub struct AgentDesign {
+    pub name: String,
+    /// The program: `SELECT` chooses documents; `FIELD` writes modify them.
+    pub formula: Formula,
+    pub trigger: AgentTrigger,
+}
+
+/// What one agent run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentRunReport {
+    pub examined: usize,
+    pub selected: usize,
+    pub modified: usize,
+}
+
+impl AgentDesign {
+    pub fn new(name: &str, formula_src: &str) -> Result<AgentDesign> {
+        Ok(AgentDesign {
+            name: name.to_string(),
+            formula: Formula::compile(formula_src)?,
+            trigger: AgentTrigger::Manual,
+        })
+    }
+
+    pub fn scheduled(mut self, every_ticks: u64) -> AgentDesign {
+        self.trigger = AgentTrigger::Scheduled(every_ticks);
+        self
+    }
+
+    pub fn on_update(mut self) -> AgentDesign {
+        self.trigger = AgentTrigger::OnUpdate;
+        self
+    }
+
+    /// Run over every document: selected documents receive the formula's
+    /// `FIELD` writes and are saved (skipping documents the writes leave
+    /// unchanged, so runs are idempotent).
+    pub fn run(&self, db: &Database, user: &str) -> Result<AgentRunReport> {
+        let env = EvalEnv {
+            username: user.to_string(),
+            now: db.clock().peek(),
+            db_title: db.title(),
+            ..EvalEnv::default()
+        };
+        let mut report = AgentRunReport::default();
+        for id in db.note_ids(Some(NoteClass::Document))? {
+            report.examined += 1;
+            let note = db.open_note(id)?;
+            let out = self.formula.eval_full(&note, &env)?;
+            if !out.selected {
+                continue;
+            }
+            report.selected += 1;
+            if out.field_writes.is_empty() {
+                continue;
+            }
+            let mut doc = note;
+            let mut changed = false;
+            for (field, value) in out.field_writes {
+                if doc.get(&field) != Some(&value) {
+                    doc.set(&field, value);
+                    changed = true;
+                }
+            }
+            if changed {
+                db.save(&mut doc)?;
+                report.modified += 1;
+            }
+        }
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // persistence as an Agent design note
+    // ------------------------------------------------------------------
+
+    pub fn to_note(&self) -> Note {
+        let mut n = Note::new(NoteClass::Agent);
+        n.set("$TITLE", Value::text(self.name.clone()));
+        n.set("Formula", Value::text(self.formula.source()));
+        let (kind, arg) = match self.trigger {
+            AgentTrigger::Manual => ("manual", 0),
+            AgentTrigger::Scheduled(t) => ("scheduled", t),
+            AgentTrigger::OnUpdate => ("onupdate", 0),
+        };
+        n.set("Trigger", Value::text(kind));
+        n.set("TriggerArg", Value::Number(arg as f64));
+        n
+    }
+
+    pub fn from_note(note: &Note) -> Result<AgentDesign> {
+        if note.class != NoteClass::Agent {
+            return Err(DominoError::InvalidArgument(format!(
+                "{:?} note is not an agent design",
+                note.class
+            )));
+        }
+        let name = note
+            .get_text("$TITLE")
+            .ok_or_else(|| DominoError::Corrupt("agent design missing $TITLE".into()))?;
+        let src = note
+            .get_text("Formula")
+            .ok_or_else(|| DominoError::Corrupt("agent design missing Formula".into()))?;
+        let arg = note
+            .get("TriggerArg")
+            .and_then(|v| v.as_number().ok())
+            .unwrap_or(0.0) as u64;
+        let trigger = match note.get_text("Trigger").as_deref() {
+            Some("scheduled") => AgentTrigger::Scheduled(arg),
+            Some("onupdate") => AgentTrigger::OnUpdate,
+            _ => AgentTrigger::Manual,
+        };
+        Ok(AgentDesign { name, formula: Formula::compile(&src)?, trigger })
+    }
+}
+
+/// Store an agent design (replacing any with the same name).
+pub fn save_agent(db: &Database, agent: &AgentDesign) -> Result<()> {
+    for id in db.note_ids(Some(NoteClass::Agent))? {
+        let existing = db.open_note(id)?;
+        if existing.get_text("$TITLE").as_deref() == Some(&agent.name) {
+            let mut updated = agent.to_note();
+            updated.id = existing.id;
+            updated.oid = existing.oid;
+            updated.created = existing.created;
+            return db.save(&mut updated);
+        }
+    }
+    db.save(&mut agent.to_note())
+}
+
+/// Load all stored agents.
+pub fn stored_agents(db: &Database) -> Result<Vec<AgentDesign>> {
+    let mut out = Vec::new();
+    for id in db.note_ids(Some(NoteClass::Agent))? {
+        out.push(AgentDesign::from_note(&db.open_note(id)?)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::DbConfig;
+    use domino_types::{LogicalClock, ReplicaId};
+
+    fn db() -> Database {
+        Database::open_in_memory(
+            DbConfig::new("T", ReplicaId(1), ReplicaId(2)),
+            LogicalClock::new(),
+        )
+        .unwrap()
+    }
+
+    fn escalator() -> AgentDesign {
+        AgentDesign::new(
+            "escalate",
+            r#"SELECT Status = "open" & Age > 30; FIELD Status := "overdue""#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn agent_modifies_selected_documents_only() {
+        let db = db();
+        for (age, status) in [(10.0, "open"), (45.0, "open"), (50.0, "closed")] {
+            let mut n = Note::document("Ticket");
+            n.set("Age", Value::Number(age));
+            n.set("Status", Value::text(status));
+            db.save(&mut n).unwrap();
+        }
+        let report = escalator().run(&db, "scheduler").unwrap();
+        assert_eq!(report.examined, 3);
+        assert_eq!(report.selected, 1);
+        assert_eq!(report.modified, 1);
+        let f = Formula::compile(r#"SELECT Status = "overdue""#).unwrap();
+        assert_eq!(db.search(&f, &EvalEnv::default()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn agent_runs_are_idempotent() {
+        let db = db();
+        let mut n = Note::document("Ticket");
+        n.set("Age", Value::Number(99.0));
+        n.set("Status", Value::text("open"));
+        db.save(&mut n).unwrap();
+        escalator().run(&db, "s").unwrap();
+        let seq_after_first = db.open_by_unid(n.unid()).unwrap().oid.seq;
+        // Second run selects nothing new and writes nothing.
+        let report = escalator().run(&db, "s").unwrap();
+        assert_eq!(report.modified, 0);
+        assert_eq!(db.open_by_unid(n.unid()).unwrap().oid.seq, seq_after_first);
+    }
+
+    #[test]
+    fn design_note_roundtrip() {
+        let agent = escalator().scheduled(500);
+        let note = agent.to_note();
+        let back = AgentDesign::from_note(&note).unwrap();
+        assert_eq!(back.name, "escalate");
+        assert_eq!(back.trigger, AgentTrigger::Scheduled(500));
+        assert_eq!(back.formula.source(), agent.formula.source());
+    }
+
+    #[test]
+    fn save_agent_replaces_by_name() {
+        let db = db();
+        save_agent(&db, &escalator()).unwrap();
+        save_agent(&db, &escalator().on_update()).unwrap();
+        let agents = stored_agents(&db).unwrap();
+        assert_eq!(agents.len(), 1);
+        assert_eq!(agents[0].trigger, AgentTrigger::OnUpdate);
+    }
+
+    #[test]
+    fn agents_replicate_and_run_remotely() {
+        let a = std::sync::Arc::new(db());
+        let b = std::sync::Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("T", ReplicaId(1), ReplicaId(3)),
+                LogicalClock::starting_at(domino_types::Timestamp(99)),
+            )
+            .unwrap(),
+        );
+        save_agent(&a, &escalator()).unwrap();
+        let mut n = Note::document("Ticket");
+        n.set("Age", Value::Number(40.0));
+        n.set("Status", Value::text("open"));
+        a.save(&mut n).unwrap();
+        // Agents are notes: they replicate like everything else. (Using the
+        // low-level apply path to avoid a dev-dependency cycle on
+        // domino-replica.)
+        for c in a.changed_since(domino_types::Timestamp::ZERO).unwrap() {
+            let note = a.open_note(c.id).unwrap();
+            b.save_replicated(note).unwrap();
+        }
+        let agents = stored_agents(&b).unwrap();
+        assert_eq!(agents.len(), 1);
+        let report = agents[0].run(&b, "remote").unwrap();
+        assert_eq!(report.modified, 1);
+    }
+}

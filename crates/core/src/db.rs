@@ -1,0 +1,978 @@
+//! The Notes database: notes + design + ACL + deletion stubs in one store.
+//!
+//! A [`Database`] owns a storage engine (with WAL), a [`NoteStore`], and a
+//! clock. It is identified two ways, as in Domino:
+//!
+//! * the **replica id** — shared by every replica of the *same* database;
+//!   replication refuses to pair databases with different replica ids,
+//! * the **instance id** — unique per physical replica; it seeds UNID and
+//!   note-id generation so ids never collide across replicas.
+//!
+//! Deleting a note leaves a [`DeletionStub`] carrying the note's UNID and a
+//! bumped sequence number, so the deletion itself replicates; stubs are
+//! purged after the database's *purge interval* (E8 reproduces the classic
+//! anomaly when that interval is shorter than the replication interval).
+//!
+//! Change observers ([`Database::subscribe`]) receive every save/delete
+//! after the transaction commits — this is how view indexes and the
+//! full-text index stay incremental.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use domino_formula::{EvalEnv, Formula};
+use domino_security::{Acl, AclEntry, AccessLevel};
+use domino_storage::{Engine, EngineConfig, MemDisk, NoteStore, Segment};
+use domino_types::{
+    Clock, DominoError, ItemFlags, LogicalClock, NoteClass, NoteId, Oid, ReplicaId, Result,
+    Timestamp, Unid, Value,
+};
+use domino_wal::MemLogStore;
+
+use crate::note::{record_is_stub, DeletionStub, Note};
+
+/// Tree slot for the modified-time index: key `(seq_time << 32) | note_id`.
+const TREE_SEQ_INDEX: usize = 2;
+/// User slot holding the shared replica (lineage) id.
+const SLOT_LINEAGE: usize = 2;
+/// User slot holding the purge interval in ticks.
+const SLOT_PURGE: usize = 3;
+/// User slot holding the per-open UNID disambiguation counter seed.
+const SLOT_ACL_NOTE: usize = 4;
+
+/// Default purge interval (ticks). Domino defaults to 90 days of its
+/// replication-cutoff setting; any value works with the logical clock.
+pub const DEFAULT_PURGE_INTERVAL: u64 = 1_000_000;
+
+/// A change applied to the database.
+#[derive(Debug, Clone)]
+pub enum ChangeEvent {
+    /// A note was created or updated. `old` is `None` for creations.
+    Saved { old: Option<Note>, new: Note },
+    /// A note was deleted, leaving `stub`.
+    Deleted { old: Note, stub: DeletionStub },
+}
+
+type Observer = Arc<dyn Fn(&ChangeEvent) + Send + Sync>;
+
+/// Summary entry for replication: one changed thing since a cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangedNote {
+    pub id: NoteId,
+    pub oid: Oid,
+    pub is_stub: bool,
+}
+
+/// Configuration for opening a database.
+#[derive(Clone)]
+pub struct DbConfig {
+    pub title: String,
+    /// Lineage id shared by all replicas of this database.
+    pub replica_id: ReplicaId,
+    /// Unique id of this physical replica.
+    pub instance_id: ReplicaId,
+    pub purge_interval: u64,
+    pub engine: EngineConfig,
+}
+
+impl DbConfig {
+    pub fn new(title: &str, replica_id: ReplicaId, instance_id: ReplicaId) -> DbConfig {
+        DbConfig {
+            title: title.to_string(),
+            replica_id,
+            instance_id,
+            purge_interval: DEFAULT_PURGE_INTERVAL,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    pub fn with_purge_interval(mut self, ticks: u64) -> DbConfig {
+        self.purge_interval = ticks;
+        self
+    }
+
+    pub fn with_engine(mut self, engine: EngineConfig) -> DbConfig {
+        self.engine = engine;
+        self
+    }
+}
+
+struct DbInner {
+    engine: Engine,
+    store: NoteStore,
+    title: String,
+    replica_id: ReplicaId,
+    instance_id: ReplicaId,
+    purge_interval: u64,
+    unid_counter: u16,
+    unread: std::collections::HashMap<String, std::collections::HashSet<Unid>>,
+}
+
+/// A Notes database. Thread-safe; share via `Arc<Database>`.
+pub struct Database {
+    inner: Mutex<DbInner>,
+    observers: Mutex<Vec<Observer>>,
+    clock: LogicalClock,
+}
+
+impl Database {
+    /// Open an in-memory database (fresh MemDisk + MemLogStore).
+    pub fn open_in_memory(config: DbConfig, clock: LogicalClock) -> Result<Database> {
+        Database::open(
+            Box::new(MemDisk::new()),
+            Some(Box::new(MemLogStore::new())),
+            config,
+            clock,
+        )
+    }
+
+    /// Open over explicit disk/log stores (used for crash/reopen tests and
+    /// file-backed databases).
+    pub fn open(
+        disk: Box<dyn domino_storage::Disk>,
+        log: Option<Box<dyn domino_wal::LogStore>>,
+        config: DbConfig,
+        clock: LogicalClock,
+    ) -> Result<Database> {
+        let mut engine = Engine::open(disk, log, config.engine.clone())?;
+        let mut tx = engine.begin()?;
+        let store = NoteStore::open(&mut engine, &mut tx, config.instance_id)?;
+        // Persist lineage + purge settings on first open.
+        if engine.user_slot(SLOT_LINEAGE)? == 0 {
+            engine.set_user_slot(&mut tx, SLOT_LINEAGE, config.replica_id.0)?;
+            engine.set_user_slot(&mut tx, SLOT_PURGE, config.purge_interval)?;
+        }
+        let replica_id = ReplicaId(engine.user_slot(SLOT_LINEAGE)?);
+        let purge_interval = engine.user_slot(SLOT_PURGE)?;
+        let instance_id = store.replica_id(&mut engine)?;
+        // The seq index tree.
+        domino_storage::BTree::open(&mut engine, &mut tx, TREE_SEQ_INDEX)?;
+        engine.commit(tx)?;
+
+        Ok(Database {
+            inner: Mutex::new(DbInner {
+                engine,
+                store,
+                title: config.title,
+                replica_id,
+                instance_id,
+                purge_interval,
+                unid_counter: 0,
+                unread: Default::default(),
+            }),
+            observers: Mutex::new(Vec::new()),
+            clock,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // identity & configuration
+    // ------------------------------------------------------------------
+
+    pub fn title(&self) -> String {
+        self.inner.lock().title.clone()
+    }
+
+    /// Lineage id (same across all replicas of this database).
+    pub fn replica_id(&self) -> ReplicaId {
+        self.inner.lock().replica_id
+    }
+
+    /// This physical replica's unique id.
+    pub fn instance_id(&self) -> ReplicaId {
+        self.inner.lock().instance_id
+    }
+
+    pub fn purge_interval(&self) -> u64 {
+        self.inner.lock().purge_interval
+    }
+
+    pub fn set_purge_interval(&self, ticks: u64) -> Result<()> {
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        g.purge_interval = ticks;
+        let mut tx = g.engine.begin()?;
+        g.engine.set_user_slot(&mut tx, SLOT_PURGE, ticks)?;
+        g.engine.commit(tx)
+    }
+
+    /// The database clock (shared; replication observes remote stamps
+    /// through it).
+    pub fn clock(&self) -> &LogicalClock {
+        &self.clock
+    }
+
+    /// Register a change observer (views, full-text index, cluster
+    /// replicator). Called after each commit, outside internal locks.
+    pub fn subscribe(&self, f: Observer) {
+        self.observers.lock().push(f);
+    }
+
+    fn notify(&self, event: ChangeEvent) {
+        let observers: Vec<Observer> = self.observers.lock().clone();
+        for obs in observers {
+            obs(&event);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // CRUD
+    // ------------------------------------------------------------------
+
+    /// Save a note: create it if it is a draft, else update the stored
+    /// copy. On return the note carries its assigned ids and stamps.
+    pub fn save(&self, note: &mut Note) -> Result<()> {
+        let event = {
+            let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+            let now = self.clock.now();
+            // Truncated copies (bodies stripped by partial replication)
+            // are read-only: saving one would replicate the body loss back
+            // to full replicas.
+            if note.is_truncated() {
+                return Err(DominoError::InvalidArgument(format!(
+                    "note {} is a truncated copy; fetch it in full before editing",
+                    note.unid()
+                )));
+            }
+            let old = if note.is_draft() {
+                // Assign identity.
+                let counter = g.unid_counter;
+                g.unid_counter = g.unid_counter.wrapping_add(1);
+                let unid = Unid::generate(g.instance_id, now, counter);
+                note.oid = Oid::new(unid, now);
+                note.created = now;
+                note.modified = now;
+                note.push_revision(g.instance_id);
+                for it in note.items_raw_mut() {
+                    it.revised = now;
+                }
+                None
+            } else {
+                let old = g.load(note.id)?.ok_or_else(|| {
+                    DominoError::NotFound(format!("note {} vanished", note.id))
+                })?;
+                if old.unid() != note.unid() {
+                    return Err(DominoError::InvalidArgument(
+                        "note id/unid mismatch on save".into(),
+                    ));
+                }
+                // Optimistic concurrency: saving from a stale revision is
+                // rejected (replication handles cross-replica races by
+                // materializing conflict documents instead).
+                if old.oid != note.oid {
+                    return Err(DominoError::UpdateConflict(format!(
+                        "note {} was updated (stored seq {}, yours {})",
+                        note.id, old.oid.seq, note.oid.seq
+                    )));
+                }
+                note.oid.bump(now);
+                note.modified = now;
+                note.push_revision(g.instance_id);
+                // Field-level revision stamps: only changed items advance.
+                for it in note.items_raw_mut() {
+                    let prior = old
+                        .items_raw()
+                        .iter()
+                        .find(|o| o.name.eq_ignore_ascii_case(&it.name));
+                    match prior {
+                        Some(p) if p.value == it.value && p.flags == it.flags => {
+                            it.revised = p.revised;
+                        }
+                        _ => it.revised = now,
+                    }
+                }
+                // Items dropped entirely (vs tombstoned) would break
+                // field-level replication; re-add them as tombstones.
+                let missing: Vec<String> = old
+                    .items_raw()
+                    .iter()
+                    .filter(|o| {
+                        !note
+                            .items_raw()
+                            .iter()
+                            .any(|n| n.name.eq_ignore_ascii_case(&o.name))
+                    })
+                    .map(|o| o.name.clone())
+                    .collect();
+                for name in missing {
+                    let mut tomb = domino_types::Item::new(name, Value::text(""));
+                    tomb.flags = ItemFlags::DELETED;
+                    tomb.revised = now;
+                    note.set_item(tomb);
+                }
+                Some(old)
+            };
+            g.persist(note, old.is_none())?;
+            ChangeEvent::Saved { old, new: note.clone() }
+        };
+        self.notify(event);
+        Ok(())
+    }
+
+    /// Write a note exactly as received from another replica: identity,
+    /// stamps, and item revisions are preserved. Replaces any existing
+    /// note *or stub* with the same UNID.
+    pub fn save_replicated(&self, mut note: Note) -> Result<Note> {
+        let event = {
+            let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+            self.clock.observe(note.oid.seq_time);
+            self.clock.observe(note.modified);
+            let existing = store.lookup_unid(&mut g.engine, note.unid())?;
+            let old = match existing {
+                Some(id) => {
+                    note.id = id;
+                    g.load(id)? // None if it was a stub
+                }
+                None => {
+                    // The incoming note carries the *source's* local id;
+                    // it means nothing here — allocate our own.
+                    note.id = NoteId::NONE;
+                    None
+                }
+            };
+            g.persist(&mut note, existing.is_none())?;
+            ChangeEvent::Saved { old, new: note.clone() }
+        };
+        let note = match &event {
+            ChangeEvent::Saved { new, .. } => new.clone(),
+            _ => unreachable!(),
+        };
+        self.notify(event);
+        Ok(note)
+    }
+
+    /// Fetch a note by local id. Deletion stubs read as `NotFound`.
+    pub fn open_note(&self, id: NoteId) -> Result<Note> {
+        self.inner
+            .lock()
+            .load(id)?
+            .ok_or_else(|| DominoError::NotFound(format!("note {id}")))
+    }
+
+    /// Fetch only the summary items (cheap: touches no body pages).
+    pub fn open_summary(&self, id: NoteId) -> Result<Note> {
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        let summary = store
+            .get(&mut g.engine, id, Segment::Summary)?
+            .ok_or_else(|| DominoError::NotFound(format!("note {id}")))?;
+        if record_is_stub(&summary) {
+            return Err(DominoError::NotFound(format!("note {id} is deleted")));
+        }
+        Note::decode(id, &summary, None)
+    }
+
+    /// Fetch the deletion stub at a local id (error if the record is a
+    /// live note or absent).
+    pub fn open_stub(&self, id: NoteId) -> Result<DeletionStub> {
+        let mut g = self.inner.lock();
+        let store = g.store;
+        let summary = store
+            .get(&mut g.engine, id, Segment::Summary)?
+            .ok_or_else(|| DominoError::NotFound(format!("record {id}")))?;
+        if !record_is_stub(&summary) {
+            return Err(DominoError::NotFound(format!("{id} is not a deletion stub")));
+        }
+        DeletionStub::decode(id, &summary)
+    }
+
+    pub fn open_by_unid(&self, unid: Unid) -> Result<Note> {
+        let id = {
+            let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+            store.lookup_unid(&mut g.engine, unid)?
+        }
+        .ok_or_else(|| DominoError::NotFound(format!("unid {unid}")))?;
+        self.open_note(id)
+    }
+
+    /// Local id bound to a UNID (note or stub), if any.
+    pub fn id_of_unid(&self, unid: Unid) -> Result<Option<NoteId>> {
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        store.lookup_unid(&mut g.engine, unid)
+    }
+
+    /// Delete a note, leaving a deletion stub.
+    pub fn delete(&self, id: NoteId) -> Result<DeletionStub> {
+        let event = {
+            let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+            let old = g
+                .load(id)?
+                .ok_or_else(|| DominoError::NotFound(format!("note {id}")))?;
+            let now = self.clock.now();
+            let mut oid = old.oid;
+            oid.bump(now);
+            let stub = DeletionStub { id, oid, deleted_at: now };
+            g.write_stub(&stub, Some(old.modified))?;
+            ChangeEvent::Deleted { old, stub }
+        };
+        let stub = match &event {
+            ChangeEvent::Deleted { stub, .. } => *stub,
+            _ => unreachable!(),
+        };
+        self.notify(event);
+        Ok(stub)
+    }
+
+    /// Apply a deletion received from another replica. The stub's own OID
+    /// is preserved. Returns the locally recorded stub, or `None` if the
+    /// local copy is *newer* than the deletion (the caller should treat
+    /// that as a conflict).
+    pub fn apply_remote_deletion(&self, remote: &DeletionStub) -> Result<Option<DeletionStub>> {
+        let event = {
+            let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+            self.clock.observe(remote.oid.seq_time);
+            let existing = store.lookup_unid(&mut g.engine, remote.oid.unid)?;
+            match existing {
+                Some(id) => {
+                    let old = g.load(id)?;
+                    if let Some(old_note) = &old {
+                        if old_note.oid.winner_key() > remote.oid.winner_key() {
+                            return Ok(None);
+                        }
+                    }
+                    let stub = DeletionStub { id, ..*remote };
+                    let old_modified = old.as_ref().map(|n| n.modified);
+                    g.write_stub(&stub, old_modified)?;
+                    old.map(|old| ChangeEvent::Deleted { old, stub })
+                }
+                None => {
+                    // Never seen this note: record the stub so the deletion
+                    // keeps propagating.
+                    let mut tx = g.engine.begin()?;
+                    let id = store.alloc_note_id(&mut g.engine, &mut tx)?;
+                    g.engine.commit(tx)?;
+                    let stub = DeletionStub { id, ..*remote };
+                    g.write_stub(&stub, None)?;
+                    None
+                }
+            }
+        };
+        let stub = event
+            .as_ref()
+            .map(|e| match e {
+                ChangeEvent::Deleted { stub, .. } => *stub,
+                _ => unreachable!(),
+            });
+        if let Some(event) = event {
+            self.notify(event);
+        }
+        Ok(stub.or(Some(*remote)))
+    }
+
+    // ------------------------------------------------------------------
+    // enumeration & search
+    // ------------------------------------------------------------------
+
+    /// Ids of all live notes of a class (stubs excluded). `None` = all
+    /// classes.
+    pub fn note_ids(&self, class: Option<NoteClass>) -> Result<Vec<NoteId>> {
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        let mut ids = Vec::new();
+        let mut err = None;
+        #[allow(unused_variables)]
+        let store = g.store;
+        store.for_each_note(&mut g.engine, |id| {
+            ids.push(id);
+            true
+        })?;
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            match g.load_summary(id) {
+                Ok(Some(n)) if class.is_none() || Some(n.class) == class => out.push(id),
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Count of live documents.
+    pub fn document_count(&self) -> Result<usize> {
+        Ok(self.note_ids(Some(NoteClass::Document))?.len())
+    }
+
+    /// All documents matching a selection formula (summary-only
+    /// evaluation, like a view refresh).
+    pub fn search(&self, formula: &Formula, env: &EvalEnv) -> Result<Vec<Note>> {
+        let ids = self.note_ids(Some(NoteClass::Document))?;
+        let mut out = Vec::new();
+        for id in ids {
+            let note = self.open_summary(id)?;
+            if formula.selects(&note, env)? {
+                out.push(self.open_note(id)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Everything (notes and stubs) whose sequence time is `>= cutoff`,
+    /// ascending by time — the replication candidate set.
+    pub fn changed_since(&self, cutoff: Timestamp) -> Result<Vec<ChangedNote>> {
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        let lo = (cutoff.0 as u128) << 32;
+        let mut ids = Vec::new();
+        let seq = domino_storage::BTree::open_existing(&mut g.engine, TREE_SEQ_INDEX)?;
+        seq.scan(&mut g.engine, lo, u128::MAX, |_, v| {
+            ids.push(NoteId(v as u32));
+            true
+        })?;
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            if let Some(entry) = g.changed_entry(id)? {
+                out.push(entry);
+            }
+        }
+        Ok(out)
+    }
+
+    /// All deletion stubs.
+    pub fn stubs(&self) -> Result<Vec<DeletionStub>> {
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        let mut ids = Vec::new();
+        #[allow(unused_variables)]
+        let store = g.store;
+        store.for_each_note(&mut g.engine, |id| {
+            ids.push(id);
+            true
+        })?;
+        let mut out = Vec::new();
+        for id in ids {
+            let summary = store.get(&mut g.engine, id, Segment::Summary)?;
+            if let Some(bytes) = summary {
+                if record_is_stub(&bytes) {
+                    out.push(DeletionStub::decode(id, &bytes)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Remove stubs older than the purge interval. Returns how many were
+    /// purged. After a stub is purged, the deletion can no longer
+    /// propagate — replicating with a stale replica may resurrect the
+    /// document (experiment E8).
+    pub fn purge_stubs(&self) -> Result<usize> {
+        let now = self.clock.peek();
+        let horizon = Timestamp(now.0.saturating_sub(self.purge_interval()));
+        let stubs = self.stubs()?;
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        let mut purged = 0;
+        for stub in stubs {
+            if stub.deleted_at < horizon {
+                let mut tx = g.engine.begin()?;
+                store.remove(&mut g.engine, &mut tx, stub.id)?;
+                store.unbind_unid(&mut g.engine, &mut tx, stub.oid.unid)?;
+                let seq = domino_storage::BTree::open_existing(&mut g.engine, TREE_SEQ_INDEX)?;
+                seq.delete(
+                    &mut g.engine,
+                    &mut tx,
+                    seq_key(stub.oid.seq_time, stub.id),
+                )?;
+                g.engine.commit(tx)?;
+                purged += 1;
+            }
+        }
+        Ok(purged)
+    }
+
+    /// Response documents (direct children) of a note.
+    pub fn responses_of(&self, parent: Unid) -> Result<Vec<NoteId>> {
+        let ids = self.note_ids(Some(NoteClass::Document))?;
+        let mut out = Vec::new();
+        for id in ids {
+            let n = self.open_summary(id)?;
+            if n.parent() == Some(parent) {
+                out.push(id);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // ACL
+    // ------------------------------------------------------------------
+
+    /// The database ACL (wide open until one is stored).
+    pub fn acl(&self) -> Result<Acl> {
+        let acl_id = {
+            let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+            g.engine.user_slot(SLOT_ACL_NOTE)?
+        };
+        if acl_id == 0 {
+            let mut acl = Acl::new(AccessLevel::NoAccess);
+            acl.set_default(AclEntry::new(AccessLevel::Manager));
+            return Ok(acl);
+        }
+        let note = self.open_note(NoteId(acl_id as u32))?;
+        let lines: Vec<String> = match note.get("Entries") {
+            Some(v) => v.iter_scalars().iter().map(|s| s.to_text()).collect(),
+            None => Vec::new(),
+        };
+        Acl::from_lines(&lines)
+            .ok_or_else(|| DominoError::Corrupt("unparseable ACL note".into()))
+    }
+
+    /// Store the ACL (as an ACL-class note, so it replicates).
+    pub fn set_acl(&self, acl: &Acl) -> Result<()> {
+        let acl_id = {
+            let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+            g.engine.user_slot(SLOT_ACL_NOTE)?
+        };
+        let mut note = if acl_id != 0 {
+            self.open_note(NoteId(acl_id as u32))?
+        } else {
+            Note::new(NoteClass::Acl)
+        };
+        note.set("Entries", Value::text_list(acl.to_lines()));
+        self.save(&mut note)?;
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        let mut tx = g.engine.begin()?;
+        g.engine.set_user_slot(&mut tx, SLOT_ACL_NOTE, note.id.0 as u64)?;
+        g.engine.commit(tx)
+    }
+
+    // ------------------------------------------------------------------
+    // unread marks
+    // ------------------------------------------------------------------
+
+    /// Mark a note read for a user. (Unread tables are per-replica state
+    /// and do not replicate, as in Notes.)
+    pub fn mark_read(&self, user: &str, unid: Unid) {
+        self.inner
+            .lock()
+            .unread
+            .entry(user.to_lowercase())
+            .or_default()
+            .insert(unid);
+    }
+
+    pub fn is_read(&self, user: &str, unid: Unid) -> bool {
+        self.inner
+            .lock()
+            .unread
+            .get(&user.to_lowercase())
+            .is_some_and(|s| s.contains(&unid))
+    }
+
+    /// UNIDs of documents the user has not read yet.
+    pub fn unread_unids(&self, user: &str) -> Result<Vec<Unid>> {
+        let ids = self.note_ids(Some(NoteClass::Document))?;
+        let mut out = Vec::new();
+        for id in ids {
+            let unid = self.open_summary(id)?.unid();
+            if !self.is_read(user, unid) {
+                out.push(unid);
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // maintenance
+    // ------------------------------------------------------------------
+
+    /// Write a fuzzy checkpoint (bounds restart-recovery work).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.inner.lock().engine.checkpoint()
+    }
+
+    /// Flush everything and truncate the log (clean shutdown).
+    pub fn shutdown(&self) -> Result<()> {
+        self.inner.lock().engine.shutdown()
+    }
+
+    /// Engine counters.
+    pub fn engine_stats(&self) -> domino_storage::EngineStats {
+        self.inner.lock().engine.stats()
+    }
+
+    /// Recovery stats from open, if restart recovery ran.
+    pub fn recovery_stats(&self) -> Option<domino_wal::RecoveryStats> {
+        self.inner.lock().engine.recovery
+    }
+
+    /// WAL counters (None when logging is off).
+    pub fn log_stats(&self) -> Option<domino_wal::LogStats> {
+        self.inner.lock().engine.wal().map(|w| w.stats())
+    }
+
+    /// Summary statistics for the database (the File → Database →
+    /// Properties panel, roughly).
+    pub fn info(&self) -> Result<DbInfo> {
+        let mut documents = 0;
+        let mut design_notes = 0;
+        for id in self.note_ids(None)? {
+            if self.open_summary(id)?.class == NoteClass::Document {
+                documents += 1;
+            } else {
+                design_notes += 1;
+            }
+        }
+        let stubs = self.stubs()?.len();
+        let mut g = self.inner.lock();
+        Ok(DbInfo {
+            title: g.title.clone(),
+            replica_id: g.replica_id,
+            instance_id: g.instance_id,
+            documents,
+            design_notes,
+            deletion_stubs: stubs,
+            logical_bytes: g.engine.logical_bytes()?,
+            purge_interval: g.purge_interval,
+        })
+    }
+
+    /// Copy-style compaction (what `compact` does to an NSF): rebuild the
+    /// database into fresh stores, carrying over every live note, stub,
+    /// and identity field, and dropping all dead space (tombstoned heap
+    /// records, emptied B-tree pages, the old log). Returns the new
+    /// database and before/after disk sizes.
+    pub fn compact_into(
+        &self,
+        disk: Box<dyn domino_storage::Disk>,
+        log: Option<Box<dyn domino_wal::LogStore>>,
+    ) -> Result<(Database, CompactStats)> {
+        let mut stats = CompactStats {
+            bytes_before: self.inner.lock().engine.logical_bytes()?,
+            ..CompactStats::default()
+        };
+        let config = DbConfig {
+            title: self.title(),
+            replica_id: self.replica_id(),
+            instance_id: self.instance_id(),
+            purge_interval: self.purge_interval(),
+            engine: self.inner.lock().engine.config().clone(),
+        };
+        let fresh = Database::open(disk, log, config, self.clock.clone())?;
+        // Copy notes in note-id order, preserving identity and lineage
+        // (save_replicated keeps OIDs/items byte-for-byte).
+        for id in self.note_ids(None)? {
+            let note = self.open_note(id)?;
+            fresh.save_replicated(note)?;
+            stats.notes_copied += 1;
+        }
+        for stub in self.stubs()? {
+            fresh.apply_remote_deletion(&stub)?;
+            stats.stubs_copied += 1;
+        }
+        // Preserve the local ACL-note pointer if one is set.
+        let acl_slot = {
+            let mut g = self.inner.lock();
+            g.engine.user_slot(SLOT_ACL_NOTE)?
+        };
+        if acl_slot != 0 {
+            fresh.set_acl(&self.acl()?)?;
+        }
+        fresh.checkpoint()?;
+        stats.bytes_after = fresh.inner.lock().engine.logical_bytes()?;
+        Ok((fresh, stats))
+    }
+
+    /// Pages a note's segments occupy (experiment accounting).
+    pub fn pages_touched(&self, id: NoteId, summary_only: bool) -> Result<usize> {
+        let mut g = self.inner.lock();
+        #[allow(unused_variables)]
+        let store = g.store;
+        #[allow(unused_variables)]
+        let store = g.store;
+        let mut n = store.pages_touched(&mut g.engine, id, Segment::Summary)?;
+        if !summary_only {
+            n += store.pages_touched(&mut g.engine, id, Segment::Body)?;
+        }
+        Ok(n)
+    }
+}
+
+/// Database properties snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbInfo {
+    pub title: String,
+    pub replica_id: ReplicaId,
+    pub instance_id: ReplicaId,
+    pub documents: usize,
+    pub design_notes: usize,
+    pub deletion_stubs: usize,
+    pub logical_bytes: u64,
+    pub purge_interval: u64,
+}
+
+/// What a compaction did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    pub notes_copied: u64,
+    pub stubs_copied: u64,
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+}
+
+fn seq_key(ts: Timestamp, id: NoteId) -> u128 {
+    ((ts.0 as u128) << 32) | id.0 as u128
+}
+
+impl DbInner {
+    /// Load a full note; `None` for stubs.
+    fn load(&mut self, id: NoteId) -> Result<Option<Note>> {
+        let Some(summary) = self.store.get(&mut self.engine, id, Segment::Summary)? else {
+            return Ok(None);
+        };
+        if record_is_stub(&summary) {
+            return Ok(None);
+        }
+        let body = self.store.get(&mut self.engine, id, Segment::Body)?;
+        Ok(Some(Note::decode(id, &summary, body.as_deref())?))
+    }
+
+    /// Load summary only; `None` for stubs.
+    fn load_summary(&mut self, id: NoteId) -> Result<Option<Note>> {
+        let Some(summary) = self.store.get(&mut self.engine, id, Segment::Summary)? else {
+            return Ok(None);
+        };
+        if record_is_stub(&summary) {
+            return Ok(None);
+        }
+        Ok(Some(Note::decode(id, &summary, None)?))
+    }
+
+    fn changed_entry(&mut self, id: NoteId) -> Result<Option<ChangedNote>> {
+        let Some(summary) = self.store.get(&mut self.engine, id, Segment::Summary)? else {
+            return Ok(None);
+        };
+        if record_is_stub(&summary) {
+            let stub = DeletionStub::decode(id, &summary)?;
+            Ok(Some(ChangedNote { id, oid: stub.oid, is_stub: true }))
+        } else {
+            let note = Note::decode(id, &summary, None)?;
+            Ok(Some(ChangedNote { id, oid: note.oid, is_stub: false }))
+        }
+    }
+
+    /// Write a note's records + indexes in one transaction. `is_new` means
+    /// no UNID binding exists yet. The note's `id` may be NONE (assigned
+    /// here).
+    fn persist(&mut self, note: &mut Note, is_new: bool) -> Result<()> {
+        let mut tx = self.engine.begin()?;
+        let result = (|| {
+            // Old seq-index entry (from whatever record is there now).
+            let old_seq_ts = if note.id.is_none() {
+                None
+            } else {
+                match self.store.get(&mut self.engine, note.id, Segment::Summary)? {
+                    Some(bytes) if record_is_stub(&bytes) => {
+                        Some(DeletionStub::decode(note.id, &bytes)?.oid.seq_time)
+                    }
+                    Some(bytes) => Some(Note::decode(note.id, &bytes, None)?.oid.seq_time),
+                    None => None,
+                }
+            };
+            if note.id.is_none() {
+                note.id = self.store.alloc_note_id(&mut self.engine, &mut tx)?;
+            }
+            let id = note.id;
+            self.store
+                .put(&mut self.engine, &mut tx, id, Segment::Summary, &note.encode_summary())?;
+            match note.encode_body() {
+                Some(body) => {
+                    self.store.put(&mut self.engine, &mut tx, id, Segment::Body, &body)?
+                }
+                None => {
+                    self.store.remove_segment(&mut self.engine, &mut tx, id, Segment::Body)?;
+                }
+            }
+            if is_new {
+                self.store.bind_unid(&mut self.engine, &mut tx, note.unid(), id)?;
+            }
+            let seq = domino_storage::BTree::open_existing(&mut self.engine, TREE_SEQ_INDEX)?;
+            if let Some(old_ts) = old_seq_ts {
+                seq.delete(&mut self.engine, &mut tx, seq_key(old_ts, id))?;
+            }
+            seq.insert(&mut self.engine, &mut tx, seq_key(note.oid.seq_time, id), id.0 as u64)?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => self.engine.commit(tx),
+            Err(e) => {
+                self.engine.abort(tx)?;
+                Err(e)
+            }
+        }
+    }
+
+    /// Replace a note record with a deletion stub. `old_modified` is the
+    /// seq-index timestamp of the record being replaced (None if this UNID
+    /// is new here).
+    fn write_stub(&mut self, stub: &DeletionStub, _old_modified: Option<Timestamp>) -> Result<()> {
+        let mut tx = self.engine.begin()?;
+        let result = (|| {
+            // Remove the old seq entry, whatever record type was there.
+            let old_ts = match self.store.get(&mut self.engine, stub.id, Segment::Summary)? {
+                Some(bytes) if record_is_stub(&bytes) => {
+                    Some(DeletionStub::decode(stub.id, &bytes)?.oid.seq_time)
+                }
+                Some(bytes) => Some(Note::decode(stub.id, &bytes, None)?.oid.seq_time),
+                None => None,
+            };
+            self.store
+                .put(&mut self.engine, &mut tx, stub.id, Segment::Summary, &stub.encode())?;
+            self.store
+                .remove_segment(&mut self.engine, &mut tx, stub.id, Segment::Body)?;
+            // Keep the UNID bound so later updates find the stub.
+            let bound = self.store.lookup_unid(&mut self.engine, stub.oid.unid)?;
+            if bound.is_none() {
+                self.store.bind_unid(&mut self.engine, &mut tx, stub.oid.unid, stub.id)?;
+            }
+            let seq = domino_storage::BTree::open_existing(&mut self.engine, TREE_SEQ_INDEX)?;
+            if let Some(old_ts) = old_ts {
+                seq.delete(&mut self.engine, &mut tx, seq_key(old_ts, stub.id))?;
+            }
+            seq.insert(
+                &mut self.engine,
+                &mut tx,
+                seq_key(stub.oid.seq_time, stub.id),
+                stub.id.0 as u64,
+            )?;
+            Ok(())
+        })();
+        match result {
+            Ok(()) => self.engine.commit(tx),
+            Err(e) => {
+                self.engine.abort(tx)?;
+                Err(e)
+            }
+        }
+    }
+}

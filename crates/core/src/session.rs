@@ -1,0 +1,229 @@
+//! Sessions: the ACL-enforcing face of a database.
+//!
+//! A [`Session`] binds a database to a user (and the group directory) and
+//! checks every operation against the effective ACL level, per-document
+//! `$Readers`/`$Authors` items, and protected-item rules — the enforcement
+//! points the paper describes for Notes clients and servers.
+
+use std::sync::Arc;
+
+use domino_formula::{EvalEnv, Formula};
+use domino_security::{can_edit_document, can_read_document, AccessLevel, Directory};
+use domino_types::{Clock, DominoError, ItemFlags, NoteId, Result, Unid, Value};
+
+use crate::db::Database;
+use crate::note::Note;
+
+/// Item stamped with the creating user (used for Author-level edit checks).
+pub const ITEM_FROM: &str = "From";
+
+/// Item accumulating the editors of each revision (bounded, like Notes'
+/// `$UpdatedBy`).
+pub const ITEM_UPDATED_BY: &str = "$UpdatedBy";
+
+const MAX_UPDATED_BY: usize = 32;
+
+fn stamp_updated_by(note: &mut Note, user: &str) {
+    let mut editors: Vec<String> = match note.get(ITEM_UPDATED_BY) {
+        Some(v) => v.iter_scalars().iter().map(|s| s.to_text()).collect(),
+        None => Vec::new(),
+    };
+    if editors.last().map(|l| l.eq_ignore_ascii_case(user)) != Some(true) {
+        editors.push(user.to_string());
+        if editors.len() > MAX_UPDATED_BY {
+            let drop = editors.len() - MAX_UPDATED_BY;
+            editors.drain(..drop);
+        }
+        note.set(ITEM_UPDATED_BY, Value::TextList(editors));
+    }
+}
+
+/// A user's handle on a database.
+pub struct Session {
+    db: Arc<Database>,
+    user: String,
+    directory: Directory,
+}
+
+impl Session {
+    pub fn new(db: Arc<Database>, user: &str, directory: Directory) -> Session {
+        Session { db, user: user.to_string(), directory }
+    }
+
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Formula environment for this user (deterministic `@Now`).
+    pub fn env(&self) -> EvalEnv {
+        EvalEnv {
+            username: self.user.clone(),
+            now: self.db.clock().peek(),
+            db_title: self.db.title(),
+            ..EvalEnv::default()
+        }
+    }
+
+    fn access(&self) -> Result<domino_security::acl::EffectiveAccess> {
+        Ok(self.db.acl()?.effective(&self.directory, &self.user))
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.directory.names_of(&self.user)
+    }
+
+    /// Open a note, enforcing reader access.
+    pub fn open_note(&self, id: NoteId) -> Result<Note> {
+        let note = self.db.open_note(id)?;
+        self.check_readable(&note)?;
+        Ok(note)
+    }
+
+    pub fn open_by_unid(&self, unid: Unid) -> Result<Note> {
+        let note = self.db.open_by_unid(unid)?;
+        self.check_readable(&note)?;
+        Ok(note)
+    }
+
+    fn check_readable(&self, note: &Note) -> Result<()> {
+        let access = self.access()?;
+        let mut names = self.names();
+        // A user always reads documents they authored (Notes behaviour for
+        // author-restricted drafts).
+        names.push(self.user.to_lowercase());
+        if can_read_document(&access, &names, &note.readers()) {
+            Ok(())
+        } else {
+            Err(DominoError::AccessDenied(format!(
+                "{} may not read {}",
+                self.user,
+                note.unid()
+            )))
+        }
+    }
+
+    /// Save (create or update) with create/edit enforcement. Creations are
+    /// stamped with a `From` item naming the author. If a form design
+    /// matching the note's `Form` item is stored in the database, its
+    /// default/computed/validation formulas run first.
+    pub fn save(&self, note: &mut Note) -> Result<()> {
+        let access = self.access()?;
+        if note.is_draft() {
+            if !access.level.can_create() {
+                return Err(DominoError::AccessDenied(format!(
+                    "{} ({}) may not create documents",
+                    self.user,
+                    access.level.name()
+                )));
+            }
+            if !note.has(ITEM_FROM) {
+                note.set(ITEM_FROM, Value::text(self.user.clone()));
+            }
+            stamp_updated_by(note, &self.user);
+            if let Some(form) = crate::form::form_for(&self.db, note)? {
+                form.process(note, &self.env(), true)?;
+            }
+            return self.db.save(note);
+        }
+        stamp_updated_by(note, &self.user);
+        if let Some(form) = crate::form::form_for(&self.db, note)? {
+            form.process(note, &self.env(), false)?;
+        }
+
+        // Update path: check edit rights against the stored copy.
+        let stored = self.db.open_note(note.id)?;
+        self.check_readable(&stored)?;
+        let author = stored.get_text(ITEM_FROM).unwrap_or_default();
+        if !can_edit_document(&access, &self.names(), &stored.authors(), &author) {
+            return Err(DominoError::AccessDenied(format!(
+                "{} may not edit {}",
+                self.user,
+                note.unid()
+            )));
+        }
+        // Author-level users may not alter protected items.
+        if !access.level.can_edit_any() {
+            for old in stored.items_raw() {
+                if old.flags.contains(ItemFlags::PROTECTED) {
+                    let changed = match note.items_raw().iter().find(|n| {
+                        n.name.eq_ignore_ascii_case(&old.name)
+                    }) {
+                        Some(new) => new.value != old.value,
+                        None => true,
+                    };
+                    if changed {
+                        return Err(DominoError::AccessDenied(format!(
+                            "item {} is protected",
+                            old.name
+                        )));
+                    }
+                }
+            }
+        }
+        self.db.save(note)
+    }
+
+    /// Delete with enforcement (Editor+, or the document's author).
+    pub fn delete(&self, id: NoteId) -> Result<()> {
+        let access = self.access()?;
+        let stored = self.db.open_note(id)?;
+        self.check_readable(&stored)?;
+        let author = stored.get_text(ITEM_FROM).unwrap_or_default();
+        let may = access.level.can_delete()
+            || (access.level == AccessLevel::Author
+                && self
+                    .names()
+                    .iter()
+                    .any(|n| n.eq_ignore_ascii_case(&author)));
+        if !may {
+            return Err(DominoError::AccessDenied(format!(
+                "{} may not delete {}",
+                self.user, id
+            )));
+        }
+        self.db.delete(id)?;
+        Ok(())
+    }
+
+    /// Search, returning only documents the user may read.
+    pub fn search(&self, formula: &Formula) -> Result<Vec<Note>> {
+        let all = self.db.search(formula, &self.env())?;
+        let access = self.access()?;
+        if !access.level.can_read() {
+            return Err(DominoError::AccessDenied(format!(
+                "{} may not read {}",
+                self.user,
+                self.db.title()
+            )));
+        }
+        let names = self.names();
+        Ok(all
+            .into_iter()
+            .filter(|n| can_read_document(&access, &names, &n.readers()))
+            .collect())
+    }
+
+    /// Unread documents for this user (readable ones only).
+    pub fn unread(&self) -> Result<Vec<Unid>> {
+        let unids = self.db.unread_unids(&self.user)?;
+        let access = self.access()?;
+        let names = self.names();
+        let mut out = Vec::new();
+        for unid in unids {
+            let note = self.db.open_by_unid(unid)?;
+            if can_read_document(&access, &names, &note.readers()) {
+                out.push(unid);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mark a document read for this user.
+    pub fn mark_read(&self, unid: Unid) {
+        self.db.mark_read(&self.user, unid);
+    }
+}

@@ -1,0 +1,595 @@
+//! Formula evaluation.
+//!
+//! An [`Evaluator`] walks a [`Program`] against anything that implements
+//! [`DocContext`]. Infix operators use Notes *pairwise* list semantics:
+//! operating on two lists pairs their elements (reusing the shorter list's
+//! last element when lengths differ); non-permuted comparisons succeed if
+//! *any* pair satisfies them, and the permuted forms (`*=`, `*<>`) compare
+//! every combination.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, Program, Statement, UnOp};
+use crate::functions;
+use domino_types::{DateTime, DominoError, Result, Timestamp, Value};
+
+/// Read-only view of a document as formulas see it.
+///
+/// Item lookup is case-insensitive (Notes item names are). The default
+/// metadata methods let simple doc types skip implementing them.
+pub trait DocContext {
+    /// Fetch an item value by case-insensitive name.
+    fn item(&self, name: &str) -> Option<Value>;
+
+    /// Creation time (`@Created`).
+    fn created(&self) -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    /// Last-modified time (`@Modified`).
+    fn modified(&self) -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    /// Universal id rendered as hex (`@DocUniqueID`); empty if unknown.
+    fn unid_text(&self) -> String {
+        String::new()
+    }
+
+    /// Is this a response document (`@IsResponseDoc`)?
+    fn is_response(&self) -> bool {
+        false
+    }
+}
+
+/// A plain in-memory document, used in tests and anywhere a formula must be
+/// evaluated against ad-hoc data.
+#[derive(Debug, Clone, Default)]
+pub struct MapDoc {
+    items: HashMap<String, Value>,
+    created: Timestamp,
+    modified: Timestamp,
+}
+
+impl MapDoc {
+    pub fn new() -> MapDoc {
+        MapDoc::default()
+    }
+
+    pub fn with(mut self, name: &str, value: Value) -> MapDoc {
+        self.items.insert(name.to_lowercase(), value);
+        self
+    }
+
+    pub fn with_times(mut self, created: Timestamp, modified: Timestamp) -> MapDoc {
+        self.created = created;
+        self.modified = modified;
+        self
+    }
+
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.items.insert(name.to_lowercase(), value);
+    }
+}
+
+impl DocContext for MapDoc {
+    fn item(&self, name: &str) -> Option<Value> {
+        self.items.get(&name.to_lowercase()).cloned()
+    }
+
+    fn created(&self) -> Timestamp {
+        self.created
+    }
+
+    fn modified(&self) -> Timestamp {
+        self.modified
+    }
+}
+
+/// Ambient evaluation environment: who is asking and what time it is.
+#[derive(Debug, Clone)]
+pub struct EvalEnv {
+    /// The effective user (`@UserName`).
+    pub username: String,
+    /// "Now" for `@Now` — injected so evaluation stays deterministic.
+    pub now: Timestamp,
+    /// Title of the containing database (`@DbTitle`).
+    pub db_title: String,
+    /// Workstation environment variables (`@Environment` /
+    /// `@SetEnvironment` — notes.ini settings in real Notes). Writes made
+    /// during a run surface in [`EvalOutput::environment_writes`]; the
+    /// caller persists them into the next run's environment.
+    pub environment: std::collections::HashMap<String, String>,
+}
+
+impl Default for EvalEnv {
+    fn default() -> EvalEnv {
+        EvalEnv {
+            username: "Anonymous".to_string(),
+            now: Timestamp::ZERO,
+            db_title: String::new(),
+            environment: Default::default(),
+        }
+    }
+}
+
+impl EvalEnv {
+    pub fn user(username: impl Into<String>) -> EvalEnv {
+        EvalEnv { username: username.into(), ..EvalEnv::default() }
+    }
+}
+
+/// Everything a formula run produced.
+#[derive(Debug, Clone)]
+pub struct EvalOutput {
+    /// Value of the last evaluated statement.
+    pub value: Value,
+    /// Verdict of the `SELECT` statement, or the truthiness of `value` when
+    /// no `SELECT` is present (non-boolean results count as not selected).
+    pub selected: bool,
+    /// `FIELD x := ...` writes, in execution order.
+    pub field_writes: Vec<(String, Value)>,
+    /// `@AllDescendants` was invoked (view should pull in all responses of
+    /// selected ancestors).
+    pub include_descendants: bool,
+    /// `@AllChildren` was invoked (immediate responses only).
+    pub include_children: bool,
+    /// `@SetEnvironment` writes, in execution order.
+    pub environment_writes: Vec<(String, String)>,
+}
+
+/// The tree-walking interpreter. Cheap to construct; holds per-run state
+/// (temporary variables, field writes).
+pub struct Evaluator<'e> {
+    pub(crate) env: &'e EvalEnv,
+    pub(crate) vars: HashMap<String, Value>,
+    pub(crate) field_writes: Vec<(String, Value)>,
+    pub(crate) environment_writes: Vec<(String, String)>,
+    pub(crate) include_descendants: bool,
+    pub(crate) include_children: bool,
+}
+
+impl<'e> Evaluator<'e> {
+    pub fn new(env: &'e EvalEnv) -> Evaluator<'e> {
+        Evaluator {
+            env,
+            vars: HashMap::new(),
+            field_writes: Vec::new(),
+            environment_writes: Vec::new(),
+            include_descendants: false,
+            include_children: false,
+        }
+    }
+
+    /// Run a whole program against a document.
+    pub fn run(mut self, program: &Program, doc: &dyn DocContext) -> Result<EvalOutput> {
+        let mut last = Value::text("");
+        let mut selected: Option<bool> = None;
+        for st in &program.statements {
+            match st {
+                Statement::Expr(e) => {
+                    last = self.eval_expr(e, doc)?;
+                }
+                Statement::Select(e) => {
+                    let v = self.eval_expr(e, doc)?;
+                    selected = Some(v.as_bool().unwrap_or(false));
+                }
+            }
+        }
+        let selected =
+            selected.unwrap_or_else(|| last.as_bool().unwrap_or(false));
+        Ok(EvalOutput {
+            value: last,
+            selected,
+            field_writes: self.field_writes,
+            environment_writes: self.environment_writes,
+            include_descendants: self.include_descendants,
+            include_children: self.include_children,
+        })
+    }
+
+    pub(crate) fn eval_expr(&mut self, e: &Expr, doc: &dyn DocContext) -> Result<Value> {
+        match e {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Ref(name) => {
+                let key = name.to_lowercase();
+                if let Some(v) = self.vars.get(&key) {
+                    return Ok(v.clone());
+                }
+                // A pending FIELD write shadows the stored item.
+                if let Some((_, v)) = self
+                    .field_writes
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n.eq_ignore_ascii_case(name))
+                {
+                    return Ok(v.clone());
+                }
+                // Missing items read as "" — the Notes convention that lets
+                // `SELECT Status = ""` match docs without the field.
+                Ok(doc.item(name).unwrap_or_else(|| Value::text("")))
+            }
+            Expr::Assign(name, rhs) => {
+                let v = self.eval_expr(rhs, doc)?;
+                self.vars.insert(name.to_lowercase(), v.clone());
+                Ok(v)
+            }
+            Expr::FieldAssign(name, rhs) => {
+                let v = self.eval_expr(rhs, doc)?;
+                self.field_writes.push((name.clone(), v.clone()));
+                Ok(v)
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval_expr(inner, doc)?;
+                match op {
+                    UnOp::Neg => map_numeric(&v, |n| -n),
+                    UnOp::Not => Ok(Value::from(!v.as_bool()?)),
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let a = self.eval_expr(lhs, doc)?;
+                // Short-circuit & and |.
+                match op {
+                    BinOp::And => {
+                        if !a.as_bool()? {
+                            return Ok(Value::from(false));
+                        }
+                        let b = self.eval_expr(rhs, doc)?;
+                        return Ok(Value::from(b.as_bool()?));
+                    }
+                    BinOp::Or => {
+                        if a.as_bool()? {
+                            return Ok(Value::from(true));
+                        }
+                        let b = self.eval_expr(rhs, doc)?;
+                        return Ok(Value::from(b.as_bool()?));
+                    }
+                    _ => {}
+                }
+                let b = self.eval_expr(rhs, doc)?;
+                apply_binary(*op, &a, &b)
+            }
+            Expr::Call(name, args) => functions::call(self, name, args, doc),
+        }
+    }
+}
+
+/// Apply `f` to every numeric element (scalar or list).
+fn map_numeric(v: &Value, f: impl Fn(f64) -> f64) -> Result<Value> {
+    match v {
+        Value::Number(n) => Ok(Value::Number(f(*n))),
+        Value::NumberList(v) => {
+            Ok(Value::NumberList(v.iter().map(|n| f(*n)).collect()))
+        }
+        other => Err(DominoError::FormulaEval(format!(
+            "numeric operator applied to {:?}",
+            other.value_type()
+        ))),
+    }
+}
+
+/// Pair elements of two values. When lengths differ the shorter side's last
+/// element is reused — Notes' documented list-pairing rule.
+fn pairs(a: &Value, b: &Value) -> Vec<(Value, Value)> {
+    let xs = a.iter_scalars();
+    let ys = b.iter_scalars();
+    if xs.is_empty() || ys.is_empty() {
+        return Vec::new();
+    }
+    let n = xs.len().max(ys.len());
+    (0..n)
+        .map(|i| {
+            let x = xs.get(i).unwrap_or_else(|| xs.last().expect("nonempty"));
+            let y = ys.get(i).unwrap_or_else(|| ys.last().expect("nonempty"));
+            (x.clone(), y.clone())
+        })
+        .collect()
+}
+
+/// Compare two scalar values. Text compares case-insensitively (the Notes
+/// default); mixed scalar types are an evaluation error.
+pub(crate) fn compare_scalars(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => {
+            Ok(x.partial_cmp(y).unwrap_or(Ordering::Equal))
+        }
+        (Value::Text(x), Value::Text(y)) => {
+            Ok(x.to_lowercase().cmp(&y.to_lowercase()))
+        }
+        (Value::DateTime(x), Value::DateTime(y)) => Ok(x.cmp(y)),
+        _ => Err(DominoError::FormulaEval(format!(
+            "cannot compare {:?} with {:?}",
+            a.value_type(),
+            b.value_type()
+        ))),
+    }
+}
+
+fn apply_binary(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::Concat => {
+            let mut items = a.iter_scalars();
+            items.extend(b.iter_scalars());
+            // `:` always yields a list, even for two scalars.
+            match Value::from_scalars(items.clone())? {
+                v @ (Value::NumberList(_) | Value::TextList(_) | Value::DateTimeList(_)) => {
+                    Ok(v)
+                }
+                Value::Number(n) => Ok(Value::NumberList(vec![n])),
+                Value::Text(s) => Ok(Value::TextList(vec![s])),
+                Value::DateTime(d) => Ok(Value::DateTimeList(vec![d])),
+                other => Ok(other),
+            }
+        }
+        BinOp::Add => pairwise_each(a, b, |x, y| match (x, y) {
+            (Value::Text(s), y) => Ok(Value::Text(format!("{s}{}", y.to_text()))),
+            (x, Value::Text(s)) => Ok(Value::Text(format!("{}{s}", x.to_text()))),
+            (Value::DateTime(d), Value::Number(n)) => {
+                Ok(Value::DateTime(DateTime(d.0 + *n as i64)))
+            }
+            (Value::Number(n), Value::DateTime(d)) => {
+                Ok(Value::DateTime(DateTime(d.0 + *n as i64)))
+            }
+            (x, y) => Ok(Value::Number(x.as_number()? + y.as_number()?)),
+        }),
+        BinOp::Sub => pairwise_each(a, b, |x, y| match (x, y) {
+            (Value::DateTime(p), Value::DateTime(q)) => {
+                Ok(Value::Number((p.0 - q.0) as f64))
+            }
+            (Value::DateTime(d), Value::Number(n)) => {
+                Ok(Value::DateTime(DateTime(d.0 - *n as i64)))
+            }
+            (x, y) => Ok(Value::Number(x.as_number()? - y.as_number()?)),
+        }),
+        BinOp::Mul => pairwise_each(a, b, |x, y| {
+            Ok(Value::Number(x.as_number()? * y.as_number()?))
+        }),
+        BinOp::Div => pairwise_each(a, b, |x, y| {
+            let d = y.as_number()?;
+            if d == 0.0 {
+                return Err(DominoError::FormulaEval("division by zero".into()));
+            }
+            Ok(Value::Number(x.as_number()? / d))
+        }),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let want = |ord: Ordering| match op {
+                BinOp::Eq => ord == Ordering::Equal,
+                BinOp::Ne => ord != Ordering::Equal,
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            // Comparing against an empty ("no value") side: only equality
+            // with another empty value holds.
+            let ps = pairs(a, b);
+            if ps.is_empty() {
+                let both_empty = a.iter_scalars().is_empty() && b.iter_scalars().is_empty();
+                return Ok(Value::from(match op {
+                    BinOp::Eq => both_empty,
+                    BinOp::Ne => !both_empty,
+                    _ => false,
+                }));
+            }
+            for (x, y) in &ps {
+                if want(compare_scalars(x, y)?) {
+                    return Ok(Value::from(true));
+                }
+            }
+            Ok(Value::from(false))
+        }
+        BinOp::PermEq | BinOp::PermNe => {
+            let xs = a.iter_scalars();
+            let ys = b.iter_scalars();
+            for x in &xs {
+                for y in &ys {
+                    let ord = compare_scalars(x, y)?;
+                    let hit = match op {
+                        BinOp::PermEq => ord == Ordering::Equal,
+                        BinOp::PermNe => ord != Ordering::Equal,
+                        _ => unreachable!(),
+                    };
+                    if hit {
+                        return Ok(Value::from(true));
+                    }
+                }
+            }
+            Ok(Value::from(false))
+        }
+        BinOp::And | BinOp::Or => unreachable!("short-circuited in eval_expr"),
+    }
+}
+
+/// Apply `f` pairwise and rebuild a scalar or list result.
+fn pairwise_each(
+    a: &Value,
+    b: &Value,
+    f: impl Fn(&Value, &Value) -> Result<Value>,
+) -> Result<Value> {
+    let ps = pairs(a, b);
+    if ps.is_empty() {
+        return Ok(Value::TextList(Vec::new()));
+    }
+    if ps.len() == 1 {
+        return f(&ps[0].0, &ps[0].1);
+    }
+    let mut out = Vec::with_capacity(ps.len());
+    for (x, y) in &ps {
+        out.push(f(x, y)?);
+    }
+    Value::from_scalars(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Formula;
+
+    fn eval(src: &str) -> Value {
+        eval_doc(src, &MapDoc::new())
+    }
+
+    fn eval_doc(src: &str, doc: &MapDoc) -> Value {
+        Formula::compile(src)
+            .unwrap()
+            .eval(doc, &EvalEnv::default())
+            .unwrap()
+    }
+
+    fn eval_err(src: &str) -> DominoError {
+        Formula::compile(src)
+            .unwrap()
+            .eval(&MapDoc::new(), &EvalEnv::default())
+            .unwrap_err()
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval("1 + 2 * 3"), Value::Number(7.0));
+        assert_eq!(eval("(1 + 2) * 3"), Value::Number(9.0));
+        assert_eq!(eval("10 / 4"), Value::Number(2.5));
+        assert_eq!(eval("-5 + 2"), Value::Number(-3.0));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert_eq!(eval_err("1 / 0").kind(), "formula_eval");
+    }
+
+    #[test]
+    fn text_plus_concatenates() {
+        assert_eq!(eval(r#""foo" + "bar""#), Value::text("foobar"));
+        assert_eq!(eval(r#""n=" + 5"#), Value::text("n=5"));
+    }
+
+    #[test]
+    fn list_concat_operator() {
+        assert_eq!(
+            eval(r#""a" : "b" : "c""#),
+            Value::text_list(["a", "b", "c"])
+        );
+        assert_eq!(eval("1 : 2"), Value::NumberList(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn pairwise_arithmetic_extends_shorter_list() {
+        // (1:2:3) + (10:20) => 11 : 22 : 23   (last element 20 reused)
+        assert_eq!(
+            eval("(1 : 2 : 3) + (10 : 20)"),
+            Value::NumberList(vec![11.0, 22.0, 23.0])
+        );
+        // scalar broadcasts across the list
+        assert_eq!(
+            eval("(1 : 2 : 3) * 2"),
+            Value::NumberList(vec![2.0, 4.0, 6.0])
+        );
+    }
+
+    #[test]
+    fn pairwise_text_concat_lists() {
+        assert_eq!(
+            eval(r#"("a" : "b") + "x""#),
+            Value::text_list(["ax", "bx"])
+        );
+    }
+
+    #[test]
+    fn equality_any_pair_semantics() {
+        let doc = MapDoc::new().with("Tags", Value::text_list(["red", "blue"]));
+        assert_eq!(eval_doc(r#"Tags = "blue""#, &doc), Value::from(true));
+        assert_eq!(eval_doc(r#"Tags = "green""#, &doc), Value::from(false));
+        // <> is "any pair differs"
+        assert_eq!(eval_doc(r#"Tags <> "red""#, &doc), Value::from(true));
+    }
+
+    #[test]
+    fn permuted_equality() {
+        assert_eq!(
+            eval(r#"("a" : "b") *= ("x" : "b")"#),
+            Value::from(true)
+        );
+        assert_eq!(
+            eval(r#"("a" : "b") *= ("x" : "y")"#),
+            Value::from(false)
+        );
+    }
+
+    #[test]
+    fn text_comparison_case_insensitive() {
+        assert_eq!(eval(r#""Apple" = "APPLE""#), Value::from(true));
+        assert_eq!(eval(r#""a" < "B""#), Value::from(true));
+    }
+
+    #[test]
+    fn mixed_type_comparison_errors() {
+        assert_eq!(eval_err(r#"1 = "one""#).kind(), "formula_eval");
+    }
+
+    #[test]
+    fn logic_short_circuits() {
+        // RHS would divide by zero; && must not evaluate it.
+        assert_eq!(eval("0 & (1 / 0)"), Value::from(false));
+        assert_eq!(eval("1 | (1 / 0)"), Value::from(true));
+        assert_eq!(eval("!0"), Value::from(true));
+    }
+
+    #[test]
+    fn missing_items_read_as_empty_text() {
+        assert_eq!(eval(r#"Missing = """#), Value::from(true));
+        assert_eq!(eval(r#"Missing <> """#), Value::from(false));
+    }
+
+    #[test]
+    fn variables_shadow_items() {
+        let doc = MapDoc::new().with("x", Value::Number(100.0));
+        assert_eq!(eval_doc("x := 2; x * 3", &doc), Value::Number(6.0));
+        assert_eq!(eval_doc("x * 3", &doc), Value::Number(300.0));
+    }
+
+    #[test]
+    fn variable_names_case_insensitive() {
+        assert_eq!(eval("Total := 4; TOTAL + 1"), Value::Number(5.0));
+    }
+
+    #[test]
+    fn field_writes_recorded_and_visible() {
+        let f = Formula::compile(r#"FIELD Status := "Done"; Status"#).unwrap();
+        let out = f.eval_full(&MapDoc::new(), &EvalEnv::default()).unwrap();
+        assert_eq!(out.value, Value::text("Done"));
+        assert_eq!(out.field_writes, vec![("Status".to_string(), Value::text("Done"))]);
+    }
+
+    #[test]
+    fn select_verdict() {
+        let doc = MapDoc::new().with("Form", Value::text("Memo"));
+        let f = Formula::compile(r#"SELECT Form = "Memo""#).unwrap();
+        assert!(f.selects(&doc, &EvalEnv::default()).unwrap());
+        let g = Formula::compile(r#"SELECT Form = "Order""#).unwrap();
+        assert!(!g.selects(&doc, &EvalEnv::default()).unwrap());
+    }
+
+    #[test]
+    fn datetime_arithmetic() {
+        let doc = MapDoc::new().with("When", Value::DateTime(DateTime(100)));
+        assert_eq!(
+            eval_doc("When + 5", &doc),
+            Value::DateTime(DateTime(105))
+        );
+        assert_eq!(
+            eval_doc("When - 40", &doc),
+            Value::DateTime(DateTime(60))
+        );
+        let doc2 = doc.with("Then", Value::DateTime(DateTime(30)));
+        assert_eq!(eval_doc("When - Then", &doc2), Value::Number(70.0));
+    }
+
+    #[test]
+    fn comparing_against_empty_list() {
+        let doc = MapDoc::new().with("Tags", Value::TextList(vec![]));
+        assert_eq!(eval_doc(r#"Tags = """#, &doc), Value::from(false));
+        assert_eq!(eval_doc("Tags = Tags", &doc), Value::from(true));
+    }
+}

@@ -1,0 +1,1192 @@
+//! The built-in `@`-function library.
+//!
+//! Over fifty functions covering every class the views, selective
+//! replication, and agent machinery need: control flow (`@If`, `@Select`),
+//! logic constants, text manipulation, list manipulation, arithmetic
+//! aggregates, and document metadata. Names arrive lowercased from the
+//! lexer. `@If` and `@Select` evaluate their arguments lazily.
+
+use crate::ast::Expr;
+use crate::eval::{compare_scalars, DocContext, Evaluator};
+use domino_types::{DateTime, DominoError, Result, Value};
+
+
+/// Dispatch an @-function call.
+pub fn call(
+    ev: &mut Evaluator,
+    name: &str,
+    args: &[Expr],
+    doc: &dyn DocContext,
+) -> Result<Value> {
+    // --- lazily-evaluated control functions -----------------------------
+    match name {
+        "if" => return fn_if(ev, args, doc),
+        "select" => return fn_select(ev, args, doc),
+        "_default" => return fn_default(ev, args, doc),
+        "isavailable" | "isunavailable" => {
+            let avail = availability(ev, args, doc, name)?;
+            return Ok(Value::from(if name == "isavailable" { avail } else { !avail }));
+        }
+        _ => {}
+    }
+
+    // --- everything else evaluates its arguments eagerly ----------------
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(ev.eval_expr(a, doc)?);
+    }
+    let v = vals.as_slice();
+
+    match name {
+        // logic constants & selection helpers
+        "true" | "yes" => Ok(Value::from(true)),
+        "false" | "no" => Ok(Value::from(false)),
+        "success" => Ok(Value::from(true)),
+        "failure" => {
+            arity(name, v, 1)?;
+            Ok(v[0].clone())
+        }
+        "all" => Ok(Value::from(true)),
+        "alldescendants" => {
+            ev.include_descendants = true;
+            Ok(Value::from(false))
+        }
+        "allchildren" => {
+            ev.include_children = true;
+            Ok(Value::from(false))
+        }
+
+        // text
+        "text" => {
+            min_arity(name, v, 1)?;
+            Ok(Value::Text(v[0].to_text()))
+        }
+        "texttonumber" => {
+            arity(name, v, 1)?;
+            Ok(Value::Number(v[0].as_number()?))
+        }
+        "char" => {
+            arity(name, v, 1)?;
+            let code = v[0].as_number()? as u32;
+            let c = char::from_u32(code).ok_or_else(|| {
+                DominoError::FormulaEval(format!("@Char: invalid code {code}"))
+            })?;
+            Ok(Value::Text(c.to_string()))
+        }
+        "length" => {
+            arity(name, v, 1)?;
+            map_text(&v[0], |s| Value::Number(s.chars().count() as f64))
+        }
+        "lowercase" => {
+            arity(name, v, 1)?;
+            map_text(&v[0], |s| Value::Text(s.to_lowercase()))
+        }
+        "uppercase" => {
+            arity(name, v, 1)?;
+            map_text(&v[0], |s| Value::Text(s.to_uppercase()))
+        }
+        "propercase" => {
+            arity(name, v, 1)?;
+            map_text(&v[0], |s| Value::Text(proper_case(&s)))
+        }
+        "trim" => {
+            arity(name, v, 1)?;
+            fn_trim(&v[0])
+        }
+        "left" => fn_left_right(name, v, true),
+        "right" => fn_left_right(name, v, false),
+        "middle" => {
+            arity(name, v, 3)?;
+            let s = v[0].to_text();
+            let start = v[1].as_number()? as usize;
+            let len = v[2].as_number()? as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let out: String =
+                chars.iter().skip(start).take(len).collect();
+            Ok(Value::Text(out))
+        }
+        "contains" => fn_scan(name, v, |hay, needle| hay.contains(needle)),
+        "begins" => fn_scan(name, v, |hay, needle| hay.starts_with(needle)),
+        "ends" => fn_scan(name, v, |hay, needle| hay.ends_with(needle)),
+        "word" => {
+            arity(name, v, 3)?;
+            let sep = v[1].to_text();
+            let n = v[2].as_number()? as i64;
+            map_text(&v[0], |s| {
+                let words: Vec<&str> = if sep.is_empty() {
+                    vec![&s[..]]
+                } else {
+                    s.split(&sep).collect()
+                };
+                let idx = if n >= 0 {
+                    (n - 1) as usize
+                } else {
+                    // Negative index counts from the end, as in Notes.
+                    match words.len().checked_sub(n.unsigned_abs() as usize) {
+                        Some(i) => i,
+                        None => return Value::text(""),
+                    }
+                };
+                Value::Text(words.get(idx).copied().unwrap_or("").to_string())
+            })
+        }
+        "implode" => {
+            min_arity(name, v, 1)?;
+            let sep = if v.len() > 1 { v[1].to_text() } else { " ".to_string() };
+            let parts: Vec<String> =
+                v[0].iter_scalars().iter().map(|x| x.to_text()).collect();
+            Ok(Value::Text(parts.join(&sep)))
+        }
+        "explode" => {
+            min_arity(name, v, 1)?;
+            let seps = if v.len() > 1 { v[1].to_text() } else { " ,;".to_string() };
+            let text = v[0].to_text();
+            let parts: Vec<String> = text
+                .split(|c: char| seps.contains(c))
+                .filter(|s| !s.is_empty())
+                .map(|s| s.to_string())
+                .collect();
+            Ok(Value::TextList(parts))
+        }
+        "replacesubstring" => {
+            arity(name, v, 3)?;
+            let froms: Vec<String> =
+                v[1].iter_scalars().iter().map(|x| x.to_text()).collect();
+            let tos: Vec<String> =
+                v[2].iter_scalars().iter().map(|x| x.to_text()).collect();
+            map_text(&v[0], |mut s| {
+                for (i, from) in froms.iter().enumerate() {
+                    if from.is_empty() {
+                        continue;
+                    }
+                    let to = tos
+                        .get(i)
+                        .or_else(|| tos.last())
+                        .map(|t| t.as_str())
+                        .unwrap_or("");
+                    s = s.replace(from, to);
+                }
+                Value::Text(s)
+            })
+        }
+        "repeat" => {
+            arity(name, v, 2)?;
+            let n = v[1].as_number()?;
+            if n < 0.0 {
+                return Err(DominoError::FormulaEval("@Repeat: negative count".into()));
+            }
+            map_text(&v[0], |s| Value::Text(s.repeat(n as usize)))
+        }
+        "matches" => {
+            arity(name, v, 2)?;
+            let pat = v[1].to_text();
+            let any = v[0]
+                .iter_scalars()
+                .iter()
+                .any(|x| wildcard_match(&x.to_text(), &pat));
+            Ok(Value::from(any))
+        }
+        "keywords" => {
+            arity(name, v, 2)?;
+            let hay = v[0].to_text().to_lowercase();
+            let words: Vec<String> = hay
+                .split(|c: char| !c.is_alphanumeric())
+                .filter(|w| !w.is_empty())
+                .map(|w| w.to_string())
+                .collect();
+            let hits: Vec<String> = v[1]
+                .iter_scalars()
+                .iter()
+                .map(|k| k.to_text())
+                .filter(|k| words.contains(&k.to_lowercase()))
+                .collect();
+            Ok(Value::TextList(hits))
+        }
+
+        // lists
+        "elements" => {
+            arity(name, v, 1)?;
+            let n = if v[0].is_empty() && v[0].elements() <= 1 && matches!(v[0], Value::TextList(_)) {
+                0
+            } else {
+                v[0].elements()
+            };
+            Ok(Value::Number(n as f64))
+        }
+        "subset" => {
+            arity(name, v, 2)?;
+            let n = v[1].as_number()? as i64;
+            let items = v[0].iter_scalars();
+            if n == 0 {
+                return Err(DominoError::FormulaEval("@Subset: count may not be 0".into()));
+            }
+            let picked: Vec<Value> = if n > 0 {
+                items.into_iter().take(n as usize).collect()
+            } else {
+                let k = n.unsigned_abs() as usize;
+                let skip = items.len().saturating_sub(k);
+                items.into_iter().skip(skip).collect()
+            };
+            Value::from_scalars(picked)
+        }
+        "member" => {
+            arity(name, v, 2)?;
+            let needle = &v[0];
+            let pos = v[1]
+                .iter_scalars()
+                .iter()
+                .position(|x| compare_scalars(x, needle).map(|o| o.is_eq()).unwrap_or(false));
+            Ok(Value::Number(pos.map(|p| p + 1).unwrap_or(0) as f64))
+        }
+        "ismember" | "isnotmember" => {
+            arity(name, v, 2)?;
+            let found = v[0].iter_scalars().iter().all(|needle| {
+                v[1].iter_scalars().iter().any(|x| {
+                    compare_scalars(x, needle).map(|o| o.is_eq()).unwrap_or(false)
+                })
+            });
+            Ok(Value::from(if name == "ismember" { found } else { !found }))
+        }
+        "unique" => {
+            arity(name, v, 1)?;
+            let mut seen: Vec<Value> = Vec::new();
+            for x in v[0].iter_scalars() {
+                let dup = seen
+                    .iter()
+                    .any(|s| compare_scalars(s, &x).map(|o| o.is_eq()).unwrap_or(false));
+                if !dup {
+                    seen.push(x);
+                }
+            }
+            Value::from_scalars(seen)
+        }
+        "sort" => {
+            min_arity(name, v, 1)?;
+            let descending = v
+                .get(1)
+                .map(|o| o.to_text().eq_ignore_ascii_case("descending"))
+                .unwrap_or(false);
+            let mut items = v[0].iter_scalars();
+            items.sort_by(|a, b| a.collate(b));
+            if descending {
+                items.reverse();
+            }
+            Value::from_scalars(items)
+        }
+        "replace" => {
+            arity(name, v, 3)?;
+            let froms = v[1].iter_scalars();
+            let tos = v[2].iter_scalars();
+            let out: Vec<Value> = v[0]
+                .iter_scalars()
+                .into_iter()
+                .map(|x| {
+                    for (i, f) in froms.iter().enumerate() {
+                        if compare_scalars(&x, f).map(|o| o.is_eq()).unwrap_or(false) {
+                            return tos
+                                .get(i)
+                                .or_else(|| tos.last())
+                                .cloned()
+                                .unwrap_or_else(|| Value::text(""));
+                        }
+                    }
+                    x
+                })
+                .collect();
+            Value::from_scalars(out)
+        }
+
+        // arithmetic aggregates
+        "sum" => fold_numbers(name, v, 0.0, |acc, n| acc + n),
+        "min" => {
+            let nums = numbers_of(name, v)?;
+            nums.into_iter()
+                .reduce(f64::min)
+                .map(Value::Number)
+                .ok_or_else(|| DominoError::FormulaEval("@Min of nothing".into()))
+        }
+        "max" => {
+            let nums = numbers_of(name, v)?;
+            nums.into_iter()
+                .reduce(f64::max)
+                .map(Value::Number)
+                .ok_or_else(|| DominoError::FormulaEval("@Max of nothing".into()))
+        }
+        "abs" => {
+            arity(name, v, 1)?;
+            map_num(&v[0], f64::abs)
+        }
+        "sign" => {
+            arity(name, v, 1)?;
+            map_num(&v[0], |n| {
+                if n > 0.0 {
+                    1.0
+                } else if n < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            })
+        }
+        "integer" => {
+            arity(name, v, 1)?;
+            map_num(&v[0], f64::trunc)
+        }
+        "round" => {
+            min_arity(name, v, 1)?;
+            let unit = if v.len() > 1 { v[1].as_number()? } else { 1.0 };
+            if unit <= 0.0 {
+                return Err(DominoError::FormulaEval("@Round: unit must be > 0".into()));
+            }
+            map_num(&v[0], |n| (n / unit).round() * unit)
+        }
+        "modulo" => {
+            arity(name, v, 2)?;
+            let b = v[1].as_number()?;
+            if b == 0.0 {
+                return Err(DominoError::FormulaEval("@Modulo by zero".into()));
+            }
+            map_num(&v[0], |a| (a as i64 % b as i64) as f64)
+        }
+        "sqrt" => {
+            arity(name, v, 1)?;
+            map_num(&v[0], f64::sqrt)
+        }
+        "power" => {
+            arity(name, v, 2)?;
+            let e = v[1].as_number()?;
+            map_num(&v[0], |b| b.powf(e))
+        }
+
+        // date / time (ticks are civil seconds — see domino_types::datetime)
+        "date" => {
+            if v.len() != 3 && v.len() != 6 {
+                return Err(DominoError::FormulaEval(
+                    "@Date takes (y; m; d) or (y; m; d; h; m; s)".into(),
+                ));
+            }
+            let y = v[0].as_number()? as i64;
+            let mo = v[1].as_number()? as u8;
+            let d = v[2].as_number()? as u8;
+            if !(1..=12).contains(&mo) || d < 1 || d > domino_types::days_in_month(y, mo) {
+                return Err(DominoError::FormulaEval(format!(
+                    "@Date: {y}-{mo}-{d} is not a valid date"
+                )));
+            }
+            let (h, mi, se) = if v.len() == 6 {
+                (
+                    v[3].as_number()? as u8,
+                    v[4].as_number()? as u8,
+                    v[5].as_number()? as u8,
+                )
+            } else {
+                (0, 0, 0)
+            };
+            Ok(Value::DateTime(DateTime::from_civil(y, mo, d, h, mi, se)))
+        }
+        "year" | "month" | "day" | "hour" | "minute" | "second" | "weekday" => {
+            arity(name, v, 1)?;
+            map_datetime(name, &v[0], |d| {
+                let c = d.civil();
+                Value::Number(match name {
+                    "year" => c.year as f64,
+                    "month" => c.month as f64,
+                    "day" => c.day as f64,
+                    "hour" => c.hour as f64,
+                    "minute" => c.minute as f64,
+                    "second" => c.second as f64,
+                    _ => d.weekday() as f64,
+                })
+            })
+        }
+        "adjust" => {
+            arity(name, v, 7)?;
+            let deltas: Vec<i64> = v[1..]
+                .iter()
+                .map(|x| x.as_number().map(|n| n as i64))
+                .collect::<Result<_>>()?;
+            map_datetime(name, &v[0], |d| {
+                Value::DateTime(d.adjust(
+                    deltas[0], deltas[1], deltas[2], deltas[3], deltas[4], deltas[5],
+                ))
+            })
+        }
+        "today" => {
+            let now = ev.env.now.0 as i64;
+            Ok(Value::DateTime(DateTime(
+                now - now.rem_euclid(domino_types::SECONDS_PER_DAY),
+            )))
+        }
+
+        // pattern / phonetic matching
+        "like" => {
+            arity(name, v, 2)?;
+            let pat = v[1].to_text();
+            let hit = v[0].iter_scalars().iter().any(|x| sql_like(&x.to_text(), &pat));
+            Ok(Value::from(hit))
+        }
+        "soundex" => {
+            arity(name, v, 1)?;
+            map_text(&v[0], |s| Value::Text(soundex(&s)))
+        }
+
+        // field access by computed name
+        "getfield" => {
+            arity(name, v, 1)?;
+            let field = v[0].to_text();
+            ev.eval_expr(&Expr::Ref(field), doc)
+        }
+        "setfield" => {
+            arity(name, v, 2)?;
+            let field = v[0].to_text();
+            ev.field_writes.push((field, v[1].clone()));
+            Ok(v[1].clone())
+        }
+
+        // workstation environment variables (notes.ini style)
+        "environment" => {
+            min_arity(name, v, 1)?;
+            if v.len() == 2 {
+                // Two-argument form assigns, as in Notes.
+                let key = v[0].to_text();
+                let val = v[1].to_text();
+                ev.environment_writes.push((key, val.clone()));
+                return Ok(Value::Text(val));
+            }
+            let key = v[0].to_text();
+            // Pending writes from this run shadow the ambient environment.
+            let pending = ev
+                .environment_writes
+                .iter()
+                .rev()
+                .find(|(k, _)| k.eq_ignore_ascii_case(&key))
+                .map(|(_, val)| val.clone());
+            let stored = ev.env.environment.iter().find_map(|(k, val)| {
+                if k.eq_ignore_ascii_case(&key) {
+                    Some(val.clone())
+                } else {
+                    None
+                }
+            });
+            Ok(Value::Text(pending.or(stored).unwrap_or_default()))
+        }
+        "setenvironment" => {
+            arity(name, v, 2)?;
+            let key = v[0].to_text();
+            let val = v[1].to_text();
+            ev.environment_writes.push((key, val.clone()));
+            Ok(Value::Text(val))
+        }
+
+        // document / environment metadata
+        "created" => Ok(Value::DateTime(DateTime::from_ticks(doc.created().0))),
+        "modified" => Ok(Value::DateTime(DateTime::from_ticks(doc.modified().0))),
+        "now" => Ok(Value::DateTime(DateTime::from_ticks(ev.env.now.0))),
+        "username" => Ok(Value::Text(ev.env.username.clone())),
+        "dbtitle" => Ok(Value::Text(ev.env.db_title.clone())),
+        "docuniqueid" => Ok(Value::Text(doc.unid_text())),
+        "isresponsedoc" => Ok(Value::from(doc.is_response())),
+
+        other => Err(DominoError::FormulaEval(format!("unknown function @{other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lazily-evaluated functions
+// ---------------------------------------------------------------------------
+
+/// `@If(c1; v1; c2; v2; ...; else)` — odd argument count, lazy.
+fn fn_if(ev: &mut Evaluator, args: &[Expr], doc: &dyn DocContext) -> Result<Value> {
+    if args.len() < 3 || args.len().is_multiple_of(2) {
+        return Err(DominoError::FormulaEval(format!(
+            "@If takes an odd number of arguments >= 3, got {}",
+            args.len()
+        )));
+    }
+    let mut i = 0;
+    while i + 1 < args.len() {
+        let cond = ev.eval_expr(&args[i], doc)?;
+        if cond.as_bool()? {
+            return ev.eval_expr(&args[i + 1], doc);
+        }
+        i += 2;
+    }
+    ev.eval_expr(args.last().expect("else branch"), doc)
+}
+
+/// `@Select(n; v1; ...; vk)` — evaluates only the chosen branch; out-of-range
+/// indexes clamp to the nearest branch (the Notes behaviour).
+fn fn_select(ev: &mut Evaluator, args: &[Expr], doc: &dyn DocContext) -> Result<Value> {
+    if args.len() < 2 {
+        return Err(DominoError::FormulaEval("@Select needs an index and at least one value".into()));
+    }
+    let idx = ev.eval_expr(&args[0], doc)?.as_number()? as i64;
+    let clamped = idx.clamp(1, (args.len() - 1) as i64) as usize;
+    ev.eval_expr(&args[clamped], doc)
+}
+
+/// Desugared `DEFAULT name := expr`: binds the variable to the item's stored
+/// value when present, else to the (lazily evaluated) default.
+fn fn_default(ev: &mut Evaluator, args: &[Expr], doc: &dyn DocContext) -> Result<Value> {
+    let name = match &args[0] {
+        Expr::Lit(Value::Text(s)) => s.clone(),
+        _ => return Err(DominoError::FormulaEval("DEFAULT needs a field name".into())),
+    };
+    let value = match doc.item(&name) {
+        Some(v) => v,
+        None => ev.eval_expr(&args[1], doc)?,
+    };
+    ev.vars.insert(name.to_lowercase(), value.clone());
+    Ok(value)
+}
+
+/// `@IsAvailable(field)` / `@IsUnavailable(field)`. The argument is usually
+/// a bare field reference; a text expression naming the field also works.
+fn availability(
+    ev: &mut Evaluator,
+    args: &[Expr],
+    doc: &dyn DocContext,
+    name: &str,
+) -> Result<bool> {
+    if args.len() != 1 {
+        return Err(DominoError::FormulaEval(format!("@{name} takes 1 argument")));
+    }
+    let field = match &args[0] {
+        Expr::Ref(n) => n.clone(),
+        other => {
+            let v = ev.eval_expr(other, doc)?;
+            v.to_text()
+        }
+    };
+    Ok(doc.item(&field).is_some())
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------------
+
+fn arity(name: &str, v: &[Value], n: usize) -> Result<()> {
+    if v.len() != n {
+        return Err(DominoError::FormulaEval(format!(
+            "@{name} takes {n} argument(s), got {}",
+            v.len()
+        )));
+    }
+    Ok(())
+}
+
+fn min_arity(name: &str, v: &[Value], n: usize) -> Result<()> {
+    if v.len() < n {
+        return Err(DominoError::FormulaEval(format!(
+            "@{name} takes at least {n} argument(s), got {}",
+            v.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Apply a text transform to every element (scalar stays scalar).
+fn map_text(v: &Value, f: impl Fn(String) -> Value) -> Result<Value> {
+    let out: Vec<Value> = v.iter_scalars().iter().map(|x| f(x.to_text())).collect();
+    Value::from_scalars(out)
+}
+
+/// Apply a numeric transform to every element.
+fn map_num(v: &Value, f: impl Fn(f64) -> f64) -> Result<Value> {
+    let mut out = Vec::with_capacity(v.elements());
+    for x in v.iter_scalars() {
+        out.push(Value::Number(f(x.as_number()?)));
+    }
+    Value::from_scalars(out)
+}
+
+/// Flatten all arguments to numbers.
+fn numbers_of(name: &str, v: &[Value]) -> Result<Vec<f64>> {
+    min_arity(name, v, 1)?;
+    let mut out = Vec::new();
+    for val in v {
+        for x in val.iter_scalars() {
+            out.push(x.as_number()?);
+        }
+    }
+    Ok(out)
+}
+
+fn fold_numbers(
+    name: &str,
+    v: &[Value],
+    init: f64,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Value> {
+    let nums = numbers_of(name, v)?;
+    Ok(Value::Number(nums.into_iter().fold(init, f)))
+}
+
+/// `@Trim`: strip leading/trailing/redundant interior whitespace from each
+/// element and drop now-empty elements from lists.
+fn fn_trim(v: &Value) -> Result<Value> {
+    let cleaned: Vec<Value> = v
+        .iter_scalars()
+        .iter()
+        .map(|x| x.to_text().split_whitespace().collect::<Vec<_>>().join(" "))
+        .filter(|s| !s.is_empty())
+        .map(Value::Text)
+        .collect();
+    if cleaned.is_empty() {
+        return Ok(Value::text(""));
+    }
+    if v.elements() == 1 && cleaned.len() == 1 && !matches!(v, Value::TextList(_)) {
+        return Ok(cleaned.into_iter().next().expect("len 1"));
+    }
+    Ok(Value::TextList(
+        cleaned.into_iter().map(|c| c.to_text()).collect(),
+    ))
+}
+
+/// `@Left`/`@Right` with either a character count or a search substring.
+fn fn_left_right(name: &str, v: &[Value], left: bool) -> Result<Value> {
+    arity(name, v, 2)?;
+    match &v[1] {
+        Value::Number(n) => {
+            let k = (*n).max(0.0) as usize;
+            map_text(&v[0], |s| {
+                let chars: Vec<char> = s.chars().collect();
+                let out: String = if left {
+                    chars.iter().take(k).collect()
+                } else {
+                    let skip = chars.len().saturating_sub(k);
+                    chars.iter().skip(skip).collect()
+                };
+                Value::Text(out)
+            })
+        }
+        sub => {
+            let needle = sub.to_text();
+            map_text(&v[0], |s| {
+                let out = if left {
+                    s.find(&needle).map(|i| s[..i].to_string())
+                } else {
+                    s.find(&needle).map(|i| s[i + needle.len()..].to_string())
+                };
+                Value::Text(out.unwrap_or_default())
+            })
+        }
+    }
+}
+
+/// `@Contains` / `@Begins` / `@Ends`: true if any element of arg0 matches any
+/// element of arg1 under `pred`.
+fn fn_scan(name: &str, v: &[Value], pred: impl Fn(&str, &str) -> bool) -> Result<Value> {
+    arity(name, v, 2)?;
+    let hays = v[0].iter_scalars();
+    let needles = v[1].iter_scalars();
+    let hit = hays.iter().any(|h| {
+        let h = h.to_text();
+        needles.iter().any(|n| pred(&h, &n.to_text()))
+    });
+    Ok(Value::from(hit))
+}
+
+/// Apply a DateTime transform to every element.
+fn map_datetime(name: &str, v: &Value, f: impl Fn(DateTime) -> Value) -> Result<Value> {
+    let mut out = Vec::with_capacity(v.elements());
+    for x in v.iter_scalars() {
+        match x {
+            Value::DateTime(d) => out.push(f(d)),
+            other => {
+                return Err(DominoError::FormulaEval(format!(
+                    "@{name} needs a date/time, got {:?}",
+                    other.value_type()
+                )))
+            }
+        }
+    }
+    Value::from_scalars(out)
+}
+
+/// SQL-style LIKE: `%` matches any run, `_` one character, `\` escapes.
+fn sql_like(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => (0..=t.len()).any(|k| rec(&t[k..], &p[1..])),
+            Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some('\\') if p.len() > 1 => {
+                !t.is_empty() && t[0] == p[1] && rec(&t[1..], &p[2..])
+            }
+            Some(c) => !t.is_empty() && t[0] == *c && rec(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&t, &p)
+}
+
+/// Classic 4-character Soundex code (empty input yields "").
+fn soundex(s: &str) -> String {
+    fn code(c: char) -> u8 {
+        match c.to_ascii_lowercase() {
+            'b' | 'f' | 'p' | 'v' => b'1',
+            'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => b'2',
+            'd' | 't' => b'3',
+            'l' => b'4',
+            'm' | 'n' => b'5',
+            'r' => b'6',
+            _ => 0, // vowels & h/w/y: separators
+        }
+    }
+    let mut chars = s.chars().filter(|c| c.is_ascii_alphabetic());
+    let Some(first) = chars.next() else { return String::new() };
+    let mut out = String::new();
+    out.push(first.to_ascii_uppercase());
+    let mut prev = code(first);
+    for c in chars {
+        let k = code(c);
+        // h and w do not reset the previous code; vowels do.
+        if matches!(c.to_ascii_lowercase(), 'h' | 'w') {
+            continue;
+        }
+        if k != 0 && k != prev {
+            out.push(k as char);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        prev = k;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+fn proper_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut at_word_start = true;
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            if at_word_start {
+                out.extend(c.to_uppercase());
+            } else {
+                out.extend(c.to_lowercase());
+            }
+            at_word_start = false;
+        } else {
+            out.push(c);
+            at_word_start = true;
+        }
+    }
+    out
+}
+
+/// Notes `@Matches` patterns: `?` matches one char, `*` any run, `\`
+/// escapes. Matching is case-insensitive, like Notes.
+fn wildcard_match(text: &str, pattern: &str) -> bool {
+    fn rec(t: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('*') => {
+                (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
+            }
+            Some('?') => !t.is_empty() && rec(&t[1..], &p[1..]),
+            Some('\\') if p.len() > 1 => {
+                !t.is_empty() && t[0] == p[1] && rec(&t[1..], &p[2..])
+            }
+            Some(c) => !t.is_empty() && t[0] == *c && rec(&t[1..], &p[1..]),
+        }
+    }
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    rec(&t, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::eval::{EvalEnv, MapDoc};
+    use crate::Formula;
+    use domino_types::{DateTime, Timestamp, Value};
+
+    fn eval(src: &str) -> Value {
+        eval_doc(src, &MapDoc::new())
+    }
+
+    fn eval_doc(src: &str, doc: &MapDoc) -> Value {
+        Formula::compile(src)
+            .unwrap()
+            .eval(doc, &EvalEnv::default())
+            .unwrap()
+    }
+
+    fn fails(src: &str) {
+        assert!(
+            Formula::compile(src)
+                .unwrap()
+                .eval(&MapDoc::new(), &EvalEnv::default())
+                .is_err(),
+            "expected failure: {src}"
+        );
+    }
+
+    #[test]
+    fn at_if_branches_and_laziness() {
+        assert_eq!(eval(r#"@If(1; "yes"; "no")"#), Value::text("yes"));
+        assert_eq!(eval(r#"@If(0; "yes"; "no")"#), Value::text("no"));
+        assert_eq!(
+            eval(r#"@If(0; "a"; 1; "b"; "c")"#),
+            Value::text("b")
+        );
+        // Untaken branches must not evaluate (1/0 would error).
+        assert_eq!(eval(r#"@If(1; "ok"; 1/0)"#), Value::text("ok"));
+        fails("@If(1; 2)");
+        fails("@If(1; 2; 3; 4)");
+    }
+
+    #[test]
+    fn at_select_clamps() {
+        assert_eq!(eval(r#"@Select(2; "a"; "b"; "c")"#), Value::text("b"));
+        assert_eq!(eval(r#"@Select(99; "a"; "b")"#), Value::text("b"));
+        assert_eq!(eval(r#"@Select(-1; "a"; "b")"#), Value::text("a"));
+    }
+
+    #[test]
+    fn text_functions() {
+        assert_eq!(eval(r#"@Uppercase("aBc")"#), Value::text("ABC"));
+        assert_eq!(eval(r#"@Lowercase("aBc")"#), Value::text("abc"));
+        assert_eq!(eval(r#"@ProperCase("john von neumann")"#), Value::text("John Von Neumann"));
+        assert_eq!(eval(r#"@Length("héllo")"#), Value::Number(5.0));
+        assert_eq!(eval(r#"@Trim("  a   b  ")"#), Value::text("a b"));
+        assert_eq!(eval(r#"@Text(42)"#), Value::text("42"));
+        assert_eq!(eval(r#"@TextToNumber("42")"#), Value::Number(42.0));
+        assert_eq!(eval(r#"@Char(65)"#), Value::text("A"));
+        assert_eq!(eval(r#"@Repeat("ab"; 3)"#), Value::text("ababab"));
+    }
+
+    #[test]
+    fn trim_drops_empty_list_elements() {
+        assert_eq!(
+            eval(r#"@Trim("a" : "" : " b ")"#),
+            Value::text_list(["a", "b"])
+        );
+    }
+
+    #[test]
+    fn left_right_middle() {
+        assert_eq!(eval(r#"@Left("domino"; 3)"#), Value::text("dom"));
+        assert_eq!(eval(r#"@Right("domino"; 3)"#), Value::text("ino"));
+        assert_eq!(eval(r#"@Left("a=b"; "=")"#), Value::text("a"));
+        assert_eq!(eval(r#"@Right("a=b"; "=")"#), Value::text("b"));
+        assert_eq!(eval(r#"@Middle("abcdef"; 2; 3)"#), Value::text("cde"));
+        assert_eq!(eval(r#"@Left("xyz"; "q")"#), Value::text(""));
+    }
+
+    #[test]
+    fn scanning_predicates() {
+        assert_eq!(eval(r#"@Contains("hello world"; "lo w")"#), Value::from(true));
+        assert_eq!(eval(r#"@Contains("hello"; "xyz")"#), Value::from(false));
+        assert_eq!(eval(r#"@Begins("hello"; "he")"#), Value::from(true));
+        assert_eq!(eval(r#"@Ends("hello"; "lo")"#), Value::from(true));
+        // any-element semantics over lists
+        assert_eq!(
+            eval(r#"@Contains("red" : "green"; "ree")"#),
+            Value::from(true)
+        );
+    }
+
+    #[test]
+    fn word_indexing() {
+        assert_eq!(eval(r#"@Word("a,b,c"; ","; 2)"#), Value::text("b"));
+        assert_eq!(eval(r#"@Word("a,b,c"; ","; -1)"#), Value::text("c"));
+        assert_eq!(eval(r#"@Word("a,b,c"; ","; 9)"#), Value::text(""));
+    }
+
+    #[test]
+    fn implode_explode_roundtrip() {
+        assert_eq!(
+            eval(r#"@Implode("a" : "b" : "c"; "-")"#),
+            Value::text("a-b-c")
+        );
+        assert_eq!(
+            eval(r#"@Explode("a-b-c"; "-")"#),
+            Value::text_list(["a", "b", "c"])
+        );
+        assert_eq!(
+            eval(r#"@Explode("one two,three")"#),
+            Value::text_list(["one", "two", "three"])
+        );
+    }
+
+    #[test]
+    fn replace_substring() {
+        assert_eq!(
+            eval(r#"@ReplaceSubstring("hello world"; "world"; "notes")"#),
+            Value::text("hello notes")
+        );
+        assert_eq!(
+            eval(r#"@ReplaceSubstring("a.b,c"; "." : ","; "-")"#),
+            Value::text("a-b-c")
+        );
+    }
+
+    #[test]
+    fn matches_wildcards() {
+        assert_eq!(eval(r#"@Matches("report-2024"; "report*")"#), Value::from(true));
+        assert_eq!(eval(r#"@Matches("cat"; "c?t")"#), Value::from(true));
+        assert_eq!(eval(r#"@Matches("cart"; "c?t")"#), Value::from(false));
+        assert_eq!(eval(r#"@Matches("CAT"; "cat")"#), Value::from(true));
+    }
+
+    #[test]
+    fn keywords_extracts_hits() {
+        assert_eq!(
+            eval(r#"@Keywords("the quick brown fox"; "fox" : "dog" : "quick")"#),
+            Value::text_list(["fox", "quick"])
+        );
+    }
+
+    #[test]
+    fn list_functions() {
+        assert_eq!(eval(r#"@Elements("a" : "b" : "c")"#), Value::Number(3.0));
+        assert_eq!(eval(r#"@Elements(5)"#), Value::Number(1.0));
+        assert_eq!(
+            eval(r#"@Subset("a" : "b" : "c"; 2)"#),
+            Value::text_list(["a", "b"])
+        );
+        assert_eq!(
+            eval(r#"@Subset("a" : "b" : "c"; -1)"#),
+            Value::text("c")
+        );
+        assert_eq!(eval(r#"@Member("b"; "a" : "b")"#), Value::Number(2.0));
+        assert_eq!(eval(r#"@Member("z"; "a" : "b")"#), Value::Number(0.0));
+        assert_eq!(eval(r#"@IsMember("b"; "a" : "b")"#), Value::from(true));
+        assert_eq!(eval(r#"@IsNotMember("z"; "a" : "b")"#), Value::from(true));
+        assert_eq!(
+            eval(r#"@Unique("a" : "b" : "a")"#),
+            Value::text_list(["a", "b"])
+        );
+        assert_eq!(
+            eval(r#"@Sort(3 : 1 : 2)"#),
+            Value::NumberList(vec![1.0, 2.0, 3.0])
+        );
+        assert_eq!(
+            eval(r#"@Sort("b" : "a"; "descending")"#),
+            Value::text_list(["b", "a"])
+        );
+        assert_eq!(
+            eval(r#"@Replace("a" : "b"; "a"; "x")"#),
+            Value::text_list(["x", "b"])
+        );
+    }
+
+    #[test]
+    fn subset_zero_errors() {
+        fails(r#"@Subset("a"; 0)"#);
+    }
+
+    #[test]
+    fn math_functions() {
+        assert_eq!(eval("@Sum(1; 2; 3 : 4)"), Value::Number(10.0));
+        assert_eq!(eval("@Min(3; 1; 2)"), Value::Number(1.0));
+        assert_eq!(eval("@Max(3 : 9; 1)"), Value::Number(9.0));
+        assert_eq!(eval("@Abs(-4)"), Value::Number(4.0));
+        assert_eq!(eval("@Sign(-4)"), Value::Number(-1.0));
+        assert_eq!(eval("@Integer(3.9)"), Value::Number(3.0));
+        assert_eq!(eval("@Round(3.46)"), Value::Number(3.0));
+        assert_eq!(eval("@Round(3.46; 0.1)"), Value::Number(3.5));
+        assert_eq!(eval("@Modulo(10; 3)"), Value::Number(1.0));
+        assert_eq!(eval("@Sqrt(16)"), Value::Number(4.0));
+        assert_eq!(eval("@Power(2; 10)"), Value::Number(1024.0));
+        fails("@Modulo(1; 0)");
+        fails("@Round(1; 0)");
+    }
+
+    #[test]
+    fn numeric_functions_map_over_lists() {
+        assert_eq!(
+            eval("@Abs(-1 : 2 : -3)"),
+            Value::NumberList(vec![1.0, 2.0, 3.0])
+        );
+    }
+
+    #[test]
+    fn availability() {
+        let doc = MapDoc::new().with("Subject", Value::text("hi"));
+        assert_eq!(eval_doc("@IsAvailable(Subject)", &doc), Value::from(true));
+        assert_eq!(eval_doc("@IsAvailable(Missing)", &doc), Value::from(false));
+        assert_eq!(eval_doc("@IsUnavailable(Missing)", &doc), Value::from(true));
+    }
+
+    #[test]
+    fn metadata_functions() {
+        let doc = MapDoc::new().with_times(Timestamp(7), Timestamp(9));
+        assert_eq!(eval_doc("@Created", &doc), Value::DateTime(DateTime(7)));
+        assert_eq!(eval_doc("@Modified", &doc), Value::DateTime(DateTime(9)));
+        let env = EvalEnv {
+            username: "Ada Lovelace".into(),
+            now: Timestamp(55),
+            db_title: "Orders".into(),
+            ..EvalEnv::default()
+        };
+        let f = Formula::compile("@UserName + \" @ \" + @DbTitle").unwrap();
+        assert_eq!(
+            f.eval(&MapDoc::new(), &env).unwrap(),
+            Value::text("Ada Lovelace @ Orders")
+        );
+        let g = Formula::compile("@Now").unwrap();
+        assert_eq!(g.eval(&MapDoc::new(), &env).unwrap(), Value::DateTime(DateTime(55)));
+    }
+
+    #[test]
+    fn logic_constants() {
+        assert_eq!(eval("@True"), Value::from(true));
+        assert_eq!(eval("@False"), Value::from(false));
+        assert_eq!(eval("@All"), Value::from(true));
+        assert_eq!(eval("@Success"), Value::from(true));
+        assert_eq!(eval(r#"@Failure("bad")"#), Value::text("bad"));
+    }
+
+    #[test]
+    fn descendant_flags_set() {
+        let f = Formula::compile("SELECT @False | @AllDescendants").unwrap();
+        let out = f.eval_full(&MapDoc::new(), &EvalEnv::default()).unwrap();
+        assert!(out.include_descendants);
+        assert!(!out.include_children);
+    }
+
+    #[test]
+    fn unknown_function_errors() {
+        fails("@NoSuchThing(1)");
+    }
+
+    #[test]
+    fn date_construction_and_parts() {
+        assert_eq!(
+            eval("@Year(@Date(2024; 2; 29))"),
+            Value::Number(2024.0)
+        );
+        assert_eq!(eval("@Month(@Date(2024; 2; 29))"), Value::Number(2.0));
+        assert_eq!(eval("@Day(@Date(2024; 2; 29))"), Value::Number(29.0));
+        assert_eq!(
+            eval("@Hour(@Date(2024; 1; 1; 13; 5; 9))"),
+            Value::Number(13.0)
+        );
+        assert_eq!(
+            eval("@Minute(@Date(2024; 1; 1; 13; 5; 9))"),
+            Value::Number(5.0)
+        );
+        assert_eq!(
+            eval("@Second(@Date(2024; 1; 1; 13; 5; 9))"),
+            Value::Number(9.0)
+        );
+        // 2000-01-01 was a Saturday (weekday 7).
+        assert_eq!(eval("@Weekday(@Date(2000; 1; 1))"), Value::Number(7.0));
+        fails("@Date(2023; 2; 29)");
+        fails("@Date(2023; 13; 1)");
+        fails("@Year(5)");
+    }
+
+    #[test]
+    fn date_comparison_and_adjust() {
+        assert_eq!(
+            eval("@Date(2024; 1; 1) < @Date(2024; 6; 1)"),
+            Value::from(true)
+        );
+        assert_eq!(
+            eval("@Adjust(@Date(2024; 1; 31); 0; 1; 0; 0; 0; 0) = @Date(2024; 2; 29)"),
+            Value::from(true)
+        );
+        assert_eq!(
+            eval("@Adjust(@Date(2024; 1; 1); 0; 0; -1; 0; 0; 0) = @Date(2023; 12; 31)"),
+            Value::from(true)
+        );
+    }
+
+    #[test]
+    fn today_truncates_now() {
+        use domino_types::SECONDS_PER_DAY;
+        let env = EvalEnv {
+            now: Timestamp(3 * SECONDS_PER_DAY as u64 + 12_345),
+            ..EvalEnv::default()
+        };
+        let f = Formula::compile("@Today").unwrap();
+        assert_eq!(
+            f.eval(&MapDoc::new(), &env).unwrap(),
+            Value::DateTime(DateTime(3 * SECONDS_PER_DAY))
+        );
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert_eq!(eval(r#"@Like("domino"; "dom%")"#), Value::from(true));
+        assert_eq!(eval(r#"@Like("domino"; "d_mino")"#), Value::from(true));
+        assert_eq!(eval(r#"@Like("domino"; "d_m")"#), Value::from(false));
+        assert_eq!(eval(r#"@Like("100%"; "100\%")"#), Value::from(true));
+        assert_eq!(eval(r#"@Like("Domino"; "dom%")"#), Value::from(false), "case-sensitive");
+    }
+
+    #[test]
+    fn soundex_codes() {
+        assert_eq!(eval(r#"@Soundex("Robert")"#), Value::text("R163"));
+        assert_eq!(eval(r#"@Soundex("Rupert")"#), Value::text("R163"));
+        assert_eq!(eval(r#"@Soundex("Ashcraft")"#), Value::text("A261"));
+        assert_eq!(eval(r#"@Soundex("Tymczak")"#), Value::text("T522"));
+        assert_eq!(eval(r#"@Soundex("Pfister")"#), Value::text("P236"));
+        assert_eq!(eval(r#"@Soundex("")"#), Value::text(""));
+    }
+
+    #[test]
+    fn get_and_set_field_by_computed_name() {
+        let doc = MapDoc::new().with("Score_3", Value::Number(42.0));
+        assert_eq!(
+            eval_doc(r#"@GetField("Score_" + @Text(3))"#, &doc),
+            Value::Number(42.0)
+        );
+        let f = Formula::compile(r#"@SetField("Out_" + @Text(1 + 1); 7)"#).unwrap();
+        let out = f.eval_full(&MapDoc::new(), &EvalEnv::default()).unwrap();
+        assert_eq!(out.field_writes, vec![("Out_2".to_string(), Value::Number(7.0))]);
+        // @GetField sees pending @SetField writes.
+        let g = Formula::compile(r#"@SetField("X"; 5); @GetField("X")"#).unwrap();
+        assert_eq!(
+            g.eval(&MapDoc::new(), &EvalEnv::default()).unwrap(),
+            Value::Number(5.0)
+        );
+    }
+
+    #[test]
+    fn environment_variables() {
+        let mut env = EvalEnv::default();
+        env.environment.insert("Region".into(), "west".into());
+        let f = Formula::compile(r#"@Environment("Region")"#).unwrap();
+        assert_eq!(f.eval(&MapDoc::new(), &env).unwrap(), Value::text("west"));
+        // Unset reads as "".
+        let g = Formula::compile(r#"@Environment("Missing")"#).unwrap();
+        assert_eq!(g.eval(&MapDoc::new(), &env).unwrap(), Value::text(""));
+        // Writes surface in the output and shadow subsequent reads.
+        let h = Formula::compile(
+            r#"@SetEnvironment("Region"; "east"); @Environment("Region")"#,
+        )
+        .unwrap();
+        let out = h.eval_full(&MapDoc::new(), &env).unwrap();
+        assert_eq!(out.value, Value::text("east"));
+        assert_eq!(
+            out.environment_writes,
+            vec![("Region".to_string(), "east".to_string())]
+        );
+        // The two-argument @Environment form also assigns.
+        let k = Formula::compile(r#"@Environment("Quota"; "9")"#).unwrap();
+        let out = k.eval_full(&MapDoc::new(), &env).unwrap();
+        assert_eq!(out.environment_writes, vec![("Quota".to_string(), "9".to_string())]);
+    }
+
+    #[test]
+    fn default_uses_item_when_present() {
+        let doc = MapDoc::new().with("Status", Value::text("Open"));
+        assert_eq!(
+            eval_doc(r#"DEFAULT Status := "New"; Status"#, &doc),
+            Value::text("Open")
+        );
+        assert_eq!(
+            eval(r#"DEFAULT Status := "New"; Status"#),
+            Value::text("New")
+        );
+    }
+}

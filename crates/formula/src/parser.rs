@@ -1,0 +1,486 @@
+//! Recursive-descent parser for formulas.
+//!
+//! Operator precedence (loosest to tightest), mirroring Notes:
+//!
+//! ```text
+//! |            logical or
+//! &            logical and
+//! = <> < <= > >= *= *<>   comparison
+//! + -          add / subtract (also text concatenation for `+`)
+//! * /          multiply / divide
+//! - ! +        unary
+//! :            list concatenation
+//! literals, refs, @calls, ( )
+//! ```
+//!
+//! Statements are separated by `;`: plain expressions, `x := e` variable
+//! bindings, `FIELD f := e` item writes, `SELECT e`, and `REM "comment"`.
+
+use crate::ast::{BinOp, Expr, Program, Statement, UnOp};
+use crate::token::{lex, Token, TokenKind};
+use domino_types::{DominoError, Result, Value};
+
+/// Parse formula source into a [`Program`].
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(&format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn error(&self, msg: &str) -> DominoError {
+        DominoError::FormulaParse(format!(
+            "{msg} (at offset {})",
+            self.tokens[self.pos].offset
+        ))
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut statements = Vec::new();
+        loop {
+            // Allow empty statements / trailing semicolons.
+            while *self.peek() == TokenKind::Semi {
+                self.bump();
+            }
+            if *self.peek() == TokenKind::Eof {
+                break;
+            }
+            if let Some(st) = self.statement()? {
+                statements.push(st);
+            }
+            match self.peek() {
+                TokenKind::Semi => {
+                    self.bump();
+                }
+                TokenKind::Eof => break,
+                other => {
+                    return Err(self.error(&format!(
+                        "expected `;` or end of formula, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+        if statements.is_empty() {
+            return Err(DominoError::FormulaParse("empty formula".into()));
+        }
+        Ok(Program { statements })
+    }
+
+    /// Parse one statement. `REM` comments return `None`.
+    fn statement(&mut self) -> Result<Option<Statement>> {
+        if let TokenKind::Ident(word) = self.peek() {
+            match word.to_ascii_uppercase().as_str() {
+                "SELECT" => {
+                    self.bump();
+                    let e = self.expr()?;
+                    return Ok(Some(Statement::Select(e)));
+                }
+                "FIELD" => {
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::Assign)?;
+                    let e = self.expr()?;
+                    return Ok(Some(Statement::Expr(Expr::FieldAssign(
+                        name,
+                        Box::new(e),
+                    ))));
+                }
+                "REM" => {
+                    self.bump();
+                    // REM takes one string literal and produces nothing.
+                    if let TokenKind::Str(_) = self.peek() {
+                        self.bump();
+                    }
+                    return Ok(None);
+                }
+                "DEFAULT" => {
+                    // DEFAULT f := e — use e only when item f is absent.
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::Assign)?;
+                    let e = self.expr()?;
+                    return Ok(Some(Statement::Expr(Expr::Call(
+                        "_default".into(),
+                        vec![Expr::Lit(Value::Text(name)), e],
+                    ))));
+                }
+                _ => {}
+            }
+            // `name := expr` variable binding.
+            if *self.peek2() == TokenKind::Assign {
+                let name = self.ident()?;
+                self.bump(); // :=
+                let e = self.expr()?;
+                return Ok(Some(Statement::Expr(Expr::Assign(name, Box::new(e)))));
+            }
+        }
+        Ok(Some(Statement::Expr(self.expr()?)))
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(&format!(
+                "expected identifier, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == TokenKind::Or {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == TokenKind::And {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Eq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                TokenKind::PermEq => BinOp::PermEq,
+                TokenKind::PermNe => BinOp::PermNe,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            TokenKind::Plus => {
+                self.bump();
+                self.unary_expr()
+            }
+            TokenKind::Not => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.concat_expr(),
+        }
+    }
+
+    fn concat_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.primary()?;
+        while *self.peek() == TokenKind::Colon {
+            self.bump();
+            let rhs = self.concat_operand()?;
+            lhs = Expr::Binary(BinOp::Concat, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// Operand on the right of `:`. Allows a sign prefix so lists like
+    /// `1 : -3` parse element-wise (the leading element's sign is handled
+    /// at the `unary` level and distributes over the whole list, as in
+    /// Notes).
+    fn concat_operand(&mut self) -> Result<Expr> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.concat_operand()?)))
+            }
+            TokenKind::Plus => {
+                self.bump();
+                self.concat_operand()
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            TokenKind::Number(n) => Ok(Expr::Lit(Value::Number(n))),
+            TokenKind::Str(s) => Ok(Expr::Lit(Value::Text(s))),
+            TokenKind::Ident(name) => Ok(Expr::Ref(name)),
+            TokenKind::AtName(name) => {
+                let mut args = Vec::new();
+                if *self.peek() == TokenKind::LParen {
+                    self.bump();
+                    if *self.peek() != TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == TokenKind::Semi {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                }
+                Ok(Expr::Call(name, args))
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error(&format!(
+                "expected a value, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr_of(src: &str) -> Expr {
+        let p = parse(src).unwrap();
+        match p.statements.into_iter().next().unwrap() {
+            Statement::Expr(e) => e,
+            Statement::Select(e) => e,
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = expr_of("1 + 2 * 3");
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Lit(Value::Number(1.0))),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::Lit(Value::Number(2.0))),
+                    Box::new(Expr::Lit(Value::Number(3.0)))
+                ))
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_cmp_over_and_over_or() {
+        // a = 1 & b = 2 | c = 3  =>  ((a=1) & (b=2)) | (c=3)
+        let e = expr_of("a = 1 & b = 2 | c = 3");
+        match e {
+            Expr::Binary(BinOp::Or, lhs, rhs) => {
+                assert!(matches!(*lhs, Expr::Binary(BinOp::And, _, _)));
+                assert!(matches!(*rhs, Expr::Binary(BinOp::Eq, _, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concat_binds_tighter_than_math() {
+        // "a" : "b" is a primary-level list.
+        let e = expr_of("x : y = z");
+        assert!(matches!(e, Expr::Binary(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn select_statement() {
+        let p = parse(r#"SELECT Form = "Memo""#).unwrap();
+        assert_eq!(p.select_index(), Some(0));
+    }
+
+    #[test]
+    fn select_keyword_case_insensitive() {
+        assert_eq!(parse("select 1").unwrap().select_index(), Some(0));
+    }
+
+    #[test]
+    fn field_assignment() {
+        let p = parse(r#"FIELD Status := "Done""#).unwrap();
+        match &p.statements[0] {
+            Statement::Expr(Expr::FieldAssign(name, _)) => assert_eq!(name, "Status"),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_assignment_and_use() {
+        let p = parse("x := 2; x * 3").unwrap();
+        assert_eq!(p.statements.len(), 2);
+        assert!(matches!(
+            &p.statements[0],
+            Statement::Expr(Expr::Assign(n, _)) if n == "x"
+        ));
+    }
+
+    #[test]
+    fn rem_statements_are_skipped() {
+        let p = parse(r#"REM "a comment"; 1 + 1"#).unwrap();
+        assert_eq!(p.statements.len(), 1);
+    }
+
+    #[test]
+    fn default_statement_desugars() {
+        let p = parse(r#"DEFAULT Status := "New"; Status"#).unwrap();
+        assert!(matches!(
+            &p.statements[0],
+            Statement::Expr(Expr::Call(n, _)) if n == "_default"
+        ));
+    }
+
+    #[test]
+    fn at_function_no_args_no_parens() {
+        let e = expr_of("@Now");
+        assert_eq!(e, Expr::Call("now".into(), vec![]));
+    }
+
+    #[test]
+    fn at_function_with_args() {
+        let e = expr_of("@Left(Subject; 3)");
+        match e {
+            Expr::Call(name, args) => {
+                assert_eq!(name, "left");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_calls_and_parens() {
+        let e = expr_of("@Max(@Min(1;2); (3 + 4))");
+        assert!(matches!(e, Expr::Call(ref n, ref a) if n == "max" && a.len() == 2));
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(
+            expr_of("-x"),
+            Expr::Unary(UnOp::Neg, Box::new(Expr::Ref("x".into())))
+        );
+        assert_eq!(
+            expr_of("!x"),
+            Expr::Unary(UnOp::Not, Box::new(Expr::Ref("x".into())))
+        );
+        assert_eq!(expr_of("+5"), Expr::Lit(Value::Number(5.0)));
+    }
+
+    #[test]
+    fn permuted_equality_parses() {
+        assert!(matches!(
+            expr_of("a *= b"),
+            Expr::Binary(BinOp::PermEq, _, _)
+        ));
+        assert!(matches!(
+            expr_of("a *<> b"),
+            Expr::Binary(BinOp::PermNe, _, _)
+        ));
+    }
+
+    #[test]
+    fn trailing_semicolons_ok() {
+        assert!(parse("1;;").is_ok());
+        assert!(parse(";1").is_ok());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("").is_err());
+        assert!(parse("1 +").is_err());
+        assert!(parse("(1").is_err());
+        assert!(parse("@Left(1; 2").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("FIELD := 1").is_err());
+    }
+
+    #[test]
+    fn error_mentions_offset() {
+        let err = parse("1 $").unwrap_err();
+        assert!(err.to_string().contains("offset"));
+    }
+}

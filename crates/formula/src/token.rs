@@ -1,0 +1,439 @@
+//! Lexer for the formula language.
+//!
+//! Notes formula syntax: identifiers (item/variable names, case-insensitive),
+//! `@Function` names, string literals in `"..."` or `{...}`, numbers, and the
+//! operator set `+ - * / = <> < <= > >= & | ! : := ( ) ;` plus the permuted
+//! comparison `*=` and list subtraction-friendly unary minus. `REM "..."`
+//! statements are comments and are skipped by the parser.
+
+use domino_types::{DominoError, Result};
+
+/// One lexical token with its source offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Item / variable / keyword name (stored as written; compared
+    /// case-insensitively).
+    Ident(String),
+    /// `@Name` — the `@` is stripped and the name lowercased.
+    AtName(String),
+    Number(f64),
+    Str(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Assign,    // :=
+    Colon,     // : (list concatenation)
+    Semi,      // ;
+    LParen,
+    RParen,
+    Eq,        // =
+    Ne,        // <> or !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    PermEq,    // *= permuted equality
+    PermNe,    // *<> permuted inequality
+    And,       // &
+    Or,        // |
+    Not,       // !
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable token name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::AtName(s) => format!("@{s}"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Str(_) => "string literal".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Assign => "`:=`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`<>`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::PermEq => "`*=`".into(),
+            TokenKind::PermNe => "`*<>`".into(),
+            TokenKind::And => "`&`".into(),
+            TokenKind::Or => "`|`".into(),
+            TokenKind::Not => "`!`".into(),
+            TokenKind::Eof => "end of formula".into(),
+        }
+    }
+}
+
+/// Tokenize formula source. Returns the token stream terminated by `Eof`.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, offset: start });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semi, offset: start });
+                i += 1;
+            }
+            '+' => {
+                out.push(Token { kind: TokenKind::Plus, offset: start });
+                i += 1;
+            }
+            '-' => {
+                out.push(Token { kind: TokenKind::Minus, offset: start });
+                i += 1;
+            }
+            '/' => {
+                out.push(Token { kind: TokenKind::Slash, offset: start });
+                i += 1;
+            }
+            '&' => {
+                out.push(Token { kind: TokenKind::And, offset: start });
+                i += 1;
+            }
+            '|' => {
+                out.push(Token { kind: TokenKind::Or, offset: start });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token { kind: TokenKind::Eq, offset: start });
+                i += 1;
+            }
+            '*' => {
+                // `*=` / `*<>` are the permuted comparisons; bare `*` is multiply.
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::PermEq, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'<') && bytes.get(i + 2) == Some(&b'>')
+                {
+                    out.push(Token { kind: TokenKind::PermNe, offset: start });
+                    i += 3;
+                } else {
+                    out.push(Token { kind: TokenKind::Star, offset: start });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Le, offset: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ge, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Not, offset: start });
+                    i += 1;
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token { kind: TokenKind::Assign, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Colon, offset: start });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let (s, next) = lex_quoted(src, i, '"', '"')?;
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+                i = next;
+            }
+            '{' => {
+                let (s, next) = lex_quoted(src, i, '{', '}')?;
+                out.push(Token { kind: TokenKind::Str(s), offset: start });
+                i = next;
+            }
+            '@' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                if j == i + 1 {
+                    return Err(DominoError::FormulaParse(format!(
+                        "bare `@` at offset {start}"
+                    )));
+                }
+                out.push(Token {
+                    kind: TokenKind::AtName(src[i + 1..j].to_lowercase()),
+                    offset: start,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < bytes.len() {
+                    let b = bytes[j] as char;
+                    if b.is_ascii_digit() {
+                        j += 1;
+                    } else if b == '.' && !seen_dot {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Exponent suffix like 1e9 / 2.5E-3.
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        while k < bytes.len() && bytes[k].is_ascii_digit() {
+                            k += 1;
+                        }
+                        j = k;
+                    }
+                }
+                let n: f64 = src[i..j].parse().map_err(|_| {
+                    DominoError::FormulaParse(format!(
+                        "bad number literal {:?} at offset {start}",
+                        &src[i..j]
+                    ))
+                })?;
+                out.push(Token { kind: TokenKind::Number(n), offset: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric()
+                        || bytes[j] == b'_'
+                        || bytes[j] == b'$')
+                {
+                    j += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(DominoError::FormulaParse(format!(
+                    "unexpected character {other:?} at offset {start}"
+                )));
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(out)
+}
+
+/// Lex a quoted string starting at `start` (which holds `open`). `""` inside
+/// a `"` string and `\`-escapes are honoured the way Notes does.
+fn lex_quoted(src: &str, start: usize, open: char, close: char) -> Result<(String, usize)> {
+    let bytes = src.as_bytes();
+    debug_assert_eq!(bytes[start] as char, open);
+    let mut s = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == close {
+            // Doubled quote = literal quote (only for `"` strings).
+            if close == '"' && bytes.get(i + 1) == Some(&b'"') {
+                s.push('"');
+                i += 2;
+                continue;
+            }
+            return Ok((s, i + 1));
+        }
+        if c == '\\' && close == '"' && i + 1 < bytes.len() {
+            // The escaped character may be multi-byte; step by its real
+            // width so the cursor stays on a char boundary.
+            let esc = src[i + 1..].chars().next().expect("bytes remain");
+            match esc {
+                'n' => s.push('\n'),
+                't' => s.push('\t'),
+                '\\' => s.push('\\'),
+                '"' => s.push('"'),
+                other => {
+                    s.push('\\');
+                    s.push(other);
+                }
+            }
+            i += 1 + esc.len_utf8();
+            continue;
+        }
+        // Multi-byte UTF-8: copy the full scalar.
+        let ch_len = src[i..].chars().next().map(|c| c.len_utf8()).unwrap_or(1);
+        s.push_str(&src[i..i + ch_len]);
+        i += ch_len;
+    }
+    Err(DominoError::FormulaParse(format!(
+        "unterminated string starting at offset {start}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("+ - * / = <> < <= > >= & | ! : := ; ( ) *="),
+            vec![
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::Not,
+                TokenKind::Colon,
+                TokenKind::Assign,
+                TokenKind::Semi,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::PermEq,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("3"), vec![TokenKind::Number(3.0), TokenKind::Eof]);
+        assert_eq!(kinds("3.5"), vec![TokenKind::Number(3.5), TokenKind::Eof]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("2.5E-1"),
+            vec![TokenKind::Number(0.25), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b""#),
+            vec![TokenKind::Str("a\"b".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds(r#""he said ""hi""""#),
+            vec![TokenKind::Str("he said \"hi\"".into()), TokenKind::Eof]
+        );
+        assert_eq!(
+            kinds("{curly string}"),
+            vec![TokenKind::Str("curly string".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_unicode_strings() {
+        assert_eq!(
+            kinds("\"héllo ☃\""),
+            vec![TokenKind::Str("héllo ☃".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_at_names_case_folded() {
+        assert_eq!(
+            kinds("@IsAvailable(Subject)"),
+            vec![
+                TokenKind::AtName("isavailable".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("Subject".into()),
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dollar_names_are_idents() {
+        assert_eq!(
+            kinds("$Readers"),
+            vec![TokenKind::Ident("$Readers".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("{oops").is_err());
+    }
+
+    #[test]
+    fn errors_on_bare_at_and_junk() {
+        assert!(lex("@ ").is_err());
+        assert!(lex("#").is_err());
+    }
+
+    #[test]
+    fn bang_equals_is_ne() {
+        assert_eq!(kinds("!="), vec![TokenKind::Ne, TokenKind::Eof]);
+    }
+
+    #[test]
+    fn offsets_track_source() {
+        let toks = lex("a + b").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 2);
+        assert_eq!(toks[2].offset, 4);
+    }
+}

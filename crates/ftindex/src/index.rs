@@ -1,0 +1,303 @@
+//! The inverted index and query execution.
+
+use std::collections::HashMap;
+
+use domino_core::Note;
+use domino_types::{Unid, Value};
+
+use crate::query::QueryNode;
+use crate::tokenizer::tokenize;
+
+/// One search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    pub unid: Unid,
+    /// Term-frequency score, normalized by document length.
+    pub score: f32,
+}
+
+/// Index size counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FtStats {
+    pub documents: usize,
+    pub terms: usize,
+    /// Total (term, document) pairs.
+    pub postings: usize,
+    /// Total positions stored.
+    pub positions: usize,
+}
+
+/// Posting list for one term: document → ascending positions.
+type Postings = HashMap<Unid, Vec<u32>>;
+
+/// The in-memory inverted index.
+#[derive(Debug, Default)]
+pub struct InvertedIndex {
+    terms: HashMap<String, Postings>,
+    /// Document → total indexed tokens (for score normalization) and the
+    /// terms it contains (for cheap removal).
+    docs: HashMap<Unid, (u32, Vec<String>)>,
+}
+
+impl InvertedIndex {
+    pub fn new() -> InvertedIndex {
+        InvertedIndex::default()
+    }
+
+    /// Extract all indexable text of a note: every text-ish item value,
+    /// concatenated in item order (positions therefore never match across
+    /// item boundaries — each item's text is offset past the previous).
+    fn text_of(note: &Note) -> String {
+        let mut out = String::new();
+        for item in note.items() {
+            if item.is_system() {
+                continue;
+            }
+            match &item.value {
+                Value::Text(_)
+                | Value::TextList(_)
+                | Value::RichText(_) => {
+                    out.push_str(&item.value.to_text());
+                    out.push('\n');
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Add or refresh one note.
+    pub fn index_note(&mut self, note: &Note) {
+        self.remove(note.unid());
+        let unid = note.unid();
+        let tokens = tokenize(&Self::text_of(note));
+        let total = tokens.len() as u32;
+        let mut terms_here: Vec<String> = Vec::new();
+        for (word, pos) in tokens {
+            let postings = self.terms.entry(word.clone()).or_default();
+            let positions = postings.entry(unid).or_default();
+            if positions.is_empty() {
+                terms_here.push(word);
+            }
+            positions.push(pos);
+        }
+        self.docs.insert(unid, (total.max(1), terms_here));
+    }
+
+    /// Remove one document entirely.
+    pub fn remove(&mut self, unid: Unid) {
+        let Some((_, terms)) = self.docs.remove(&unid) else { return };
+        for term in terms {
+            if let Some(postings) = self.terms.get_mut(&term) {
+                postings.remove(&unid);
+                if postings.is_empty() {
+                    self.terms.remove(&term);
+                }
+            }
+        }
+    }
+
+    pub fn stats(&self) -> FtStats {
+        FtStats {
+            documents: self.docs.len(),
+            terms: self.terms.len(),
+            postings: self.terms.values().map(|p| p.len()).sum(),
+            positions: self
+                .terms
+                .values()
+                .flat_map(|p| p.values())
+                .map(|v| v.len())
+                .sum(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // execution
+    // ------------------------------------------------------------------
+
+    /// Run a parsed query; hits sorted by descending score.
+    pub fn execute(&self, q: &QueryNode) -> Vec<SearchHit> {
+        let matches = self.eval(q);
+        let mut hits: Vec<SearchHit> = matches
+            .into_iter()
+            .map(|(unid, tf)| {
+                let len = self.docs.get(&unid).map(|(n, _)| *n).unwrap_or(1);
+                SearchHit { unid, score: tf as f32 / len as f32 }
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.unid.0.cmp(&b.unid.0))
+        });
+        hits
+    }
+
+    /// Evaluate to document → matched-term-occurrence count.
+    fn eval(&self, q: &QueryNode) -> HashMap<Unid, u32> {
+        match q {
+            QueryNode::Term(w) => self
+                .terms
+                .get(w)
+                .map(|p| {
+                    p.iter()
+                        .map(|(unid, positions)| (*unid, positions.len() as u32))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            QueryNode::Phrase(words) => self.eval_phrase(words),
+            QueryNode::And(a, b) => {
+                let (small, large) = {
+                    let ra = self.eval(a);
+                    let rb = self.eval(b);
+                    if ra.len() <= rb.len() {
+                        (ra, rb)
+                    } else {
+                        (rb, ra)
+                    }
+                };
+                small
+                    .into_iter()
+                    .filter_map(|(unid, tf)| {
+                        large.get(&unid).map(|tf2| (unid, tf + tf2))
+                    })
+                    .collect()
+            }
+            QueryNode::Or(a, b) => {
+                let mut out = self.eval(a);
+                for (unid, tf) in self.eval(b) {
+                    *out.entry(unid).or_insert(0) += tf;
+                }
+                out
+            }
+            QueryNode::Not(a, b) => {
+                let excluded = self.eval(b);
+                self.eval(a)
+                    .into_iter()
+                    .filter(|(unid, _)| !excluded.contains_key(unid))
+                    .collect()
+            }
+        }
+    }
+
+    fn eval_phrase(&self, words: &[String]) -> HashMap<Unid, u32> {
+        let Some(first) = words.first() else { return HashMap::new() };
+        let Some(first_postings) = self.terms.get(first) else {
+            return HashMap::new();
+        };
+        let mut out = HashMap::new();
+        'docs: for (unid, first_positions) in first_postings {
+            // Every subsequent word must appear at position +k.
+            let mut rest: Vec<&Vec<u32>> = Vec::with_capacity(words.len() - 1);
+            for w in &words[1..] {
+                match self.terms.get(w).and_then(|p| p.get(unid)) {
+                    Some(pos) => rest.push(pos),
+                    None => continue 'docs,
+                }
+            }
+            let mut count = 0u32;
+            for start in first_positions {
+                let aligned = rest
+                    .iter()
+                    .enumerate()
+                    .all(|(k, pos)| pos.binary_search(&(start + k as u32 + 1)).is_ok());
+                if aligned {
+                    count += 1;
+                }
+            }
+            if count > 0 {
+                out.insert(*unid, count * words.len() as u32);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use domino_types::NoteClass;
+
+    fn note(unid: u128, text: &str) -> Note {
+        let mut n = Note::new(NoteClass::Document);
+        n.oid.unid = Unid(unid);
+        n.set("Body", Value::text(text));
+        n
+    }
+
+    fn index(texts: &[(u128, &str)]) -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        for (unid, text) in texts {
+            ix.index_note(&note(*unid, text));
+        }
+        ix
+    }
+
+    fn unids(ix: &InvertedIndex, q: &str) -> Vec<u128> {
+        let mut v: Vec<u128> = ix
+            .execute(&parse_query(q).unwrap())
+            .into_iter()
+            .map(|h| h.unid.0)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn term_lookup() {
+        let ix = index(&[(1, "red green"), (2, "green blue")]);
+        assert_eq!(unids(&ix, "green"), vec![1, 2]);
+        assert_eq!(unids(&ix, "red"), vec![1]);
+        assert_eq!(unids(&ix, "purple"), Vec::<u128>::new());
+    }
+
+    #[test]
+    fn reindex_replaces_old_terms() {
+        let mut ix = index(&[(1, "alpha beta")]);
+        ix.index_note(&note(1, "gamma delta"));
+        assert_eq!(unids(&ix, "alpha"), Vec::<u128>::new());
+        assert_eq!(unids(&ix, "gamma"), vec![1]);
+        assert_eq!(ix.stats().documents, 1);
+    }
+
+    #[test]
+    fn remove_cleans_empty_posting_lists() {
+        let mut ix = index(&[(1, "solo word")]);
+        ix.remove(Unid(1));
+        let s = ix.stats();
+        assert_eq!(s.documents, 0);
+        assert_eq!(s.terms, 0);
+        assert_eq!(s.postings, 0);
+    }
+
+    #[test]
+    fn phrase_counts_multiple_occurrences() {
+        let ix = index(&[(1, "big cat big cat big dog")]);
+        let hits = ix.execute(&parse_query("\"big cat\"").unwrap());
+        assert_eq!(hits.len(), 1);
+        // two aligned occurrences * 2 words
+        let raw = ix.eval(&parse_query("\"big cat\"").unwrap());
+        assert_eq!(raw[&Unid(1)], 4);
+    }
+
+    #[test]
+    fn system_items_not_indexed() {
+        let mut n = note(1, "visible");
+        n.set("$Secret", Value::text("hiddenword"));
+        let mut ix = InvertedIndex::new();
+        ix.index_note(&n);
+        assert!(unids(&ix, "hiddenword").is_empty());
+        assert_eq!(unids(&ix, "visible"), vec![1]);
+    }
+
+    #[test]
+    fn numeric_items_ignored() {
+        let mut n = note(1, "text");
+        n.set("Total", Value::Number(12345.0));
+        let mut ix = InvertedIndex::new();
+        ix.index_note(&n);
+        assert!(unids(&ix, "12345").is_empty());
+    }
+}

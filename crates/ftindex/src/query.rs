@@ -1,0 +1,271 @@
+//! The full-text query language.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query  := or
+//! or     := and ( "OR" and )*
+//! and    := not ( ("AND")? not )*        adjacency = implicit AND
+//! not    := term ( "NOT" term )*
+//! term   := word | "\"" phrase "\"" | "(" query ")"
+//! ```
+
+use domino_types::{DominoError, Result};
+
+use crate::tokenizer::normalize_word;
+
+/// Parsed query tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryNode {
+    Term(String),
+    Phrase(Vec<String>),
+    And(Box<QueryNode>, Box<QueryNode>),
+    Or(Box<QueryNode>, Box<QueryNode>),
+    /// Matches of `left` minus matches of `right`.
+    Not(Box<QueryNode>, Box<QueryNode>),
+}
+
+#[derive(Debug, PartialEq)]
+enum Tok {
+    Word(String),
+    Phrase(Vec<String>),
+    And,
+    Or,
+    Not,
+    LParen,
+    RParen,
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {}
+            '(' => out.push(Tok::LParen),
+            ')' => out.push(Tok::RParen),
+            '"' => {
+                let start = i + 1;
+                let mut end = None;
+                for (j, d) in chars.by_ref() {
+                    if d == '"' {
+                        end = Some(j);
+                        break;
+                    }
+                }
+                let Some(end) = end else {
+                    return Err(DominoError::InvalidArgument(
+                        "unterminated phrase quote".into(),
+                    ));
+                };
+                let words: Vec<String> = src[start..end]
+                    .split_whitespace()
+                    .filter_map(normalize_word)
+                    .collect();
+                if words.is_empty() {
+                    return Err(DominoError::InvalidArgument(
+                        "phrase has no searchable words".into(),
+                    ));
+                }
+                out.push(Tok::Phrase(words));
+            }
+            _ => {
+                let mut word = String::new();
+                word.push(c);
+                while let Some((_, d)) = chars.peek() {
+                    if d.is_whitespace() || *d == '(' || *d == ')' || *d == '"' {
+                        break;
+                    }
+                    word.push(*d);
+                    chars.next();
+                }
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" | "&" => out.push(Tok::And),
+                    "OR" | "|" => out.push(Tok::Or),
+                    "NOT" | "!" => out.push(Tok::Not),
+                    _ => match normalize_word(&word) {
+                        Some(w) => out.push(Tok::Word(w)),
+                        None => {
+                            return Err(DominoError::InvalidArgument(format!(
+                                "{word:?} is too short or a stopword"
+                            )))
+                        }
+                    },
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a query string.
+pub fn parse_query(src: &str) -> Result<QueryNode> {
+    let toks = lex(src)?;
+    if toks.is_empty() {
+        return Err(DominoError::InvalidArgument("empty query".into()));
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let node = p.or()?;
+    if p.pos != p.toks.len() {
+        return Err(DominoError::InvalidArgument("trailing tokens in query".into()));
+    }
+    Ok(node)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn or(&mut self) -> Result<QueryNode> {
+        let mut lhs = self.and()?;
+        while matches!(self.peek(), Some(Tok::Or)) {
+            self.pos += 1;
+            let rhs = self.and()?;
+            lhs = QueryNode::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<QueryNode> {
+        let mut lhs = self.not()?;
+        loop {
+            match self.peek() {
+                Some(Tok::And) => {
+                    self.pos += 1;
+                    let rhs = self.not()?;
+                    lhs = QueryNode::And(Box::new(lhs), Box::new(rhs));
+                }
+                // Implicit AND on adjacency.
+                Some(Tok::Word(_)) | Some(Tok::Phrase(_)) | Some(Tok::LParen) => {
+                    let rhs = self.not()?;
+                    lhs = QueryNode::And(Box::new(lhs), Box::new(rhs));
+                }
+                _ => break,
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn not(&mut self) -> Result<QueryNode> {
+        let mut lhs = self.term()?;
+        while matches!(self.peek(), Some(Tok::Not)) {
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = QueryNode::Not(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<QueryNode> {
+        match self.toks.get(self.pos) {
+            Some(Tok::Word(w)) => {
+                let node = QueryNode::Term(w.clone());
+                self.pos += 1;
+                Ok(node)
+            }
+            Some(Tok::Phrase(ws)) => {
+                let node = if ws.len() == 1 {
+                    QueryNode::Term(ws[0].clone())
+                } else {
+                    QueryNode::Phrase(ws.clone())
+                };
+                self.pos += 1;
+                Ok(node)
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let node = self.or()?;
+                if !matches!(self.toks.get(self.pos), Some(Tok::RParen)) {
+                    return Err(DominoError::InvalidArgument(
+                        "missing `)` in query".into(),
+                    ));
+                }
+                self.pos += 1;
+                Ok(node)
+            }
+            other => Err(DominoError::InvalidArgument(format!(
+                "expected a term, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_word() {
+        assert_eq!(parse_query("Elephants").unwrap(), QueryNode::Term("elephants".into()));
+    }
+
+    #[test]
+    fn implicit_and() {
+        let q = parse_query("cats dogs").unwrap();
+        assert_eq!(
+            q,
+            QueryNode::And(
+                Box::new(QueryNode::Term("cats".into())),
+                Box::new(QueryNode::Term("dogs".into()))
+            )
+        );
+    }
+
+    #[test]
+    fn explicit_operators_and_precedence() {
+        // NOT binds tighter than AND binds tighter than OR.
+        let q = parse_query("cats AND dogs OR birds NOT fish").unwrap();
+        assert_eq!(
+            q,
+            QueryNode::Or(
+                Box::new(QueryNode::And(
+                    Box::new(QueryNode::Term("cats".into())),
+                    Box::new(QueryNode::Term("dogs".into()))
+                )),
+                Box::new(QueryNode::Not(
+                    Box::new(QueryNode::Term("birds".into())),
+                    Box::new(QueryNode::Term("fish".into()))
+                ))
+            )
+        );
+    }
+
+    #[test]
+    fn parens_override() {
+        let q = parse_query("(cats OR dogs) birds").unwrap();
+        assert!(matches!(q, QueryNode::And(_, _)));
+    }
+
+    #[test]
+    fn phrases() {
+        let q = parse_query("\"Quick Brown fox\"").unwrap();
+        assert_eq!(
+            q,
+            QueryNode::Phrase(vec!["quick".into(), "brown".into(), "fox".into()])
+        );
+        // One-word phrase degrades to a term.
+        assert_eq!(parse_query("\"fox\"").unwrap(), QueryNode::Term("fox".into()));
+    }
+
+    #[test]
+    fn symbol_operators() {
+        let q = parse_query("cats & dogs | birds").unwrap();
+        assert!(matches!(q, QueryNode::Or(_, _)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("(cats").is_err());
+        assert!(parse_query("\"oops").is_err());
+        assert!(parse_query("cats AND").is_err());
+        assert!(parse_query("the").is_err(), "stopword-only query");
+        assert!(parse_query("\"the of\"").is_err(), "stopword-only phrase");
+    }
+}

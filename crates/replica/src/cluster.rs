@@ -1,0 +1,225 @@
+//! Clustering: event-driven push replication (Domino R5 clusters).
+//!
+//! Scheduled replication leaves a staleness window — a failover replica is
+//! only as fresh as the last replication pass. Cluster mates instead push
+//! every change to each other *as it commits*, so a failover loses at most
+//! the in-flight event. E12 measures exactly this difference.
+//!
+//! The cluster replicator subscribes to each member's change events and
+//! applies them to the other members immediately. Echo suppression is by
+//! version: an incoming note identical to the stored copy (same OID) is
+//! skipped, so propagation terminates.
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use domino_core::{same_revision, ChangeEvent, Database};
+use domino_types::Result;
+
+/// Counters for cluster replication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Events pushed to peers.
+    pub pushed: u64,
+    /// Pushes skipped because the peer was already current (echoes).
+    pub suppressed: u64,
+    /// Pushes dropped because the cluster was paused (failover window).
+    pub dropped_while_paused: u64,
+}
+
+struct ClusterInner {
+    members: Vec<Weak<Database>>,
+    paused: bool,
+    stats: ClusterStats,
+}
+
+/// A cluster of replicas kept in lock-step by event-driven push.
+pub struct Cluster {
+    inner: Arc<Mutex<ClusterInner>>,
+}
+
+impl Cluster {
+    /// Wire the members together. All must share a replica id.
+    pub fn join(members: &[Arc<Database>]) -> Result<Cluster> {
+        if let Some(first) = members.first() {
+            for m in members {
+                if m.replica_id() != first.replica_id() {
+                    return Err(domino_types::DominoError::Replication(
+                        "cluster members must share a replica id".into(),
+                    ));
+                }
+            }
+        }
+        let inner = Arc::new(Mutex::new(ClusterInner {
+            members: members.iter().map(Arc::downgrade).collect(),
+            paused: false,
+            stats: ClusterStats::default(),
+        }));
+        for (i, member) in members.iter().enumerate() {
+            let inner = inner.clone();
+            member.subscribe(Arc::new(move |event: &ChangeEvent| {
+                push_to_peers(&inner, i, event);
+            }));
+        }
+        Ok(Cluster { inner })
+    }
+
+    /// Stop pushing (simulates a cluster mate going unreachable).
+    pub fn pause(&self) {
+        self.inner.lock().paused = true;
+    }
+
+    /// Resume pushing. Catch-up for changes made while paused is the
+    /// scheduled replicator's job, as in Domino (cluster replication is
+    /// best-effort; replication repairs).
+    pub fn resume(&self) {
+        self.inner.lock().paused = false;
+    }
+
+    pub fn stats(&self) -> ClusterStats {
+        self.inner.lock().stats
+    }
+}
+
+fn push_to_peers(inner: &Arc<Mutex<ClusterInner>>, origin: usize, event: &ChangeEvent) {
+    // Snapshot under lock; apply outside so nested events can re-enter.
+    let (targets, paused) = {
+        let g = inner.lock();
+        (g.members.clone(), g.paused)
+    };
+    if paused {
+        inner.lock().stats.dropped_while_paused += 1;
+        return;
+    }
+    for (i, peer) in targets.iter().enumerate() {
+        if i == origin {
+            continue;
+        }
+        let Some(peer) = peer.upgrade() else { continue };
+        let applied = apply_event(&peer, event);
+        let mut g = inner.lock();
+        if applied {
+            g.stats.pushed += 1;
+        } else {
+            g.stats.suppressed += 1;
+        }
+    }
+}
+
+/// Apply one event to a peer; false if the peer was already current.
+fn apply_event(peer: &Database, event: &ChangeEvent) -> bool {
+    match event {
+        ChangeEvent::Saved { new, .. } => {
+            if let Some(id) = peer.id_of_unid(new.unid()).ok().flatten() {
+                if let Ok(existing) = peer.open_note(id) {
+                    if same_revision(&existing, new) {
+                        return false; // echo
+                    }
+                    // The peer has a different revision; let the scheduled
+                    // replicator arbitrate unless ours descends from it.
+                }
+            }
+            peer.save_replicated(new.clone()).is_ok()
+        }
+        ChangeEvent::Deleted { stub, .. } => {
+            if let Some(id) = peer.id_of_unid(stub.oid.unid).ok().flatten() {
+                if let Ok(local_stub) = peer.open_stub(id) {
+                    if local_stub.oid.winner_key() >= stub.oid.winner_key() {
+                        return false; // already deleted
+                    }
+                }
+            }
+            matches!(peer.apply_remote_deletion(stub), Ok(Some(_)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_core::{DbConfig, Note};
+    use domino_types::{LogicalClock, ReplicaId, Timestamp, Value};
+
+    fn trio() -> (Vec<Arc<Database>>, Cluster) {
+        let members: Vec<Arc<Database>> = (0..3)
+            .map(|i| {
+                Arc::new(
+                    Database::open_in_memory(
+                        DbConfig::new("C", ReplicaId(5), ReplicaId(200 + i)),
+                        LogicalClock::starting_at(Timestamp(i * 7)),
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let cluster = Cluster::join(&members).unwrap();
+        (members, cluster)
+    }
+
+    #[test]
+    fn saves_push_to_all_members_immediately() {
+        let (members, cluster) = trio();
+        let mut n = Note::document("Memo");
+        n.set("Subject", Value::text("hot"));
+        members[0].save(&mut n).unwrap();
+        for m in &members[1..] {
+            let copy = m.open_by_unid(n.unid()).unwrap();
+            assert_eq!(copy.get_text("Subject").unwrap(), "hot");
+        }
+        // 2 first-hop pushes; re-pushes from receivers were suppressed.
+        let stats = cluster.stats();
+        assert!(stats.pushed >= 2);
+        assert!(stats.suppressed >= 2);
+    }
+
+    #[test]
+    fn updates_and_deletes_propagate() {
+        let (members, _cluster) = trio();
+        let mut n = Note::document("Memo");
+        members[0].save(&mut n).unwrap();
+        let mut copy = members[1].open_by_unid(n.unid()).unwrap();
+        copy.set("Subject", Value::text("edited on 1"));
+        members[1].save(&mut copy).unwrap();
+        assert_eq!(
+            members[2]
+                .open_by_unid(n.unid())
+                .unwrap()
+                .get_text("Subject")
+                .unwrap(),
+            "edited on 1"
+        );
+        let id2 = members[2].id_of_unid(n.unid()).unwrap().unwrap();
+        members[2].delete(id2).unwrap();
+        for m in &members {
+            assert!(m.open_by_unid(n.unid()).is_err(), "deleted everywhere");
+        }
+    }
+
+    #[test]
+    fn pause_opens_a_staleness_window_resume_does_not_backfill() {
+        let (members, cluster) = trio();
+        let mut n = Note::document("Memo");
+        members[0].save(&mut n).unwrap();
+        cluster.pause();
+        n.set("Subject", Value::text("missed"));
+        members[0].save(&mut n).unwrap();
+        cluster.resume();
+        // Peers still have the old version (cluster push is best-effort;
+        // scheduled replication repairs).
+        let copy = members[1].open_by_unid(n.unid()).unwrap();
+        assert!(copy.get_text("Subject").is_none());
+        assert!(cluster.stats().dropped_while_paused >= 1);
+        // Scheduled replication heals the gap.
+        let mut r = crate::Replicator::new(crate::ReplicationOptions::default());
+        r.sync(&members[0], &members[1]).unwrap();
+        assert_eq!(
+            members[1]
+                .open_by_unid(n.unid())
+                .unwrap()
+                .get_text("Subject")
+                .unwrap(),
+            "missed"
+        );
+    }
+}

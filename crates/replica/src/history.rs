@@ -1,0 +1,116 @@
+//! Replication history: the per-peer incremental cutoff.
+//!
+//! After each successful pull the replicator records the source's clock
+//! reading from the *start* of that pull. The next pull examines only
+//! notes whose sequence time is at or after that cutoff — this is what
+//! makes replication cost proportional to change volume, not database
+//! size (measured in E6).
+//!
+//! History lives with the replicator instance (a substitution from
+//! Domino, which persists it in the database header; see DESIGN.md §2 —
+//! the incremental behaviour being measured is identical). Clearing the
+//! history forces a full compare, exactly like Domino's
+//! "clear replication history" recovery action.
+
+use std::collections::HashMap;
+
+use domino_types::{ReplicaId, Timestamp};
+
+/// Cutoffs per `(destination instance, source instance)` pair. One
+/// replicator may serve many replica pairs; each direction of each pair
+/// keeps its own cutoff (as each Domino server does per database pair).
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationHistory {
+    last_pull: HashMap<(ReplicaId, ReplicaId), Timestamp>,
+}
+
+impl ReplicationHistory {
+    pub fn new() -> ReplicationHistory {
+        ReplicationHistory::default()
+    }
+
+    /// Cutoff for `dst` pulling from `src` (ZERO = never synced → full
+    /// compare).
+    pub fn cutoff(&self, dst: ReplicaId, src: ReplicaId) -> Timestamp {
+        self.last_pull
+            .get(&(dst, src))
+            .copied()
+            .unwrap_or(Timestamp::ZERO)
+    }
+
+    /// Record a successful pull into `dst` from `src` that started at
+    /// `when` (on the source's clock).
+    pub fn record(&mut self, dst: ReplicaId, src: ReplicaId, when: Timestamp) {
+        let e = self.last_pull.entry((dst, src)).or_insert(Timestamp::ZERO);
+        if when > *e {
+            *e = when;
+        }
+    }
+
+    /// Forget everything (force full compares).
+    pub fn clear(&mut self) {
+        self.last_pull.clear();
+    }
+
+    /// All (dst, src) pairs with recorded history.
+    pub fn pairs(&self) -> Vec<(ReplicaId, ReplicaId)> {
+        let mut v: Vec<(ReplicaId, ReplicaId)> = self.last_pull.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_pair_has_zero_cutoff() {
+        let h = ReplicationHistory::new();
+        assert_eq!(h.cutoff(ReplicaId(9), ReplicaId(8)), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn record_advances_monotonically() {
+        let mut h = ReplicationHistory::new();
+        h.record(ReplicaId(1), ReplicaId(2), Timestamp(100));
+        assert_eq!(h.cutoff(ReplicaId(1), ReplicaId(2)), Timestamp(100));
+        h.record(ReplicaId(1), ReplicaId(2), Timestamp(50));
+        assert_eq!(
+            h.cutoff(ReplicaId(1), ReplicaId(2)),
+            Timestamp(100),
+            "never regresses"
+        );
+        h.record(ReplicaId(1), ReplicaId(2), Timestamp(200));
+        assert_eq!(h.cutoff(ReplicaId(1), ReplicaId(2)), Timestamp(200));
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut h = ReplicationHistory::new();
+        h.record(ReplicaId(1), ReplicaId(2), Timestamp(100));
+        assert_eq!(h.cutoff(ReplicaId(2), ReplicaId(1)), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn destinations_are_independent() {
+        let mut h = ReplicationHistory::new();
+        h.record(ReplicaId(1), ReplicaId(9), Timestamp(100));
+        assert_eq!(
+            h.cutoff(ReplicaId(2), ReplicaId(9)),
+            Timestamp::ZERO,
+            "a second destination pulling from the same source starts fresh"
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = ReplicationHistory::new();
+        h.record(ReplicaId(1), ReplicaId(2), Timestamp(100));
+        h.record(ReplicaId(2), ReplicaId(1), Timestamp(100));
+        assert_eq!(h.pairs().len(), 2);
+        h.clear();
+        assert_eq!(h.cutoff(ReplicaId(1), ReplicaId(2)), Timestamp::ZERO);
+        assert!(h.pairs().is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! Multi-master replication — the defining Notes capability.
+//!
+//! Replication is *pairwise and pull-based*: a replicator pulls changes
+//! from a source database into a destination, using a per-peer
+//! [`history`] cutoff so only notes modified since the last successful
+//! sync are examined. Updates ship either whole documents (R3 style) or
+//! only changed fields (R4 style); concurrent edits are never merged
+//! silently — the loser becomes a `$Conflict` *response document* of the
+//! winner, deterministically on both sides so conflict documents
+//! themselves converge. Deletions travel as stubs; purge-interval
+//! interactions are reproduced faithfully (experiment E8).
+//!
+//! [`cluster`] implements the R5 clustering variant: event-driven push
+//! replication that keeps failover replicas nearly current.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use domino_core::{Database, DbConfig, Note};
+//! use domino_replica::{ReplicationOptions, Replicator};
+//! use domino_types::{LogicalClock, ReplicaId, Timestamp, Value};
+//!
+//! // Two replicas share a replica id but have distinct instance ids.
+//! let office = Arc::new(Database::open_in_memory(
+//!     DbConfig::new("Disc", ReplicaId(7), ReplicaId(1)), LogicalClock::new()).unwrap());
+//! let laptop = Arc::new(Database::open_in_memory(
+//!     DbConfig::new("Disc", ReplicaId(7), ReplicaId(2)),
+//!     LogicalClock::starting_at(Timestamp(500))).unwrap());
+//!
+//! let mut memo = Note::document("Memo");
+//! memo.set("Subject", Value::text("hello"));
+//! office.save(&mut memo).unwrap();
+//!
+//! let mut replicator = Replicator::new(ReplicationOptions::default());
+//! replicator.sync(&office, &laptop).unwrap();
+//! assert_eq!(
+//!     laptop.open_by_unid(memo.unid()).unwrap().get_text("Subject").unwrap(),
+//!     "hello",
+//! );
+//! ```
+
+pub mod cluster;
+pub mod conflict;
+pub mod history;
+pub mod replicator;
+
+pub use cluster::Cluster;
+pub use conflict::conflict_unid;
+pub use history::ReplicationHistory;
+pub use replicator::{replicate, PurgeSafety, ReplicationOptions, ReplicationReport, Replicator};

@@ -1,0 +1,960 @@
+//! The pull replicator.
+//!
+//! `pull(dst ← src)` examines every note whose sequence time on `src` is
+//! at or after the history cutoff and brings `dst` up to date:
+//!
+//! * unseen UNIDs are added; unchanged ones are skipped,
+//! * ancestry is decided from the notes' `$Revisions` lineage: if one
+//!   copy's lineage contains the other's current revision fingerprint,
+//!   the descendant wins cleanly,
+//! * divergent copies (neither descends from the other) are *conflicts*:
+//!   with `merge_conflicts` on and disjoint field edits, the copies merge
+//!   field-wise; otherwise the loser is preserved as a deterministic
+//!   `$Conflict` response document,
+//! * deletion stubs propagate deletions (a newer local edit outranks an
+//!   older deletion and vice versa, by `(seq, seq_time)`),
+//! * a selective-replication formula restricts which documents travel,
+//! * bandwidth is accounted either whole-document (R3) or changed-fields
+//!   (R4), the comparison E5 measures.
+
+use domino_core::{
+    same_revision, ChangedNote, Database, Note, ITEM_REVISIONS, MAX_REVISIONS,
+};
+use domino_formula::{EvalEnv, Formula};
+use domino_types::{Clock, DominoError, Item, Result, Timestamp};
+
+use crate::conflict::make_conflict_document;
+use crate::history::ReplicationHistory;
+
+/// Tuning knobs for a replication pass.
+#[derive(Debug, Clone)]
+pub struct ReplicationOptions {
+    /// Account bandwidth at field level (R4) instead of whole documents
+    /// (R3).
+    pub field_level: bool,
+    /// Merge divergent copies field-wise when they edited disjoint items
+    /// (the Notes form option "merge replication conflicts").
+    pub merge_conflicts: bool,
+    /// Only documents selected by this formula replicate (deletions always
+    /// do).
+    pub selective: Option<Formula>,
+    /// Receive truncated documents: summary items only, bodies stripped
+    /// (the Notes laptop option "receive partial documents").
+    pub truncate_bodies: bool,
+    /// Use the incremental history cutoff (off = full compare).
+    pub use_history: bool,
+}
+
+impl Default for ReplicationOptions {
+    fn default() -> ReplicationOptions {
+        ReplicationOptions {
+            field_level: true,
+            merge_conflicts: false,
+            selective: None,
+            truncate_bodies: false,
+            use_history: true,
+        }
+    }
+}
+
+/// What one pull did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationReport {
+    /// Notes examined (modified since the cutoff on the source).
+    pub candidates: u64,
+    /// New documents stored.
+    pub added: u64,
+    /// Existing documents cleanly updated.
+    pub updated: u64,
+    /// Candidates already present with the same version.
+    pub unchanged: u64,
+    /// Candidates where the local copy was strictly newer.
+    pub local_newer: u64,
+    /// Divergent copies merged field-wise.
+    pub merged: u64,
+    /// Divergent copies preserved as conflict documents.
+    pub conflicts: u64,
+    /// Deletions applied locally.
+    pub deletions: u64,
+    /// Documents excluded by the selective formula.
+    pub skipped_selective: u64,
+    /// Bytes that would cross the wire (per the field_level mode).
+    pub bytes_shipped: u64,
+    /// Items that would cross the wire.
+    pub items_shipped: u64,
+}
+
+impl ReplicationReport {
+    /// Did this pull change the destination at all?
+    pub fn changed_anything(&self) -> bool {
+        self.added + self.updated + self.merged + self.conflicts + self.deletions > 0
+    }
+
+    pub fn merge_from(&mut self, other: &ReplicationReport) {
+        self.candidates += other.candidates;
+        self.added += other.added;
+        self.updated += other.updated;
+        self.unchanged += other.unchanged;
+        self.local_newer += other.local_newer;
+        self.merged += other.merged;
+        self.conflicts += other.conflicts;
+        self.deletions += other.deletions;
+        self.skipped_selective += other.skipped_selective;
+        self.bytes_shipped += other.bytes_shipped;
+        self.items_shipped += other.items_shipped;
+    }
+}
+
+/// Verdict of [`Replicator::purge_safety`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PurgeSafety {
+    /// Every known peer replicated within the purge interval.
+    pub safe: bool,
+    pub purge_interval: u64,
+    /// The peer that replicated longest ago (None = no peers known).
+    pub stalest_peer: Option<domino_types::ReplicaId>,
+    /// Ticks since that peer last pulled from this replica.
+    pub stalest_age: u64,
+}
+
+/// A replicator: options + per-peer incremental history.
+pub struct Replicator {
+    pub options: ReplicationOptions,
+    pub history: ReplicationHistory,
+}
+
+impl Replicator {
+    pub fn new(options: ReplicationOptions) -> Replicator {
+        Replicator { options, history: ReplicationHistory::new() }
+    }
+
+    /// Pull changes from `src` into `dst`.
+    pub fn pull(&mut self, dst: &Database, src: &Database) -> Result<ReplicationReport> {
+        if dst.replica_id() != src.replica_id() {
+            return Err(DominoError::Replication(format!(
+                "replica ids differ: {} vs {}",
+                dst.replica_id(),
+                src.replica_id()
+            )));
+        }
+        let cutoff = if self.options.use_history {
+            self.history.cutoff(dst.instance_id(), src.instance_id())
+        } else {
+            Timestamp::ZERO
+        };
+        let start = src.clock().peek();
+        let candidates = src.changed_since(cutoff)?;
+        let mut report = ReplicationReport::default();
+        for cand in &candidates {
+            report.candidates += 1;
+            if cand.is_stub {
+                self.pull_stub(dst, src, cand, &mut report)?;
+            } else {
+                self.pull_note(dst, src, cand, &mut report)?;
+            }
+        }
+        // Success: next time, look only at newer changes.
+        dst.clock().observe(start);
+        self.history.record(dst.instance_id(), src.instance_id(), start);
+        Ok(report)
+    }
+
+    /// Administrative safety check for stub purging: purging is safe only
+    /// if every known peer has replicated with `db` more recently than the
+    /// purge interval (otherwise a purged deletion can resurrect — the E8
+    /// anomaly). Returns the verdict plus the most-stale peer's lag.
+    pub fn purge_safety(&self, db: &Database) -> PurgeSafety {
+        let now = db.clock().peek();
+        let me = db.instance_id();
+        let mut stalest: Option<(domino_types::ReplicaId, u64)> = None;
+        for (dst, src) in self.history.pairs() {
+            // Peers that pull *from us* are the ones that could still hold
+            // a pre-deletion copy.
+            if src != me {
+                continue;
+            }
+            let age = now.saturating_sub(self.history.cutoff(dst, src));
+            if stalest.map(|(_, worst)| age > worst).unwrap_or(true) {
+                stalest = Some((dst, age));
+            }
+        }
+        let purge_interval = db.purge_interval();
+        match stalest {
+            Some((peer, age)) => PurgeSafety {
+                safe: age < purge_interval,
+                purge_interval,
+                stalest_peer: Some(peer),
+                stalest_age: age,
+            },
+            None => PurgeSafety {
+                // No recorded peers: purging cannot be proven safe.
+                safe: false,
+                purge_interval,
+                stalest_peer: None,
+                stalest_age: u64::MAX,
+            },
+        }
+    }
+
+    /// Pull in both directions.
+    pub fn sync(
+        &mut self,
+        a: &Database,
+        b: &Database,
+    ) -> Result<(ReplicationReport, ReplicationReport)> {
+        let into_a = self.pull(a, b)?;
+        let into_b = self.pull(b, a)?;
+        Ok((into_a, into_b))
+    }
+
+    fn pull_stub(
+        &self,
+        dst: &Database,
+        src: &Database,
+        cand: &ChangedNote,
+        report: &mut ReplicationReport,
+    ) -> Result<()> {
+        let stub = src.open_stub(cand.id)?;
+        // Is the deletion already known locally?
+        if let Some(local_id) = dst.id_of_unid(stub.oid.unid)? {
+            if let Ok(local_stub) = dst.open_stub(local_id) {
+                if local_stub.oid.winner_key() >= stub.oid.winner_key() {
+                    report.unchanged += 1;
+                    return Ok(());
+                }
+            }
+        }
+        report.bytes_shipped += 64;
+        match dst.apply_remote_deletion(&stub)? {
+            Some(_) => report.deletions += 1,
+            None => report.local_newer += 1,
+        }
+        Ok(())
+    }
+
+    fn pull_note(
+        &self,
+        dst: &Database,
+        src: &Database,
+        cand: &ChangedNote,
+        report: &mut ReplicationReport,
+    ) -> Result<()> {
+        let mut remote = src.open_note(cand.id)?;
+        if self.options.truncate_bodies && remote.encode_body().is_some() {
+            // Summary-only transfer. The truncated copy keeps the source's
+            // OID/lineage but is marked read-only ($Truncated), so the
+            // missing bodies can never replicate back as deletions.
+            remote.truncate_to_summary();
+        }
+        if let Some(f) = &self.options.selective {
+            if !f.selects(&remote, &EvalEnv::default())? {
+                report.skipped_selective += 1;
+                return Ok(());
+            }
+        }
+        let local_id = dst.id_of_unid(remote.unid())?;
+        let Some(local_id) = local_id else {
+            // Brand new here.
+            report.bytes_shipped += self.ship_cost(&remote, None, report);
+            dst.save_replicated(remote)?;
+            report.added += 1;
+            return Ok(());
+        };
+        let local = match dst.open_note(local_id) {
+            Ok(n) => n,
+            Err(_) => {
+                // Local copy is a deletion stub: newer edit resurrects,
+                // newer deletion stands.
+                let stub = dst.open_stub(local_id)?;
+                if remote.oid.winner_key() > stub.oid.winner_key() {
+                    report.bytes_shipped += self.ship_cost(&remote, None, report);
+                    dst.save_replicated(remote)?;
+                    report.updated += 1;
+                } else {
+                    report.local_newer += 1;
+                }
+                return Ok(());
+            }
+        };
+
+        // A local truncated copy of the same revision upgrades to the full
+        // document (bodies were withheld, not diverged).
+        if local.is_truncated() && !remote.is_truncated() && same_revision(&local, &remote) {
+            report.bytes_shipped += self.ship_cost(&remote, Some(&local), report);
+            dst.save_replicated(remote)?;
+            report.updated += 1;
+            return Ok(());
+        }
+        if same_revision(&local, &remote) {
+            report.unchanged += 1;
+            return Ok(());
+        }
+        if descends_from(&remote, &local) {
+            report.bytes_shipped += self.ship_cost(&remote, Some(&local), report);
+            dst.save_replicated(remote)?;
+            report.updated += 1;
+            return Ok(());
+        }
+        if descends_from(&local, &remote) {
+            report.local_newer += 1;
+            return Ok(());
+        }
+
+        // Divergent histories: a replication conflict.
+        self.resolve_conflict(dst, local, remote, report)
+    }
+
+    fn resolve_conflict(
+        &self,
+        dst: &Database,
+        local: Note,
+        remote: Note,
+        report: &mut ReplicationReport,
+    ) -> Result<()> {
+        report.bytes_shipped += self.ship_cost(&remote, Some(&local), report);
+        if self.options.merge_conflicts {
+            if let Some(merged) = merge_field_wise(&local, &remote) {
+                dst.save_replicated(merged)?;
+                report.merged += 1;
+                return Ok(());
+            }
+        }
+        let (winner, loser) = if note_winner_key(&local) >= note_winner_key(&remote) {
+            (local, remote)
+        } else {
+            (remote, local)
+        };
+        // The losing revision survives as a $Conflict response document
+        // (deterministic UNID: both replicas mint the same one).
+        let conflict_doc = make_conflict_document(&loser);
+        if winner.unid() != loser.unid() {
+            unreachable!("conflicting copies share a UNID");
+        }
+        dst.save_replicated(winner)?;
+        dst.save_replicated(conflict_doc)?;
+        report.conflicts += 1;
+        Ok(())
+    }
+
+    /// Bytes this transfer would put on the wire.
+    fn ship_cost(
+        &self,
+        remote: &Note,
+        local: Option<&Note>,
+        report: &mut ReplicationReport,
+    ) -> u64 {
+        const HEADER: u64 = 64;
+        if !self.options.field_level || local.is_none() {
+            report.items_shipped += remote.items_raw().len() as u64;
+            return HEADER + remote.byte_size() as u64;
+        }
+        let local = local.expect("checked");
+        // Field level: ship only items whose (value, flags, revised)
+        // differ, plus a small per-item digest-exchange overhead.
+        let mut bytes = HEADER;
+        for it in remote.items_raw() {
+            bytes += 10; // digest exchange per item
+            let same = local.items_raw().iter().any(|l| {
+                l.name.eq_ignore_ascii_case(&it.name)
+                    && l.value == it.value
+                    && l.flags == it.flags
+                    && l.revised == it.revised
+            });
+            if !same {
+                bytes += it.byte_size() as u64;
+                report.items_shipped += 1;
+            }
+        }
+        bytes
+    }
+}
+
+/// Total order picking the surviving copy of a conflict. Higher sequence
+/// wins, then later time; the final tiebreak is the revision fingerprint
+/// (which mixes in the editing replica's id), so two replicas that edited
+/// at the same logical instant still agree on one winner.
+fn note_winner_key(n: &Note) -> (u32, Timestamp, u64) {
+    let fp = n.revision_at(n.oid.seq).map(|(f, _)| f).unwrap_or(0);
+    (n.oid.seq, n.oid.seq_time, fp)
+}
+
+/// Does `a` descend from `b` (i.e. `b`'s current revision appears in `a`'s
+/// lineage)?
+fn descends_from(a: &Note, b: &Note) -> bool {
+    if a.oid.seq < b.oid.seq {
+        return false;
+    }
+    match (a.revision_at(b.oid.seq), b.revision_at(b.oid.seq)) {
+        (Some(ra), Some(rb)) => ra == rb,
+        _ => false,
+    }
+}
+
+/// Latest common ancestor revision time of two divergent copies, if their
+/// retained lineages still overlap.
+fn common_ancestor_time(a: &Note, b: &Note) -> Option<Timestamp> {
+    let top = a.oid.seq.min(b.oid.seq);
+    for seq in (1..=top).rev() {
+        if let (Some(ra), Some(rb)) = (a.revision_at(seq), b.revision_at(seq)) {
+            if ra == rb {
+                return Some(ra.1);
+            }
+        }
+    }
+    None
+}
+
+/// Merge two divergent copies field-wise. Succeeds only when no single
+/// item was edited on both sides since their common ancestor; the result
+/// (content *and* identity) is identical no matter which replica computes
+/// it, so merged copies deduplicate as they propagate.
+fn merge_field_wise(local: &Note, remote: &Note) -> Option<Note> {
+    let anc = common_ancestor_time(local, remote)?;
+    let (winner, other) = if note_winner_key(local) >= note_winner_key(remote) {
+        (local, remote)
+    } else {
+        (remote, local)
+    };
+    let mut merged = winner.clone();
+    let mut took_any = false;
+    for it in other.items_raw() {
+        // Lineage bookkeeping is rebuilt below, never merged field-wise.
+        if it.name.eq_ignore_ascii_case(ITEM_REVISIONS) {
+            continue;
+        }
+        let ours: Option<&Item> = winner
+            .items_raw()
+            .iter()
+            .find(|w| w.name.eq_ignore_ascii_case(&it.name));
+        match ours {
+            Some(w) if w.value == it.value && w.flags == it.flags => {}
+            Some(w) => {
+                let we_changed = w.revised > anc;
+                let they_changed = it.revised > anc;
+                if we_changed && they_changed {
+                    // Same field edited on both sides: a true conflict.
+                    return None;
+                }
+                if they_changed {
+                    merged.set_item(it.clone());
+                    took_any = true;
+                }
+            }
+            None => {
+                if it.revised > anc {
+                    merged.set_item(it.clone());
+                    took_any = true;
+                }
+            }
+        }
+    }
+    if !took_any {
+        // The winner already subsumes the other copy: no new revision.
+        return Some(winner.clone());
+    }
+    // A real merge is a new revision with a *deterministic* identity
+    // derived from both parents, so independently-computed merges of the
+    // same pair coincide.
+    let (wfp, _) = winner.revision_at(winner.oid.seq)?;
+    let (ofp, _) = other.revision_at(other.oid.seq)?;
+    let new_seq = winner.oid.seq.max(other.oid.seq) + 1;
+    let new_time = winner.oid.seq_time.max(other.oid.seq_time);
+    merged.oid = domino_types::Oid {
+        unid: winner.unid(),
+        seq: new_seq,
+        seq_time: new_time,
+    };
+    merged.modified = winner.modified.max(other.modified);
+    let merge_fp = {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in wfp
+            .to_le_bytes()
+            .iter()
+            .chain(ofp.to_le_bytes().iter())
+            .chain(b"$merge".iter())
+        {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    };
+    let mut entries: Vec<String> = match merged.get(ITEM_REVISIONS) {
+        Some(v) => v.iter_scalars().iter().map(|s| s.to_text()).collect(),
+        None => Vec::new(),
+    };
+    entries.push(format!("{merge_fp:016x}|{:016x}", new_time.0));
+    if entries.len() > MAX_REVISIONS {
+        let drop = entries.len() - MAX_REVISIONS;
+        entries.drain(..drop);
+    }
+    let mut rev_item = Item::new(ITEM_REVISIONS, domino_types::Value::TextList(entries));
+    rev_item.revised = new_time;
+    merged.set_item(rev_item);
+    Some(merged)
+}
+
+/// One-shot bidirectional replication with default options and no history
+/// (full compare) — convenience for examples and tests.
+pub fn replicate(a: &Database, b: &Database) -> Result<(ReplicationReport, ReplicationReport)> {
+    let mut r = Replicator::new(ReplicationOptions {
+        use_history: false,
+        ..ReplicationOptions::default()
+    });
+    r.sync(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_core::{DbConfig, ITEM_CONFLICT};
+    use domino_types::{LogicalClock, NoteClass, ReplicaId, Value};
+    use std::sync::Arc;
+
+    /// Two replicas of the same database sharing nothing but the lineage id.
+    fn pair() -> (Arc<Database>, Arc<Database>, Replicator) {
+        let a = Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("Disc", ReplicaId(77), ReplicaId(1)),
+                LogicalClock::new(),
+            )
+            .unwrap(),
+        );
+        let b = Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("Disc", ReplicaId(77), ReplicaId(2)),
+                LogicalClock::starting_at(domino_types::Timestamp(500)),
+            )
+            .unwrap(),
+        );
+        (a, b, Replicator::new(ReplicationOptions::default()))
+    }
+
+    fn doc(db: &Database, subject: &str) -> Note {
+        let mut n = Note::document("Memo");
+        n.set("Subject", Value::text(subject));
+        db.save(&mut n).unwrap();
+        n
+    }
+
+    fn docs_equal(a: &Database, b: &Database) -> bool {
+        let fa = all_docs(a);
+        let fb = all_docs(b);
+        fa == fb
+    }
+
+    fn all_docs(db: &Database) -> Vec<(String, u32, String)> {
+        let mut v: Vec<(String, u32, String)> = db
+            .note_ids(Some(NoteClass::Document))
+            .unwrap()
+            .into_iter()
+            .map(|id| {
+                let n = db.open_note(id).unwrap();
+                (
+                    n.unid().to_string(),
+                    n.oid.seq,
+                    n.get_text("Subject").unwrap_or_default(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn mismatched_replica_ids_refused() {
+        let a = Database::open_in_memory(
+            DbConfig::new("A", ReplicaId(1), ReplicaId(10)),
+            LogicalClock::new(),
+        )
+        .unwrap();
+        let b = Database::open_in_memory(
+            DbConfig::new("B", ReplicaId(2), ReplicaId(20)),
+            LogicalClock::new(),
+        )
+        .unwrap();
+        let mut r = Replicator::new(ReplicationOptions::default());
+        assert!(r.pull(&a, &b).is_err());
+    }
+
+    #[test]
+    fn new_documents_flow_both_ways() {
+        let (a, b, mut r) = pair();
+        doc(&a, "from-a");
+        doc(&b, "from-b");
+        let (into_a, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_a.added, 1);
+        assert_eq!(into_b.added, 1);
+        assert!(docs_equal(&a, &b));
+        assert_eq!(a.document_count().unwrap(), 2);
+    }
+
+    #[test]
+    fn history_makes_second_sync_cheap() {
+        let (a, b, mut r) = pair();
+        for i in 0..20 {
+            doc(&a, &format!("d{i}"));
+        }
+        r.sync(&a, &b).unwrap();
+        // Nothing changed: second sync examines no candidates.
+        let (into_a, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_b.candidates, 0);
+        assert_eq!(into_a.candidates, 0);
+        // One change: exactly one candidate.
+        let ids = a.note_ids(Some(NoteClass::Document)).unwrap();
+        let mut n = a.open_note(ids[0]).unwrap();
+        n.set("Subject", Value::text("touched"));
+        a.save(&mut n).unwrap();
+        let (_, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_b.candidates, 1);
+        assert_eq!(into_b.updated, 1);
+        assert!(docs_equal(&a, &b));
+    }
+
+    #[test]
+    fn updates_propagate_without_conflict() {
+        let (a, b, mut r) = pair();
+        let mut n = doc(&a, "v1");
+        r.sync(&a, &b).unwrap();
+        n.set("Subject", Value::text("v2"));
+        a.save(&mut n).unwrap();
+        let (_, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_b.updated, 1);
+        assert_eq!(into_b.conflicts, 0);
+        let b_copy = b.open_by_unid(n.unid()).unwrap();
+        assert_eq!(b_copy.get_text("Subject").unwrap(), "v2");
+        assert_eq!(b_copy.oid.seq, 2);
+    }
+
+    #[test]
+    fn concurrent_edits_become_conflict_documents() {
+        let (a, b, mut r) = pair();
+        let n = doc(&a, "base");
+        r.sync(&a, &b).unwrap();
+
+        // Edit on both replicas between syncs.
+        let mut na = a.open_by_unid(n.unid()).unwrap();
+        na.set("Subject", Value::text("a-edit"));
+        a.save(&mut na).unwrap();
+        let mut nb = b.open_by_unid(n.unid()).unwrap();
+        nb.set("Subject", Value::text("b-edit"));
+        b.save(&mut nb).unwrap();
+
+        let (into_a, _into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_a.conflicts, 1);
+        // Converged: same main doc + same conflict doc on both sides.
+        let (_, _) = r.sync(&a, &b).unwrap();
+        assert!(docs_equal(&a, &b));
+        assert_eq!(a.document_count().unwrap(), 2);
+        // The conflict document is a response to the winner.
+        let f = domino_formula::Formula::compile(&format!(
+            "SELECT {ITEM_CONFLICT} = \"1\""
+        ))
+        .unwrap();
+        let conflicts = a.search(&f, &EvalEnv::default()).unwrap();
+        assert_eq!(conflicts.len(), 1);
+        assert_eq!(conflicts[0].parent(), Some(n.unid()));
+        // No update was lost: both texts exist somewhere.
+        let main = a.open_by_unid(n.unid()).unwrap();
+        let texts = [main.get_text("Subject").unwrap(),
+            conflicts[0].get_text("Subject").unwrap()];
+        assert!(texts.contains(&"a-edit".to_string()));
+        assert!(texts.contains(&"b-edit".to_string()));
+    }
+
+    #[test]
+    fn disjoint_field_edits_merge_when_enabled() {
+        let (a, b, _) = pair();
+        let mut r = Replicator::new(ReplicationOptions {
+            merge_conflicts: true,
+            ..ReplicationOptions::default()
+        });
+        let n = doc(&a, "base");
+        r.sync(&a, &b).unwrap();
+        let mut na = a.open_by_unid(n.unid()).unwrap();
+        na.set("Owner", Value::text("alice"));
+        a.save(&mut na).unwrap();
+        let mut nb = b.open_by_unid(n.unid()).unwrap();
+        nb.set("Due", Value::Number(99.0));
+        b.save(&mut nb).unwrap();
+
+        let (into_a, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_a.merged + into_b.merged, 2);
+        assert_eq!(into_a.conflicts + into_b.conflicts, 0);
+        r.sync(&a, &b).unwrap();
+        for db in [&a, &b] {
+            let m = db.open_by_unid(n.unid()).unwrap();
+            assert_eq!(m.get_text("Owner").unwrap(), "alice");
+            assert_eq!(m.get("Due"), Some(&Value::Number(99.0)));
+        }
+        assert!(docs_equal(&a, &b));
+        assert_eq!(a.document_count().unwrap(), 1, "no conflict doc");
+    }
+
+    #[test]
+    fn same_field_edits_conflict_even_with_merge_enabled() {
+        let (a, b, _) = pair();
+        let mut r = Replicator::new(ReplicationOptions {
+            merge_conflicts: true,
+            ..ReplicationOptions::default()
+        });
+        let n = doc(&a, "base");
+        r.sync(&a, &b).unwrap();
+        let mut na = a.open_by_unid(n.unid()).unwrap();
+        na.set("Subject", Value::text("a-side"));
+        a.save(&mut na).unwrap();
+        let mut nb = b.open_by_unid(n.unid()).unwrap();
+        nb.set("Subject", Value::text("b-side"));
+        b.save(&mut nb).unwrap();
+        let (into_a, into_b) = r.sync(&a, &b).unwrap();
+        // Each side may detect the same conflict independently (the
+        // resolution is deterministic and idempotent).
+        assert!(into_a.conflicts + into_b.conflicts >= 1);
+        assert_eq!(into_a.merged + into_b.merged, 0);
+        r.sync(&a, &b).unwrap();
+        assert!(docs_equal(&a, &b));
+        assert_eq!(a.document_count().unwrap(), 2);
+    }
+
+    #[test]
+    fn deletions_propagate_as_stubs() {
+        let (a, b, mut r) = pair();
+        let n = doc(&a, "doomed");
+        doc(&a, "keeper");
+        r.sync(&a, &b).unwrap();
+        assert_eq!(b.document_count().unwrap(), 2);
+        a.delete(n.id).unwrap();
+        let (_, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_b.deletions, 1);
+        assert_eq!(b.document_count().unwrap(), 1);
+        assert!(b.open_by_unid(n.unid()).is_err());
+        // Stub exists on both sides and further syncs are stable.
+        let (x, y) = r.sync(&a, &b).unwrap();
+        assert!(!x.changed_anything() && !y.changed_anything());
+    }
+
+    #[test]
+    fn newer_edit_beats_older_deletion() {
+        let (a, b, mut r) = pair();
+        let n = doc(&a, "contested");
+        r.sync(&a, &b).unwrap();
+        // Delete on A, then (later) edit on B.
+        a.delete(n.id).unwrap();
+        b.clock().advance(10_000);
+        let mut nb = b.open_by_unid(n.unid()).unwrap();
+        nb.set("Subject", Value::text("still alive"));
+        b.save(&mut nb).unwrap();
+        nb = b.open_by_unid(n.unid()).unwrap();
+        nb.set("Subject", Value::text("alive v3"));
+        b.save(&mut nb).unwrap(); // seq 3 > stub's seq 2
+
+        r.sync(&a, &b).unwrap();
+        r.sync(&a, &b).unwrap();
+        for db in [&a, &b] {
+            let doc = db.open_by_unid(n.unid()).unwrap();
+            assert_eq!(doc.get_text("Subject").unwrap(), "alive v3");
+        }
+    }
+
+    #[test]
+    fn newer_deletion_beats_older_edit() {
+        let (a, b, mut r) = pair();
+        let n = doc(&a, "contested");
+        r.sync(&a, &b).unwrap();
+        // Edit on B first, then deletion on A with a later clock.
+        let mut nb = b.open_by_unid(n.unid()).unwrap();
+        nb.set("Subject", Value::text("edited"));
+        b.save(&mut nb).unwrap();
+        a.clock().advance(10_000);
+        let na = a.open_by_unid(n.unid()).unwrap();
+        // Bump the doc once so the deletion's seq outranks B's edit.
+        let mut na2 = na.clone();
+        na2.set("X", Value::Number(1.0));
+        a.save(&mut na2).unwrap();
+        a.delete(na2.id).unwrap(); // seq 3
+
+        r.sync(&a, &b).unwrap();
+        r.sync(&a, &b).unwrap();
+        assert!(a.open_by_unid(n.unid()).is_err());
+        assert!(b.open_by_unid(n.unid()).is_err());
+    }
+
+    #[test]
+    fn field_level_ships_fewer_bytes_than_doc_level() {
+        let (a, b, _) = pair();
+        // A large document with many fields.
+        let mut n = Note::document("Fat");
+        for i in 0..20 {
+            n.set(&format!("F{i}"), Value::text("x".repeat(200)));
+        }
+        a.save(&mut n).unwrap();
+        let mut r_field = Replicator::new(ReplicationOptions::default());
+        r_field.sync(&a, &b).unwrap();
+
+        // Touch one field.
+        let mut n2 = a.open_by_unid(n.unid()).unwrap();
+        n2.set("F3", Value::text("y".repeat(200)));
+        a.save(&mut n2).unwrap();
+        let (_, field_rep) = r_field.sync(&a, &b).unwrap();
+
+        // Same change, doc-level accounting.
+        let mut n3 = a.open_by_unid(n.unid()).unwrap();
+        n3.set("F4", Value::text("z".repeat(200)));
+        a.save(&mut n3).unwrap();
+        let mut r_doc = Replicator {
+            options: ReplicationOptions { field_level: false, ..Default::default() },
+            history: r_field.history.clone(),
+        };
+        let (_, doc_rep) = r_doc.sync(&a, &b).unwrap();
+
+        assert!(field_rep.bytes_shipped * 3 < doc_rep.bytes_shipped);
+        assert!(docs_equal(&a, &b));
+    }
+
+    #[test]
+    fn purge_safety_tracks_stale_peers() {
+        let (a, b, mut r) = pair();
+        a.set_purge_interval(1_000).unwrap();
+        // No peers known yet: not provably safe.
+        assert!(!r.purge_safety(&a).safe);
+        doc(&a, "x");
+        r.sync(&a, &b).unwrap();
+        let fresh = r.purge_safety(&a);
+        assert!(fresh.safe, "{fresh:?}");
+        assert_eq!(fresh.stalest_peer, Some(b.instance_id()));
+        // The peer goes quiet past the purge interval: unsafe to purge.
+        a.clock().advance(5_000);
+        let stale = r.purge_safety(&a);
+        assert!(!stale.safe, "{stale:?}");
+        assert!(stale.stalest_age >= 5_000);
+        // A sync makes it safe again.
+        r.sync(&a, &b).unwrap();
+        assert!(r.purge_safety(&a).safe);
+    }
+
+    #[test]
+    fn truncated_replication_ships_summaries_only() {
+        let (a, b, _) = pair();
+        let mut r = Replicator::new(ReplicationOptions {
+            truncate_bodies: true,
+            ..ReplicationOptions::default()
+        });
+        let mut n = Note::document("Memo");
+        n.set("Subject", Value::text("headline"));
+        n.set_body("Body", Value::RichText(vec![9u8; 50_000]));
+        a.save(&mut n).unwrap();
+
+        let (_, into_b) = r.sync(&a, &b).unwrap();
+        assert!(
+            into_b.bytes_shipped < 2_000,
+            "shipped {} bytes for a 50KB body",
+            into_b.bytes_shipped
+        );
+        let copy = b.open_by_unid(n.unid()).unwrap();
+        assert_eq!(copy.get_text("Subject").unwrap(), "headline");
+        assert!(copy.get("Body").is_none());
+        assert!(copy.is_truncated());
+
+        // Truncated copies are read-only (editing one could replicate the
+        // missing body back as a deletion).
+        let mut edit = copy.clone();
+        edit.set("Subject", Value::text("tampered"));
+        assert_eq!(b.save(&mut edit).unwrap_err().kind(), "invalid_argument");
+
+        // The full copy at the source is untouched by further syncs.
+        r.sync(&a, &b).unwrap();
+        let original = a.open_by_unid(n.unid()).unwrap();
+        assert_eq!(original.get("Body"), Some(&Value::RichText(vec![9u8; 50_000])));
+        assert!(!original.is_truncated());
+
+        // A later full pull upgrades the truncated copy in place.
+        let mut full = Replicator::new(ReplicationOptions {
+            use_history: false,
+            ..ReplicationOptions::default()
+        });
+        full.pull(&b, &a).unwrap();
+        let upgraded = b.open_by_unid(n.unid()).unwrap();
+        assert_eq!(upgraded.get("Body"), Some(&Value::RichText(vec![9u8; 50_000])));
+    }
+
+    #[test]
+    fn selective_replication_filters_documents() {
+        let (a, b, _) = pair();
+        let mut r = Replicator::new(ReplicationOptions {
+            selective: Some(
+                Formula::compile(r#"SELECT Priority = "high""#).unwrap(),
+            ),
+            ..ReplicationOptions::default()
+        });
+        for i in 0..6 {
+            let mut n = Note::document("Task");
+            n.set("Priority", Value::text(if i < 2 { "high" } else { "low" }));
+            a.save(&mut n).unwrap();
+        }
+        let (_, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_b.added, 2);
+        assert_eq!(into_b.skipped_selective, 4);
+        assert_eq!(b.document_count().unwrap(), 2);
+    }
+
+    #[test]
+    fn three_replicas_converge_through_a_hub() {
+        let hub = Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("D", ReplicaId(9), ReplicaId(100)),
+                LogicalClock::new(),
+            )
+            .unwrap(),
+        );
+        let s1 = Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("D", ReplicaId(9), ReplicaId(101)),
+                LogicalClock::starting_at(Timestamp(10)),
+            )
+            .unwrap(),
+        );
+        let s2 = Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("D", ReplicaId(9), ReplicaId(102)),
+                LogicalClock::starting_at(Timestamp(20)),
+            )
+            .unwrap(),
+        );
+        doc(&s1, "from-s1");
+        doc(&s2, "from-s2");
+        let mut n = doc(&hub, "from-hub");
+        let mut r1 = Replicator::new(ReplicationOptions::default());
+        let mut r2 = Replicator::new(ReplicationOptions::default());
+        // Two rounds of hub-spoke sync spread everything everywhere.
+        for _ in 0..2 {
+            r1.sync(&hub, &s1).unwrap();
+            r2.sync(&hub, &s2).unwrap();
+        }
+        assert!(docs_equal(&hub, &s1));
+        assert!(docs_equal(&hub, &s2));
+        assert_eq!(s1.document_count().unwrap(), 3);
+        // An update at the hub reaches both spokes in one round.
+        n.set("Subject", Value::text("updated"));
+        hub.save(&mut n).unwrap();
+        r1.sync(&hub, &s1).unwrap();
+        r2.sync(&hub, &s2).unwrap();
+        assert_eq!(
+            s2.open_by_unid(n.unid()).unwrap().get_text("Subject").unwrap(),
+            "updated"
+        );
+    }
+
+    #[test]
+    fn full_compare_after_cleared_history_is_stable() {
+        let (a, b, mut r) = pair();
+        doc(&a, "one");
+        doc(&b, "two");
+        r.sync(&a, &b).unwrap();
+        r.history.clear();
+        let (into_a, into_b) = r.sync(&a, &b).unwrap();
+        // Everything re-examined, nothing re-applied.
+        assert!(into_a.candidates >= 2);
+        assert_eq!(into_a.added + into_a.updated + into_a.conflicts, 0);
+        assert_eq!(into_b.added + into_b.updated + into_b.conflicts, 0);
+        assert!(docs_equal(&a, &b));
+    }
+}

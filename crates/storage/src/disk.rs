@@ -1,0 +1,182 @@
+//! The page device.
+//!
+//! [`Disk`] writes are durable when they return (the buffer pool above it
+//! decides *when* to write; the WAL protocol decides *what must be logged
+//! first*). [`MemDisk`] is shareable so a crashed engine can be reopened
+//! over the same "disk" contents; [`FileDisk`] stores pages in a real file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use domino_types::{DominoError, Result};
+
+/// A durable array of pages.
+pub trait Disk: Send {
+    /// Read page `id` into `buf`. Reading past the end yields zeroes (the
+    /// page has never been written).
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<()>;
+
+    /// Durably write page `id`.
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<()>;
+
+    /// Number of pages ever written + 1 (i.e. one past the highest id).
+    fn page_count(&self) -> Result<u32>;
+
+    /// Bytes of backing storage in use (experiment accounting).
+    fn size_bytes(&self) -> Result<u64> {
+        Ok(self.page_count()? as u64 * PAGE_SIZE as u64)
+    }
+}
+
+/// In-memory disk, shareable across engine generations for crash tests.
+#[derive(Clone, Default)]
+pub struct MemDisk {
+    pages: Arc<Mutex<Vec<Box<[u8; PAGE_SIZE]>>>>,
+}
+
+impl MemDisk {
+    pub fn new() -> MemDisk {
+        MemDisk::default()
+    }
+}
+
+impl Disk for MemDisk {
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<()> {
+        let pages = self.pages.lock();
+        match pages.get(id as usize) {
+            Some(data) => buf.data.copy_from_slice(&data[..]),
+            None => buf.data.fill(0),
+        }
+        buf.id = id;
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<()> {
+        let mut pages = self.pages.lock();
+        let idx = id as usize;
+        while pages.len() <= idx {
+            pages.push(Box::new([0u8; PAGE_SIZE]));
+        }
+        pages[idx].copy_from_slice(&buf.data[..]);
+        Ok(())
+    }
+
+    fn page_count(&self) -> Result<u32> {
+        Ok(self.pages.lock().len() as u32)
+    }
+}
+
+/// File-backed disk.
+pub struct FileDisk {
+    file: Mutex<File>,
+}
+
+impl FileDisk {
+    pub fn open(path: &Path) -> Result<FileDisk> {
+        // Intentionally no truncate: opening an existing store keeps it.
+        #[allow(clippy::suspicious_open_options)]
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(DominoError::Corrupt(format!(
+                "store file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(FileDisk { file: Mutex::new(file) })
+    }
+}
+
+impl Disk for FileDisk {
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<()> {
+        let mut f = self.file.lock();
+        let off = id as u64 * PAGE_SIZE as u64;
+        if off >= f.metadata()?.len() {
+            buf.data.fill(0);
+        } else {
+            f.seek(SeekFrom::Start(off))?;
+            f.read_exact(&mut buf.data[..])?;
+        }
+        buf.id = id;
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<()> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        f.write_all(&buf.data[..])?;
+        f.sync_data()?;
+        Ok(())
+    }
+
+    fn page_count(&self) -> Result<u32> {
+        let len = self.file.lock().metadata()?.len();
+        Ok((len / PAGE_SIZE as u64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn Disk) {
+        let mut w = PageBuf::zeroed(3);
+        w.put_bytes(100, b"page three");
+        disk.write_page(3, &w).unwrap();
+
+        let mut r = PageBuf::zeroed(0);
+        disk.read_page(3, &mut r).unwrap();
+        assert_eq!(r.bytes(100, 10), b"page three");
+        assert_eq!(r.id, 3);
+
+        // Never-written pages read as zeroes.
+        disk.read_page(100, &mut r).unwrap();
+        assert!(r.data.iter().all(|b| *b == 0));
+
+        assert_eq!(disk.page_count().unwrap(), 4);
+        assert_eq!(disk.size_bytes().unwrap(), 4 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn mem_disk_basics() {
+        exercise(&MemDisk::new());
+    }
+
+    #[test]
+    fn mem_disk_shared_across_clones() {
+        let a = MemDisk::new();
+        let b = a.clone();
+        let mut w = PageBuf::zeroed(0);
+        w.put_bytes(0, b"x");
+        a.write_page(0, &w).unwrap();
+        let mut r = PageBuf::zeroed(0);
+        b.read_page(0, &mut r).unwrap();
+        assert_eq!(r.bytes(0, 1), b"x");
+    }
+
+    #[test]
+    fn file_disk_basics() {
+        let dir =
+            std::env::temp_dir().join(format!("domino-disk-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.nsf");
+        let _ = std::fs::remove_file(&path);
+        let disk = FileDisk::open(&path).unwrap();
+        exercise(&disk);
+        drop(disk);
+        // Reopen: contents persist.
+        let disk2 = FileDisk::open(&path).unwrap();
+        let mut r = PageBuf::zeroed(0);
+        disk2.read_page(3, &mut r).unwrap();
+        assert_eq!(r.bytes(100, 10), b"page three");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

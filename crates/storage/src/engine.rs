@@ -1,0 +1,788 @@
+//! The transactional page engine: buffer pool + write-ahead logging.
+//!
+//! All mutation flows through [`Engine::write`], which captures the before
+//! image, logs an update record, applies the bytes, and stamps the page
+//! LSN. The buffer pool is *steal/no-force*: dirty pages may be evicted
+//! before commit (after forcing the log up to their LSN — the write-ahead
+//! rule) and are not forced at commit (redo recovers them). Commit forces
+//! the log; [`Engine::checkpoint`] writes a fuzzy checkpoint so restart
+//! reads only the log tail.
+//!
+//! The engine is single-writer: `domino_core::Database` serializes
+//! transactions, which is what makes physical before-image undo sound.
+//!
+//! Page 0 is the store header:
+//!
+//! ```text
+//! 16..20  magic "DNSF"
+//! 20..22  format version
+//! 22..26  next never-allocated page id
+//! 26..30  head of the free-page chain
+//! 30..34  reserved
+//! 34..98  eight u64 slots for the layers above (replica id, counters...)
+//! 98..130 eight u32 B-tree root slots
+//! 130..134 heap free-space chain head
+//! ```
+
+use std::collections::HashMap;
+
+use crate::disk::Disk;
+use crate::page::{PageBuf, PageId, PageType, PAGE_SIZE};
+use domino_types::{DominoError, Result};
+use domino_wal::{recover, LogManager, LogRecord, LogStore, Lsn, RecoveryStats, RedoTarget, TxId};
+
+/// The WAL type the engine uses (store chosen at runtime).
+pub type Wal = LogManager<Box<dyn LogStore>>;
+
+const MAGIC: u32 = 0x444E_5346; // "DNSF"
+const VERSION: u16 = 1;
+const OFF_MAGIC: usize = 16;
+const OFF_VERSION: usize = 20;
+const OFF_NEXT_PAGE: usize = 22;
+const OFF_FREE_HEAD: usize = 26;
+const OFF_USER_SLOTS: usize = 34; // 8 x u64
+const OFF_TREE_ROOTS: usize = 98; // 8 x u32
+const OFF_HEAP_AVAIL: usize = 130;
+
+/// Number of u64 slots reserved for layers above the engine.
+pub const USER_SLOTS: usize = 8;
+/// Number of named B-tree root slots.
+pub const TREE_ROOT_SLOTS: usize = 8;
+
+/// Tuning and behaviour switches.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Buffer pool capacity in frames (pages).
+    pub buffer_capacity: usize,
+    /// Write-ahead logging on/off. Off reproduces the pre-R5 "no log"
+    /// mode: fast, but a crash loses everything since the last page flush
+    /// and requires a fixup-style scan to trust the file again.
+    pub logging: bool,
+    /// Force the log at commit. Turning this off models deferred group
+    /// commit (commits become durable at the next flush/checkpoint).
+    pub flush_on_commit: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig { buffer_capacity: 4096, logging: true, flush_on_commit: true }
+    }
+}
+
+/// Counters for experiments and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub reads: u64,
+    pub pool_hits: u64,
+    pub pool_misses: u64,
+    pub evictions: u64,
+    pub page_writes: u64,
+    pub pages_allocated: u64,
+    pub pages_freed: u64,
+    pub txs_committed: u64,
+    pub txs_aborted: u64,
+}
+
+/// An open transaction handle.
+pub struct Tx {
+    pub id: TxId,
+    last_lsn: Lsn,
+    /// In-memory undo, newest last: (page, offset, before image, and the
+    /// transaction's previous LSN at the time of the update — i.e. what a
+    /// CLR undoing this update must use as `undo_next`).
+    undo: Vec<(PageId, u16, Vec<u8>, Lsn)>,
+}
+
+struct Frame {
+    page: PageBuf,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// LRU order: tick -> page id (ticks are unique).
+type LruMap = std::collections::BTreeMap<u64, PageId>;
+
+/// The page engine.
+pub struct Engine {
+    disk: Box<dyn Disk>,
+    wal: Option<Wal>,
+    config: EngineConfig,
+    frames: HashMap<PageId, Frame>,
+    lru: LruMap,
+    tick: u64,
+    /// Dirty-page table: page -> recovery LSN (first LSN that dirtied it).
+    dirty_table: HashMap<PageId, Lsn>,
+    next_tx: u64,
+    active_tx: Option<TxId>,
+    stats: EngineStats,
+    /// Stats of the restart recovery performed at open, if any.
+    pub recovery: Option<RecoveryStats>,
+}
+
+impl Engine {
+    /// Open (and if empty, format) a store. If the log is non-empty,
+    /// restart recovery runs before the engine is handed back.
+    pub fn open(
+        disk: Box<dyn Disk>,
+        log_store: Option<Box<dyn LogStore>>,
+        config: EngineConfig,
+    ) -> Result<Engine> {
+        let wal = match (config.logging, log_store) {
+            (true, Some(s)) => Some(LogManager::open(s)?),
+            (true, None) => {
+                return Err(DominoError::InvalidArgument(
+                    "logging enabled but no log store supplied".into(),
+                ))
+            }
+            (false, _) => None,
+        };
+        let mut engine = Engine {
+            disk,
+            wal,
+            config,
+            frames: HashMap::new(),
+            lru: LruMap::new(),
+            tick: 0,
+            dirty_table: HashMap::new(),
+            next_tx: 1,
+            active_tx: None,
+            stats: EngineStats::default(),
+            recovery: None,
+        };
+
+        // Restart recovery (repeating history) before anything else.
+        if let Some(wal) = engine.wal.take() {
+            if !wal.durable_len()?.eq(&0) {
+                let mut target = EngineRedo { engine: &mut engine };
+                let stats = recover(&wal, &mut target)?;
+                engine.recovery = Some(stats);
+                // Recovery rewrote frames; persist them and restart the log.
+                engine.flush_all_pages_internal()?;
+                wal.truncate_all()?;
+            }
+            engine.wal = Some(wal);
+        }
+
+        engine.format_if_needed()?;
+        Ok(engine)
+    }
+
+    fn format_if_needed(&mut self) -> Result<()> {
+        let header = self.fetch(0)?;
+        let magic = header.get_u32(OFF_MAGIC);
+        if magic == MAGIC {
+            let version = header.get_u16(OFF_VERSION);
+            if version != VERSION {
+                return Err(DominoError::Corrupt(format!(
+                    "unsupported store version {version}"
+                )));
+            }
+            return Ok(());
+        }
+        if magic != 0 {
+            return Err(DominoError::Corrupt("bad store magic".into()));
+        }
+        // Fresh store: format page 0 under a bootstrap transaction.
+        let mut tx = self.begin()?;
+        let mut init = [0u8; 18];
+        init[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+        init[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        init[6..10].copy_from_slice(&1u32.to_le_bytes()); // next_page
+        self.write(&mut tx, 0, OFF_MAGIC as u16, &init)?;
+        self.write(&mut tx, 0, 8, &[PageType::Header.code()])?;
+        self.commit(tx)?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // buffer pool
+    // ------------------------------------------------------------------
+
+    /// Load a page frame (from pool or disk), returning a mutable handle.
+    fn frame(&mut self, id: PageId) -> Result<&mut Frame> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(f) = self.frames.get(&id) {
+            self.stats.pool_hits += 1;
+            self.lru.remove(&f.last_used);
+        } else {
+            self.stats.pool_misses += 1;
+            let mut page = PageBuf::zeroed(id);
+            self.disk.read_page(id, &mut page)?;
+            self.evict_if_full()?;
+            self.frames.insert(id, Frame { page, dirty: false, last_used: 0 });
+        }
+        self.lru.insert(tick, id);
+        let f = self.frames.get_mut(&id).expect("just inserted");
+        f.last_used = tick;
+        Ok(f)
+    }
+
+    fn evict_if_full(&mut self) -> Result<()> {
+        while self.frames.len() >= self.config.buffer_capacity.max(1) {
+            let victim = self
+                .lru
+                .iter()
+                .next()
+                .map(|(_, id)| *id)
+                .expect("pool not empty");
+            self.evict(victim)?;
+        }
+        Ok(())
+    }
+
+    fn evict(&mut self, id: PageId) -> Result<()> {
+        if let Some(frame) = self.frames.remove(&id) {
+            self.lru.remove(&frame.last_used);
+            if frame.dirty {
+                // WAL rule: log up to the page LSN must be durable first.
+                if let Some(wal) = &self.wal {
+                    wal.flush(frame.page.lsn())?;
+                }
+                self.disk.write_page(id, &frame.page)?;
+                self.stats.page_writes += 1;
+                self.dirty_table.remove(&id);
+            }
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Read a copy of a page.
+    pub fn fetch(&mut self, id: PageId) -> Result<PageBuf> {
+        self.stats.reads += 1;
+        Ok(self.frame(id)?.page.clone())
+    }
+
+    /// LSN stamped on a page (NIL for never-written pages).
+    pub fn page_lsn(&mut self, id: PageId) -> Result<Lsn> {
+        Ok(self.frame(id)?.page.lsn())
+    }
+
+    /// Flush every dirty page (and first the log). Used by checkpoints and
+    /// clean shutdown.
+    pub fn flush_all_pages(&mut self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.flush_all()?;
+        }
+        self.flush_all_pages_internal()
+    }
+
+    fn flush_all_pages_internal(&mut self) -> Result<()> {
+        let dirty: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in dirty {
+            let frame = self.frames.get_mut(&id).expect("listed");
+            self.disk.write_page(id, &frame.page)?;
+            frame.dirty = false;
+            self.stats.page_writes += 1;
+        }
+        self.dirty_table.clear();
+        Ok(())
+    }
+
+    /// Simulate a crash: all frames and the volatile log tail vanish.
+    /// The engine is consumed; reopen from the same disk/log stores.
+    pub fn crash(self) {
+        // Dropping discards frames. MemLogStore::crash is the caller's job
+        // (it owns a clone of the store).
+    }
+
+    // ------------------------------------------------------------------
+    // transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction. Single-writer: beginning while another is
+    /// active is a caller bug.
+    pub fn begin(&mut self) -> Result<Tx> {
+        if let Some(active) = self.active_tx {
+            return Err(DominoError::InvalidArgument(format!(
+                "transaction {active} still active (engine is single-writer)"
+            )));
+        }
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.active_tx = Some(id);
+        if let Some(wal) = &self.wal {
+            wal.append(&LogRecord::Begin { tx: id })?;
+        }
+        Ok(Tx { id, last_lsn: Lsn::NIL, undo: Vec::new() })
+    }
+
+    /// Logged write of `bytes` at `offset` in page `id`.
+    pub fn write(&mut self, tx: &mut Tx, id: PageId, offset: u16, bytes: &[u8]) -> Result<()> {
+        if self.active_tx != Some(tx.id) {
+            return Err(DominoError::InvalidArgument(
+                "write from a non-active transaction".into(),
+            ));
+        }
+        let end = offset as usize + bytes.len();
+        if end > PAGE_SIZE {
+            return Err(DominoError::InvalidArgument(format!(
+                "write past page end ({end} > {PAGE_SIZE})"
+            )));
+        }
+        // Capture before image & log.
+        let (lsn, before) = {
+            let frame = self.frame(id)?;
+            let before = frame.page.bytes(offset as usize, bytes.len()).to_vec();
+            (None::<Lsn>, before)
+        };
+        let prev_lsn = tx.last_lsn;
+        let lsn = match (&self.wal, lsn) {
+            (Some(wal), _) => Some(wal.append(&LogRecord::Update {
+                tx: tx.id,
+                prev: prev_lsn,
+                page: id,
+                offset,
+                before: before.clone(),
+                after: bytes.to_vec(),
+            })?),
+            (None, l) => l,
+        };
+        let frame = self.frames.get_mut(&id).expect("loaded above");
+        frame.page.put_bytes(offset as usize, bytes);
+        if let Some(lsn) = lsn {
+            frame.page.set_lsn(lsn);
+            tx.last_lsn = lsn;
+        }
+        frame.dirty = true;
+        if let Some(lsn) = lsn {
+            self.dirty_table.entry(id).or_insert(lsn);
+        }
+        tx.undo.push((id, offset, before, prev_lsn));
+        Ok(())
+    }
+
+    /// Commit: log the commit record and (by default) force the log.
+    pub fn commit(&mut self, tx: Tx) -> Result<()> {
+        if self.active_tx != Some(tx.id) {
+            return Err(DominoError::InvalidArgument("commit of non-active tx".into()));
+        }
+        if let Some(wal) = &self.wal {
+            let lsn = wal.append(&LogRecord::Commit { tx: tx.id })?;
+            if self.config.flush_on_commit {
+                wal.flush(lsn)?;
+            }
+        }
+        self.active_tx = None;
+        self.stats.txs_committed += 1;
+        Ok(())
+    }
+
+    /// Roll back: re-apply before images newest-first, logging CLRs.
+    pub fn abort(&mut self, tx: Tx) -> Result<()> {
+        if self.active_tx != Some(tx.id) {
+            return Err(DominoError::InvalidArgument("abort of non-active tx".into()));
+        }
+        for (page, offset, before, prev_lsn) in tx.undo.iter().rev() {
+            let lsn = match &self.wal {
+                Some(wal) => {
+                    // `undo_next` points at the update's predecessor, so a
+                    // crash between CLRs resumes exactly where this abort
+                    // stopped.
+                    let lsn = wal.append(&LogRecord::Clr {
+                        tx: tx.id,
+                        page: *page,
+                        offset: *offset,
+                        after: before.clone(),
+                        undo_next: *prev_lsn,
+                    })?;
+                    Some(lsn)
+                }
+                None => None,
+            };
+            let frame = self.frame(*page)?;
+            frame.page.put_bytes(*offset as usize, before);
+            if let Some(lsn) = lsn {
+                frame.page.set_lsn(lsn);
+            }
+            frame.dirty = true;
+            if let Some(lsn) = lsn {
+                self.dirty_table.entry(*page).or_insert(lsn);
+            }
+        }
+        if let Some(wal) = &self.wal {
+            let lsn = wal.append(&LogRecord::Abort { tx: tx.id })?;
+            if self.config.flush_on_commit {
+                wal.flush(lsn)?;
+            }
+        }
+        self.active_tx = None;
+        self.stats.txs_aborted += 1;
+        Ok(())
+    }
+
+    /// Checkpoint: flush dirty pages, then log a checkpoint record and
+    /// update the master record, so restart recovery reads only the log
+    /// tail that follows. (The recovery machinery also handles fuzzy
+    /// checkpoints with a non-empty dirty-page table — see
+    /// `domino_wal::recover` — but flushing here keeps restart cost
+    /// strictly proportional to post-checkpoint work.) Call between
+    /// transactions.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.active_tx.is_some() {
+            return Err(DominoError::InvalidArgument(
+                "checkpoint with an active transaction".into(),
+            ));
+        }
+        self.flush_all_pages()?;
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let dirty: Vec<(u32, Lsn)> =
+            self.dirty_table.iter().map(|(p, l)| (*p, *l)).collect();
+        let lsn = wal.append(&LogRecord::Checkpoint { active: vec![], dirty })?;
+        wal.flush(lsn)?;
+        wal.set_master(lsn)?;
+        Ok(())
+    }
+
+    /// Clean shutdown: flush pages, then truncate the log.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.flush_all_pages()?;
+        if let Some(wal) = &self.wal {
+            wal.truncate_all()?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // page allocation (header-page bookkeeping, all logged)
+    // ------------------------------------------------------------------
+
+    /// Allocate a page: pop the free chain or extend the file.
+    pub fn alloc_page(&mut self, tx: &mut Tx, ptype: PageType) -> Result<PageId> {
+        let header = self.fetch(0)?;
+        let free_head = header.get_u32(OFF_FREE_HEAD);
+        let id = if free_head != 0 {
+            let free_page = self.fetch(free_head)?;
+            let next = free_page.link();
+            self.write(tx, 0, OFF_FREE_HEAD as u16, &next.to_le_bytes())?;
+            free_head
+        } else {
+            let next = header.get_u32(OFF_NEXT_PAGE).max(1);
+            self.write(tx, 0, OFF_NEXT_PAGE as u16, &(next + 1).to_le_bytes())?;
+            next
+        };
+        // Re-initialize the page header (type + cleared link). Structures
+        // initialize their own fields; stale bytes beyond logged ranges are
+        // never interpreted because counts are always written.
+        self.write(tx, id, 8, &[ptype.code(), 0])?;
+        self.write(tx, id, 10, &0u32.to_le_bytes())?;
+        self.stats.pages_allocated += 1;
+        Ok(id)
+    }
+
+    /// Return a page to the free chain.
+    pub fn free_page(&mut self, tx: &mut Tx, id: PageId) -> Result<()> {
+        if id == 0 {
+            return Err(DominoError::InvalidArgument("cannot free the header page".into()));
+        }
+        let header = self.fetch(0)?;
+        let old_head = header.get_u32(OFF_FREE_HEAD);
+        self.write(tx, id, 8, &[PageType::Free.code(), 0])?;
+        self.write(tx, id, 10, &old_head.to_le_bytes())?;
+        self.write(tx, 0, OFF_FREE_HEAD as u16, &id.to_le_bytes())?;
+        self.stats.pages_freed += 1;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // header slots for the layers above
+    // ------------------------------------------------------------------
+
+    /// Read user slot `i` (0..8).
+    pub fn user_slot(&mut self, i: usize) -> Result<u64> {
+        assert!(i < USER_SLOTS);
+        Ok(self.fetch(0)?.get_u64(OFF_USER_SLOTS + 8 * i))
+    }
+
+    /// Write user slot `i` under `tx`.
+    pub fn set_user_slot(&mut self, tx: &mut Tx, i: usize, v: u64) -> Result<()> {
+        assert!(i < USER_SLOTS);
+        self.write(tx, 0, (OFF_USER_SLOTS + 8 * i) as u16, &v.to_le_bytes())
+    }
+
+    /// Read tree-root slot `i` (0..8); 0 = tree not created.
+    pub fn tree_root(&mut self, i: usize) -> Result<PageId> {
+        assert!(i < TREE_ROOT_SLOTS);
+        Ok(self.fetch(0)?.get_u32(OFF_TREE_ROOTS + 4 * i))
+    }
+
+    pub fn set_tree_root(&mut self, tx: &mut Tx, i: usize, root: PageId) -> Result<()> {
+        assert!(i < TREE_ROOT_SLOTS);
+        self.write(tx, 0, (OFF_TREE_ROOTS + 4 * i) as u16, &root.to_le_bytes())
+    }
+
+    /// Head of the heap free-space chain.
+    pub fn heap_avail(&mut self) -> Result<PageId> {
+        Ok(self.fetch(0)?.get_u32(OFF_HEAP_AVAIL))
+    }
+
+    pub fn set_heap_avail(&mut self, tx: &mut Tx, id: PageId) -> Result<()> {
+        self.write(tx, 0, OFF_HEAP_AVAIL as u16, &id.to_le_bytes())
+    }
+
+    // ------------------------------------------------------------------
+
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Bytes on disk (experiment accounting).
+    pub fn disk_bytes(&self) -> Result<u64> {
+        self.disk.size_bytes()
+    }
+
+    /// Logical store size: every page ever allocated (whether or not it
+    /// has reached disk yet), in bytes. This is the number compaction
+    /// shrinks.
+    pub fn logical_bytes(&mut self) -> Result<u64> {
+        let header = self.fetch(0)?;
+        Ok(header.get_u32(OFF_NEXT_PAGE).max(1) as u64 * PAGE_SIZE as u64)
+    }
+}
+
+/// Adapter running restart recovery against the engine's pool.
+struct EngineRedo<'a> {
+    engine: &'a mut Engine,
+}
+
+impl RedoTarget for EngineRedo<'_> {
+    fn page_lsn(&mut self, page: u32) -> Result<Lsn> {
+        self.engine.page_lsn(page)
+    }
+
+    fn apply(&mut self, page: u32, offset: u16, bytes: &[u8], lsn: Lsn) -> Result<()> {
+        let frame = self.engine.frame(page)?;
+        frame.page.put_bytes(offset as usize, bytes);
+        frame.page.set_lsn(lsn);
+        frame.dirty = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use domino_wal::MemLogStore;
+
+    fn open(disk: MemDisk, log: MemLogStore, cap: usize) -> Engine {
+        Engine::open(
+            Box::new(disk),
+            Some(Box::new(log)),
+            EngineConfig { buffer_capacity: cap, ..EngineConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn format_and_reopen() {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        let mut e = open(disk.clone(), log.clone(), 64);
+        e.shutdown().unwrap();
+        drop(e);
+        let mut e2 = open(disk, log, 64);
+        // Header fields preserved.
+        assert_eq!(e2.tree_root(0).unwrap(), 0);
+        assert!(e2.recovery.is_none());
+    }
+
+    #[test]
+    fn committed_write_survives_crash() {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        let mut e = open(disk.clone(), log.clone(), 64);
+        let mut tx = e.begin().unwrap();
+        let page = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        e.write(&mut tx, page, 100, b"persist me").unwrap();
+        e.commit(tx).unwrap();
+        e.crash();
+        log.crash();
+
+        let mut e2 = open(disk, log, 64);
+        assert!(e2.recovery.is_some());
+        let p = e2.fetch(page).unwrap();
+        assert_eq!(p.bytes(100, 10), b"persist me");
+    }
+
+    #[test]
+    fn uncommitted_write_rolled_back_on_recovery() {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        let mut e = open(disk.clone(), log.clone(), 64);
+        let mut tx = e.begin().unwrap();
+        let page = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        e.write(&mut tx, page, 100, b"ghost").unwrap();
+        // Force the partial work to the log, then "crash" mid-transaction.
+        e.wal().unwrap().flush_all().unwrap();
+        e.crash();
+        log.crash();
+
+        let mut e2 = open(disk.clone(), log, 64);
+        let stats = e2.recovery.expect("recovery ran");
+        assert_eq!(stats.loser_txs, 1);
+        let p = e2.fetch(page).unwrap();
+        assert_eq!(p.bytes(100, 5), &[0u8; 5]);
+        // The allocation was undone too: next_page counter restored.
+        let header = e2.fetch(0).unwrap();
+        assert_eq!(header.get_u32(OFF_NEXT_PAGE), 1);
+    }
+
+    #[test]
+    fn abort_restores_before_images() {
+        let mut e = open(MemDisk::new(), MemLogStore::new(), 64);
+        let mut tx = e.begin().unwrap();
+        let page = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        e.write(&mut tx, page, 50, b"AAAA").unwrap();
+        e.commit(tx).unwrap();
+
+        let mut tx2 = e.begin().unwrap();
+        e.write(&mut tx2, page, 50, b"BBBB").unwrap();
+        assert_eq!(e.fetch(page).unwrap().bytes(50, 4), b"BBBB");
+        e.abort(tx2).unwrap();
+        assert_eq!(e.fetch(page).unwrap().bytes(50, 4), b"AAAA");
+        assert_eq!(e.stats().txs_aborted, 1);
+    }
+
+    #[test]
+    fn single_writer_enforced() {
+        let mut e = open(MemDisk::new(), MemLogStore::new(), 64);
+        let _tx = e.begin().unwrap();
+        assert!(e.begin().is_err());
+    }
+
+    #[test]
+    fn eviction_respects_wal_rule_and_preserves_data() {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        // Tiny pool: 4 frames forces constant eviction.
+        let mut e = open(disk.clone(), log.clone(), 4);
+        let mut pages = Vec::new();
+        let mut tx = e.begin().unwrap();
+        for i in 0..20u8 {
+            let p = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+            e.write(&mut tx, p, 200, &[i; 8]).unwrap();
+            pages.push(p);
+        }
+        e.commit(tx).unwrap();
+        for (i, p) in pages.iter().enumerate() {
+            let buf = e.fetch(*p).unwrap();
+            assert_eq!(buf.bytes(200, 8), &[i as u8; 8]);
+        }
+        assert!(e.stats().evictions > 0);
+    }
+
+    #[test]
+    fn checkpoint_bounds_recovery_work() {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        let mut e = open(disk.clone(), log.clone(), 64);
+        let mut tx = e.begin().unwrap();
+        let p1 = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        e.write(&mut tx, p1, 64, b"old").unwrap();
+        e.commit(tx).unwrap();
+        e.flush_all_pages().unwrap();
+        e.checkpoint().unwrap();
+
+        let mut tx = e.begin().unwrap();
+        let p2 = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        e.write(&mut tx, p2, 64, b"new").unwrap();
+        e.commit(tx).unwrap();
+        e.crash();
+        log.crash();
+
+        let mut e2 = open(disk, log, 64);
+        let stats = e2.recovery.expect("recovery ran");
+        // Analysis started at the checkpoint, not LSN 0.
+        assert!(!stats.start_lsn.is_nil());
+        assert_eq!(e2.fetch(p1).unwrap().bytes(64, 3), b"old");
+        assert_eq!(e2.fetch(p2).unwrap().bytes(64, 3), b"new");
+    }
+
+    #[test]
+    fn alloc_reuses_freed_pages() {
+        let mut e = open(MemDisk::new(), MemLogStore::new(), 64);
+        let mut tx = e.begin().unwrap();
+        let a = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        let b = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        e.free_page(&mut tx, a).unwrap();
+        let c = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        assert_eq!(c, a, "freed page recycled");
+        let d = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        assert!(d > b, "fresh page extends the file");
+        e.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn user_slots_and_tree_roots_persist() {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        let mut e = open(disk.clone(), log.clone(), 64);
+        let mut tx = e.begin().unwrap();
+        e.set_user_slot(&mut tx, 3, 0xABCD).unwrap();
+        e.set_tree_root(&mut tx, 2, 77).unwrap();
+        e.commit(tx).unwrap();
+        e.shutdown().unwrap();
+        drop(e);
+        let mut e2 = open(disk, log, 64);
+        assert_eq!(e2.user_slot(3).unwrap(), 0xABCD);
+        assert_eq!(e2.tree_root(2).unwrap(), 77);
+    }
+
+    #[test]
+    fn no_logging_mode_works_without_durability() {
+        let disk = MemDisk::new();
+        let mut e = Engine::open(
+            Box::new(disk),
+            None,
+            EngineConfig { logging: false, ..EngineConfig::default() },
+        )
+        .unwrap();
+        let mut tx = e.begin().unwrap();
+        let p = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        e.write(&mut tx, p, 10, b"fast").unwrap();
+        e.commit(tx).unwrap();
+        assert_eq!(e.fetch(p).unwrap().bytes(10, 4), b"fast");
+        // Abort still works via in-memory undo.
+        let mut tx = e.begin().unwrap();
+        e.write(&mut tx, p, 10, b"oops").unwrap();
+        e.abort(tx).unwrap();
+        assert_eq!(e.fetch(p).unwrap().bytes(10, 4), b"fast");
+    }
+
+    #[test]
+    fn logical_bytes_grow_with_allocation() {
+        let mut e = open(MemDisk::new(), MemLogStore::new(), 64);
+        let before = e.logical_bytes().unwrap();
+        let mut tx = e.begin().unwrap();
+        for _ in 0..10 {
+            e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        }
+        e.commit(tx).unwrap();
+        let after = e.logical_bytes().unwrap();
+        assert_eq!(after - before, 10 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn write_past_page_end_rejected() {
+        let mut e = open(MemDisk::new(), MemLogStore::new(), 64);
+        let mut tx = e.begin().unwrap();
+        let p = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        assert!(e.write(&mut tx, p, (PAGE_SIZE - 2) as u16, b"xxxx").is_err());
+        e.commit(tx).unwrap();
+    }
+}

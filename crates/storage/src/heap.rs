@@ -1,0 +1,548 @@
+//! Slotted record pages with overflow chaining.
+//!
+//! Variable-length note records (summary buckets and non-summary bodies)
+//! live in heap pages. A record larger than one page is chained across
+//! chunks. Pages with free room hang off a free-space chain rooted in the
+//! store header (`Engine::heap_avail`), so inserts find space without
+//! scanning the file.
+//!
+//! Page layout after the 16-byte header (header link = free-space chain,
+//! header flag bit 0 = "on the chain"):
+//!
+//! ```text
+//! @16 slot_count:u16
+//! @18 free_ptr:u16        start of the record data region (grows down)
+//! @20 slots: slot_count × (offset:u16, len:u16)   (grows up)
+//! ```
+//!
+//! A slot with `offset == 0` is a tombstone and may be reused. Deleted
+//! record bytes are reclaimed lazily: when an insert needs room that exists
+//! only as tombstone space, the page is compacted in place.
+
+use crate::engine::{Engine, Tx};
+use crate::page::{PageBuf, PageId, PageType, PAGE_HEADER, PAGE_SIZE};
+use domino_types::{DominoError, Result};
+
+const OFF_SLOT_COUNT: usize = PAGE_HEADER; // u16
+const OFF_FREE_PTR: usize = PAGE_HEADER + 2; // u16
+const SLOTS_START: usize = PAGE_HEADER + 4;
+const SLOT_SIZE: usize = 4;
+const FLAG_ON_CHAIN: u8 = 1;
+
+/// Per-chunk header: flags(1) + next_page(4) + next_slot(2).
+const CHUNK_HEADER: usize = 7;
+const CHUNK_HAS_NEXT: u8 = 1;
+
+/// Largest payload stored in one chunk.
+pub const MAX_CHUNK: usize = PAGE_SIZE - SLOTS_START - SLOT_SIZE - CHUNK_HEADER;
+
+/// Pages are dropped from the free-space chain once contiguous room falls
+/// below this, and re-added by deletes that free at least this much.
+const MIN_USEFUL: usize = 128;
+
+/// How many chain pages an insert probes before extending the file.
+const CHAIN_PROBES: usize = 8;
+
+/// Location of a record (its first chunk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordPtr {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl RecordPtr {
+    /// Pack into a u64 for storage as a B-tree value.
+    pub fn to_u64(self) -> u64 {
+        ((self.page as u64) << 16) | self.slot as u64
+    }
+
+    pub fn from_u64(v: u64) -> RecordPtr {
+        RecordPtr { page: (v >> 16) as u32, slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+/// The record heap. Stateless: all state lives in pages + the store header.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Heap;
+
+impl Heap {
+    /// Store `data`, returning its pointer.
+    pub fn insert(&self, engine: &mut Engine, tx: &mut Tx, data: &[u8]) -> Result<RecordPtr> {
+        // Write chunks back-to-front so each knows its successor.
+        let mut chunks: Vec<&[u8]> = data.chunks(MAX_CHUNK).collect();
+        if chunks.is_empty() {
+            chunks.push(&[]);
+        }
+        let mut next: Option<RecordPtr> = None;
+        for chunk in chunks.iter().rev() {
+            let mut bytes = Vec::with_capacity(CHUNK_HEADER + chunk.len());
+            match next {
+                Some(ptr) => {
+                    bytes.push(CHUNK_HAS_NEXT);
+                    bytes.extend_from_slice(&ptr.page.to_le_bytes());
+                    bytes.extend_from_slice(&ptr.slot.to_le_bytes());
+                }
+                None => {
+                    bytes.push(0);
+                    bytes.extend_from_slice(&[0u8; 6]);
+                }
+            }
+            bytes.extend_from_slice(chunk);
+            next = Some(self.insert_raw(engine, tx, &bytes)?);
+        }
+        Ok(next.expect("at least one chunk"))
+    }
+
+    /// Read a whole record.
+    pub fn read(&self, engine: &mut Engine, ptr: RecordPtr) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut cur = Some(ptr);
+        while let Some(ptr) = cur {
+            let page = engine.fetch(ptr.page)?;
+            if page.page_type() != PageType::Heap {
+                return Err(DominoError::Corrupt(format!(
+                    "record pointer into non-heap page {}",
+                    ptr.page
+                )));
+            }
+            let (off, len) = slot(&page, ptr.slot)?;
+            let raw = page.bytes(off, len);
+            if raw.len() < CHUNK_HEADER {
+                return Err(DominoError::Corrupt("short heap chunk".into()));
+            }
+            out.extend_from_slice(&raw[CHUNK_HEADER..]);
+            cur = chunk_next(raw);
+        }
+        Ok(out)
+    }
+
+    /// Number of pages a record's chunks touch (experiment accounting for
+    /// summary-vs-full reads).
+    pub fn pages_of(&self, engine: &mut Engine, ptr: RecordPtr) -> Result<Vec<PageId>> {
+        let mut pages = Vec::new();
+        let mut cur = Some(ptr);
+        while let Some(ptr) = cur {
+            pages.push(ptr.page);
+            let page = engine.fetch(ptr.page)?;
+            let (off, len) = slot(&page, ptr.slot)?;
+            cur = chunk_next(page.bytes(off, len));
+        }
+        Ok(pages)
+    }
+
+    /// Delete a record (all its chunks become tombstones).
+    pub fn delete(&self, engine: &mut Engine, tx: &mut Tx, ptr: RecordPtr) -> Result<()> {
+        let mut cur = Some(ptr);
+        while let Some(ptr) = cur {
+            let page = engine.fetch(ptr.page)?;
+            let (off, len) = slot(&page, ptr.slot)?;
+            cur = chunk_next(page.bytes(off, len));
+            // Tombstone the slot.
+            let slot_off = SLOTS_START + ptr.slot as usize * SLOT_SIZE;
+            engine.write(tx, ptr.page, slot_off as u16, &[0u8; 4])?;
+            // A page with reclaimable room goes back on the chain.
+            let page = engine.fetch(ptr.page)?;
+            if !on_chain(&page) && total_free(&page) >= MIN_USEFUL {
+                self.push_chain(engine, tx, ptr.page)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Replace a record; the pointer may move.
+    pub fn update(
+        &self,
+        engine: &mut Engine,
+        tx: &mut Tx,
+        ptr: RecordPtr,
+        data: &[u8],
+    ) -> Result<RecordPtr> {
+        self.delete(engine, tx, ptr)?;
+        self.insert(engine, tx, data)
+    }
+
+    // ------------------------------------------------------------------
+
+    /// Store one pre-encoded chunk, finding or making a page with room.
+    fn insert_raw(&self, engine: &mut Engine, tx: &mut Tx, bytes: &[u8]) -> Result<RecordPtr> {
+        let need = bytes.len() + SLOT_SIZE;
+        // Probe the free-space chain.
+        let mut prev: Option<PageId> = None;
+        let mut cur = engine.heap_avail()?;
+        let mut probes = 0;
+        while cur != 0 && probes < CHAIN_PROBES {
+            let page = engine.fetch(cur)?;
+            if total_free(&page) >= need {
+                if contiguous_free(&page) < need {
+                    self.compact_page(engine, tx, cur)?;
+                }
+                let ptr = self.place(engine, tx, cur, bytes)?;
+                // Drop exhausted pages from the chain.
+                let page = engine.fetch(cur)?;
+                if total_free(&page) < MIN_USEFUL {
+                    self.unlink_chain(engine, tx, prev, cur)?;
+                }
+                return Ok(ptr);
+            }
+            prev = Some(cur);
+            cur = page.link();
+            probes += 1;
+        }
+        // No room in the probed chain: extend the file.
+        let id = engine.alloc_page(tx, PageType::Heap)?;
+        let mut init = [0u8; 4];
+        init[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        engine.write(tx, id, OFF_SLOT_COUNT as u16, &init)?;
+        self.push_chain(engine, tx, id)?;
+        self.place(engine, tx, id, bytes)
+    }
+
+    /// Put a chunk on a page known to have contiguous room.
+    fn place(&self, engine: &mut Engine, tx: &mut Tx, id: PageId, bytes: &[u8]) -> Result<RecordPtr> {
+        let page = engine.fetch(id)?;
+        let n = page.get_u16(OFF_SLOT_COUNT) as usize;
+        let free_ptr = page.get_u16(OFF_FREE_PTR) as usize;
+        let new_off = free_ptr - bytes.len();
+
+        // Reuse a tombstone slot if one exists.
+        let mut slot_idx = None;
+        for i in 0..n {
+            let off = page.get_u16(SLOTS_START + i * SLOT_SIZE);
+            if off == 0 {
+                slot_idx = Some(i);
+                break;
+            }
+        }
+        let (idx, grew) = match slot_idx {
+            Some(i) => (i, false),
+            None => (n, true),
+        };
+        debug_assert!(
+            new_off >= SLOTS_START + (n + if grew { 1 } else { 0 }) * SLOT_SIZE,
+            "place() on a page without room"
+        );
+
+        engine.write(tx, id, new_off as u16, bytes)?;
+        let mut slot_bytes = [0u8; 4];
+        slot_bytes[0..2].copy_from_slice(&(new_off as u16).to_le_bytes());
+        slot_bytes[2..4].copy_from_slice(&(bytes.len() as u16).to_le_bytes());
+        engine.write(tx, id, (SLOTS_START + idx * SLOT_SIZE) as u16, &slot_bytes)?;
+        if grew {
+            engine.write(tx, id, OFF_SLOT_COUNT as u16, &((n + 1) as u16).to_le_bytes())?;
+        }
+        engine.write(tx, id, OFF_FREE_PTR as u16, &(new_off as u16).to_le_bytes())?;
+        Ok(RecordPtr { page: id, slot: idx as u16 })
+    }
+
+    /// Rewrite the data region dropping tombstoned bytes.
+    fn compact_page(&self, engine: &mut Engine, tx: &mut Tx, id: PageId) -> Result<()> {
+        let page = engine.fetch(id)?;
+        let n = page.get_u16(OFF_SLOT_COUNT) as usize;
+        // Gather live records.
+        let mut live: Vec<(usize, Vec<u8>)> = Vec::new();
+        for i in 0..n {
+            let off = page.get_u16(SLOTS_START + i * SLOT_SIZE) as usize;
+            let len = page.get_u16(SLOTS_START + i * SLOT_SIZE + 2) as usize;
+            if off != 0 {
+                live.push((i, page.bytes(off, len).to_vec()));
+            }
+        }
+        // Rebuild from the top down.
+        let mut cursor = PAGE_SIZE;
+        let mut data_start = PAGE_SIZE;
+        let mut region = vec![0u8; 0];
+        let mut new_slots = vec![[0u8; 4]; n];
+        for (i, bytes) in &live {
+            cursor -= bytes.len();
+            data_start = cursor;
+            new_slots[*i][0..2].copy_from_slice(&(cursor as u16).to_le_bytes());
+            new_slots[*i][2..4].copy_from_slice(&(bytes.len() as u16).to_le_bytes());
+        }
+        // Build the contiguous data image in slot order of placement.
+        let mut at = PAGE_SIZE;
+        let mut placed: Vec<(usize, &Vec<u8>)> =
+            live.iter().map(|(i, b)| (*i, b)).collect();
+        region.resize(PAGE_SIZE - data_start, 0);
+        for (_, bytes) in placed.iter_mut() {
+            at -= bytes.len();
+            region[at - data_start..at - data_start + bytes.len()].copy_from_slice(bytes);
+        }
+        if !region.is_empty() {
+            engine.write(tx, id, data_start as u16, &region)?;
+        }
+        let mut slot_region = Vec::with_capacity(n * SLOT_SIZE);
+        for s in &new_slots {
+            slot_region.extend_from_slice(s);
+        }
+        if !slot_region.is_empty() {
+            engine.write(tx, id, SLOTS_START as u16, &slot_region)?;
+        }
+        engine.write(tx, id, OFF_FREE_PTR as u16, &(data_start as u16).to_le_bytes())?;
+        Ok(())
+    }
+
+    fn push_chain(&self, engine: &mut Engine, tx: &mut Tx, id: PageId) -> Result<()> {
+        let head = engine.heap_avail()?;
+        engine.write(tx, id, 10, &head.to_le_bytes())?;
+        engine.write(tx, id, 9, &[FLAG_ON_CHAIN])?;
+        engine.set_heap_avail(tx, id)
+    }
+
+    fn unlink_chain(
+        &self,
+        engine: &mut Engine,
+        tx: &mut Tx,
+        prev: Option<PageId>,
+        id: PageId,
+    ) -> Result<()> {
+        let page = engine.fetch(id)?;
+        let next = page.link();
+        match prev {
+            Some(p) => engine.write(tx, p, 10, &next.to_le_bytes())?,
+            None => engine.set_heap_avail(tx, next)?,
+        }
+        engine.write(tx, id, 9, &[0u8])?;
+        engine.write(tx, id, 10, &0u32.to_le_bytes())?;
+        Ok(())
+    }
+}
+
+fn on_chain(page: &PageBuf) -> bool {
+    page.data[9] & FLAG_ON_CHAIN != 0
+}
+
+/// Contiguous bytes between the slot array and the data region.
+fn contiguous_free(page: &PageBuf) -> usize {
+    let n = page.get_u16(OFF_SLOT_COUNT) as usize;
+    let free_ptr = page.get_u16(OFF_FREE_PTR) as usize;
+    free_ptr.saturating_sub(SLOTS_START + n * SLOT_SIZE)
+}
+
+/// Payload bytes available after compaction. Conservative: the whole slot
+/// array (including tombstoned slots, which compaction does not shrink) is
+/// charged, so a successful check guarantees `place()` succeeds.
+fn total_free(page: &PageBuf) -> usize {
+    let n = page.get_u16(OFF_SLOT_COUNT) as usize;
+    let mut live = 0usize;
+    for i in 0..n {
+        let off = page.get_u16(SLOTS_START + i * SLOT_SIZE) as usize;
+        let len = page.get_u16(SLOTS_START + i * SLOT_SIZE + 2) as usize;
+        if off != 0 {
+            live += len;
+        }
+    }
+    PAGE_SIZE
+        .saturating_sub(SLOTS_START)
+        .saturating_sub(live)
+        .saturating_sub(n * SLOT_SIZE)
+}
+
+fn slot(page: &PageBuf, idx: u16) -> Result<(usize, usize)> {
+    let n = page.get_u16(OFF_SLOT_COUNT);
+    if idx >= n {
+        return Err(DominoError::NotFound(format!(
+            "slot {idx} out of range (page has {n})"
+        )));
+    }
+    let off = page.get_u16(SLOTS_START + idx as usize * SLOT_SIZE) as usize;
+    let len = page.get_u16(SLOTS_START + idx as usize * SLOT_SIZE + 2) as usize;
+    if off == 0 {
+        return Err(DominoError::NotFound(format!("slot {idx} is deleted")));
+    }
+    if off + len > PAGE_SIZE {
+        return Err(DominoError::Corrupt("slot runs past page end".into()));
+    }
+    Ok((off, len))
+}
+
+fn chunk_next(raw: &[u8]) -> Option<RecordPtr> {
+    if raw[0] & CHUNK_HAS_NEXT == 0 {
+        return None;
+    }
+    let page = u32::from_le_bytes(raw[1..5].try_into().expect("4"));
+    let slot = u16::from_le_bytes(raw[5..7].try_into().expect("2"));
+    Some(RecordPtr { page, slot })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::engine::EngineConfig;
+    use domino_wal::MemLogStore;
+
+    fn engine() -> Engine {
+        Engine::open(
+            Box::new(MemDisk::new()),
+            Some(Box::new(MemLogStore::new())),
+            EngineConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn payload(i: usize, len: usize) -> Vec<u8> {
+        (0..len).map(|j| ((i * 31 + j) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn insert_read_roundtrip_small() {
+        let mut e = engine();
+        let mut tx = e.begin().unwrap();
+        let h = Heap;
+        let ptr = h.insert(&mut e, &mut tx, b"hello heap").unwrap();
+        e.commit(tx).unwrap();
+        assert_eq!(h.read(&mut e, ptr).unwrap(), b"hello heap");
+    }
+
+    #[test]
+    fn empty_record_ok() {
+        let mut e = engine();
+        let mut tx = e.begin().unwrap();
+        let h = Heap;
+        let ptr = h.insert(&mut e, &mut tx, b"").unwrap();
+        e.commit(tx).unwrap();
+        assert_eq!(h.read(&mut e, ptr).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn large_record_chains_across_pages() {
+        let mut e = engine();
+        let mut tx = e.begin().unwrap();
+        let h = Heap;
+        let data = payload(1, 20_000); // ~5 chunks
+        let ptr = h.insert(&mut e, &mut tx, &data).unwrap();
+        e.commit(tx).unwrap();
+        assert_eq!(h.read(&mut e, ptr).unwrap(), data);
+        assert!(h.pages_of(&mut e, ptr).unwrap().len() >= 5);
+    }
+
+    #[test]
+    fn many_records_and_deletes_reuse_space() {
+        let mut e = engine();
+        let h = Heap;
+        let mut tx = e.begin().unwrap();
+        let mut ptrs = Vec::new();
+        for i in 0..200 {
+            ptrs.push((i, h.insert(&mut e, &mut tx, &payload(i, 100 + i % 300)).unwrap()));
+        }
+        // Delete every other record.
+        for (i, ptr) in &ptrs {
+            if i % 2 == 0 {
+                h.delete(&mut e, &mut tx, *ptr).unwrap();
+            }
+        }
+        let pages_before = e.stats().pages_allocated;
+        // Insert replacements; they should mostly reuse freed space.
+        let mut new_ptrs = Vec::new();
+        for i in 200..300 {
+            new_ptrs.push((i, h.insert(&mut e, &mut tx, &payload(i, 120)).unwrap()));
+        }
+        let pages_after = e.stats().pages_allocated;
+        assert!(
+            pages_after - pages_before <= 2,
+            "expected space reuse, allocated {} new pages",
+            pages_after - pages_before
+        );
+        e.commit(tx).unwrap();
+        // All survivors readable.
+        for (i, ptr) in &ptrs {
+            if i % 2 == 1 {
+                assert_eq!(h.read(&mut e, *ptr).unwrap(), payload(*i, 100 + i % 300));
+            }
+        }
+        for (i, ptr) in &new_ptrs {
+            assert_eq!(h.read(&mut e, *ptr).unwrap(), payload(*i, 120));
+        }
+    }
+
+    #[test]
+    fn deleted_records_unreadable() {
+        let mut e = engine();
+        let h = Heap;
+        let mut tx = e.begin().unwrap();
+        let ptr = h.insert(&mut e, &mut tx, b"gone").unwrap();
+        h.delete(&mut e, &mut tx, ptr).unwrap();
+        e.commit(tx).unwrap();
+        assert!(h.read(&mut e, ptr).is_err());
+    }
+
+    #[test]
+    fn update_moves_and_preserves_content() {
+        let mut e = engine();
+        let h = Heap;
+        let mut tx = e.begin().unwrap();
+        let ptr = h.insert(&mut e, &mut tx, &payload(1, 50)).unwrap();
+        let new = payload(2, 6000);
+        let ptr2 = h.update(&mut e, &mut tx, ptr, &new).unwrap();
+        e.commit(tx).unwrap();
+        assert_eq!(h.read(&mut e, ptr2).unwrap(), new);
+    }
+
+    #[test]
+    fn compaction_recovers_fragmented_space() {
+        let mut e = engine();
+        let h = Heap;
+        let mut tx = e.begin().unwrap();
+        // Fill one page with small records.
+        let mut ptrs = Vec::new();
+        for i in 0..30 {
+            ptrs.push(h.insert(&mut e, &mut tx, &payload(i, 100)).unwrap());
+        }
+        let first_page = ptrs[0].page;
+        // Free alternating records on the first page.
+        for (i, ptr) in ptrs.iter().enumerate() {
+            if ptr.page == first_page && i % 2 == 0 {
+                h.delete(&mut e, &mut tx, *ptr).unwrap();
+            }
+        }
+        // A record bigger than any single hole but smaller than the sum.
+        let big = payload(99, 900);
+        let ptr = h.insert(&mut e, &mut tx, &big).unwrap();
+        e.commit(tx).unwrap();
+        assert_eq!(h.read(&mut e, ptr).unwrap(), big);
+        // Survivors intact after compaction.
+        for (i, p) in ptrs.iter().enumerate() {
+            if !(p.page == first_page && i % 2 == 0) {
+                assert_eq!(h.read(&mut e, *p).unwrap(), payload(i, 100));
+            }
+        }
+    }
+
+    #[test]
+    fn record_ptr_packs() {
+        let p = RecordPtr { page: 0xABCDEF, slot: 0x1234 };
+        assert_eq!(RecordPtr::from_u64(p.to_u64()), p);
+    }
+
+    #[test]
+    fn survives_crash_recovery() {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        let h = Heap;
+        let (committed, uncommitted) = {
+            let mut e = Engine::open(
+                Box::new(disk.clone()),
+                Some(Box::new(log.clone())),
+                EngineConfig::default(),
+            )
+            .unwrap();
+            let mut tx = e.begin().unwrap();
+            let a = h.insert(&mut e, &mut tx, &payload(1, 5000)).unwrap();
+            e.commit(tx).unwrap();
+            let mut tx2 = e.begin().unwrap();
+            let b = h.insert(&mut e, &mut tx2, &payload(2, 100)).unwrap();
+            e.wal().unwrap().flush_all().unwrap();
+            e.crash();
+            log.crash();
+            (a, b)
+        };
+        let mut e = Engine::open(
+            Box::new(disk),
+            Some(Box::new(log)),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(h.read(&mut e, committed).unwrap(), payload(1, 5000));
+        assert!(h.read(&mut e, uncommitted).is_err());
+    }
+}

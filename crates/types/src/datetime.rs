@@ -1,0 +1,199 @@
+//! Civil date/time arithmetic over [`DateTime`] ticks.
+//!
+//! For date-aware formulas (`@Date`, `@Year`, `@Adjust`...), a tick is
+//! interpreted as **one second since 2000-01-01 00:00:00** (a "TIMEDATE
+//! epoch" of our own, playing the role of Notes' 4713 BC Julian-day
+//! epoch). The simulator's logical clocks stay unit-agnostic; only these
+//! helpers assign calendar meaning.
+
+use crate::value::DateTime;
+
+pub const SECONDS_PER_DAY: i64 = 86_400;
+/// Days from civil 1970-01-01 to civil 2000-01-01.
+const EPOCH_2000_DAYS_FROM_1970: i64 = 10_957;
+
+/// Days from 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: i64, d: i64) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 ... Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date from days since 1970-01-01.
+fn civil_from_days(z: i64) -> (i64, i64, i64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = (mp + 2) % 12 + 1; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Broken-down civil time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Civil {
+    pub year: i64,
+    pub month: u8,
+    pub day: u8,
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+}
+
+impl DateTime {
+    /// Build from civil components (month 1-12, day 1-31, 24h time).
+    pub fn from_civil(year: i64, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> DateTime {
+        let days = days_from_civil(year, month as i64, day as i64) - EPOCH_2000_DAYS_FROM_1970;
+        DateTime(
+            days * SECONDS_PER_DAY
+                + hour as i64 * 3600
+                + minute as i64 * 60
+                + second as i64,
+        )
+    }
+
+    /// Midnight of a civil date.
+    pub fn from_ymd(year: i64, month: u8, day: u8) -> DateTime {
+        DateTime::from_civil(year, month, day, 0, 0, 0)
+    }
+
+    /// Break down into civil components.
+    pub fn civil(self) -> Civil {
+        let days = self.0.div_euclid(SECONDS_PER_DAY);
+        let secs = self.0.rem_euclid(SECONDS_PER_DAY);
+        let (year, month, day) = civil_from_days(days + EPOCH_2000_DAYS_FROM_1970);
+        Civil {
+            year,
+            month: month as u8,
+            day: day as u8,
+            hour: (secs / 3600) as u8,
+            minute: (secs % 3600 / 60) as u8,
+            second: (secs % 60) as u8,
+        }
+    }
+
+    /// Day of week: 1 = Sunday ... 7 = Saturday (the `@Weekday` convention).
+    pub fn weekday(self) -> u8 {
+        let days = self.0.div_euclid(SECONDS_PER_DAY) + EPOCH_2000_DAYS_FROM_1970;
+        // 1970-01-01 was a Thursday (weekday 5 in this convention).
+        (((days % 7) + 7 + 4) % 7 + 1) as u8
+    }
+
+    /// `@Adjust`: shift by calendar years/months and exact days/h/m/s.
+    /// Day-of-month overflow clamps to the target month's end (adding one
+    /// month to Jan 31 yields Feb 28/29), as calendar arithmetic should.
+    pub fn adjust(self, years: i64, months: i64, days: i64, hours: i64, minutes: i64, seconds: i64) -> DateTime {
+        let c = self.civil();
+        let total_months = (c.year * 12 + (c.month as i64 - 1)) + years * 12 + months;
+        let y = total_months.div_euclid(12);
+        let m = total_months.rem_euclid(12) + 1;
+        let max_day = days_in_month(y, m as u8);
+        let d = (c.day).min(max_day);
+        let base = DateTime::from_civil(y, m as u8, d, c.hour, c.minute, c.second);
+        DateTime(base.0 + days * SECONDS_PER_DAY + hours * 3600 + minutes * 60 + seconds)
+    }
+}
+
+/// Number of days in a civil month.
+pub fn days_in_month(year: i64, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 30,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_y2000() {
+        let c = DateTime(0).civil();
+        assert_eq!((c.year, c.month, c.day, c.hour), (2000, 1, 1, 0));
+    }
+
+    #[test]
+    fn civil_roundtrip_across_leap_years() {
+        for (y, m, d) in [
+            (1999, 12, 31),
+            (2000, 2, 29),
+            (2001, 3, 1),
+            (2024, 2, 29),
+            (2100, 2, 28), // 2100 is not a leap year
+            (1970, 1, 1),
+            (2399, 12, 31),
+        ] {
+            let dt = DateTime::from_ymd(y, m, d);
+            let c = dt.civil();
+            assert_eq!((c.year, c.month as i64, c.day as i64), (y, m as i64, d as i64));
+        }
+    }
+
+    #[test]
+    fn time_of_day_roundtrip() {
+        let dt = DateTime::from_civil(2026, 7, 4, 13, 45, 59);
+        let c = dt.civil();
+        assert_eq!((c.hour, c.minute, c.second), (13, 45, 59));
+    }
+
+    #[test]
+    fn weekdays() {
+        // 2000-01-01 was a Saturday (7); 2000-01-02 Sunday (1).
+        assert_eq!(DateTime::from_ymd(2000, 1, 1).weekday(), 7);
+        assert_eq!(DateTime::from_ymd(2000, 1, 2).weekday(), 1);
+        // 2026-07-04 is a Saturday.
+        assert_eq!(DateTime::from_ymd(2026, 7, 4).weekday(), 7);
+    }
+
+    #[test]
+    fn ordering_matches_chronology() {
+        assert!(DateTime::from_ymd(1999, 12, 31) < DateTime::from_ymd(2000, 1, 1));
+        assert!(DateTime::from_ymd(2001, 1, 1) < DateTime::from_ymd(2001, 1, 2));
+    }
+
+    #[test]
+    fn adjust_months_clamps_day() {
+        let jan31 = DateTime::from_ymd(2001, 1, 31);
+        let feb = jan31.adjust(0, 1, 0, 0, 0, 0).civil();
+        assert_eq!((feb.month, feb.day), (2, 28));
+        let leap = DateTime::from_ymd(2000, 1, 31).adjust(0, 1, 0, 0, 0, 0).civil();
+        assert_eq!((leap.month, leap.day), (2, 29));
+    }
+
+    #[test]
+    fn adjust_mixed_units() {
+        let dt = DateTime::from_civil(2020, 6, 15, 10, 0, 0);
+        let moved = dt.adjust(1, 2, 3, 4, 5, 6).civil();
+        assert_eq!(
+            (moved.year, moved.month, moved.day, moved.hour, moved.minute, moved.second),
+            (2021, 8, 18, 14, 5, 6)
+        );
+        // Negative adjustments too.
+        let back = dt.adjust(0, -7, 0, 0, 0, 0).civil();
+        assert_eq!((back.year, back.month), (2019, 11));
+    }
+
+    #[test]
+    fn days_in_month_table() {
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(2023, 4), 30);
+        assert_eq!(days_in_month(2023, 12), 31);
+    }
+}

@@ -1,0 +1,132 @@
+//! The workspace-wide error type.
+//!
+//! Every fallible public operation in domino-rs returns [`Result<T>`]. The
+//! variants mirror the layers of the system: storage/IO faults, log and
+//! recovery faults, formula compilation/evaluation faults, and logical
+//! errors surfaced to applications (missing notes, access denial, conflicts).
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, DominoError>;
+
+/// Errors produced anywhere in the domino-rs stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DominoError {
+    /// An underlying I/O failure (message carries `std::io::Error` text).
+    Io(String),
+    /// On-disk state failed validation (bad magic, checksum, truncation...).
+    Corrupt(String),
+    /// The storage layer ran out of room in a fixed-size structure.
+    Full(String),
+    /// A note, item, view, or database that was asked for does not exist.
+    NotFound(String),
+    /// A name or id that must be unique already exists.
+    AlreadyExists(String),
+    /// Formula source failed to lex/parse.
+    FormulaParse(String),
+    /// Formula evaluation failed (type error, unknown @function, ...).
+    FormulaEval(String),
+    /// The caller's ACL access level (or reader/author fields) forbids this.
+    AccessDenied(String),
+    /// An update raced with another and was rejected (caller should retry
+    /// from the current revision; replication instead materializes these as
+    /// `$Conflict` documents).
+    UpdateConflict(String),
+    /// The write-ahead log or recovery machinery detected a problem.
+    Wal(String),
+    /// Replication protocol error (mismatched replica ids, bad cursor...).
+    Replication(String),
+    /// A caller violated an API contract (bad argument, wrong state).
+    InvalidArgument(String),
+}
+
+impl DominoError {
+    /// Short machine-friendly category name, used in logs and bench reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DominoError::Io(_) => "io",
+            DominoError::Corrupt(_) => "corrupt",
+            DominoError::Full(_) => "full",
+            DominoError::NotFound(_) => "not_found",
+            DominoError::AlreadyExists(_) => "already_exists",
+            DominoError::FormulaParse(_) => "formula_parse",
+            DominoError::FormulaEval(_) => "formula_eval",
+            DominoError::AccessDenied(_) => "access_denied",
+            DominoError::UpdateConflict(_) => "update_conflict",
+            DominoError::Wal(_) => "wal",
+            DominoError::Replication(_) => "replication",
+            DominoError::InvalidArgument(_) => "invalid_argument",
+        }
+    }
+}
+
+impl fmt::Display for DominoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            DominoError::Io(m) => ("i/o error", m),
+            DominoError::Corrupt(m) => ("corruption detected", m),
+            DominoError::Full(m) => ("structure full", m),
+            DominoError::NotFound(m) => ("not found", m),
+            DominoError::AlreadyExists(m) => ("already exists", m),
+            DominoError::FormulaParse(m) => ("formula parse error", m),
+            DominoError::FormulaEval(m) => ("formula evaluation error", m),
+            DominoError::AccessDenied(m) => ("access denied", m),
+            DominoError::UpdateConflict(m) => ("update conflict", m),
+            DominoError::Wal(m) => ("log/recovery error", m),
+            DominoError::Replication(m) => ("replication error", m),
+            DominoError::InvalidArgument(m) => ("invalid argument", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for DominoError {}
+
+impl From<std::io::Error> for DominoError {
+    fn from(e: std::io::Error) -> Self {
+        DominoError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = DominoError::NotFound("note 7".into());
+        assert_eq!(e.to_string(), "not found: note 7");
+        assert_eq!(e.kind(), "not_found");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: DominoError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            DominoError::Io(String::new()),
+            DominoError::Corrupt(String::new()),
+            DominoError::Full(String::new()),
+            DominoError::NotFound(String::new()),
+            DominoError::AlreadyExists(String::new()),
+            DominoError::FormulaParse(String::new()),
+            DominoError::FormulaEval(String::new()),
+            DominoError::AccessDenied(String::new()),
+            DominoError::UpdateConflict(String::new()),
+            DominoError::Wal(String::new()),
+            DominoError::Replication(String::new()),
+            DominoError::InvalidArgument(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

@@ -1,0 +1,262 @@
+//! Order-preserving collation keys.
+//!
+//! View entries are kept in an ordered map whose keys are byte strings
+//! built from the sorted columns' values: comparing the bytes
+//! lexicographically gives exactly the view's collation order. Each
+//! encoded field is *prefix-free* (escape + terminator), so fields
+//! concatenate safely and a descending field is just the byte-wise
+//! complement of its ascending encoding.
+//!
+//! Field layout: `[type rank][payload][terminator]` where
+//!
+//! * numbers encode as sign-flipped big-endian `f64` bits (total order),
+//! * date/times as bias-shifted big-endian `i64`,
+//! * text as lowercased bytes (case-insensitive primary weight) followed
+//!   by the original bytes (case-sensitive tiebreak), `0x00` escaped,
+//! * lists collate by their first element; empty values sort first.
+
+use domino_types::Value;
+
+/// Sort direction for one collation column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    Ascending,
+    Descending,
+}
+
+/// Append the order-preserving encoding of `v` (direction applied) to `out`.
+pub fn encode_field(v: &Value, dir: SortDir, out: &mut Vec<u8>) {
+    let start = out.len();
+    encode_ascending(v, out);
+    if dir == SortDir::Descending {
+        for b in &mut out[start..] {
+            *b = !*b;
+        }
+    }
+}
+
+fn encode_ascending(v: &Value, out: &mut Vec<u8>) {
+    // Lists collate by first element; empty values get their own rank so
+    // they sort before everything.
+    let scalars = v.iter_scalars();
+    let Some(first) = scalars.first() else {
+        out.push(0x00);
+        push_terminator(out);
+        return;
+    };
+    match first {
+        Value::Number(n) => {
+            out.push(0x10);
+            out.extend_from_slice(&order_f64(*n));
+            push_terminator(out);
+        }
+        Value::DateTime(d) => {
+            out.push(0x20);
+            out.extend_from_slice(&((d.0 as u64) ^ (1 << 63)).to_be_bytes());
+            push_terminator(out);
+        }
+        Value::Text(s) => {
+            out.push(0x30);
+            push_escaped(s.to_lowercase().as_bytes(), out);
+            // Case-sensitive tiebreak after the primary weight.
+            push_escaped(s.as_bytes(), out);
+            push_terminator(out);
+        }
+        other => {
+            // Rich text or anything else: raw display text.
+            out.push(0x40);
+            push_escaped(other.to_text().as_bytes(), out);
+            push_terminator(out);
+        }
+    }
+}
+
+/// Map `f64` to bytes whose lexicographic order matches numeric order.
+fn order_f64(n: f64) -> [u8; 8] {
+    let bits = if n.is_nan() { f64::NAN.to_bits() } else { n.to_bits() };
+    let flipped = if bits & (1 << 63) == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    };
+    flipped.to_be_bytes()
+}
+
+/// Escape 0x00 as 0x00 0xFF so the 0x00 0x00 terminator stays unique.
+fn push_escaped(bytes: &[u8], out: &mut Vec<u8>) {
+    for b in bytes {
+        if *b == 0x00 {
+            out.push(0x00);
+            out.push(0xFF);
+        } else {
+            out.push(*b);
+        }
+    }
+    // Field-internal separator between primary and tiebreak sections.
+    out.push(0x00);
+    out.push(0xFE);
+}
+
+fn push_terminator(out: &mut Vec<u8>) {
+    out.push(0x00);
+    out.push(0x00);
+}
+
+/// Encode a full collation key: each `(value, dir)` column, then the UNID
+/// as a unique ascending tiebreak.
+pub fn encode_key(cols: &[(Value, SortDir)], unid: u128) -> Vec<u8> {
+    let mut out = Vec::with_capacity(cols.len() * 16 + 16);
+    for (v, dir) in cols {
+        encode_field(v, *dir, &mut out);
+    }
+    out.extend_from_slice(&unid.to_be_bytes());
+    out
+}
+
+/// Encode just a prefix (for range lookups: "all entries whose first
+/// column is X").
+pub fn encode_prefix(cols: &[(Value, SortDir)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (v, dir) in cols {
+        encode_field(v, *dir, &mut out);
+    }
+    out
+}
+
+/// The smallest byte string strictly greater than every string starting
+/// with `prefix` (for half-open range ends). `None` if the prefix is all
+/// 0xFF (cannot overflow — callers then scan to the end).
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut ub = prefix.to_vec();
+    while let Some(last) = ub.last() {
+        if *last == 0xFF {
+            ub.pop();
+        } else {
+            *ub.last_mut().expect("nonempty") += 1;
+            return Some(ub);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_types::DateTime;
+
+    fn key1(v: &Value, dir: SortDir) -> Vec<u8> {
+        let mut out = Vec::new();
+        encode_field(v, dir, &mut out);
+        out
+    }
+
+    #[test]
+    fn numbers_order() {
+        let vals = [-1e9, -3.5, -0.0, 0.0, 0.25, 7.0, 1e12];
+        for w in vals.windows(2) {
+            let a = key1(&Value::Number(w[0]), SortDir::Ascending);
+            let b = key1(&Value::Number(w[1]), SortDir::Ascending);
+            assert!(a <= b, "{} !<= {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn descending_reverses() {
+        let a = key1(&Value::Number(1.0), SortDir::Descending);
+        let b = key1(&Value::Number(2.0), SortDir::Descending);
+        assert!(b < a);
+        let t1 = key1(&Value::text("apple"), SortDir::Descending);
+        let t2 = key1(&Value::text("banana"), SortDir::Descending);
+        assert!(t2 < t1);
+    }
+
+    #[test]
+    fn text_case_insensitive_primary_then_sensitive() {
+        let a = key1(&Value::text("Apple"), SortDir::Ascending);
+        let b = key1(&Value::text("banana"), SortDir::Ascending);
+        assert!(a < b);
+        // Same letters, different case: still a deterministic order.
+        let x = key1(&Value::text("abc"), SortDir::Ascending);
+        let y = key1(&Value::text("ABC"), SortDir::Ascending);
+        assert_ne!(x, y);
+        // And lowercase-equal strings stay adjacent: "ABC" < "abd" both ways.
+        let z = key1(&Value::text("abd"), SortDir::Ascending);
+        assert!(x < z && y < z);
+    }
+
+    #[test]
+    fn text_with_nul_bytes_safe() {
+        let a = key1(&Value::text("a\0b"), SortDir::Ascending);
+        let b = key1(&Value::text("a"), SortDir::Ascending);
+        let c = key1(&Value::text("a\0"), SortDir::Ascending);
+        assert!(b < c && c <= a);
+    }
+
+    #[test]
+    fn prefix_freedom_across_columns() {
+        // ("ab", "c") must not interleave with ("abc", "") etc.
+        let k1 = encode_key(
+            &[
+                (Value::text("ab"), SortDir::Ascending),
+                (Value::text("zz"), SortDir::Ascending),
+            ],
+            1,
+        );
+        let k2 = encode_key(
+            &[
+                (Value::text("abz"), SortDir::Ascending),
+                (Value::text("aa"), SortDir::Ascending),
+            ],
+            1,
+        );
+        assert!(k1 < k2, "shorter first column sorts first");
+    }
+
+    #[test]
+    fn types_rank_number_datetime_text() {
+        let n = key1(&Value::Number(1e18), SortDir::Ascending);
+        let d = key1(&Value::DateTime(DateTime(i64::MIN)), SortDir::Ascending);
+        let t = key1(&Value::text(""), SortDir::Ascending);
+        assert!(n < d && d < t);
+    }
+
+    #[test]
+    fn empty_list_sorts_first() {
+        let e = key1(&Value::TextList(vec![]), SortDir::Ascending);
+        let n = key1(&Value::Number(f64::MIN), SortDir::Ascending);
+        assert!(e < n);
+    }
+
+    #[test]
+    fn lists_collate_by_first_element() {
+        let a = key1(&Value::text_list(["b", "a"]), SortDir::Ascending);
+        let b = key1(&Value::text("b"), SortDir::Ascending);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unid_tiebreak_distinguishes() {
+        let cols = [(Value::text("same"), SortDir::Ascending)];
+        let a = encode_key(&cols, 1);
+        let b = encode_key(&cols, 2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn prefix_bounds() {
+        let p = vec![0x30, b'a', 0x00, 0x00];
+        let ub = prefix_upper_bound(&p).unwrap();
+        assert!(ub > p);
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+    }
+
+    #[test]
+    fn prefix_matches_full_keys() {
+        let cols = [(Value::text("cat"), SortDir::Ascending)];
+        let prefix = encode_prefix(&cols);
+        let full = encode_key(&cols, 42);
+        assert!(full.starts_with(&prefix));
+        let other = encode_key(&[(Value::text("dog"), SortDir::Ascending)], 42);
+        assert!(!other.starts_with(&prefix));
+    }
+}

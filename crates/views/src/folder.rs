@@ -1,0 +1,277 @@
+//! Folders: user-curated document collections.
+//!
+//! A folder is a view without a selection formula — membership is explicit
+//! (drag-and-drop in the Notes client). We store a folder as a `View`-class
+//! design note whose `Members` item lists document UNIDs, so folders
+//! replicate (and conflict) like any other note.
+
+use std::sync::Arc;
+
+use domino_core::{Database, Note};
+use domino_types::{DominoError, NoteClass, Result, Unid, Value};
+
+const FOLDER_TYPE: &str = "Folder";
+
+/// A handle to a stored folder.
+pub struct Folder {
+    db: Arc<Database>,
+    unid: Unid,
+}
+
+impl std::fmt::Debug for Folder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Folder").field("unid", &self.unid).finish()
+    }
+}
+
+impl Folder {
+    /// Create a folder (error if the name is taken by another folder).
+    pub fn create(db: &Arc<Database>, name: &str) -> Result<Folder> {
+        if find_folder_note(db, name)?.is_some() {
+            return Err(DominoError::AlreadyExists(format!("folder {name:?}")));
+        }
+        let mut note = Note::new(NoteClass::View);
+        note.set("$TITLE", Value::text(name));
+        note.set("Type", Value::text(FOLDER_TYPE));
+        note.set("Members", Value::TextList(Vec::new()));
+        db.save(&mut note)?;
+        Ok(Folder { db: db.clone(), unid: note.unid() })
+    }
+
+    /// Open an existing folder by name.
+    pub fn open(db: &Arc<Database>, name: &str) -> Result<Folder> {
+        let note = find_folder_note(db, name)?
+            .ok_or_else(|| DominoError::NotFound(format!("folder {name:?}")))?;
+        Ok(Folder { db: db.clone(), unid: note.unid() })
+    }
+
+    fn load(&self) -> Result<Note> {
+        self.db.open_by_unid(self.unid)
+    }
+
+    pub fn name(&self) -> Result<String> {
+        Ok(self.load()?.get_text("$TITLE").unwrap_or_default())
+    }
+
+    fn members_of(note: &Note) -> Vec<Unid> {
+        note.get("Members")
+            .map(|v| {
+                v.iter_scalars()
+                    .iter()
+                    .filter_map(|s| u128::from_str_radix(&s.to_text(), 16).ok().map(Unid))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    fn store_members(&self, members: &[Unid]) -> Result<()> {
+        let mut note = self.load()?;
+        note.set(
+            "Members",
+            Value::TextList(members.iter().map(|u| format!("{:032X}", u.0)).collect()),
+        );
+        self.db.save(&mut note)
+    }
+
+    /// Add a document (no-op if already present). The document must exist.
+    pub fn add(&self, unid: Unid) -> Result<()> {
+        self.db.open_by_unid(unid)?; // must be a live document
+        let mut members = Self::members_of(&self.load()?);
+        if members.contains(&unid) {
+            return Ok(());
+        }
+        members.push(unid);
+        self.store_members(&members)
+    }
+
+    /// Remove a document; returns whether it was present.
+    pub fn remove(&self, unid: Unid) -> Result<bool> {
+        let mut members = Self::members_of(&self.load()?);
+        let before = members.len();
+        members.retain(|m| *m != unid);
+        if members.len() == before {
+            return Ok(false);
+        }
+        self.store_members(&members)?;
+        Ok(true)
+    }
+
+    /// Member UNIDs in folder order. Members whose documents have since
+    /// been deleted are skipped (the stub stays in the list until
+    /// [`Folder::prune`]).
+    pub fn members(&self) -> Result<Vec<Unid>> {
+        Ok(Self::members_of(&self.load()?))
+    }
+
+    /// The live documents, in folder order.
+    pub fn documents(&self) -> Result<Vec<Note>> {
+        let mut out = Vec::new();
+        for unid in self.members()? {
+            if let Ok(doc) = self.db.open_by_unid(unid) {
+                out.push(doc);
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn len(&self) -> Result<usize> {
+        Ok(self.members()?.len())
+    }
+
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.members()?.is_empty())
+    }
+
+    /// Drop members whose documents no longer exist. Returns how many were
+    /// pruned.
+    pub fn prune(&self) -> Result<usize> {
+        let members = self.members()?;
+        let live: Vec<Unid> = members
+            .iter()
+            .copied()
+            .filter(|u| self.db.open_by_unid(*u).is_ok())
+            .collect();
+        let pruned = members.len() - live.len();
+        if pruned > 0 {
+            self.store_members(&live)?;
+        }
+        Ok(pruned)
+    }
+}
+
+fn find_folder_note(db: &Database, name: &str) -> Result<Option<Note>> {
+    for id in db.note_ids(Some(NoteClass::View))? {
+        let note = db.open_note(id)?;
+        if note.get_text("Type").as_deref() == Some(FOLDER_TYPE)
+            && note.get_text("$TITLE").as_deref() == Some(name)
+        {
+            return Ok(Some(note));
+        }
+    }
+    Ok(None)
+}
+
+/// Names of every folder in the database.
+pub fn list_folders(db: &Database) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    for id in db.note_ids(Some(NoteClass::View))? {
+        let note = db.open_note(id)?;
+        if note.get_text("Type").as_deref() == Some(FOLDER_TYPE) {
+            out.push(note.get_text("$TITLE").unwrap_or_default());
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_core::DbConfig;
+    use domino_types::{LogicalClock, ReplicaId};
+
+    fn db() -> Arc<Database> {
+        Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("T", ReplicaId(1), ReplicaId(2)),
+                LogicalClock::new(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn doc(db: &Database, subject: &str) -> Note {
+        let mut n = Note::document("Memo");
+        n.set("Subject", Value::text(subject));
+        db.save(&mut n).unwrap();
+        n
+    }
+
+    #[test]
+    fn create_open_add_remove() {
+        let db = db();
+        let folder = Folder::create(&db, "To Do").unwrap();
+        let a = doc(&db, "first");
+        let b = doc(&db, "second");
+        folder.add(a.unid()).unwrap();
+        folder.add(b.unid()).unwrap();
+        folder.add(a.unid()).unwrap(); // dedup
+        assert_eq!(folder.len().unwrap(), 2);
+        let again = Folder::open(&db, "To Do").unwrap();
+        let subjects: Vec<String> = again
+            .documents()
+            .unwrap()
+            .iter()
+            .map(|d| d.get_text("Subject").unwrap())
+            .collect();
+        assert_eq!(subjects, vec!["first", "second"], "folder order preserved");
+        assert!(again.remove(a.unid()).unwrap());
+        assert!(!again.remove(a.unid()).unwrap());
+        assert_eq!(again.len().unwrap(), 1);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let db = db();
+        Folder::create(&db, "X").unwrap();
+        assert_eq!(
+            Folder::create(&db, "X").unwrap_err().kind(),
+            "already_exists"
+        );
+        assert!(Folder::open(&db, "missing").is_err());
+    }
+
+    #[test]
+    fn adding_missing_document_fails() {
+        let db = db();
+        let folder = Folder::create(&db, "F").unwrap();
+        assert!(folder.add(domino_types::Unid(0xDEAD)).is_err());
+    }
+
+    #[test]
+    fn deleted_documents_skip_and_prune() {
+        let db = db();
+        let folder = Folder::create(&db, "F").unwrap();
+        let a = doc(&db, "keep");
+        let b = doc(&db, "delete-me");
+        folder.add(a.unid()).unwrap();
+        folder.add(b.unid()).unwrap();
+        db.delete(b.id).unwrap();
+        assert_eq!(folder.documents().unwrap().len(), 1);
+        assert_eq!(folder.members().unwrap().len(), 2, "stub member lingers");
+        assert_eq!(folder.prune().unwrap(), 1);
+        assert_eq!(folder.members().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn list_folders_excludes_views() {
+        let db = db();
+        Folder::create(&db, "B-folder").unwrap();
+        Folder::create(&db, "A-folder").unwrap();
+        // A real view design note must not appear.
+        let design = crate::ViewDesign::new("a view", "SELECT @All").unwrap();
+        let mut note = design.to_note();
+        db.save(&mut note).unwrap();
+        assert_eq!(list_folders(&db).unwrap(), vec!["A-folder", "B-folder"]);
+    }
+
+    #[test]
+    fn folders_replicate_as_notes() {
+        let a = db();
+        let b = Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("T", ReplicaId(1), ReplicaId(3)),
+                LogicalClock::starting_at(domino_types::Timestamp(50)),
+            )
+            .unwrap(),
+        );
+        let folder = Folder::create(&a, "Shared").unwrap();
+        let d = doc(&a, "in folder");
+        folder.add(d.unid()).unwrap();
+        for c in a.changed_since(domino_types::Timestamp::ZERO).unwrap() {
+            b.save_replicated(a.open_note(c.id).unwrap()).unwrap();
+        }
+        let remote = Folder::open(&b, "Shared").unwrap();
+        assert_eq!(remote.members().unwrap(), vec![d.unid()]);
+    }
+}

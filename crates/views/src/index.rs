@@ -1,0 +1,475 @@
+//! The view index: ordered, incrementally-maintained query results.
+//!
+//! A [`ViewIndex`] holds one [`ViewEntry`] per selected document, placed in
+//! one ordered map per collation (primary + alternates). Maintenance is
+//! incremental: each database [`ChangeEvent`] re-evaluates just the changed
+//! document — the property E3 measures against full rebuilds.
+//!
+//! Response documents (when the design shows them) sort *under their
+//! parent*: a response's key is its parent's full key extended with a
+//! response marker and the response's own creation stamp, giving the
+//! indented-thread order Notes views display. Re-keying cascades when a
+//! parent moves.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use domino_core::{ChangeEvent, Note};
+use domino_formula::EvalEnv;
+use domino_types::{NoteClass, NoteId, Result, Timestamp, Unid, Value};
+
+use crate::collate::{encode_key, encode_prefix, prefix_upper_bound, SortDir};
+use crate::design::ViewDesign;
+
+/// Where the index gets documents it must re-evaluate (parents/children of
+/// changed notes).
+pub trait NoteSource {
+    fn note_by_unid(&self, unid: Unid) -> Option<Note>;
+}
+
+/// A no-op source for flat views (no response re-keying ever needed).
+pub struct NoSource;
+
+impl NoteSource for NoSource {
+    fn note_by_unid(&self, _unid: Unid) -> Option<Note> {
+        None
+    }
+}
+
+/// One row of the view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewEntry {
+    pub unid: Unid,
+    pub note_id: NoteId,
+    /// Computed column values, one per design column.
+    pub values: Vec<Value>,
+    /// 0 = main document, 1 = response, 2 = response-to-response...
+    pub response_level: u32,
+    pub parent: Option<Unid>,
+    created: Timestamp,
+}
+
+/// Maintenance counters (E3/E4 read these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Documents evaluated against the selection formula.
+    pub evaluated: u64,
+    /// Entries inserted or re-keyed.
+    pub placed: u64,
+    /// Entries removed.
+    pub removed: u64,
+    /// Full rebuilds performed.
+    pub rebuilds: u64,
+}
+
+/// A category rollup row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryRow {
+    /// The category value path (one element per category column).
+    pub path: Vec<Value>,
+    /// Documents under this category.
+    pub count: usize,
+    /// Sums for each `total`-marked column (by column index).
+    pub totals: Vec<(usize, f64)>,
+}
+
+pub struct ViewIndex {
+    design: ViewDesign,
+    env: EvalEnv,
+    entries: HashMap<Unid, ViewEntry>,
+    /// One ordered map per collation: encoded key -> unid.
+    orders: Vec<BTreeMap<Vec<u8>, Unid>>,
+    /// unid -> its current key in each collation.
+    keys: HashMap<Unid, Vec<Vec<u8>>>,
+    /// parent unid -> response unids present in the view.
+    children: HashMap<Unid, HashSet<Unid>>,
+    stats: ViewStats,
+}
+
+impl ViewIndex {
+    pub fn new(design: ViewDesign, env: EvalEnv) -> Result<ViewIndex> {
+        design.validate()?;
+        let n_collations = design.collations().len();
+        Ok(ViewIndex {
+            design,
+            env,
+            entries: HashMap::new(),
+            orders: vec![BTreeMap::new(); n_collations],
+            keys: HashMap::new(),
+            children: HashMap::new(),
+            stats: ViewStats::default(),
+        })
+    }
+
+    pub fn design(&self) -> &ViewDesign {
+        &self.design
+    }
+
+    pub fn stats(&self) -> ViewStats {
+        self.stats
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // maintenance
+    // ------------------------------------------------------------------
+
+    /// Apply one database change.
+    pub fn apply(&mut self, event: &ChangeEvent, src: &dyn NoteSource) -> Result<()> {
+        match event {
+            ChangeEvent::Saved { new, .. } => self.consider(new, src),
+            ChangeEvent::Deleted { old, .. } => {
+                self.remove_entry(old.unid());
+                self.reconsider_children(old.unid(), src)
+            }
+        }
+    }
+
+    /// Rebuild from scratch over `docs` (selection + keys recomputed for
+    /// every document).
+    pub fn rebuild<'a>(
+        &mut self,
+        docs: impl IntoIterator<Item = &'a Note>,
+        src: &dyn NoteSource,
+    ) -> Result<()> {
+        self.entries.clear();
+        for o in &mut self.orders {
+            o.clear();
+        }
+        self.keys.clear();
+        self.children.clear();
+        self.stats.rebuilds += 1;
+        // Mains first, then responses shallow-to-deep so parents exist when
+        // children key themselves.
+        let all: Vec<&Note> = docs.into_iter().collect();
+        let mut pending: Vec<&Note> = Vec::new();
+        for n in &all {
+            if n.parent().is_none() {
+                self.consider(n, src)?;
+            } else {
+                pending.push(n);
+            }
+        }
+        // Responses: iterate until stable (depth passes).
+        let mut remaining = pending;
+        loop {
+            let mut next = Vec::new();
+            let before = remaining.len();
+            for n in remaining {
+                let parent_in = n.parent().map(|p| self.entries.contains_key(&p)).unwrap_or(false);
+                if parent_in {
+                    self.consider(n, src)?;
+                } else {
+                    next.push(n);
+                }
+            }
+            if next.is_empty() || next.len() == before {
+                // Orphans (parent not in view): include by own merit.
+                for n in next {
+                    self.consider(n, src)?;
+                }
+                break;
+            }
+            remaining = next;
+        }
+        Ok(())
+    }
+
+    /// Evaluate one document and place/remove it.
+    fn consider(&mut self, note: &Note, src: &dyn NoteSource) -> Result<()> {
+        if note.class != NoteClass::Document {
+            return Ok(());
+        }
+        self.stats.evaluated += 1;
+        let out = self.design.selection.eval_full(note, &self.env)?;
+        let selected = out.selected;
+        let parent = note.parent();
+        // Track the response linkage for *every* evaluated response, even
+        // ones not (yet) included: if the parent enters the view later,
+        // re-keying must find this child and pull it in.
+        if let Some(p) = parent {
+            if self.design.show_responses {
+                self.children.entry(p).or_default().insert(note.unid());
+            }
+        }
+        let included = selected
+            || (self.design.show_responses
+                && parent.map(|p| self.entries.contains_key(&p)).unwrap_or(false));
+        if !included {
+            self.remove_entry(note.unid());
+            self.reconsider_children(note.unid(), src)?;
+            return Ok(());
+        }
+        // Compute column values.
+        let mut values = Vec::with_capacity(self.design.columns.len());
+        for col in &self.design.columns {
+            values.push(col.formula.eval(note, &self.env)?);
+        }
+        let (response_level, parent_in_view) = match parent {
+            Some(p) if self.design.show_responses => match self.entries.get(&p) {
+                Some(pe) => (pe.response_level + 1, true),
+                None => (0, false),
+            },
+            _ => (0, false),
+        };
+        let entry = ViewEntry {
+            unid: note.unid(),
+            note_id: note.id,
+            values,
+            response_level,
+            parent: if parent_in_view { parent } else { None },
+            created: note.created,
+        };
+        self.place(entry);
+        self.rekey_descendants(note.unid(), src)?;
+        Ok(())
+    }
+
+    /// Insert or move an entry in every collation order.
+    fn place(&mut self, entry: ViewEntry) {
+        let unid = entry.unid;
+        self.remove_from_orders(unid);
+        let keys = self.compute_keys(&entry);
+        for (order, key) in self.orders.iter_mut().zip(keys.iter()) {
+            order.insert(key.clone(), unid);
+        }
+        self.keys.insert(unid, keys);
+        self.entries.insert(unid, entry);
+        self.stats.placed += 1;
+    }
+
+    fn compute_keys(&self, entry: &ViewEntry) -> Vec<Vec<u8>> {
+        self.design
+            .collations()
+            .iter()
+            .enumerate()
+            .map(|(ci, collation)| {
+                // Responses nest under their parent's key.
+                if let Some(parent) = entry.parent {
+                    if let Some(parent_keys) = self.keys.get(&parent) {
+                        let mut k = parent_keys[ci].clone();
+                        k.push(0x01); // response marker: sorts after parent,
+                                      // before the next main entry
+                        k.extend_from_slice(&entry.created.0.to_be_bytes());
+                        k.extend_from_slice(&entry.unid.0.to_be_bytes());
+                        return k;
+                    }
+                }
+                let cols: Vec<(Value, SortDir)> = collation
+                    .keys
+                    .iter()
+                    .map(|(i, d)| (entry.values[*i].clone(), *d))
+                    .collect();
+                let mut k = encode_key(&cols, entry.unid.0);
+                // Main entries get a 0x00 "main" marker so a response
+                // (parent key + 0x01) can never collide with the next main
+                // key.
+                k.push(0x00);
+                k
+            })
+            .collect()
+    }
+
+    fn remove_from_orders(&mut self, unid: Unid) {
+        if let Some(keys) = self.keys.remove(&unid) {
+            for (order, key) in self.orders.iter_mut().zip(keys.iter()) {
+                order.remove(key);
+            }
+        }
+    }
+
+    fn remove_entry(&mut self, unid: Unid) {
+        self.remove_from_orders(unid);
+        if self.entries.remove(&unid).is_some() {
+            // Note: the `children` linkage deliberately survives — it maps
+            // the documents' $REF structure, not view membership, so a
+            // parent re-entering the view can re-adopt responses that were
+            // excluded alongside it. Stale links to deleted documents are
+            // harmless (re-evaluation finds no note and drops them).
+            self.stats.removed += 1;
+        }
+    }
+
+    /// Parent moved or vanished: recompute each child's inclusion and key.
+    fn reconsider_children(&mut self, parent: Unid, src: &dyn NoteSource) -> Result<()> {
+        let kids: Vec<Unid> = self
+            .children
+            .get(&parent)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for kid in kids {
+            if let Some(note) = src.note_by_unid(kid) {
+                self.consider(&note, src)?;
+            } else {
+                self.remove_entry(kid);
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-key descendants after their ancestor moved.
+    fn rekey_descendants(&mut self, parent: Unid, src: &dyn NoteSource) -> Result<()> {
+        self.rekey_descendants_depth(parent, src, 0)
+    }
+
+    fn rekey_descendants_depth(
+        &mut self,
+        parent: Unid,
+        src: &dyn NoteSource,
+        depth: u32,
+    ) -> Result<()> {
+        // A $REF cycle would otherwise recurse forever; Notes caps response
+        // nesting at 32 levels, so do we.
+        if depth > 32 {
+            return Ok(());
+        }
+        let kids: Vec<Unid> = self
+            .children
+            .get(&parent)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for kid in kids {
+            if let Some(mut entry) = self.entries.get(&kid).cloned() {
+                // Parent may have just appeared: adopt it.
+                let parent_level = self.entries.get(&parent).map(|p| p.response_level);
+                if let Some(pl) = parent_level {
+                    entry.parent = Some(parent);
+                    entry.response_level = pl + 1;
+                    self.place(entry);
+                    self.rekey_descendants_depth(kid, src, depth + 1)?;
+                }
+            } else if let Some(note) = src.note_by_unid(kid) {
+                // Child known but not in view (arrived before parent).
+                self.consider(&note, src)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // reads
+    // ------------------------------------------------------------------
+
+    /// Entries in collation order.
+    pub fn entries(&self, collation: usize) -> Vec<&ViewEntry> {
+        self.orders[collation]
+            .values()
+            .map(|u| &self.entries[u])
+            .collect()
+    }
+
+    /// Entry lookup by unid.
+    pub fn entry(&self, unid: Unid) -> Option<&ViewEntry> {
+        self.entries.get(&unid)
+    }
+
+    /// Entries whose leading sorted columns equal `prefix_values`
+    /// (logarithmic positioning + linear in matches).
+    pub fn entries_by_prefix(
+        &self,
+        collation: usize,
+        prefix_values: &[Value],
+    ) -> Vec<&ViewEntry> {
+        let coll = &self.design.collations()[collation];
+        let cols: Vec<(Value, SortDir)> = coll
+            .keys
+            .iter()
+            .zip(prefix_values.iter())
+            .map(|((_, d), v)| (v.clone(), *d))
+            .collect();
+        let prefix = encode_prefix(&cols);
+        let range = match prefix_upper_bound(&prefix) {
+            Some(ub) => self.orders[collation].range(prefix.clone()..ub),
+            None => self.orders[collation].range(prefix.clone()..),
+        };
+        range
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(_, u)| &self.entries[u])
+            .collect()
+    }
+
+    /// One page of entries: `offset` rows into the collation, up to
+    /// `limit` rows (scrolling a view window).
+    pub fn entries_page(&self, collation: usize, offset: usize, limit: usize) -> Vec<&ViewEntry> {
+        self.orders[collation]
+            .values()
+            .skip(offset)
+            .take(limit)
+            .map(|u| &self.entries[u])
+            .collect()
+    }
+
+    /// Zero-based position of a document in the collation order (what the
+    /// client needs to scroll to a just-opened document).
+    pub fn position_of(&self, collation: usize, unid: Unid) -> Option<usize> {
+        let key = self.keys.get(&unid)?.get(collation)?;
+        Some(self.orders[collation].range(..key.clone()).count())
+    }
+
+    /// Sum of a totaled column over the whole view.
+    pub fn column_total(&self, col: usize) -> f64 {
+        self.entries
+            .values()
+            .filter_map(|e| e.values.get(col).and_then(|v| v.as_number().ok()))
+            .sum()
+    }
+
+    /// Category rollups: group by the leading category columns, with counts
+    /// and per-category sums of `total` columns. One ordered scan.
+    pub fn categories(&self, collation: usize) -> Vec<CategoryRow> {
+        let cat_cols: Vec<usize> = self
+            .design
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.category)
+            .map(|(i, _)| i)
+            .collect();
+        let total_cols: Vec<usize> = self
+            .design
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.total)
+            .map(|(i, _)| i)
+            .collect();
+        if cat_cols.is_empty() {
+            return Vec::new();
+        }
+        let mut rows: Vec<CategoryRow> = Vec::new();
+        for entry in self.orders[collation].values().map(|u| &self.entries[u]) {
+            let path: Vec<Value> = cat_cols.iter().map(|i| entry.values[*i].clone()).collect();
+            let matches = rows
+                .last()
+                .map(|r| {
+                    r.path.len() == path.len()
+                        && r.path
+                            .iter()
+                            .zip(path.iter())
+                            .all(|(a, b)| a.collate(b) == std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(false);
+            if !matches {
+                rows.push(CategoryRow {
+                    path,
+                    count: 0,
+                    totals: total_cols.iter().map(|i| (*i, 0.0)).collect(),
+                });
+            }
+            let row = rows.last_mut().expect("pushed above");
+            row.count += 1;
+            for (i, sum) in &mut row.totals {
+                if let Some(Ok(n)) = entry.values.get(*i).map(|v| v.as_number()) {
+                    *sum += n;
+                }
+            }
+        }
+        rows
+    }
+}

@@ -1,0 +1,527 @@
+//! The view engine: stored, incrementally-maintained query results.
+//!
+//! Notes views are the database's query mechanism: a selection formula
+//! chooses documents, column formulas compute what each row shows, and a
+//! collation keeps rows ordered (optionally under category headers and
+//! response threads). The index is maintained *incrementally* — each saved
+//! or deleted note adjusts just its own entries — which is the load-bearing
+//! performance claim the paper makes for Notes' "semi-structured queries at
+//! interactive speed".
+//!
+//! ```
+//! use std::sync::Arc;
+//! use domino_core::{Database, DbConfig, Note};
+//! use domino_types::{LogicalClock, ReplicaId, Value};
+//! use domino_views::{ColumnSpec, SortDir, View, ViewDesign};
+//!
+//! let db = Arc::new(Database::open_in_memory(
+//!     DbConfig::new("Tasks", ReplicaId(1), ReplicaId(2)),
+//!     LogicalClock::new(),
+//! ).unwrap());
+//! let design = ViewDesign::new("Open", r#"SELECT Form = "Task""#).unwrap()
+//!     .column(ColumnSpec::new("Subject", "Subject").unwrap().sorted(SortDir::Ascending));
+//! let view = View::attach(&db, design).unwrap();
+//!
+//! let mut t = Note::document("Task");
+//! t.set("Subject", Value::text("write the report"));
+//! db.save(&mut t).unwrap();
+//! assert_eq!(view.len(), 1);
+//! ```
+
+pub mod collate;
+pub mod design;
+pub mod folder;
+pub mod index;
+
+pub use collate::SortDir;
+pub use folder::{list_folders, Folder};
+pub use design::{Collation, ColumnSpec, ViewDesign};
+pub use index::{CategoryRow, NoteSource, ViewEntry, ViewIndex, ViewStats};
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use domino_core::{ChangeEvent, Database, Note};
+use domino_formula::EvalEnv;
+use domino_types::{NoteClass, Result, Unid, Value};
+
+/// Adapter: a database as a [`NoteSource`] for re-keying.
+struct DbSource {
+    db: Weak<Database>,
+}
+
+impl NoteSource for DbSource {
+    fn note_by_unid(&self, unid: Unid) -> Option<Note> {
+        self.db.upgrade().and_then(|db| db.open_by_unid(unid).ok())
+    }
+}
+
+/// A live view over a database: design + maintained index.
+///
+/// Create with [`View::attach`] (subscribes to database change events and
+/// performs an initial build) or [`View::detached`] (maintained manually —
+/// used by the experiments to compare incremental vs rebuild costs).
+pub struct View {
+    db: Weak<Database>,
+    state: Arc<Mutex<ViewIndex>>,
+}
+
+impl View {
+    /// Build the view and keep it current via change events.
+    pub fn attach(db: &Arc<Database>, design: ViewDesign) -> Result<View> {
+        let view = View::detached(db, design)?;
+        view.rebuild()?;
+        let state = view.state.clone();
+        let weak = Arc::downgrade(db);
+        db.subscribe(Arc::new(move |event: &ChangeEvent| {
+            let src = DbSource { db: weak.clone() };
+            // Observer callbacks cannot surface errors; a failed formula
+            // leaves the entry out (matching Notes, where a broken column
+            // formula blanks the row rather than wedging the database).
+            let _ = state.lock().apply(event, &src);
+        }));
+        Ok(view)
+    }
+
+    /// Build a view that is only updated when you call
+    /// [`View::rebuild`]/[`View::apply`].
+    pub fn detached(db: &Arc<Database>, design: ViewDesign) -> Result<View> {
+        let env = EvalEnv {
+            username: "server".to_string(),
+            now: domino_types::Timestamp::ZERO,
+            db_title: db.title(),
+            ..EvalEnv::default()
+        };
+        Ok(View {
+            db: Arc::downgrade(db),
+            state: Arc::new(Mutex::new(ViewIndex::new(design, env)?)),
+        })
+    }
+
+    fn db(&self) -> Result<Arc<Database>> {
+        self.db.upgrade().ok_or_else(|| {
+            domino_types::DominoError::InvalidArgument("database dropped".into())
+        })
+    }
+
+    /// Recompute the whole index from the database.
+    pub fn rebuild(&self) -> Result<()> {
+        let db = self.db()?;
+        let ids = db.note_ids(Some(NoteClass::Document))?;
+        let mut docs = Vec::with_capacity(ids.len());
+        for id in ids {
+            docs.push(db.open_summary(id)?);
+        }
+        let src = DbSource { db: self.db.clone() };
+        self.state.lock().rebuild(docs.iter(), &src)
+    }
+
+    /// Apply one change event manually (detached views).
+    pub fn apply(&self, event: &ChangeEvent) -> Result<()> {
+        let src = DbSource { db: self.db.clone() };
+        self.state.lock().apply(event, &src)
+    }
+
+    pub fn len(&self) -> usize {
+        self.state.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.lock().is_empty()
+    }
+
+    pub fn stats(&self) -> ViewStats {
+        self.state.lock().stats()
+    }
+
+    /// Rows in primary collation order.
+    pub fn rows(&self) -> Vec<ViewEntry> {
+        self.rows_in(0)
+    }
+
+    /// Rows in the given collation's order (0 = primary).
+    pub fn rows_in(&self, collation: usize) -> Vec<ViewEntry> {
+        self.state
+            .lock()
+            .entries(collation)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Rows whose leading sorted column(s) equal `prefix` — category
+    /// navigation.
+    pub fn rows_by_prefix(&self, collation: usize, prefix: &[Value]) -> Vec<ViewEntry> {
+        self.state
+            .lock()
+            .entries_by_prefix(collation, prefix)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// One page of rows (`offset`, `limit`) in a collation's order.
+    pub fn rows_page(&self, collation: usize, offset: usize, limit: usize) -> Vec<ViewEntry> {
+        self.state
+            .lock()
+            .entries_page(collation, offset, limit)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Zero-based position of a document in the primary collation.
+    pub fn position_of(&self, unid: Unid) -> Option<usize> {
+        self.state.lock().position_of(0, unid)
+    }
+
+    /// Category rollups in collation order.
+    pub fn categories(&self) -> Vec<CategoryRow> {
+        self.state.lock().categories(0)
+    }
+
+    /// Whole-view total of a column.
+    pub fn column_total(&self, col: usize) -> f64 {
+        self.state.lock().column_total(col)
+    }
+
+    /// Store the design as a `View`-class design note in the database (so
+    /// it replicates); returns the note's unid.
+    pub fn save_design(&self) -> Result<Unid> {
+        let db = self.db()?;
+        let mut note = self.state.lock().design().to_note();
+        db.save(&mut note)?;
+        Ok(note.unid())
+    }
+}
+
+/// Load every stored view design from a database's design notes (folders
+/// share the `View` note class but are not query designs; they are
+/// skipped — use [`list_folders`] for those).
+pub fn stored_designs(db: &Database) -> Result<Vec<ViewDesign>> {
+    let ids = db.note_ids(Some(NoteClass::View))?;
+    let mut out = Vec::with_capacity(ids.len());
+    for id in ids {
+        let note = db.open_note(id)?;
+        if note.get_text("Type").as_deref() == Some("Folder") {
+            continue;
+        }
+        out.push(ViewDesign::from_note(&note)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_core::DbConfig;
+    use domino_types::{LogicalClock, ReplicaId};
+
+    fn db() -> Arc<Database> {
+        Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("T", ReplicaId(1), ReplicaId(7)),
+                LogicalClock::new(),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn task(db: &Database, subject: &str, status: &str, hours: f64) -> Note {
+        let mut n = Note::document("Task");
+        n.set("Subject", Value::text(subject));
+        n.set("Status", Value::text(status));
+        n.set("Hours", Value::Number(hours));
+        db.save(&mut n).unwrap();
+        n
+    }
+
+    fn task_view(db: &Arc<Database>) -> View {
+        let design = ViewDesign::new("Tasks", r#"SELECT Form = "Task""#)
+            .unwrap()
+            .column(ColumnSpec::new("Status", "Status").unwrap().categorized())
+            .column(
+                ColumnSpec::new("Subject", "Subject")
+                    .unwrap()
+                    .sorted(SortDir::Ascending),
+            )
+            .column(ColumnSpec::new("Hours", "Hours").unwrap().totaled());
+        View::attach(db, design).unwrap()
+    }
+
+    #[test]
+    fn view_tracks_saves_incrementally() {
+        let db = db();
+        let view = task_view(&db);
+        assert!(view.is_empty());
+        task(&db, "b-second", "open", 1.0);
+        task(&db, "a-first", "open", 2.0);
+        assert_eq!(view.len(), 2);
+        let rows = view.rows();
+        assert_eq!(rows[0].values[1], Value::text("a-first"));
+        assert_eq!(rows[1].values[1], Value::text("b-second"));
+        // Only two documents were evaluated — no rebuild happened.
+        assert_eq!(view.stats().rebuilds, 1); // the initial attach build
+        assert_eq!(view.stats().evaluated, 2);
+    }
+
+    #[test]
+    fn non_matching_documents_excluded_and_updates_move_entries() {
+        let db = db();
+        let view = task_view(&db);
+        let mut memo = Note::document("Memo");
+        db.save(&mut memo).unwrap();
+        assert_eq!(view.len(), 0);
+        let mut t = task(&db, "zz", "open", 1.0);
+        assert_eq!(view.len(), 1);
+        // Rename moves the row.
+        t.set("Subject", Value::text("aa"));
+        db.save(&mut t).unwrap();
+        let rows = view.rows();
+        assert_eq!(rows[0].values[1], Value::text("aa"));
+        // Changing Form removes it.
+        t.set("Form", Value::text("Memo"));
+        db.save(&mut t).unwrap();
+        assert_eq!(view.len(), 0);
+    }
+
+    #[test]
+    fn deletes_remove_entries() {
+        let db = db();
+        let view = task_view(&db);
+        let t = task(&db, "x", "open", 1.0);
+        assert_eq!(view.len(), 1);
+        db.delete(t.id).unwrap();
+        assert_eq!(view.len(), 0);
+    }
+
+    #[test]
+    fn categories_group_and_total() {
+        let db = db();
+        let view = task_view(&db);
+        task(&db, "a", "done", 5.0);
+        task(&db, "b", "open", 1.0);
+        task(&db, "c", "open", 2.0);
+        let cats = view.categories();
+        assert_eq!(cats.len(), 2);
+        assert_eq!(cats[0].path, vec![Value::text("done")]);
+        assert_eq!(cats[0].count, 1);
+        assert_eq!(cats[0].totals, vec![(2, 5.0)]);
+        assert_eq!(cats[1].path, vec![Value::text("open")]);
+        assert_eq!(cats[1].count, 2);
+        assert_eq!(cats[1].totals, vec![(2, 3.0)]);
+        assert_eq!(view.column_total(2), 8.0);
+    }
+
+    #[test]
+    fn prefix_navigation_finds_category_rows() {
+        let db = db();
+        let view = task_view(&db);
+        for i in 0..10 {
+            task(
+                &db,
+                &format!("t{i}"),
+                if i < 3 { "open" } else { "done" },
+                1.0,
+            );
+        }
+        let open = view.rows_by_prefix(0, &[Value::text("open")]);
+        assert_eq!(open.len(), 3);
+        let done = view.rows_by_prefix(0, &[Value::text("done")]);
+        assert_eq!(done.len(), 7);
+        assert!(view.rows_by_prefix(0, &[Value::text("nope")]).is_empty());
+    }
+
+    #[test]
+    fn alternate_collation_orders_independently() {
+        let db = db();
+        let design = ViewDesign::new("V", r#"SELECT Form = "Task""#)
+            .unwrap()
+            .column(
+                ColumnSpec::new("Subject", "Subject")
+                    .unwrap()
+                    .sorted(SortDir::Ascending),
+            )
+            .column(ColumnSpec::new("Hours", "Hours").unwrap())
+            .alternate(vec![(1, SortDir::Descending)]);
+        let view = View::attach(&db, design).unwrap();
+        task(&db, "a", "s", 1.0);
+        task(&db, "b", "s", 9.0);
+        task(&db, "c", "s", 5.0);
+        let by_subject: Vec<String> =
+            view.rows_in(0).iter().map(|e| e.values[0].to_text()).collect();
+        assert_eq!(by_subject, vec!["a", "b", "c"]);
+        let by_hours: Vec<f64> = view
+            .rows_in(1)
+            .iter()
+            .map(|e| e.values[1].as_number().unwrap())
+            .collect();
+        assert_eq!(by_hours, vec![9.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn responses_nest_under_parent() {
+        let db = db();
+        let design = ViewDesign::new(
+            "Threads",
+            r#"SELECT Form = "Topic" | @AllDescendants"#,
+        )
+        .unwrap()
+        .column(
+            ColumnSpec::new("Subject", "Subject")
+                .unwrap()
+                .sorted(SortDir::Ascending),
+        );
+        let view = View::attach(&db, design).unwrap();
+
+        let mut t1 = Note::document("Topic");
+        t1.set("Subject", Value::text("beta topic"));
+        db.save(&mut t1).unwrap();
+        let mut t2 = Note::document("Topic");
+        t2.set("Subject", Value::text("alpha topic"));
+        db.save(&mut t2).unwrap();
+        let mut r1 = Note::document("Response");
+        r1.set("Subject", Value::text("re: beta"));
+        r1.set_parent(t1.unid());
+        db.save(&mut r1).unwrap();
+        let mut r2 = Note::document("Response");
+        r2.set("Subject", Value::text("re: re: beta"));
+        r2.set_parent(r1.unid());
+        db.save(&mut r2).unwrap();
+
+        let rows = view.rows();
+        let subjects: Vec<String> = rows.iter().map(|e| e.values[0].to_text()).collect();
+        assert_eq!(
+            subjects,
+            vec!["alpha topic", "beta topic", "re: beta", "re: re: beta"]
+        );
+        let levels: Vec<u32> = rows.iter().map(|e| e.response_level).collect();
+        assert_eq!(levels, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn response_rekeys_when_parent_moves() {
+        let db = db();
+        let design = ViewDesign::new(
+            "Threads",
+            r#"SELECT Form = "Topic" | @AllDescendants"#,
+        )
+        .unwrap()
+        .column(
+            ColumnSpec::new("Subject", "Subject")
+                .unwrap()
+                .sorted(SortDir::Ascending),
+        );
+        let view = View::attach(&db, design).unwrap();
+        let mut parent = Note::document("Topic");
+        parent.set("Subject", Value::text("zzz"));
+        db.save(&mut parent).unwrap();
+        let mut other = Note::document("Topic");
+        other.set("Subject", Value::text("mmm"));
+        db.save(&mut other).unwrap();
+        let mut resp = Note::document("Response");
+        resp.set("Subject", Value::text("child"));
+        resp.set_parent(parent.unid());
+        db.save(&mut resp).unwrap();
+
+        let order = |view: &View| -> Vec<String> {
+            view.rows().iter().map(|e| e.values[0].to_text()).collect()
+        };
+        assert_eq!(order(&view), vec!["mmm", "zzz", "child"]);
+        // Parent renamed to sort first: the child must follow it.
+        parent.set("Subject", Value::text("aaa"));
+        db.save(&mut parent).unwrap();
+        assert_eq!(order(&view), vec!["aaa", "child", "mmm"]);
+    }
+
+    #[test]
+    fn deleting_parent_reconsiders_children() {
+        let db = db();
+        let design = ViewDesign::new(
+            "Threads",
+            r#"SELECT Form = "Topic" | @AllDescendants"#,
+        )
+        .unwrap()
+        .column(
+            ColumnSpec::new("Subject", "Subject")
+                .unwrap()
+                .sorted(SortDir::Ascending),
+        );
+        let view = View::attach(&db, design).unwrap();
+        let mut parent = Note::document("Topic");
+        parent.set("Subject", Value::text("p"));
+        db.save(&mut parent).unwrap();
+        let mut resp = Note::document("Response");
+        resp.set("Subject", Value::text("r"));
+        resp.set_parent(parent.unid());
+        db.save(&mut resp).unwrap();
+        assert_eq!(view.len(), 2);
+        // The response was included only via its parent; deleting the
+        // parent removes both (the selection does not match "Response").
+        db.delete(parent.id).unwrap();
+        assert_eq!(view.len(), 0);
+    }
+
+    #[test]
+    fn rebuild_equals_incremental() {
+        let db = db();
+        let view = task_view(&db);
+        for i in 0..50 {
+            let mut t = task(&db, &format!("t{i:02}"), ["open", "done"][i % 2], i as f64);
+            if i % 7 == 0 {
+                t.set("Subject", Value::text(format!("renamed{i}")));
+                db.save(&mut t).unwrap();
+            }
+            if i % 11 == 0 {
+                db.delete(t.id).unwrap();
+            }
+        }
+        let incremental: Vec<(String, String)> = view
+            .rows()
+            .iter()
+            .map(|e| (e.values[0].to_text(), e.values[1].to_text()))
+            .collect();
+        let fresh = View::detached(&db, view.state.lock().design().clone()).unwrap();
+        fresh.rebuild().unwrap();
+        let rebuilt: Vec<(String, String)> = fresh
+            .rows()
+            .iter()
+            .map(|e| (e.values[0].to_text(), e.values[1].to_text()))
+            .collect();
+        assert_eq!(incremental, rebuilt);
+    }
+
+    #[test]
+    fn paging_and_positioning() {
+        let db = db();
+        let view = task_view(&db);
+        let mut notes = Vec::new();
+        for i in 0..20 {
+            notes.push(task(&db, &format!("t{i:02}"), "open", 1.0));
+        }
+        let page = view.rows_page(0, 5, 3);
+        assert_eq!(page.len(), 3);
+        assert_eq!(page[0].values[1], Value::text("t05"));
+        assert_eq!(page[2].values[1], Value::text("t07"));
+        // Positions agree with row order.
+        for (i, row) in view.rows().iter().enumerate() {
+            assert_eq!(view.position_of(row.unid), Some(i));
+        }
+        assert_eq!(view.position_of(domino_types::Unid(0xDEAD)), None);
+        // Past-the-end paging is empty, partial tail works.
+        assert!(view.rows_page(0, 25, 5).is_empty());
+        assert_eq!(view.rows_page(0, 18, 5).len(), 2);
+    }
+
+    #[test]
+    fn design_persists_as_note() {
+        let db = db();
+        let view = task_view(&db);
+        view.save_design().unwrap();
+        let designs = stored_designs(&db).unwrap();
+        assert_eq!(designs.len(), 1);
+        assert_eq!(designs[0].name, "Tasks");
+        assert_eq!(designs[0].columns.len(), 3);
+    }
+}

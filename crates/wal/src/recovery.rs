@@ -1,0 +1,419 @@
+//! ARIES-style restart recovery: analysis, redo, undo.
+//!
+//! * **Analysis** scans forward from the last checkpoint rebuilding the
+//!   active-transaction table (ATT) and dirty-page table (DPT).
+//! * **Redo** *repeats history*: every logged update (including CLRs) whose
+//!   LSN is at or above the page's DPT recovery-LSN and above the page's
+//!   on-disk LSN is re-applied, whether its transaction won or lost.
+//! * **Undo** rolls back loser transactions newest-record-first, writing a
+//!   compensation record (CLR) per undone update so a crash during recovery
+//!   never undoes twice.
+//!
+//! The page store is abstracted as [`RedoTarget`] so this crate stays
+//! independent of `domino-storage`.
+
+use std::collections::HashMap;
+
+use crate::manager::LogManager;
+use crate::record::{LogRecord, Lsn, TxId};
+use crate::store::LogStore;
+use domino_types::{DominoError, Result};
+
+/// The page store recovery drives.
+pub trait RedoTarget {
+    /// LSN currently stamped on the page (NIL if the page does not exist —
+    /// redo will then recreate it).
+    fn page_lsn(&mut self, page: u32) -> Result<Lsn>;
+
+    /// Write `bytes` at `offset` within `page` and stamp it with `lsn`,
+    /// materializing the page (zero-filled) if it does not exist.
+    fn apply(&mut self, page: u32, offset: u16, bytes: &[u8], lsn: Lsn) -> Result<()>;
+}
+
+/// What restart did, for E2's recovery-cost accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Records examined during analysis.
+    pub analyzed: u64,
+    /// Updates re-applied during redo.
+    pub redone: u64,
+    /// Updates skipped because the page already carried them.
+    pub redo_skipped: u64,
+    /// Updates rolled back during undo.
+    pub undone: u64,
+    /// Loser transactions rolled back.
+    pub loser_txs: u64,
+    /// LSN where the analysis pass began (the checkpoint).
+    pub start_lsn: Lsn,
+}
+
+/// Run full restart recovery over `log`, applying pages through `target`.
+///
+/// On return the store reflects exactly the committed transactions, the log
+/// contains CLR/abort records for every loser, and a fresh flush has been
+/// forced.
+pub fn recover<S: LogStore>(
+    log: &LogManager<S>,
+    target: &mut dyn RedoTarget,
+) -> Result<RecoveryStats> {
+    let mut stats = RecoveryStats::default();
+
+    // ---- analysis -------------------------------------------------------
+    let master = log.get_master()?;
+    stats.start_lsn = master;
+    let records = log.scan(master)?;
+
+    // ATT: tx -> last LSN logged. DPT: page -> recovery LSN.
+    let mut att: HashMap<TxId, Lsn> = HashMap::new();
+    let mut dpt: HashMap<u32, Lsn> = HashMap::new();
+
+    for (lsn, rec) in &records {
+        stats.analyzed += 1;
+        match rec {
+            LogRecord::Checkpoint { active, dirty } => {
+                for (tx, last) in active {
+                    att.entry(*tx).or_insert(*last);
+                }
+                for (page, rec_lsn) in dirty {
+                    dpt.entry(*page).or_insert(*rec_lsn);
+                }
+            }
+            LogRecord::Begin { tx } => {
+                att.insert(*tx, *lsn);
+            }
+            LogRecord::Update { tx, page, .. } | LogRecord::Clr { tx, page, .. } => {
+                att.insert(*tx, *lsn);
+                dpt.entry(*page).or_insert(*lsn);
+            }
+            LogRecord::Commit { tx } | LogRecord::Abort { tx } => {
+                att.remove(tx);
+            }
+        }
+    }
+
+    // Index records by LSN for the undo pass. Undo chains can reach records
+    // older than the checkpoint; those are loaded lazily below.
+    let mut by_lsn: HashMap<Lsn, LogRecord> = records
+        .iter()
+        .map(|(lsn, rec)| (*lsn, rec.clone()))
+        .collect();
+    let mut full_scan_done = master.is_nil();
+
+    // ---- redo -----------------------------------------------------------
+    // Redo begins at the *oldest recovery LSN in the DPT*, which can
+    // precede the checkpoint (a page dirtied before the checkpoint and
+    // still unflushed at the crash). Re-scan from there when needed.
+    let redo_start = dpt.values().copied().min().unwrap_or(master);
+    let redo_records: Vec<(Lsn, LogRecord)> = if redo_start < master {
+        log.scan(redo_start)?
+    } else {
+        records.clone()
+    };
+    for (lsn, rec) in &redo_records {
+        if *lsn < redo_start {
+            continue;
+        }
+        let (page, offset, image) = match rec {
+            LogRecord::Update { page, offset, after, .. } => (*page, *offset, after),
+            LogRecord::Clr { page, offset, after, .. } => (*page, *offset, after),
+            _ => continue,
+        };
+        let Some(rec_lsn) = dpt.get(&page) else { continue };
+        if lsn < rec_lsn {
+            continue;
+        }
+        if target.page_lsn(page)? >= *lsn {
+            stats.redo_skipped += 1;
+            continue;
+        }
+        target.apply(page, offset, image, *lsn)?;
+        stats.redone += 1;
+    }
+
+    // ---- undo -----------------------------------------------------------
+    // Roll back losers in descending-LSN order across all of them.
+    let mut cursors: Vec<(TxId, Lsn)> = att.into_iter().collect();
+    stats.loser_txs = cursors.len() as u64;
+    while let Some(idx) = cursors
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, (_, lsn))| *lsn)
+        .map(|(i, _)| i)
+    {
+        let (tx, lsn) = cursors[idx];
+        if lsn.is_nil() {
+            log.append(&LogRecord::Abort { tx })?;
+            cursors.swap_remove(idx);
+            continue;
+        }
+        if !by_lsn.contains_key(&lsn) && !full_scan_done {
+            // The chain reached back past the checkpoint: pull in the rest
+            // of the log (rare — only long-running loser transactions).
+            for (l, rec) in log.scan(Lsn::NIL)? {
+                by_lsn.entry(l).or_insert(rec);
+            }
+            full_scan_done = true;
+        }
+        let Some(rec) = by_lsn.get(&lsn) else {
+            return Err(DominoError::Wal(format!(
+                "undo chain of {tx} points at missing record {lsn}"
+            )));
+        };
+        match rec {
+            LogRecord::Update { prev, page, offset, before, .. } => {
+                let clr_lsn = log.append(&LogRecord::Clr {
+                    tx,
+                    page: *page,
+                    offset: *offset,
+                    after: before.clone(),
+                    undo_next: *prev,
+                })?;
+                target.apply(*page, *offset, before, clr_lsn)?;
+                stats.undone += 1;
+                cursors[idx].1 = *prev;
+            }
+            LogRecord::Clr { undo_next, .. } => {
+                cursors[idx].1 = *undo_next;
+            }
+            LogRecord::Begin { .. } => {
+                log.append(&LogRecord::Abort { tx })?;
+                cursors.swap_remove(idx);
+            }
+            other => {
+                return Err(DominoError::Wal(format!(
+                    "unexpected record in undo chain of {tx}: {other:?}"
+                )));
+            }
+        }
+    }
+
+    log.flush_all()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemLogStore;
+
+    /// A toy page store: 64-byte pages in a map.
+    #[derive(Default)]
+    struct MemPages {
+        pages: HashMap<u32, (Lsn, Vec<u8>)>,
+    }
+
+    impl MemPages {
+        fn byte(&self, page: u32, off: usize) -> u8 {
+            self.pages.get(&page).map(|(_, d)| d[off]).unwrap_or(0)
+        }
+    }
+
+    impl RedoTarget for MemPages {
+        fn page_lsn(&mut self, page: u32) -> Result<Lsn> {
+            Ok(self.pages.get(&page).map(|(l, _)| *l).unwrap_or(Lsn::NIL))
+        }
+
+        fn apply(&mut self, page: u32, offset: u16, bytes: &[u8], lsn: Lsn) -> Result<()> {
+            let entry = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| (Lsn::NIL, vec![0; 64]));
+            entry.0 = lsn;
+            entry.1[offset as usize..offset as usize + bytes.len()].copy_from_slice(bytes);
+            Ok(())
+        }
+    }
+
+    struct Harness {
+        log: LogManager<MemLogStore>,
+        pages: MemPages,
+    }
+
+    impl Harness {
+        fn new() -> Harness {
+            Harness {
+                log: LogManager::open(MemLogStore::new()).unwrap(),
+                pages: MemPages::default(),
+            }
+        }
+
+        /// Log an update and (optionally) apply it to the "buffer pool".
+        #[allow(clippy::too_many_arguments)]
+        fn update(
+            &mut self,
+            tx: TxId,
+            prev: Lsn,
+            page: u32,
+            offset: u16,
+            before: u8,
+            after: u8,
+            apply: bool,
+        ) -> Lsn {
+            let lsn = self
+                .log
+                .append(&LogRecord::Update {
+                    tx,
+                    prev,
+                    page,
+                    offset,
+                    before: vec![before],
+                    after: vec![after],
+                })
+                .unwrap();
+            if apply {
+                self.pages.apply(page, offset, &[after], lsn).unwrap();
+            }
+            lsn
+        }
+    }
+
+    #[test]
+    fn committed_updates_redo_after_total_page_loss() {
+        let mut h = Harness::new();
+        h.log.append(&LogRecord::Begin { tx: TxId(1) }).unwrap();
+        let l1 = h.update(TxId(1), Lsn::NIL, 1, 0, 0, 7, false);
+        h.update(TxId(1), l1, 2, 5, 0, 9, false);
+        h.log.append(&LogRecord::Commit { tx: TxId(1) }).unwrap();
+        h.log.flush_all().unwrap();
+
+        // Crash before any page reached disk.
+        let stats = recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(stats.redone, 2);
+        assert_eq!(stats.loser_txs, 0);
+        assert_eq!(h.pages.byte(1, 0), 7);
+        assert_eq!(h.pages.byte(2, 5), 9);
+    }
+
+    #[test]
+    fn uncommitted_updates_are_undone_even_if_flushed() {
+        let mut h = Harness::new();
+        h.log.append(&LogRecord::Begin { tx: TxId(1) }).unwrap();
+        let l1 = h.update(TxId(1), Lsn::NIL, 1, 0, 0, 7, true); // page reached disk
+        h.update(TxId(1), l1, 1, 1, 0, 8, true);
+        // No commit. Crash.
+        h.log.flush_all().unwrap();
+
+        let stats = recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(stats.loser_txs, 1);
+        assert_eq!(stats.undone, 2);
+        assert_eq!(h.pages.byte(1, 0), 0);
+        assert_eq!(h.pages.byte(1, 1), 0);
+        // Loser got CLRs + an Abort in the log.
+        let recs = h.log.scan(Lsn::NIL).unwrap();
+        let clrs = recs
+            .iter()
+            .filter(|(_, r)| matches!(r, LogRecord::Clr { .. }))
+            .count();
+        let aborts = recs
+            .iter()
+            .filter(|(_, r)| matches!(r, LogRecord::Abort { .. }))
+            .count();
+        assert_eq!(clrs, 2);
+        assert_eq!(aborts, 1);
+    }
+
+    #[test]
+    fn mixed_winners_and_losers() {
+        let mut h = Harness::new();
+        h.log.append(&LogRecord::Begin { tx: TxId(1) }).unwrap();
+        h.log.append(&LogRecord::Begin { tx: TxId(2) }).unwrap();
+        // Both updates hit the same page, which then reaches disk (a page
+        // carrying LSN l necessarily contains every update with LSN <= l).
+        let w = h.update(TxId(1), Lsn::NIL, 1, 0, 0, 10, true);
+        let l = h.update(TxId(2), Lsn::NIL, 1, 1, 0, 20, true);
+        let _ = (w, l);
+        h.log.append(&LogRecord::Commit { tx: TxId(1) }).unwrap();
+        h.log.flush_all().unwrap();
+
+        recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(h.pages.byte(1, 0), 10, "winner stays");
+        assert_eq!(h.pages.byte(1, 1), 0, "loser undone");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut h = Harness::new();
+        h.log.append(&LogRecord::Begin { tx: TxId(1) }).unwrap();
+        h.update(TxId(1), Lsn::NIL, 3, 0, 0, 5, false);
+        h.log.flush_all().unwrap();
+
+        recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(h.pages.byte(3, 0), 0);
+        // Crash again during/after recovery; run it again.
+        let stats2 = recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(h.pages.byte(3, 0), 0);
+        // The CLR from round 1 is in the log; round 2 must not re-undo
+        // (the Abort record ended the transaction).
+        assert_eq!(stats2.loser_txs, 0);
+    }
+
+    #[test]
+    fn checkpoint_bounds_analysis() {
+        let mut h = Harness::new();
+        // Old, fully-applied committed work before the checkpoint.
+        h.log.append(&LogRecord::Begin { tx: TxId(1) }).unwrap();
+        h.update(TxId(1), Lsn::NIL, 1, 0, 0, 3, true);
+        h.log.append(&LogRecord::Commit { tx: TxId(1) }).unwrap();
+        // Page 1 was flushed, so the checkpoint's DPT is empty.
+        let cp = h
+            .log
+            .append(&LogRecord::Checkpoint { active: vec![], dirty: vec![] })
+            .unwrap();
+        h.log.flush_all().unwrap();
+        h.log.set_master(cp).unwrap();
+
+        // New committed work after the checkpoint, not flushed.
+        h.log.append(&LogRecord::Begin { tx: TxId(2) }).unwrap();
+        h.update(TxId(2), Lsn::NIL, 2, 0, 0, 4, false);
+        h.log.append(&LogRecord::Commit { tx: TxId(2) }).unwrap();
+        h.log.flush_all().unwrap();
+
+        let stats = recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(stats.start_lsn, cp);
+        // Only post-checkpoint records were analyzed (checkpoint + 3).
+        assert_eq!(stats.analyzed, 4);
+        assert_eq!(h.pages.byte(2, 0), 4);
+        assert_eq!(h.pages.byte(1, 0), 3, "pre-checkpoint state intact");
+    }
+
+    #[test]
+    fn checkpoint_carries_active_tx_into_undo() {
+        let mut h = Harness::new();
+        h.log.append(&LogRecord::Begin { tx: TxId(9) }).unwrap();
+        let u = h.update(TxId(9), Lsn::NIL, 1, 0, 0, 6, true);
+        let cp = h
+            .log
+            .append(&LogRecord::Checkpoint {
+                active: vec![(TxId(9), u)],
+                dirty: vec![(1, u)],
+            })
+            .unwrap();
+        h.log.flush_all().unwrap();
+        h.log.set_master(cp).unwrap();
+
+        let stats = recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(stats.loser_txs, 1);
+        assert_eq!(h.pages.byte(1, 0), 0);
+    }
+
+    #[test]
+    fn redo_skips_pages_already_current() {
+        let mut h = Harness::new();
+        h.log.append(&LogRecord::Begin { tx: TxId(1) }).unwrap();
+        h.update(TxId(1), Lsn::NIL, 1, 0, 0, 7, true); // applied AND flushed
+        h.log.append(&LogRecord::Commit { tx: TxId(1) }).unwrap();
+        h.log.flush_all().unwrap();
+
+        let stats = recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(stats.redone, 0);
+        assert_eq!(stats.redo_skipped, 1);
+        assert_eq!(h.pages.byte(1, 0), 7);
+    }
+
+    #[test]
+    fn empty_log_recovers_to_nothing() {
+        let mut h = Harness::new();
+        let stats = recover(&h.log, &mut h.pages).unwrap();
+        assert_eq!(stats, RecoveryStats::default());
+    }
+}

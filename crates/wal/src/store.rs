@@ -1,0 +1,296 @@
+//! Physical log storage.
+//!
+//! A [`LogStore`] is an append-only byte device with an explicit `sync`
+//! barrier and a one-slot *master record* holding the LSN of the most
+//! recent checkpoint (Domino keeps this in the log control file).
+//!
+//! [`MemLogStore`] models a disk honestly enough for crash experiments:
+//! appended bytes sit in a volatile tail until `sync`; [`MemLogStore::crash`]
+//! throws the volatile tail away, exactly what power loss does to an
+//! OS-buffered file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::record::Lsn;
+use domino_types::Result;
+
+/// Append-only storage for log bytes.
+pub trait LogStore: Send + Sync {
+    /// Append bytes at the current end (volatile until `sync`).
+    fn append(&self, bytes: &[u8]) -> Result<()>;
+
+    /// Make everything appended so far durable.
+    fn sync(&self) -> Result<()>;
+
+    /// Read the *durable* log contents from byte `from` to the durable end.
+    fn read_from(&self, from: u64) -> Result<Vec<u8>>;
+
+    /// Durable length in bytes.
+    fn len(&self) -> Result<u64>;
+
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Persist the checkpoint master record.
+    fn set_master(&self, lsn: Lsn) -> Result<()>;
+
+    /// Read the checkpoint master record (NIL if never set).
+    fn get_master(&self) -> Result<Lsn>;
+
+    /// Discard the log entirely (after a successful shutdown checkpoint,
+    /// Domino recycles log extents; we model truncation).
+    fn truncate_all(&self) -> Result<()>;
+}
+
+impl LogStore for Box<dyn LogStore> {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        (**self).append(bytes)
+    }
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+    fn read_from(&self, from: u64) -> Result<Vec<u8>> {
+        (**self).read_from(from)
+    }
+    fn len(&self) -> Result<u64> {
+        (**self).len()
+    }
+    fn set_master(&self, lsn: Lsn) -> Result<()> {
+        (**self).set_master(lsn)
+    }
+    fn get_master(&self) -> Result<Lsn> {
+        (**self).get_master()
+    }
+    fn truncate_all(&self) -> Result<()> {
+        (**self).truncate_all()
+    }
+}
+
+/// In-memory log with an explicit durability watermark.
+#[derive(Clone, Default)]
+pub struct MemLogStore {
+    inner: Arc<Mutex<MemLogInner>>,
+}
+
+#[derive(Default)]
+struct MemLogInner {
+    bytes: Vec<u8>,
+    durable_len: usize,
+    master: Lsn,
+    durable_master: Lsn,
+    /// Count of sync calls, for group-commit accounting in benches.
+    syncs: u64,
+}
+
+impl MemLogStore {
+    pub fn new() -> MemLogStore {
+        MemLogStore::default()
+    }
+
+    /// Simulate power loss: un-synced bytes and master writes vanish.
+    pub fn crash(&self) {
+        let mut g = self.inner.lock();
+        let durable = g.durable_len;
+        g.bytes.truncate(durable);
+        g.master = g.durable_master;
+    }
+
+    /// Number of `sync` barriers issued so far.
+    pub fn sync_count(&self) -> u64 {
+        self.inner.lock().syncs
+    }
+
+    /// Total bytes appended (durable or not).
+    pub fn total_len(&self) -> usize {
+        self.inner.lock().bytes.len()
+    }
+}
+
+impl LogStore for MemLogStore {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.inner.lock().bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        let mut g = self.inner.lock();
+        g.durable_len = g.bytes.len();
+        g.durable_master = g.master;
+        g.syncs += 1;
+        Ok(())
+    }
+
+    fn read_from(&self, from: u64) -> Result<Vec<u8>> {
+        let g = self.inner.lock();
+        let from = (from as usize).min(g.durable_len);
+        Ok(g.bytes[from..g.durable_len].to_vec())
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.inner.lock().durable_len as u64)
+    }
+
+    fn set_master(&self, lsn: Lsn) -> Result<()> {
+        self.inner.lock().master = lsn;
+        Ok(())
+    }
+
+    fn get_master(&self) -> Result<Lsn> {
+        Ok(self.inner.lock().master)
+    }
+
+    fn truncate_all(&self) -> Result<()> {
+        let mut g = self.inner.lock();
+        g.bytes.clear();
+        g.durable_len = 0;
+        g.master = Lsn::NIL;
+        g.durable_master = Lsn::NIL;
+        Ok(())
+    }
+}
+
+/// File-backed log store. The master record lives in a sibling file with a
+/// `.master` suffix, written atomically via rename.
+pub struct FileLogStore {
+    file: Mutex<File>,
+    master_path: std::path::PathBuf,
+}
+
+impl FileLogStore {
+    pub fn open(path: &Path) -> Result<FileLogStore> {
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        let master_path = path.with_extension("master");
+        Ok(FileLogStore { file: Mutex::new(file), master_path })
+    }
+}
+
+impl LogStore for FileLogStore {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.file.lock().write_all(bytes)?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn read_from(&self, from: u64) -> Result<Vec<u8>> {
+        let mut f = self.file.lock();
+        let mut out = Vec::new();
+        f.seek(SeekFrom::Start(from))?;
+        f.read_to_end(&mut out)?;
+        // Restore append position (append mode seeks on write anyway).
+        f.seek(SeekFrom::End(0))?;
+        Ok(out)
+    }
+
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.lock().metadata()?.len())
+    }
+
+    fn set_master(&self, lsn: Lsn) -> Result<()> {
+        let tmp = self.master_path.with_extension("master.tmp");
+        std::fs::write(&tmp, lsn.0.to_le_bytes())?;
+        std::fs::rename(&tmp, &self.master_path)?;
+        Ok(())
+    }
+
+    fn get_master(&self) -> Result<Lsn> {
+        match std::fs::read(&self.master_path) {
+            Ok(bytes) if bytes.len() == 8 => Ok(Lsn(u64::from_le_bytes(
+                bytes.try_into().expect("len 8"),
+            ))),
+            Ok(_) => Ok(Lsn::NIL),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Lsn::NIL),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn truncate_all(&self) -> Result<()> {
+        let f = self.file.lock();
+        f.set_len(0)?;
+        f.sync_data()?;
+        drop(f);
+        self.set_master(Lsn::NIL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_append_sync_read() {
+        let s = MemLogStore::new();
+        s.append(b"hello").unwrap();
+        // Not yet durable.
+        assert_eq!(s.len().unwrap(), 0);
+        s.sync().unwrap();
+        assert_eq!(s.len().unwrap(), 5);
+        assert_eq!(s.read_from(0).unwrap(), b"hello");
+        assert_eq!(s.read_from(3).unwrap(), b"lo");
+    }
+
+    #[test]
+    fn mem_store_crash_discards_unsynced() {
+        let s = MemLogStore::new();
+        s.append(b"durable").unwrap();
+        s.sync().unwrap();
+        s.append(b" volatile").unwrap();
+        s.crash();
+        assert_eq!(s.read_from(0).unwrap(), b"durable");
+        assert_eq!(s.total_len(), 7);
+    }
+
+    #[test]
+    fn mem_store_master_survives_only_after_sync() {
+        let s = MemLogStore::new();
+        s.set_master(Lsn(99)).unwrap();
+        s.crash();
+        assert_eq!(s.get_master().unwrap(), Lsn::NIL);
+        s.set_master(Lsn(42)).unwrap();
+        s.sync().unwrap();
+        s.crash();
+        assert_eq!(s.get_master().unwrap(), Lsn(42));
+    }
+
+    #[test]
+    fn mem_store_truncate() {
+        let s = MemLogStore::new();
+        s.append(b"x").unwrap();
+        s.sync().unwrap();
+        s.truncate_all().unwrap();
+        assert!(s.is_empty().unwrap());
+        assert_eq!(s.get_master().unwrap(), Lsn::NIL);
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("domino-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.log");
+        let _ = std::fs::remove_file(&path);
+        let s = FileLogStore::open(&path).unwrap();
+        s.append(b"abc").unwrap();
+        s.sync().unwrap();
+        assert_eq!(s.read_from(0).unwrap(), b"abc");
+        assert_eq!(s.len().unwrap(), 3);
+        s.set_master(Lsn(7)).unwrap();
+        assert_eq!(s.get_master().unwrap(), Lsn(7));
+        s.truncate_all().unwrap();
+        assert_eq!(s.len().unwrap(), 0);
+        assert_eq!(s.get_master().unwrap(), Lsn::NIL);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,121 @@
+//! Workflow on the document store: forms (defaults, computed fields,
+//! validation), agents (stored formula programs), and folders — the
+//! "structured workflow with Notes" pattern the tutorial's groupware story
+//! builds to.
+//!
+//! Run with: `cargo run --example workflow_approval`
+
+use std::sync::Arc;
+
+use domino::core::{
+    save_agent, save_form, AgentDesign, Database, DbConfig, FieldSpec, FormDesign, Note,
+    Session,
+};
+use domino::security::Directory;
+use domino::types::{LogicalClock, ReplicaId, Value};
+use domino::views::Folder;
+
+fn main() -> domino::types::Result<()> {
+    let db = Arc::new(Database::open_in_memory(
+        DbConfig::new("Expenses", ReplicaId(0xE58), ReplicaId(1)),
+        LogicalClock::new(),
+    )?);
+
+    // The Expense form: defaults, a computed total, and validation.
+    let form = FormDesign::new("Expense")
+        .field(FieldSpec::editable("Status").with_default(r#""submitted""#)?)
+        .field(FieldSpec::computed("Total", "Quantity * UnitPrice")?)
+        .field(FieldSpec::computed_when_composed("SubmittedBy", "@UserName")?)
+        .field(
+            FieldSpec::editable("Quantity").validated(
+                r#"@If(Quantity > 0; @Success; @Failure("quantity must be positive"))"#,
+            )?,
+        );
+    save_form(&db, &form)?;
+
+    // The approval agent: small expenses auto-approve, big ones escalate.
+    let agent = AgentDesign::new(
+        "triage",
+        r#"SELECT Form = "Expense" & Status = "submitted";
+           FIELD Status := @If(Total > 500; "needs-approval"; "approved")"#,
+    )?
+    .scheduled(100);
+    save_agent(&db, &agent)?;
+
+    // Users submit expenses through sessions (forms apply automatically).
+    let ann = Session::new(db.clone(), "ann", Directory::new());
+    let bob = Session::new(db.clone(), "bob", Directory::new());
+    let mut small = Note::document("Expense");
+    small.set("What", Value::text("train ticket"));
+    small.set("Quantity", Value::Number(2.0));
+    small.set("UnitPrice", Value::Number(45.0));
+    ann.save(&mut small)?;
+    let mut big = Note::document("Expense");
+    big.set("What", Value::text("conference booth"));
+    big.set("Quantity", Value::Number(1.0));
+    big.set("UnitPrice", Value::Number(4200.0));
+    bob.save(&mut big)?;
+
+    // Validation rejects a bad submission outright.
+    let mut bad = Note::document("Expense");
+    bad.set("What", Value::text("negative quantity?!"));
+    bad.set("Quantity", Value::Number(-3.0));
+    bad.set("UnitPrice", Value::Number(10.0));
+    match ann.save(&mut bad) {
+        Err(e) => println!("validation blocked a bad expense: {e}"),
+        Ok(_) => unreachable!(),
+    }
+
+    println!(
+        "submitted: {} (total {}), {} (total {})",
+        small.get_text("What").unwrap(),
+        small.get_text("Total").unwrap(),
+        big.get_text("What").unwrap(),
+        big.get_text("Total").unwrap(),
+    );
+
+    // The scheduled agent runs (normally the server does this).
+    for stored in domino::core::stored_agents(&db)? {
+        let report = stored.run(&db, "server")?;
+        println!(
+            "agent {:?}: examined {}, selected {}, modified {}",
+            stored.name, report.examined, report.selected, report.modified
+        );
+    }
+
+    // An approver works a folder of escalated expenses.
+    let inbox = Folder::create(&db, "Awaiting Approval")?;
+    let needs = db.search(
+        &domino::formula::Formula::compile(r#"SELECT Status = "needs-approval""#)?,
+        &Default::default(),
+    )?;
+    for doc in &needs {
+        inbox.add(doc.unid())?;
+    }
+    println!("\nAwaiting Approval folder:");
+    for doc in inbox.documents()? {
+        println!(
+            "  {} — {} by {}",
+            doc.get_text("What").unwrap_or_default(),
+            doc.get_text("Total").unwrap_or_default(),
+            doc.get_text("SubmittedBy").unwrap_or_default(),
+        );
+    }
+
+    // Approve and clear the folder.
+    for unid in inbox.members()? {
+        let mut doc = db.open_by_unid(unid)?;
+        doc.set("Status", Value::text("approved"));
+        doc.set("ApprovedBy", Value::text("carol"));
+        db.save(&mut doc)?;
+        inbox.remove(unid)?;
+    }
+    let approved = db.search(
+        &domino::formula::Formula::compile(r#"SELECT Status = "approved""#)?,
+        &Default::default(),
+    )?;
+    println!("\napproved expenses: {}", approved.len());
+    assert_eq!(approved.len(), 2);
+    assert!(inbox.is_empty()?);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # domino-rs
+//!
+//! A from-scratch Rust reproduction of the system described in C. Mohan's
+//! SIGMOD 1999 industrial tutorial *"A Database Perspective on Lotus
+//! Domino/Notes"*: a groupware document database with
+//!
+//! * an NSF-style transactional note store ([`storage`], [`wal`]),
+//! * schemaless notes with typed items ([`core`]),
+//! * the formula language ([`formula`]),
+//! * incrementally-maintained views with categories, totals, and response
+//!   threads ([`views`]),
+//! * multi-master replication with field-level transfer, conflict
+//!   documents, deletion stubs, selective replication, and clustering
+//!   ([`replica`]),
+//! * per-database full-text search ([`ftindex`]),
+//! * ACL + reader/author-field security ([`security`]),
+//! * and a deterministic multi-server simulator with mail routing
+//!   ([`net`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use domino::core::{Database, DbConfig, Note};
+//! use domino::types::{LogicalClock, ReplicaId, Value};
+//!
+//! let db = Arc::new(Database::open_in_memory(
+//!     DbConfig::new("My Discussion", ReplicaId(1), ReplicaId(0xA11CE)),
+//!     LogicalClock::new(),
+//! ).unwrap());
+//!
+//! let mut memo = Note::document("Memo");
+//! memo.set("Subject", Value::text("hello, groupware"));
+//! db.save(&mut memo).unwrap();
+//!
+//! let found = db.open_by_unid(memo.unid()).unwrap();
+//! assert_eq!(found.get_text("Subject").unwrap(), "hello, groupware");
+//! ```
+//!
+//! See `examples/` for replication, views, mail routing, and crash
+//! recovery walkthroughs, and DESIGN.md / EXPERIMENTS.md for the paper
+//! mapping and benchmark results.
+
+pub use domino_core as core;
+pub use domino_formula as formula;
+pub use domino_ftindex as ftindex;
+pub use domino_net as net;
+pub use domino_replica as replica;
+pub use domino_security as security;
+pub use domino_storage as storage;
+pub use domino_types as types;
+pub use domino_views as views;
+pub use domino_wal as wal;

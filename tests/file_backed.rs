@@ -1,0 +1,115 @@
+//! Durability on real files: a database over `FileDisk` + `FileLogStore`
+//! survives process-style close/reopen and crash/reopen cycles.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use domino::core::{Database, DbConfig, Note};
+use domino::storage::FileDisk;
+use domino::types::{LogicalClock, ReplicaId, Value};
+use domino::wal::FileLogStore;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "domino-file-test-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn open_file_db(dir: &Path, clock: LogicalClock) -> Arc<Database> {
+    let disk = FileDisk::open(&dir.join("data.nsf")).unwrap();
+    let log = FileLogStore::open(&dir.join("data.log")).unwrap();
+    Arc::new(
+        Database::open(
+            Box::new(disk),
+            Some(Box::new(log)),
+            DbConfig::new("FileDb", ReplicaId(1), ReplicaId(9)),
+            clock,
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn clean_shutdown_and_reopen() {
+    let dir = temp_dir("clean");
+    let clock = LogicalClock::new();
+    let unid = {
+        let db = open_file_db(&dir, clock.clone());
+        let mut n = Note::document("Memo");
+        n.set("Subject", Value::text("on disk"));
+        n.set_body("Body", Value::RichText(vec![7u8; 9000]));
+        db.save(&mut n).unwrap();
+        db.shutdown().unwrap();
+        n.unid()
+    };
+    let db = open_file_db(&dir, clock);
+    assert!(db.recovery_stats().is_none(), "clean shutdown: no recovery");
+    let n = db.open_by_unid(unid).unwrap();
+    assert_eq!(n.get_text("Subject").unwrap(), "on disk");
+    assert_eq!(n.get("Body"), Some(&Value::RichText(vec![7u8; 9000])));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dirty_close_recovers_from_file_log() {
+    let dir = temp_dir("dirty");
+    let clock = LogicalClock::new();
+    let unids: Vec<_> = {
+        let db = open_file_db(&dir, clock.clone());
+        let mut unids = Vec::new();
+        for i in 0..50 {
+            let mut n = Note::document("Memo");
+            n.set("I", Value::Number(i as f64));
+            db.save(&mut n).unwrap();
+            unids.push(n.unid());
+        }
+        // NO shutdown: committed work lives only in the durable log (the
+        // buffer pool never flushed).
+        unids
+    };
+    let db = open_file_db(&dir, clock);
+    let stats = db.recovery_stats().expect("recovery ran from the file log");
+    assert!(stats.redone > 0);
+    assert_eq!(db.document_count().unwrap(), 50);
+    for (i, unid) in unids.iter().enumerate() {
+        assert_eq!(
+            db.open_by_unid(*unid).unwrap().get("I"),
+            Some(&Value::Number(i as f64))
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn file_compact_shrinks_store() {
+    let dir = temp_dir("compact");
+    let clock = LogicalClock::new();
+    let db = open_file_db(&dir, clock.clone());
+    for i in 0..80 {
+        let mut n = Note::document("Doc");
+        n.set_body("Body", Value::RichText(vec![i as u8; 8000]));
+        db.save(&mut n).unwrap();
+        if i % 4 != 0 {
+            db.delete(n.id).unwrap();
+        }
+    }
+    let dir2 = temp_dir("compact-out");
+    let disk2 = FileDisk::open(&dir2.join("data.nsf")).unwrap();
+    let log2 = FileLogStore::open(&dir2.join("data.log")).unwrap();
+    let (fresh, stats) = db
+        .compact_into(Box::new(disk2), Some(Box::new(log2)))
+        .unwrap();
+    assert_eq!(stats.notes_copied, 20);
+    println!("compact: {} -> {} bytes", stats.bytes_before, stats.bytes_after);
+    // Interleaved deletes let the source reuse freed pages, so the win
+    // here is moderate; the churn-heavy core test shows the >2x case.
+    assert!(stats.bytes_after * 4 < stats.bytes_before * 3,
+        "{} -> {}", stats.bytes_before, stats.bytes_after);
+    assert_eq!(fresh.document_count().unwrap(), 20);
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}

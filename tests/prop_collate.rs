@@ -1,0 +1,70 @@
+//! Property: collation-key byte order is exactly `Value::collate` order —
+//! the law that makes view indexes correct.
+
+use proptest::prelude::*;
+
+use domino::types::{DateTime, Value};
+use domino::views::collate::{encode_field, SortDir};
+
+fn arb_scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|n| Value::Number(n as f64)),
+        (-1.0e9f64..1.0e9).prop_map(Value::Number),
+        any::<i32>().prop_map(|t| Value::DateTime(DateTime(t as i64))),
+        "[ -~]{0,16}".prop_map(Value::Text), // printable ASCII incl. space
+    ]
+}
+
+fn key(v: &Value, dir: SortDir) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_field(v, dir, &mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+
+    /// Ascending byte order == collate order, for arbitrary scalar pairs.
+    #[test]
+    fn byte_order_matches_collate(a in arb_scalar(), b in arb_scalar()) {
+        let ka = key(&a, SortDir::Ascending);
+        let kb = key(&b, SortDir::Ascending);
+        let byte_ord = ka.cmp(&kb);
+        let coll_ord = a.collate(&b);
+        prop_assert_eq!(byte_ord, coll_ord, "{:?} vs {:?}", a, b);
+    }
+
+    /// Descending is the exact reverse for non-equal values.
+    #[test]
+    fn descending_reverses(a in arb_scalar(), b in arb_scalar()) {
+        let asc = key(&a, SortDir::Ascending).cmp(&key(&b, SortDir::Ascending));
+        let desc = key(&a, SortDir::Descending).cmp(&key(&b, SortDir::Descending));
+        prop_assert_eq!(asc, desc.reverse());
+    }
+
+    /// Equal keys only for collate-equal values (injective up to collation
+    /// equivalence).
+    #[test]
+    fn key_equality_is_collate_equality(a in arb_scalar(), b in arb_scalar()) {
+        let same_key = key(&a, SortDir::Ascending) == key(&b, SortDir::Ascending);
+        let same_coll = a.collate(&b) == std::cmp::Ordering::Equal;
+        prop_assert_eq!(same_key, same_coll);
+    }
+
+    /// Multi-field keys respect lexicographic field significance: if the
+    /// first fields differ, the second never flips the order.
+    #[test]
+    fn field_concatenation_is_lexicographic(
+        a1 in arb_scalar(), a2 in arb_scalar(),
+        b1 in arb_scalar(), b2 in arb_scalar(),
+    ) {
+        let mut ka = key(&a1, SortDir::Ascending);
+        ka.extend(key(&a2, SortDir::Ascending));
+        let mut kb = key(&b1, SortDir::Ascending);
+        kb.extend(key(&b2, SortDir::Ascending));
+        let first = a1.collate(&b1);
+        if first != std::cmp::Ordering::Equal {
+            prop_assert_eq!(ka.cmp(&kb), first);
+        }
+    }
+}

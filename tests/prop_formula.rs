@@ -1,0 +1,164 @@
+//! Property tests for the formula language: algebraic identities of the
+//! list operators and @-functions, and parser/printer robustness.
+
+use proptest::prelude::*;
+
+use domino::formula::{EvalEnv, Formula, MapDoc};
+use domino::types::Value;
+
+fn eval_with(doc: &MapDoc, src: &str) -> Value {
+    Formula::compile(src)
+        .unwrap()
+        .eval(doc, &EvalEnv::default())
+        .unwrap()
+}
+
+/// Text safe to embed in a formula string literal and compare as a single
+/// list element (no quotes/backslashes/semicolons).
+fn safe_text() -> impl Strategy<Value = String> {
+    "[a-z0-9 _.-]{0,12}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// @Elements(a : b) = @Elements(a) + @Elements(b) for list values.
+    #[test]
+    fn concat_adds_element_counts(
+        a in prop::collection::vec(any::<i16>(), 1..6),
+        b in prop::collection::vec(any::<i16>(), 1..6),
+    ) {
+        let doc = MapDoc::new()
+            .with("A", Value::NumberList(a.iter().map(|x| *x as f64).collect()))
+            .with("B", Value::NumberList(b.iter().map(|x| *x as f64).collect()));
+        let n = eval_with(&doc, "@Elements(A : B)");
+        prop_assert_eq!(n, Value::Number((a.len() + b.len()) as f64));
+    }
+
+    /// @Sort is idempotent and permutation-invariant.
+    #[test]
+    fn sort_idempotent_and_order_free(xs in prop::collection::vec(-1000i32..1000, 1..12)) {
+        let fwd = MapDoc::new()
+            .with("X", Value::NumberList(xs.iter().map(|x| *x as f64).collect()));
+        let mut rev_xs = xs.clone();
+        rev_xs.reverse();
+        let rev = MapDoc::new()
+            .with("X", Value::NumberList(rev_xs.iter().map(|x| *x as f64).collect()));
+        let s1 = eval_with(&fwd, "@Sort(X)");
+        let s2 = eval_with(&rev, "@Sort(X)");
+        prop_assert_eq!(&s1, &s2);
+        let doc2 = MapDoc::new().with("X", s1.clone());
+        prop_assert_eq!(eval_with(&doc2, "@Sort(X)"), s1);
+    }
+
+    /// @Implode then @Explode with a separator not present in the parts is
+    /// the identity on non-empty clean text lists.
+    #[test]
+    fn implode_explode_roundtrip(parts in prop::collection::vec("[a-z0-9]{1,8}", 1..6)) {
+        let doc = MapDoc::new().with("X", Value::text_list(parts.clone()));
+        let joined = eval_with(&doc, r#"@Implode(X; "|")"#);
+        let doc2 = MapDoc::new().with("J", joined);
+        let back = eval_with(&doc2, r#"@Explode(J; "|")"#);
+        prop_assert_eq!(back, Value::TextList(parts));
+    }
+
+    /// Uppercase/lowercase are inverses on ASCII and length-preserving.
+    #[test]
+    fn case_functions(s in "[a-zA-Z0-9 ]{0,20}") {
+        let doc = MapDoc::new().with("S", Value::text(s.clone()));
+        let up = eval_with(&doc, "@Uppercase(S)");
+        prop_assert_eq!(up, Value::Text(s.to_uppercase()));
+        let low = eval_with(&doc, "@Lowercase(@Uppercase(S))");
+        prop_assert_eq!(low, Value::Text(s.to_lowercase()));
+        let n = eval_with(&doc, "@Length(S)");
+        prop_assert_eq!(n, Value::Number(s.chars().count() as f64));
+    }
+
+    /// @Left(s; n) + @Right(s; len - n) reassembles s.
+    #[test]
+    fn left_right_partition(s in "[a-z]{0,16}", cut in 0..20usize) {
+        let n = cut.min(s.len());
+        let doc = MapDoc::new()
+            .with("S", Value::text(s.clone()))
+            .with("N", Value::Number(n as f64));
+        let got = eval_with(&doc, "@Left(S; N) + @Right(S; @Length(S) - N)");
+        prop_assert_eq!(got, Value::Text(s));
+    }
+
+    /// Pairwise '+' on equal-length lists is element-wise addition.
+    #[test]
+    fn pairwise_add(xs in prop::collection::vec(-100i32..100, 1..8)) {
+        let nums: Vec<f64> = xs.iter().map(|x| *x as f64).collect();
+        let doc = MapDoc::new()
+            .with("A", Value::NumberList(nums.clone()))
+            .with("B", Value::NumberList(nums.clone()));
+        let got = eval_with(&doc, "A + B");
+        let want: Vec<f64> = nums.iter().map(|x| x * 2.0).collect();
+        let want = if want.len() == 1 { Value::Number(want[0]) } else { Value::NumberList(want) };
+        prop_assert_eq!(got, want);
+    }
+
+    /// @Sum over a list equals the model sum; broadcasting scalar * list
+    /// distributes.
+    #[test]
+    fn sum_and_broadcast(xs in prop::collection::vec(-50i32..50, 1..10), k in -5i32..5) {
+        let doc = MapDoc::new()
+            .with("X", Value::NumberList(xs.iter().map(|x| *x as f64).collect()))
+            .with("K", Value::Number(k as f64));
+        let total: i64 = xs.iter().map(|x| *x as i64).sum();
+        prop_assert_eq!(eval_with(&doc, "@Sum(X)"), Value::Number(total as f64));
+        let scaled = eval_with(&doc, "@Sum(X * K)");
+        prop_assert_eq!(scaled, Value::Number((total * k as i64) as f64));
+    }
+
+    /// Membership: every element of a list IS a member; a fresh marker is
+    /// not.
+    #[test]
+    fn membership(parts in prop::collection::vec("[a-z]{1,6}", 1..6), pick in any::<prop::sample::Index>()) {
+        let doc = MapDoc::new().with("X", Value::text_list(parts.clone()));
+        let chosen = &parts[pick.index(parts.len())];
+        let f = format!(r#"@IsMember("{chosen}"; X)"#);
+        prop_assert_eq!(eval_with(&doc, &f), Value::from(true));
+        prop_assert_eq!(
+            eval_with(&doc, r#"@IsMember("zzz-not-there"; X)"#),
+            Value::from(false)
+        );
+        // @Member returns a valid 1-based index pointing at an equal element.
+        let idx = eval_with(&doc, &format!(r#"@Member("{chosen}"; X)"#)).as_number().unwrap();
+        prop_assert!(idx >= 1.0);
+        prop_assert_eq!(&parts[idx as usize - 1], chosen);
+    }
+
+    /// Comparison operators form a total order consistent with f64.
+    #[test]
+    fn comparisons_match_f64(a in -1000i32..1000, b in -1000i32..1000) {
+        let doc = MapDoc::new()
+            .with("A", Value::Number(a as f64))
+            .with("B", Value::Number(b as f64));
+        prop_assert_eq!(eval_with(&doc, "A < B"), Value::from(a < b));
+        prop_assert_eq!(eval_with(&doc, "A <= B"), Value::from(a <= b));
+        prop_assert_eq!(eval_with(&doc, "A = B"), Value::from(a == b));
+        prop_assert_eq!(eval_with(&doc, "A >= B"), Value::from(a >= b));
+        prop_assert_eq!(eval_with(&doc, "A > B"), Value::from(a > b));
+        prop_assert_eq!(eval_with(&doc, "A <> B"), Value::from(a != b));
+    }
+
+    /// Any safe text round-trips through a quoted literal.
+    #[test]
+    fn text_literals_roundtrip(s in safe_text()) {
+        let doc = MapDoc::new();
+        let got = eval_with(&doc, &format!("\"{s}\""));
+        prop_assert_eq!(got, Value::Text(s));
+    }
+
+    /// @Subset(x; n) : @Subset(x; n - len) == x (split/recombine).
+    #[test]
+    fn subset_splits(parts in prop::collection::vec("[a-z]{1,4}", 2..8), cut in 1..7usize) {
+        let n = cut.min(parts.len() - 1);
+        let doc = MapDoc::new()
+            .with("X", Value::text_list(parts.clone()))
+            .with("N", Value::Number(n as f64));
+        let got = eval_with(&doc, "@Subset(X; N) : @Subset(X; N - @Elements(X))");
+        prop_assert_eq!(got, Value::text_list(parts));
+    }
+}

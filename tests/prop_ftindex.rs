@@ -1,0 +1,143 @@
+//! Property: the inverted index answers exactly like a naive scan over the
+//! document texts, through arbitrary index/update/remove schedules.
+
+use proptest::prelude::*;
+
+use domino::core::Note;
+use domino::ftindex::{parse_query, tokenize, InvertedIndex};
+use domino::types::{NoteClass, Unid, Value};
+
+fn words() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "alpha", "beta", "gamma", "delta", "storage", "notes", "view", "index",
+    ])
+    .prop_map(|s| s.to_string())
+}
+
+fn text() -> impl Strategy<Value = String> {
+    prop::collection::vec(words(), 0..12).prop_map(|ws| ws.join(" "))
+}
+
+fn note(unid: u128, text: &str) -> Note {
+    let mut n = Note::new(NoteClass::Document);
+    n.oid.unid = Unid(unid);
+    n.set("Body", Value::text(text));
+    n
+}
+
+/// Naive evaluation of a single-word query: docs whose token stream
+/// contains the word.
+fn naive_contains(docs: &[(u128, String)], word: &str) -> Vec<u128> {
+    let mut v: Vec<u128> = docs
+        .iter()
+        .filter(|(_, t)| tokenize(t).iter().any(|(w, _)| w == word))
+        .map(|(u, _)| *u)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn index_hits(ix: &InvertedIndex, q: &str) -> Vec<u128> {
+    let mut v: Vec<u128> = ix
+        .execute(&parse_query(q).unwrap())
+        .into_iter()
+        .map(|h| h.unid.0)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Word queries match a naive scan after arbitrary updates/removals.
+    #[test]
+    fn word_queries_match_naive_scan(
+        initial in prop::collection::vec(text(), 1..10),
+        updates in prop::collection::vec((0..10usize, text()), 0..6),
+        removals in prop::collection::vec(0..10usize, 0..4),
+        probe in words(),
+    ) {
+        let mut ix = InvertedIndex::new();
+        let mut docs: Vec<(u128, String)> = initial
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (i as u128 + 1, t))
+            .collect();
+        for (u, t) in &docs {
+            ix.index_note(&note(*u, t));
+        }
+        for (slot, t) in updates {
+            if docs.is_empty() { break; }
+            let i = slot % docs.len();
+            docs[i].1 = t.clone();
+            ix.index_note(&note(docs[i].0, &t));
+        }
+        for slot in removals {
+            if docs.is_empty() { break; }
+            let i = slot % docs.len();
+            let (u, _) = docs.remove(i);
+            ix.remove(Unid(u));
+        }
+        prop_assert_eq!(index_hits(&ix, &probe), naive_contains(&docs, &probe));
+    }
+
+    /// Boolean algebra: AND is intersection, OR is union, NOT is
+    /// difference — verified against set operations on word results.
+    #[test]
+    fn boolean_operators_are_set_operations(
+        texts in prop::collection::vec(text(), 1..12),
+        w1 in words(),
+        w2 in words(),
+    ) {
+        let docs: Vec<(u128, String)> = texts
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (i as u128 + 1, t))
+            .collect();
+        let mut ix = InvertedIndex::new();
+        for (u, t) in &docs {
+            ix.index_note(&note(*u, t));
+        }
+        let a = naive_contains(&docs, &w1);
+        let b = naive_contains(&docs, &w2);
+        let inter: Vec<u128> = a.iter().filter(|x| b.contains(x)).copied().collect();
+        let mut union: Vec<u128> = a.iter().chain(b.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        let diff: Vec<u128> = a.iter().filter(|x| !b.contains(x)).copied().collect();
+
+        prop_assert_eq!(index_hits(&ix, &format!("{w1} AND {w2}")), inter);
+        prop_assert_eq!(index_hits(&ix, &format!("{w1} OR {w2}")), union);
+        prop_assert_eq!(index_hits(&ix, &format!("{w1} NOT {w2}")), diff);
+    }
+
+    /// Phrase queries match exactly the docs whose token stream contains
+    /// the two words adjacently.
+    #[test]
+    fn phrases_match_adjacency(texts in prop::collection::vec(text(), 1..12), w1 in words(), w2 in words()) {
+        let docs: Vec<(u128, String)> = texts
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (i as u128 + 1, t))
+            .collect();
+        let mut ix = InvertedIndex::new();
+        for (u, t) in &docs {
+            ix.index_note(&note(*u, t));
+        }
+        let naive: Vec<u128> = {
+            let mut v: Vec<u128> = docs
+                .iter()
+                .filter(|(_, t)| {
+                    let toks: Vec<String> =
+                        tokenize(t).into_iter().map(|(w, _)| w).collect();
+                    toks.windows(2).any(|w| w[0] == w1 && w[1] == w2)
+                })
+                .map(|(u, _)| *u)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(index_hits(&ix, &format!("\"{w1} {w2}\"")), naive);
+    }
+}

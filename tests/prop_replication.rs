@@ -1,0 +1,235 @@
+//! Property tests for replication: arbitrary edit/delete/sync schedules
+//! must always converge, and no update may ever be silently lost.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use domino::core::{Database, DbConfig, Note};
+use domino::replica::{ReplicationOptions, Replicator};
+use domino::types::{LogicalClock, NoteClass, ReplicaId, Timestamp, Value};
+
+/// One step of a random schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Create a document on replica r with payload p.
+    Create { r: usize, p: u8 },
+    /// Edit document #d (mod existing) on replica r to payload p.
+    Edit { r: usize, d: usize, p: u8 },
+    /// Edit a *different field* of document #d.
+    EditOther { r: usize, d: usize, p: u8 },
+    /// Delete document #d on replica r.
+    Delete { r: usize, d: usize },
+    /// Replicate the pair (a, b).
+    Sync { a: usize, b: usize },
+}
+
+fn op_strategy(replicas: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..replicas, any::<u8>()).prop_map(|(r, p)| Op::Create { r, p }),
+        (0..replicas, 0..64usize, any::<u8>()).prop_map(|(r, d, p)| Op::Edit { r, d, p }),
+        (0..replicas, 0..64usize, any::<u8>())
+            .prop_map(|(r, d, p)| Op::EditOther { r, d, p }),
+        (0..replicas, 0..64usize).prop_map(|(r, d)| Op::Delete { r, d }),
+        (0..replicas, 0..replicas).prop_map(|(a, b)| Op::Sync { a, b }),
+    ]
+}
+
+fn make_replicas(n: usize) -> Vec<Arc<Database>> {
+    (0..n)
+        .map(|i| {
+            Arc::new(
+                Database::open_in_memory(
+                    DbConfig::new("p", ReplicaId(42), ReplicaId(1000 + i as u64)),
+                    LogicalClock::starting_at(Timestamp(i as u64 * 13)),
+                )
+                .unwrap(),
+            )
+        })
+        .collect()
+}
+
+/// Canonical live-document view of a replica: unid -> (payload items).
+fn contents(db: &Database) -> Vec<(u128, String, String)> {
+    let mut v: Vec<(u128, String, String)> = db
+        .note_ids(Some(NoteClass::Document))
+        .unwrap()
+        .into_iter()
+        .map(|id| {
+            let n = db.open_note(id).unwrap();
+            (
+                n.unid().0,
+                n.get_text("Payload").unwrap_or_default(),
+                n.get_text("Other").unwrap_or_default(),
+            )
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn run_schedule(ops: &[Op], replicas: usize, merge: bool) -> Vec<Arc<Database>> {
+    let dbs = make_replicas(replicas);
+    let mut repl = Replicator::new(ReplicationOptions {
+        merge_conflicts: merge,
+        ..ReplicationOptions::default()
+    });
+    for op in ops {
+        match op {
+            Op::Create { r, p } => {
+                let mut n = Note::document("Doc");
+                n.set("Payload", Value::text(format!("p{p}")));
+                dbs[*r].save(&mut n).unwrap();
+            }
+            Op::Edit { r, d, p } => {
+                let ids = dbs[*r].note_ids(Some(NoteClass::Document)).unwrap();
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[d % ids.len()];
+                let mut n = dbs[*r].open_note(id).unwrap();
+                n.set("Payload", Value::text(format!("e{p}")));
+                dbs[*r].save(&mut n).unwrap();
+            }
+            Op::EditOther { r, d, p } => {
+                let ids = dbs[*r].note_ids(Some(NoteClass::Document)).unwrap();
+                if ids.is_empty() {
+                    continue;
+                }
+                let id = ids[d % ids.len()];
+                let mut n = dbs[*r].open_note(id).unwrap();
+                n.set("Other", Value::text(format!("o{p}")));
+                dbs[*r].save(&mut n).unwrap();
+            }
+            Op::Delete { r, d } => {
+                let ids = dbs[*r].note_ids(Some(NoteClass::Document)).unwrap();
+                if ids.is_empty() {
+                    continue;
+                }
+                dbs[*r].delete(ids[d % ids.len()]).unwrap();
+            }
+            Op::Sync { a, b } => {
+                if a != b {
+                    repl.sync(&dbs[*a], &dbs[*b]).unwrap();
+                }
+            }
+        }
+    }
+    // Final full mesh until quiescent (every pair, until no pull changes
+    // anything — bounded by a generous round count).
+    for _ in 0..2 * replicas * replicas + 4 {
+        let mut changed = false;
+        for a in 0..replicas {
+            for b in a + 1..replicas {
+                let (x, y) = repl.sync(&dbs[a], &dbs[b]).unwrap();
+                changed |= x.changed_anything() || y.changed_anything();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dbs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// After any schedule plus a finishing mesh sync, all replicas hold
+    /// identical documents.
+    #[test]
+    fn replicas_always_converge(
+        ops in prop::collection::vec(op_strategy(3), 1..40),
+        merge in any::<bool>(),
+    ) {
+        let dbs = run_schedule(&ops, 3, merge);
+        let want = contents(&dbs[0]);
+        for db in &dbs[1..] {
+            prop_assert_eq!(contents(db), want.clone());
+        }
+        // Stub sets converge too.
+        let stubs0: Vec<u128> = {
+            let mut s: Vec<u128> =
+                dbs[0].stubs().unwrap().iter().map(|x| x.oid.unid.0).collect();
+            s.sort_unstable();
+            s
+        };
+        for db in &dbs[1..] {
+            let mut s: Vec<u128> =
+                db.stubs().unwrap().iter().map(|x| x.oid.unid.0).collect();
+            s.sort_unstable();
+            prop_assert_eq!(s, stubs0.clone());
+        }
+    }
+
+    /// No update is silently lost: every payload string written by the
+    /// final edit of some divergent branch survives somewhere — in the
+    /// winning document, a merge, or a $Conflict document — unless its
+    /// document was deleted.
+    #[test]
+    fn concurrent_edits_never_silently_lost(
+        pa in any::<u8>(), pb in any::<u8>(),
+    ) {
+        let dbs = make_replicas(2);
+        let mut repl = Replicator::new(ReplicationOptions::default());
+        let mut n = Note::document("Doc");
+        n.set("Payload", Value::text("base"));
+        dbs[0].save(&mut n).unwrap();
+        repl.sync(&dbs[0], &dbs[1]).unwrap();
+
+        // Divergent edits.
+        let mut na = dbs[0].open_by_unid(n.unid()).unwrap();
+        na.set("Payload", Value::text(format!("a{pa}")));
+        dbs[0].save(&mut na).unwrap();
+        let mut nb = dbs[1].open_by_unid(n.unid()).unwrap();
+        nb.set("Payload", Value::text(format!("b{pb}")));
+        dbs[1].save(&mut nb).unwrap();
+
+        repl.sync(&dbs[0], &dbs[1]).unwrap();
+        repl.sync(&dbs[0], &dbs[1]).unwrap();
+
+        for db in &dbs {
+            let all: Vec<String> = db
+                .note_ids(Some(NoteClass::Document))
+                .unwrap()
+                .into_iter()
+                .map(|id| db.open_note(id).unwrap().get_text("Payload").unwrap())
+                .collect();
+            prop_assert!(all.contains(&format!("a{pa}")), "a-edit lost: {all:?}");
+            prop_assert!(all.contains(&format!("b{pb}")), "b-edit lost: {all:?}");
+        }
+    }
+
+    /// Disjoint-field concurrent edits with merging on: both fields
+    /// survive in ONE document, with no conflict documents.
+    #[test]
+    fn merge_keeps_both_disjoint_fields(pa in any::<u8>(), pb in any::<u8>()) {
+        let dbs = make_replicas(2);
+        let mut repl = Replicator::new(ReplicationOptions {
+            merge_conflicts: true,
+            ..ReplicationOptions::default()
+        });
+        let mut n = Note::document("Doc");
+        n.set("Payload", Value::text("base"));
+        n.set("Other", Value::text("base"));
+        dbs[0].save(&mut n).unwrap();
+        repl.sync(&dbs[0], &dbs[1]).unwrap();
+
+        let mut na = dbs[0].open_by_unid(n.unid()).unwrap();
+        na.set("Payload", Value::text(format!("a{pa}")));
+        dbs[0].save(&mut na).unwrap();
+        let mut nb = dbs[1].open_by_unid(n.unid()).unwrap();
+        nb.set("Other", Value::text(format!("b{pb}")));
+        dbs[1].save(&mut nb).unwrap();
+
+        repl.sync(&dbs[0], &dbs[1]).unwrap();
+        repl.sync(&dbs[0], &dbs[1]).unwrap();
+
+        for db in &dbs {
+            prop_assert_eq!(db.document_count().unwrap(), 1, "no conflict docs");
+            let doc = db.open_by_unid(n.unid()).unwrap();
+            prop_assert_eq!(doc.get_text("Payload").unwrap(), format!("a{pa}"));
+            prop_assert_eq!(doc.get_text("Other").unwrap(), format!("b{pb}"));
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Property tests for the storage engine: B-tree vs a model, heap
+//! round-trips, and crash recovery restoring exactly the committed state.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use domino::storage::{BTree, Engine, EngineConfig, Heap, MemDisk, PAGE_SIZE};
+use domino::wal::MemLogStore;
+
+fn engine_with(cap: usize) -> (Engine, MemDisk, MemLogStore) {
+    let disk = MemDisk::new();
+    let log = MemLogStore::new();
+    let e = Engine::open(
+        Box::new(disk.clone()),
+        Some(Box::new(log.clone())),
+        EngineConfig { buffer_capacity: cap, ..EngineConfig::default() },
+    )
+    .unwrap();
+    (e, disk, log)
+}
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u16, u64),
+    Delete(u16),
+    Get(u16),
+}
+
+fn tree_ops() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u64>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        any::<u16>().prop_map(TreeOp::Delete),
+        any::<u16>().prop_map(TreeOp::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// The disk B-tree behaves exactly like std's BTreeMap, including
+    /// through a tiny buffer pool (constant eviction).
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(tree_ops(), 1..300)) {
+        let (mut e, _, _) = engine_with(8);
+        let mut tx = e.begin().unwrap();
+        let t = BTree::open(&mut e, &mut tx, 0).unwrap();
+        let mut model: BTreeMap<u128, u64> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    let old = t.insert(&mut e, &mut tx, *k as u128, *v).unwrap();
+                    prop_assert_eq!(old, model.insert(*k as u128, *v));
+                }
+                TreeOp::Delete(k) => {
+                    let old = t.delete(&mut e, &mut tx, *k as u128).unwrap();
+                    prop_assert_eq!(old, model.remove(&(*k as u128)));
+                }
+                TreeOp::Get(k) => {
+                    let got = t.get(&mut e, *k as u128).unwrap();
+                    prop_assert_eq!(got, model.get(&(*k as u128)).copied());
+                }
+            }
+        }
+        // Full scan equals the model.
+        let mut scanned = Vec::new();
+        t.scan(&mut e, 0, u128::MAX, |k, v| { scanned.push((k, v)); true }).unwrap();
+        let want: Vec<(u128, u64)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, want);
+        e.commit(tx).unwrap();
+    }
+
+    /// Heap records of arbitrary sizes (spanning several pages) round-trip
+    /// through interleaved inserts/deletes/updates.
+    #[test]
+    fn heap_roundtrips(specs in prop::collection::vec((any::<u8>(), 0..12_000usize), 1..30)) {
+        let (mut e, _, _) = engine_with(64);
+        let h = Heap;
+        let mut tx = e.begin().unwrap();
+        let mut live: Vec<(Vec<u8>, domino::storage::RecordPtr)> = Vec::new();
+        for (i, (seed, len)) in specs.iter().enumerate() {
+            let data: Vec<u8> = (0..*len).map(|j| (*seed as usize).wrapping_add(j) as u8).collect();
+            let ptr = h.insert(&mut e, &mut tx, &data).unwrap();
+            live.push((data, ptr));
+            // Periodically delete or update an earlier record.
+            if i % 3 == 2 && !live.is_empty() {
+                let victim = i % live.len();
+                let (_, ptr) = live.remove(victim);
+                h.delete(&mut e, &mut tx, ptr).unwrap();
+            } else if i % 5 == 4 && !live.is_empty() {
+                let victim = i % live.len();
+                let new_data: Vec<u8> = vec![*seed; (len / 2).max(1)];
+                let new_ptr = h.update(&mut e, &mut tx, live[victim].1, &new_data).unwrap();
+                live[victim] = (new_data, new_ptr);
+            }
+        }
+        e.commit(tx).unwrap();
+        for (data, ptr) in &live {
+            prop_assert_eq!(&h.read(&mut e, *ptr).unwrap(), data);
+        }
+    }
+
+    /// Crash anywhere: after restart, committed transactions are fully
+    /// present and the in-flight one has fully vanished.
+    #[test]
+    fn crash_recovers_exactly_committed_state(
+        committed_batches in prop::collection::vec(
+            prop::collection::vec((any::<u16>(), any::<u64>()), 1..20), 0..6),
+        in_flight in prop::collection::vec((any::<u16>(), any::<u64>()), 0..20),
+        checkpoint_after in prop::option::of(0..6usize),
+    ) {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        let mut model: BTreeMap<u128, u64> = BTreeMap::new();
+        {
+            let mut e = Engine::open(
+                Box::new(disk.clone()),
+                Some(Box::new(log.clone())),
+                EngineConfig { buffer_capacity: 16, ..EngineConfig::default() },
+            ).unwrap();
+            let mut tx0 = e.begin().unwrap();
+            let t = BTree::open(&mut e, &mut tx0, 0).unwrap();
+            e.commit(tx0).unwrap();
+            for (bi, batch) in committed_batches.iter().enumerate() {
+                let mut tx = e.begin().unwrap();
+                for (k, v) in batch {
+                    t.insert(&mut e, &mut tx, *k as u128, *v).unwrap();
+                    model.insert(*k as u128, *v);
+                }
+                e.commit(tx).unwrap();
+                if checkpoint_after == Some(bi) {
+                    e.checkpoint().unwrap();
+                }
+            }
+            // An uncommitted transaction that crashed mid-flight, with its
+            // updates partially forced to the log.
+            if !in_flight.is_empty() {
+                let mut tx = e.begin().unwrap();
+                for (k, v) in &in_flight {
+                    t.insert(&mut e, &mut tx, *k as u128, *v).unwrap();
+                }
+                e.wal().unwrap().flush_all().unwrap();
+                // crash without commit
+            }
+            e.crash();
+            log.crash();
+        }
+        let mut e = Engine::open(
+            Box::new(disk),
+            Some(Box::new(log)),
+            EngineConfig::default(),
+        ).unwrap();
+        let t = BTree::open_existing(&mut e, 0).unwrap();
+        let mut scanned = Vec::new();
+        t.scan(&mut e, 0, u128::MAX, |k, v| { scanned.push((k, v)); true }).unwrap();
+        let want: Vec<(u128, u64)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, want);
+    }
+
+    /// Abort is a perfect undo, byte for byte.
+    #[test]
+    fn abort_restores_pages(writes in prop::collection::vec(
+        (1..40u32, 0..(PAGE_SIZE as u16 - 64), prop::collection::vec(any::<u8>(), 1..64)),
+        1..40,
+    )) {
+        let (mut e, _, _) = engine_with(16);
+        // Set up some pages with committed content.
+        let mut tx = e.begin().unwrap();
+        let mut pages = Vec::new();
+        for _ in 0..40 {
+            pages.push(e.alloc_page(&mut tx, domino::storage::PageType::Heap).unwrap());
+        }
+        e.commit(tx).unwrap();
+        e.flush_all_pages().unwrap();
+        let before: Vec<Vec<u8>> = pages
+            .iter()
+            .map(|p| e.fetch(*p).unwrap().bytes(16, PAGE_SIZE - 16).to_vec())
+            .collect();
+
+        let mut tx = e.begin().unwrap();
+        for (pi, off, data) in &writes {
+            let page = pages[(*pi as usize) % pages.len()];
+            let off = (*off).max(16);
+            let end = (off as usize + data.len()).min(PAGE_SIZE);
+            e.write(&mut tx, page, off, &data[..end - off as usize]).unwrap();
+        }
+        e.abort(tx).unwrap();
+        for (p, want) in pages.iter().zip(before.iter()) {
+            let got = e.fetch(*p).unwrap().bytes(16, PAGE_SIZE - 16).to_vec();
+            prop_assert_eq!(&got, want);
+        }
+    }
+}
