@@ -41,7 +41,8 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("serialize");
+        let items: Vec<String> = results.iter().map(|t| format!("  {}", t.to_json())).collect();
+        let json = format!("[\n{}\n]\n", items.join(",\n"));
         let mut f = std::fs::File::create(&path).expect("create json file");
         f.write_all(json.as_bytes()).expect("write json");
         eprintln!("wrote {path}");

@@ -1,10 +1,8 @@
 //! Result tables: what each experiment prints and what EXPERIMENTS.md
 //! records.
 
-use serde::Serialize;
-
 /// One regenerated table/figure.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id ("e1"...).
     pub id: String,
@@ -88,6 +86,51 @@ impl Table {
         }
         out
     }
+
+    /// Render as a JSON object (serde is not available offline).
+    pub fn to_json(&self) -> String {
+        let cols: Vec<String> = self.columns.iter().map(|c| json_str(c)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| json_str(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"id\":{},\"kind\":{},\"title\":{},\"claim\":{},",
+                "\"columns\":[{}],\"rows\":[{}],\"takeaway\":{}}}"
+            ),
+            json_str(&self.id),
+            json_str(&self.kind),
+            json_str(&self.title),
+            json_str(&self.claim),
+            cols.join(","),
+            rows.join(","),
+            json_str(&self.takeaway)
+        )
+    }
+}
+
+/// JSON string literal with the escapes RFC 8259 requires.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format a float tersely.
@@ -137,6 +180,17 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", "t", "t", "c").columns(&["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let mut t = Table::new("e0", "Table 0", "quote \" and \\ back", "c")
+            .columns(&["n"]);
+        t.row(vec!["line\nbreak".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\":\"quote \\\" and \\\\ back\""));
+        assert!(j.contains("\"rows\":[[\"line\\nbreak\"]]"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
     #[test]

@@ -15,11 +15,19 @@
 //!
 //! Change observers ([`Database::subscribe`]) receive every save/delete
 //! after the transaction commits — this is how view indexes and the
-//! full-text index stay incremental.
+//! full-text index stay incremental. Bulk writers wrap their work in
+//! [`Database::begin_batch`]: events buffer until the batch guard drops,
+//! are coalesced (last write per UNID wins, with the surviving event's
+//! `old` patched to the pre-batch state), and batch observers
+//! ([`Database::subscribe_batch`]) then receive the whole slice at once —
+//! fanned out across observers in parallel — so a view index evaluates a
+//! thousand-save import as one parallel batch instead of a thousand
+//! single-document updates.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use rayon::prelude::*;
 
 use domino_formula::{EvalEnv, Formula};
 use domino_security::{Acl, AclEntry, AccessLevel};
@@ -55,6 +63,85 @@ pub enum ChangeEvent {
 }
 
 type Observer = Arc<dyn Fn(&ChangeEvent) + Send + Sync>;
+
+/// An observer that receives a whole coalesced commit batch at once
+/// (registered with [`Database::subscribe_batch`]). Outside a batch every
+/// change arrives as a one-event slice, so a batch observer sees *every*
+/// change either way.
+pub type BatchObserver = Arc<dyn Fn(&[ChangeEvent]) + Send + Sync>;
+
+/// Event buffering while a [`BatchGuard`] is open.
+#[derive(Default)]
+struct BatchState {
+    /// Nesting depth of open batch guards; events buffer while > 0.
+    depth: u32,
+    buffered: Vec<ChangeEvent>,
+}
+
+/// RAII handle for a change batch: events buffer while it lives and flush
+/// (coalesced) when the outermost guard drops. Nesting is allowed — inner
+/// guards extend the outer batch.
+pub struct BatchGuard<'a> {
+    db: &'a Database,
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        let flushed = {
+            let mut b = self.db.batch_state.lock();
+            b.depth -= 1;
+            if b.depth == 0 {
+                std::mem::take(&mut b.buffered)
+            } else {
+                Vec::new()
+            }
+        };
+        if !flushed.is_empty() {
+            self.db.dispatch(&coalesce(flushed));
+        }
+    }
+}
+
+/// Collapse a buffered batch to one event per UNID: the last event wins
+/// (in last-occurrence order), and a surviving `Saved` gets its `old`
+/// patched to the note's *pre-batch* state, so replaying the coalesced
+/// batch moves observers from the pre-batch state to the post-batch state
+/// exactly as replaying every event would. A `Deleted` for a note created
+/// inside the batch survives as-is; removing a never-seen note is a no-op
+/// for observers.
+fn coalesce(events: Vec<ChangeEvent>) -> Vec<ChangeEvent> {
+    if events.len() <= 1 {
+        return events;
+    }
+    let mut first_prior: std::collections::HashMap<Unid, Option<Note>> = Default::default();
+    let mut last_idx: std::collections::HashMap<Unid, usize> = Default::default();
+    for (i, e) in events.iter().enumerate() {
+        let (unid, prior) = match e {
+            ChangeEvent::Saved { old, new } => (new.unid(), old.clone()),
+            ChangeEvent::Deleted { old, .. } => (old.unid(), Some(old.clone())),
+        };
+        first_prior.entry(unid).or_insert(prior);
+        last_idx.insert(unid, i);
+    }
+    let mut out = Vec::with_capacity(last_idx.len());
+    for (i, e) in events.into_iter().enumerate() {
+        let unid = match &e {
+            ChangeEvent::Saved { new, .. } => new.unid(),
+            ChangeEvent::Deleted { old, .. } => old.unid(),
+        };
+        if last_idx[&unid] != i {
+            continue;
+        }
+        out.push(match e {
+            ChangeEvent::Saved { new, .. } => ChangeEvent::Saved {
+                old: first_prior.remove(&unid).flatten(),
+                new,
+            },
+            deleted => deleted,
+        });
+    }
+    out
+}
 
 /// Summary entry for replication: one changed thing since a cutoff.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +200,8 @@ struct DbInner {
 pub struct Database {
     inner: Mutex<DbInner>,
     observers: Mutex<Vec<Observer>>,
+    batch_observers: Mutex<Vec<BatchObserver>>,
+    batch_state: Mutex<BatchState>,
     clock: LogicalClock,
 }
 
@@ -162,6 +251,8 @@ impl Database {
                 unread: Default::default(),
             }),
             observers: Mutex::new(Vec::new()),
+            batch_observers: Mutex::new(Vec::new()),
+            batch_state: Mutex::new(BatchState::default()),
             clock,
         })
     }
@@ -210,10 +301,53 @@ impl Database {
         self.observers.lock().push(f);
     }
 
+    /// Register a batch observer: it receives every change, but grouped —
+    /// a one-event slice per commit normally, the whole coalesced batch
+    /// when changes happen under [`Database::begin_batch`]. Multiple batch
+    /// observers are invoked in parallel (each still sees events in order).
+    pub fn subscribe_batch(&self, f: BatchObserver) {
+        self.batch_observers.lock().push(f);
+    }
+
+    /// Start buffering change events. Events from every save/delete made
+    /// while the returned guard lives are coalesced (last write per UNID
+    /// wins) and delivered to observers together when the guard drops.
+    /// Guards nest; the outermost drop flushes.
+    pub fn begin_batch(&self) -> BatchGuard<'_> {
+        self.batch_state.lock().depth += 1;
+        BatchGuard { db: self }
+    }
+
     fn notify(&self, event: ChangeEvent) {
+        {
+            let mut b = self.batch_state.lock();
+            if b.depth > 0 {
+                b.buffered.push(event);
+                return;
+            }
+        }
+        self.dispatch(std::slice::from_ref(&event));
+    }
+
+    /// Deliver events to all observers: per-event subscribers first (in
+    /// event order), then batch subscribers — fanned out across observers
+    /// in parallel, since each maintains independent state (its own view
+    /// index) and an import-sized batch is expensive per observer.
+    fn dispatch(&self, events: &[ChangeEvent]) {
+        if events.is_empty() {
+            return;
+        }
         let observers: Vec<Observer> = self.observers.lock().clone();
-        for obs in observers {
-            obs(&event);
+        for event in events {
+            for obs in &observers {
+                obs(event);
+            }
+        }
+        let batch_obs: Vec<BatchObserver> = self.batch_observers.lock().clone();
+        match batch_obs.len() {
+            0 => {}
+            1 => batch_obs[0](events),
+            _ => batch_obs.par_iter().with_min_len(1).for_each(|obs| obs(events)),
         }
     }
 
@@ -973,6 +1107,172 @@ impl DbInner {
                 self.engine.abort(tx)?;
                 Err(e)
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use domino_types::LogicalClock;
+    use parking_lot::Mutex as PMutex;
+
+    fn db() -> Database {
+        Database::open_in_memory(
+            DbConfig::new("B", ReplicaId(1), ReplicaId(9)),
+            LogicalClock::new(),
+        )
+        .unwrap()
+    }
+
+    fn doc(db: &Database, subject: &str) -> Note {
+        let mut n = Note::document("Doc");
+        n.set("Subject", Value::text(subject));
+        db.save(&mut n).unwrap();
+        n
+    }
+
+    /// Collects every delivered slice for inspection.
+    fn collecting_observer(db: &Database) -> Arc<PMutex<Vec<Vec<ChangeEvent>>>> {
+        let seen: Arc<PMutex<Vec<Vec<ChangeEvent>>>> = Arc::new(PMutex::new(Vec::new()));
+        let sink = seen.clone();
+        db.subscribe_batch(Arc::new(move |events: &[ChangeEvent]| {
+            sink.lock().push(events.to_vec());
+        }));
+        seen
+    }
+
+    #[test]
+    fn unbatched_changes_arrive_as_single_event_slices() {
+        let db = db();
+        let seen = collecting_observer(&db);
+        doc(&db, "a");
+        doc(&db, "b");
+        let batches = seen.lock();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn batch_buffers_and_coalesces_last_write_wins() {
+        let db = db();
+        let seen = collecting_observer(&db);
+        let mut n = {
+            let _guard = db.begin_batch();
+            let mut n = doc(&db, "v1");
+            n.set("Subject", Value::text("v2"));
+            db.save(&mut n).unwrap();
+            doc(&db, "other");
+            assert!(seen.lock().is_empty(), "events must buffer inside the batch");
+            n
+        };
+        let batches = seen.lock();
+        assert_eq!(batches.len(), 1, "one flush for the whole batch");
+        let batch = &batches[0];
+        assert_eq!(batch.len(), 2, "two saves of one note coalesce");
+        // The twice-saved note survives as one creation with the final
+        // content: old is the pre-batch state (absent), new is the last
+        // write.
+        let ev = batch
+            .iter()
+            .find(|e| matches!(e, ChangeEvent::Saved { new, .. } if new.unid() == n.unid()))
+            .expect("coalesced save present");
+        match ev {
+            ChangeEvent::Saved { old, new } => {
+                assert!(old.is_none());
+                assert_eq!(new.get_text("Subject").as_deref(), Some("v2"));
+            }
+            _ => unreachable!(),
+        }
+        drop(batches);
+        // The note remains saveable afterwards (batching is observer-side
+        // only; storage state is unaffected).
+        n.set("Subject", Value::text("v3"));
+        db.save(&mut n).unwrap();
+    }
+
+    #[test]
+    fn save_then_delete_in_batch_survives_as_delete() {
+        let db = db();
+        let before = doc(&db, "keep");
+        let seen = collecting_observer(&db);
+        {
+            let _guard = db.begin_batch();
+            let n = doc(&db, "gone");
+            db.delete(n.id).unwrap();
+            // An update to a pre-batch note: its coalesced `old` must be
+            // the pre-batch content.
+            let mut b2 = db.open_note(before.id).unwrap();
+            b2.set("Subject", Value::text("kept-2"));
+            db.save(&mut b2).unwrap();
+        }
+        let batches = seen.lock();
+        assert_eq!(batches.len(), 1);
+        let batch = &batches[0];
+        assert_eq!(batch.len(), 2);
+        assert!(batch
+            .iter()
+            .any(|e| matches!(e, ChangeEvent::Deleted { old, .. } if old.get_text("Subject").as_deref() == Some("gone"))));
+        assert!(batch.iter().any(|e| matches!(
+            e,
+            ChangeEvent::Saved { old: Some(o), new }
+                if o.get_text("Subject").as_deref() == Some("keep")
+                    && new.get_text("Subject").as_deref() == Some("kept-2")
+        )));
+    }
+
+    #[test]
+    fn nested_batches_flush_once_at_outermost() {
+        let db = db();
+        let seen = collecting_observer(&db);
+        {
+            let _outer = db.begin_batch();
+            doc(&db, "a");
+            {
+                let _inner = db.begin_batch();
+                doc(&db, "b");
+            }
+            assert!(seen.lock().is_empty(), "inner drop must not flush");
+            doc(&db, "c");
+        }
+        let batches = seen.lock();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].len(), 3);
+    }
+
+    #[test]
+    fn legacy_observers_see_every_coalesced_event_in_order() {
+        let db = db();
+        let seen: Arc<PMutex<Vec<String>>> = Arc::new(PMutex::new(Vec::new()));
+        let sink = seen.clone();
+        db.subscribe(Arc::new(move |event: &ChangeEvent| {
+            if let ChangeEvent::Saved { new, .. } = event {
+                sink.lock().push(new.get_text("Subject").unwrap_or_default());
+            }
+        }));
+        {
+            let _guard = db.begin_batch();
+            doc(&db, "first");
+            doc(&db, "second");
+        }
+        assert_eq!(*seen.lock(), vec!["first".to_string(), "second".to_string()]);
+    }
+
+    #[test]
+    fn parallel_fanout_reaches_all_batch_observers() {
+        let db = db();
+        let sinks: Vec<Arc<PMutex<Vec<Vec<ChangeEvent>>>>> =
+            (0..4).map(|_| collecting_observer(&db)).collect();
+        {
+            let _guard = db.begin_batch();
+            for i in 0..10 {
+                doc(&db, &format!("d{i}"));
+            }
+        }
+        for sink in &sinks {
+            let batches = sink.lock();
+            assert_eq!(batches.len(), 1);
+            assert_eq!(batches[0].len(), 10);
         }
     }
 }

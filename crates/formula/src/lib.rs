@@ -24,14 +24,18 @@
 //! [`functions`].
 
 pub mod ast;
+pub mod cache;
 pub mod eval;
 pub mod functions;
 pub mod parser;
 pub mod token;
 
 pub use ast::{BinOp, Expr, Program, UnOp};
+pub use cache::CacheStats;
 pub use eval::{DocContext, EvalEnv, EvalOutput, Evaluator, MapDoc};
 pub use parser::parse;
+
+use std::sync::Arc;
 
 use domino_types::{Result, Value};
 
@@ -40,17 +44,30 @@ use domino_types::{Result, Value};
 /// Compile once with [`Formula::compile`], then evaluate against many
 /// documents. Compilation is pure parsing; all name resolution happens at
 /// evaluation time (Notes items are schemaless).
+///
+/// The compiled [`Program`] sits behind an `Arc`, so cloning a `Formula`
+/// (to hand to parallel view-index workers, say) shares the parse rather
+/// than repeating it. `Formula` is `Send + Sync`: programs are plain data
+/// and evaluation never mutates them.
 #[derive(Debug, Clone)]
 pub struct Formula {
     source: String,
-    program: Program,
+    program: Arc<Program>,
 }
 
 impl Formula {
     /// Parse `source` into a reusable formula.
     pub fn compile(source: &str) -> Result<Formula> {
-        let program = parse(source)?;
+        let program = Arc::new(parse(source)?);
         Ok(Formula { source: source.to_string(), program })
+    }
+
+    /// Like [`Formula::compile`], but consults the process-wide compile
+    /// cache: the first compilation of a source string is shared by every
+    /// later caller (see [`cache`]). Returns the formula and whether it
+    /// was a cache hit.
+    pub fn compile_cached(source: &str) -> Result<(Formula, bool)> {
+        cache::compile_cached(source)
     }
 
     /// The original source text.

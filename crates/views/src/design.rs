@@ -29,9 +29,12 @@ pub struct ColumnSpec {
 
 impl ColumnSpec {
     pub fn new(title: &str, formula_src: &str) -> Result<ColumnSpec> {
+        // Column formulas recur across views (Subject, Form, @Created...);
+        // share the parse through the process-wide compile cache.
+        let (formula, _) = Formula::compile_cached(formula_src)?;
         Ok(ColumnSpec {
             title: title.to_string(),
-            formula: Formula::compile(formula_src)?,
+            formula,
             sort: None,
             category: false,
             total: false,
@@ -77,7 +80,7 @@ pub struct ViewDesign {
 
 impl ViewDesign {
     pub fn new(name: &str, selection_src: &str) -> Result<ViewDesign> {
-        let selection = Formula::compile(selection_src)?;
+        let (selection, _) = Formula::compile_cached(selection_src)?;
         let show_responses = selection.wants_descendants();
         Ok(ViewDesign {
             name: name.to_string(),

@@ -10,15 +10,41 @@
 //! response marker and the response's own creation stamp, giving the
 //! indented-thread order Notes views display. Re-keying cascades when a
 //! parent moves.
+//!
+//! # The parallel indexing pipeline
+//!
+//! [`ViewIndex::rebuild`] splits work into a *parallel evaluate* phase and
+//! a *sequential merge* phase. Selection and column formulas are pure, so
+//! every main (parentless) document is evaluated on a rayon worker; the
+//! per-collation orders are then bulk-built from pre-sorted `(key, unid)`
+//! vectors instead of one `BTreeMap::insert` per document. Response
+//! placement stays sequential (a response's key embeds its parent's key,
+//! so subtrees are inherently ordered work); [`ViewIndex::rebuild_sequential`]
+//! keeps the single-threaded path as the reference the equivalence
+//! property test compares against — both produce byte-identical collation
+//! orders and entries.
+//!
+//! [`ViewIndex::apply_batch`] is the incremental analogue: a slice of
+//! change events (one coalesced database commit batch) is pre-evaluated in
+//! parallel, then merged in event order. Merging in order is what makes
+//! batching safe: the observable state equals applying the events one at a
+//! time.
+//!
+//! The selection formula is fetched through the process-wide compiled-
+//! formula cache ([`domino_formula::cache`]) at every rebuild and batch
+//! application, so one parse is shared across views, workers, and apply
+//! calls; per-view hit/miss counts land in [`ViewStats`].
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
+use rayon::prelude::*;
+
 use domino_core::{ChangeEvent, Note};
-use domino_formula::EvalEnv;
+use domino_formula::{EvalEnv, Formula};
 use domino_types::{NoteClass, NoteId, Result, Timestamp, Unid, Value};
 
 use crate::collate::{encode_key, encode_prefix, prefix_upper_bound, SortDir};
-use crate::design::ViewDesign;
+use crate::design::{Collation, ViewDesign};
 
 /// Where the index gets documents it must re-evaluate (parents/children of
 /// changed notes).
@@ -59,6 +85,16 @@ pub struct ViewStats {
     pub removed: u64,
     /// Full rebuilds performed.
     pub rebuilds: u64,
+    /// Compiled-selection cache hits (one lookup per rebuild/batch).
+    pub selection_cache_hits: u64,
+    /// Compiled-selection cache misses.
+    pub selection_cache_misses: u64,
+    /// `apply_batch` calls.
+    pub batches: u64,
+    /// Total change events across all batches.
+    pub batch_events: u64,
+    /// Largest single batch seen.
+    pub max_batch: u64,
 }
 
 /// A category rollup row.
@@ -72,8 +108,21 @@ pub struct CategoryRow {
     pub totals: Vec<(usize, f64)>,
 }
 
+/// A document's selection verdict and (if possibly included) column
+/// values, computed ahead of the sequential merge — the unit of work the
+/// parallel evaluate phase produces.
+struct PreEval {
+    selected: bool,
+    /// `None` when the evaluate phase skipped column computation (the
+    /// merge computes them lazily if inclusion turns out true).
+    values: Option<Vec<Value>>,
+}
+
 pub struct ViewIndex {
     design: ViewDesign,
+    /// The selection formula, fetched through the process-wide compile
+    /// cache and shared (via `Arc`'d program) with parallel workers.
+    selection: Formula,
     env: EvalEnv,
     entries: HashMap<Unid, ViewEntry>,
     /// One ordered map per collation: encoded key -> unid.
@@ -89,15 +138,36 @@ impl ViewIndex {
     pub fn new(design: ViewDesign, env: EvalEnv) -> Result<ViewIndex> {
         design.validate()?;
         let n_collations = design.collations().len();
+        let mut stats = ViewStats::default();
+        let selection = Self::cached_selection(&design, &mut stats)?;
         Ok(ViewIndex {
             design,
+            selection,
             env,
             entries: HashMap::new(),
             orders: vec![BTreeMap::new(); n_collations],
             keys: HashMap::new(),
             children: HashMap::new(),
-            stats: ViewStats::default(),
+            stats,
         })
+    }
+
+    fn cached_selection(design: &ViewDesign, stats: &mut ViewStats) -> Result<Formula> {
+        let (f, hit) = Formula::compile_cached(design.selection.source())?;
+        if hit {
+            stats.selection_cache_hits += 1;
+        } else {
+            stats.selection_cache_misses += 1;
+        }
+        Ok(f)
+    }
+
+    /// Re-fetch the selection from the compile cache (hit after the first
+    /// fetch anywhere in the process; the counters in [`ViewStats`] make
+    /// the sharing observable).
+    fn refresh_selection(&mut self) -> Result<()> {
+        self.selection = Self::cached_selection(&self.design, &mut self.stats)?;
+        Ok(())
     }
 
     pub fn design(&self) -> &ViewDesign {
@@ -131,64 +201,253 @@ impl ViewIndex {
         }
     }
 
+    /// Apply a slice of change events — one coalesced commit batch.
+    ///
+    /// The batch is pre-evaluated in parallel (selection verdict plus, for
+    /// selected documents, column values), then merged strictly in event
+    /// order, so the result is identical to applying each event through
+    /// [`ViewIndex::apply`] one at a time. Deletions and response
+    /// adoption (inclusion through a parent already in the view) are
+    /// resolved during the sequential merge because they depend on index
+    /// state as of their position in the batch.
+    pub fn apply_batch(&mut self, events: &[ChangeEvent], src: &dyn NoteSource) -> Result<()> {
+        self.stats.batches += 1;
+        self.stats.batch_events += events.len() as u64;
+        self.stats.max_batch = self.stats.max_batch.max(events.len() as u64);
+        if events.is_empty() {
+            return Ok(());
+        }
+        self.refresh_selection()?;
+        let selection = &self.selection;
+        let env = &self.env;
+        let design = &self.design;
+        let pre: Result<Vec<Option<PreEval>>> = events
+            .par_iter()
+            .map(|event| -> Result<Option<PreEval>> {
+                let note = match event {
+                    ChangeEvent::Saved { new, .. } => new,
+                    ChangeEvent::Deleted { .. } => return Ok(None),
+                };
+                if note.class != NoteClass::Document {
+                    return Ok(None);
+                }
+                let out = selection.eval_full(note, env)?;
+                // Columns for selected documents only: an unselected
+                // response may still ride in under its parent, but that
+                // depends on merge-time state — the merge computes its
+                // columns lazily, exactly as the one-event path would.
+                let values = if out.selected {
+                    let mut v = Vec::with_capacity(design.columns.len());
+                    for col in &design.columns {
+                        v.push(col.formula.eval(note, env)?);
+                    }
+                    Some(v)
+                } else {
+                    None
+                };
+                Ok(Some(PreEval { selected: out.selected, values }))
+            })
+            .collect();
+        let pre = pre?;
+        for (event, p) in events.iter().zip(pre) {
+            match event {
+                ChangeEvent::Saved { new, .. } => self.consider_pre(new, p, src)?,
+                ChangeEvent::Deleted { old, .. } => {
+                    self.remove_entry(old.unid());
+                    self.reconsider_children(old.unid(), src)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Rebuild from scratch over `docs` (selection + keys recomputed for
-    /// every document).
+    /// every document), evaluating main documents on parallel workers.
+    ///
+    /// Main documents key independently of each other, so their selection
+    /// verdicts, column values, and collation keys are all computed in
+    /// parallel; the per-collation `BTreeMap`s are then bulk-built from
+    /// pre-sorted `(key, unid)` vectors. Responses key under their parent
+    /// and are placed sequentially, shallow-to-deep (see
+    /// [`ViewIndex::place_responses`]).
     pub fn rebuild<'a>(
         &mut self,
         docs: impl IntoIterator<Item = &'a Note>,
         src: &dyn NoteSource,
     ) -> Result<()> {
-        self.entries.clear();
-        for o in &mut self.orders {
-            o.clear();
-        }
-        self.keys.clear();
-        self.children.clear();
+        self.clear_state();
         self.stats.rebuilds += 1;
+        self.refresh_selection()?;
+        let mut mains: Vec<&Note> = Vec::new();
+        let mut responses: Vec<&Note> = Vec::new();
+        for n in docs {
+            if n.parent().is_none() {
+                mains.push(n);
+            } else {
+                responses.push(n);
+            }
+        }
+
+        // Evaluate phase: selection, columns, and keys for every main, in
+        // parallel. Shared state is all read-only (`Formula` programs are
+        // `Arc`'d plain data; `EvalEnv`/`ViewDesign` are owned by `self`).
+        enum MainEval {
+            /// Non-document note classes are never evaluated.
+            Skip,
+            Evaluated,
+            Placed(ViewEntry, Vec<Vec<u8>>),
+        }
+        let selection = &self.selection;
+        let env = &self.env;
+        let design = &self.design;
+        let collations = design.collations();
+        let evals: Result<Vec<MainEval>> = mains
+            .par_iter()
+            .map(|note| -> Result<MainEval> {
+                if note.class != NoteClass::Document {
+                    return Ok(MainEval::Skip);
+                }
+                let out = selection.eval_full(*note, env)?;
+                if !out.selected {
+                    return Ok(MainEval::Evaluated);
+                }
+                let mut values = Vec::with_capacity(design.columns.len());
+                for col in &design.columns {
+                    values.push(col.formula.eval(*note, env)?);
+                }
+                let entry = ViewEntry {
+                    unid: note.unid(),
+                    note_id: note.id,
+                    values,
+                    response_level: 0,
+                    parent: None,
+                    created: note.created,
+                };
+                let keys = Self::main_keys(&collations, &entry);
+                Ok(MainEval::Placed(entry, keys))
+            })
+            .collect();
+
+        // Merge phase: account stats, fill the entry/key maps, and
+        // bulk-load each collation order from a pre-sorted vector (one
+        // sort + linear build instead of n log n tree inserts).
+        let mut per_coll: Vec<Vec<(Vec<u8>, Unid)>> =
+            self.orders.iter().map(|_| Vec::new()).collect();
+        for ev in evals? {
+            match ev {
+                MainEval::Skip => {}
+                MainEval::Evaluated => self.stats.evaluated += 1,
+                MainEval::Placed(entry, keys) => {
+                    self.stats.evaluated += 1;
+                    self.stats.placed += 1;
+                    for (ci, k) in keys.iter().enumerate() {
+                        per_coll[ci].push((k.clone(), entry.unid));
+                    }
+                    self.keys.insert(entry.unid, keys);
+                    self.entries.insert(entry.unid, entry);
+                }
+            }
+        }
+        for (ci, mut pairs) in per_coll.into_iter().enumerate() {
+            pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+            self.orders[ci] = BTreeMap::from_iter(pairs);
+        }
+
+        self.place_responses(responses, src)
+    }
+
+    /// Single-threaded rebuild, kept as the reference implementation: the
+    /// equivalence property test asserts [`ViewIndex::rebuild`] produces
+    /// byte-identical orders/entries, and E3 benchmarks the two against
+    /// each other.
+    pub fn rebuild_sequential<'a>(
+        &mut self,
+        docs: impl IntoIterator<Item = &'a Note>,
+        src: &dyn NoteSource,
+    ) -> Result<()> {
+        self.clear_state();
+        self.stats.rebuilds += 1;
+        self.refresh_selection()?;
         // Mains first, then responses shallow-to-deep so parents exist when
         // children key themselves.
-        let all: Vec<&Note> = docs.into_iter().collect();
         let mut pending: Vec<&Note> = Vec::new();
-        for n in &all {
+        for n in docs {
             if n.parent().is_none() {
                 self.consider(n, src)?;
             } else {
                 pending.push(n);
             }
         }
-        // Responses: iterate until stable (depth passes).
+        self.place_responses(pending, src)
+    }
+
+    fn clear_state(&mut self) {
+        self.entries.clear();
+        for o in &mut self.orders {
+            o.clear();
+        }
+        self.keys.clear();
+        self.children.clear();
+    }
+
+    /// Place response documents in depth passes: each pass places the
+    /// responses whose parent is already in the view, until no pass makes
+    /// progress; the stragglers are orphans (parent excluded or missing),
+    /// included by their own selection merit only.
+    ///
+    /// Each pass compacts the carry-over in place (index-swap retain)
+    /// rather than allocating a fresh vector per pass.
+    fn place_responses(&mut self, pending: Vec<&Note>, src: &dyn NoteSource) -> Result<()> {
         let mut remaining = pending;
         loop {
-            let mut next = Vec::new();
             let before = remaining.len();
-            for n in remaining {
-                let parent_in = n.parent().map(|p| self.entries.contains_key(&p)).unwrap_or(false);
+            if before == 0 {
+                return Ok(());
+            }
+            let mut kept = 0;
+            for i in 0..before {
+                let n = remaining[i];
+                let parent_in =
+                    n.parent().map(|p| self.entries.contains_key(&p)).unwrap_or(false);
                 if parent_in {
                     self.consider(n, src)?;
                 } else {
-                    next.push(n);
+                    remaining[kept] = n;
+                    kept += 1;
                 }
             }
-            if next.is_empty() || next.len() == before {
-                // Orphans (parent not in view): include by own merit.
-                for n in next {
+            remaining.truncate(kept);
+            if remaining.len() == before {
+                for n in remaining {
                     self.consider(n, src)?;
                 }
-                break;
+                return Ok(());
             }
-            remaining = next;
         }
-        Ok(())
     }
 
     /// Evaluate one document and place/remove it.
     fn consider(&mut self, note: &Note, src: &dyn NoteSource) -> Result<()> {
+        self.consider_pre(note, None, src)
+    }
+
+    /// Like [`ViewIndex::consider`], but reusing a pre-computed selection
+    /// verdict / column values when the parallel evaluate phase supplied
+    /// them.
+    fn consider_pre(
+        &mut self,
+        note: &Note,
+        pre: Option<PreEval>,
+        src: &dyn NoteSource,
+    ) -> Result<()> {
         if note.class != NoteClass::Document {
             return Ok(());
         }
         self.stats.evaluated += 1;
-        let out = self.design.selection.eval_full(note, &self.env)?;
-        let selected = out.selected;
+        let (selected, precomputed) = match pre {
+            Some(p) => (p.selected, p.values),
+            None => (self.selection.eval_full(note, &self.env)?.selected, None),
+        };
         let parent = note.parent();
         // Track the response linkage for *every* evaluated response, even
         // ones not (yet) included: if the parent enters the view later,
@@ -206,11 +465,17 @@ impl ViewIndex {
             self.reconsider_children(note.unid(), src)?;
             return Ok(());
         }
-        // Compute column values.
-        let mut values = Vec::with_capacity(self.design.columns.len());
-        for col in &self.design.columns {
-            values.push(col.formula.eval(note, &self.env)?);
-        }
+        // Compute column values (unless the parallel phase already did).
+        let values = match precomputed {
+            Some(v) => v,
+            None => {
+                let mut values = Vec::with_capacity(self.design.columns.len());
+                for col in &self.design.columns {
+                    values.push(col.formula.eval(note, &self.env)?);
+                }
+                values
+            }
+        };
         let (response_level, parent_in_view) = match parent {
             Some(p) if self.design.show_responses => match self.entries.get(&p) {
                 Some(pe) => (pe.response_level + 1, true),
@@ -245,22 +510,33 @@ impl ViewIndex {
     }
 
     fn compute_keys(&self, entry: &ViewEntry) -> Vec<Vec<u8>> {
-        self.design
-            .collations()
-            .iter()
-            .enumerate()
-            .map(|(ci, collation)| {
+        if let Some(parent) = entry.parent {
+            if let Some(parent_keys) = self.keys.get(&parent) {
                 // Responses nest under their parent's key.
-                if let Some(parent) = entry.parent {
-                    if let Some(parent_keys) = self.keys.get(&parent) {
-                        let mut k = parent_keys[ci].clone();
+                return parent_keys
+                    .iter()
+                    .map(|pk| {
+                        let mut k = pk.clone();
                         k.push(0x01); // response marker: sorts after parent,
                                       // before the next main entry
                         k.extend_from_slice(&entry.created.0.to_be_bytes());
                         k.extend_from_slice(&entry.unid.0.to_be_bytes());
-                        return k;
-                    }
-                }
+                        k
+                    })
+                    .collect();
+            }
+        }
+        Self::main_keys(&self.design.collations(), entry)
+    }
+
+    /// Collation keys for a main (top-level) entry. A free function of the
+    /// design so the parallel rebuild workers can key entries without
+    /// touching index state; `compute_keys` delegates here, keeping the
+    /// bytes identical between the parallel and incremental paths.
+    fn main_keys(collations: &[Collation], entry: &ViewEntry) -> Vec<Vec<u8>> {
+        collations
+            .iter()
+            .map(|collation| {
                 let cols: Vec<(Value, SortDir)> = collation
                     .keys
                     .iter()
@@ -367,6 +643,13 @@ impl ViewIndex {
     /// Entry lookup by unid.
     pub fn entry(&self, unid: Unid) -> Option<&ViewEntry> {
         self.entries.get(&unid)
+    }
+
+    /// The encoded collation keys in order — diagnostics, and the
+    /// byte-identity assertion in the parallel/sequential equivalence
+    /// property test.
+    pub fn order_keys(&self, collation: usize) -> Vec<Vec<u8>> {
+        self.orders[collation].keys().cloned().collect()
     }
 
     /// Entries whose leading sorted columns equal `prefix_values`

@@ -69,17 +69,23 @@ pub struct View {
 
 impl View {
     /// Build the view and keep it current via change events.
+    ///
+    /// Subscribes as a *batch* observer: a lone save arrives as a
+    /// one-event batch, while writes made under [`Database::begin_batch`]
+    /// arrive as one coalesced slice the index pre-evaluates in parallel
+    /// (see [`ViewIndex::apply_batch`]). Multiple attached views are
+    /// themselves updated in parallel by the database's dispatch.
     pub fn attach(db: &Arc<Database>, design: ViewDesign) -> Result<View> {
         let view = View::detached(db, design)?;
         view.rebuild()?;
         let state = view.state.clone();
         let weak = Arc::downgrade(db);
-        db.subscribe(Arc::new(move |event: &ChangeEvent| {
+        db.subscribe_batch(Arc::new(move |events: &[ChangeEvent]| {
             let src = DbSource { db: weak.clone() };
             // Observer callbacks cannot surface errors; a failed formula
             // leaves the entry out (matching Notes, where a broken column
             // formula blanks the row rather than wedging the database).
-            let _ = state.lock().apply(event, &src);
+            let _ = state.lock().apply_batch(events, &src);
         }));
         Ok(view)
     }
@@ -121,6 +127,13 @@ impl View {
     pub fn apply(&self, event: &ChangeEvent) -> Result<()> {
         let src = DbSource { db: self.db.clone() };
         self.state.lock().apply(event, &src)
+    }
+
+    /// Apply a coalesced batch of change events manually (detached
+    /// views); events are pre-evaluated in parallel and merged in order.
+    pub fn apply_batch(&self, events: &[ChangeEvent]) -> Result<()> {
+        let src = DbSource { db: self.db.clone() };
+        self.state.lock().apply_batch(events, &src)
     }
 
     pub fn len(&self) -> usize {
@@ -264,6 +277,34 @@ mod tests {
         // Only two documents were evaluated — no rebuild happened.
         assert_eq!(view.stats().rebuilds, 1); // the initial attach build
         assert_eq!(view.stats().evaluated, 2);
+    }
+
+    #[test]
+    fn batched_saves_arrive_as_one_coalesced_batch() {
+        let db = db();
+        let view = task_view(&db);
+        {
+            let _batch = db.begin_batch();
+            let mut t = task(&db, "b-second", "open", 1.0);
+            // Re-save inside the batch: coalescing must collapse it.
+            t.set("Hours", Value::Number(3.0));
+            db.save(&mut t).unwrap();
+            task(&db, "a-first", "open", 2.0);
+            assert!(view.is_empty(), "events buffer until the batch drops");
+        }
+        assert_eq!(view.len(), 2);
+        let rows = view.rows();
+        assert_eq!(rows[0].values[1], Value::text("a-first"));
+        assert_eq!(rows[1].values[1], Value::text("b-second"));
+        assert_eq!(rows[1].values[2], Value::Number(3.0));
+        let stats = view.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batch_events, 2, "three saves coalesce to two events");
+        assert_eq!(stats.max_batch, 2);
+        assert_eq!(stats.evaluated, 2);
+        // The selection formula came from the compile cache at least twice
+        // (view construction + the batch application).
+        assert!(stats.selection_cache_hits + stats.selection_cache_misses >= 2);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros) over a simple warmup + timed-samples harness. No statistics
+//! engine, no plots — it prints mean/min/max per benchmark, which is
+//! enough for before/after comparisons in EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the shim runs one setup per
+/// routine call regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Bencher {
+        Bencher { samples: Vec::with_capacity(target_samples), target_samples }
+    }
+
+    /// Time `routine` repeatedly (one warmup call, then the samples).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.target_samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("nonempty");
+    let max = *samples.iter().max().expect("nonempty");
+    println!(
+        "{id:<48} mean {:>10}   min {:>10}   max {:>10}   ({} samples)",
+        fmt_duration(mean),
+        fmt_duration(min),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+/// Entry point mirroring criterion's: groups hang off one `Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    #[allow(clippy::should_implement_trait)]
+    pub fn default() -> Criterion {
+        Criterion { default_sample_size: 20 }
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { name: name.to_string(), sample_size, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.default_sample_size);
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| 1 + 1);
+        assert_eq!(b.samples.len(), 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut setups = 0;
+        let mut b = Bencher::new(3);
+        b.iter_batched(
+            || {
+                setups += 1;
+            },
+            |_| {},
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 4); // warmup + 3 samples
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use, over a deterministic seeded RNG (seed derived from
+//! the test name, overridable with `PROPTEST_SEED`). No shrinking: a
+//! failing case prints its generated inputs and case number, which —
+//! together with determinism — is enough to reproduce and debug.
+//!
+//! Supported surface: `Strategy` (`prop_map`, `prop_filter`), `any::<T>()`,
+//! tuples of strategies (arity 2–6), integer/float range strategies,
+//! `&str` regex-subset strategies (`[class]{n,m}`, `.`, literals),
+//! `prop::collection::vec`, `prop::option::of`, `prop::sample::{select,
+//! Index}`, `Just`, and the `proptest!`, `prop_oneof!`, `prop_assert!`,
+//! `prop_assert_eq!` macros.
+
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `prop::` namespace tests reach through the prelude.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+    pub mod sample {
+        pub use crate::strategy::{select, Index};
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// One generated-and-run test case body outcome, used by `proptest!`.
+pub fn run_case<F: FnOnce() + std::panic::UnwindSafe>(
+    name: &str,
+    case: u32,
+    inputs: String,
+    body: F,
+) {
+    let result = std::panic::catch_unwind(body);
+    if let Err(payload) = result {
+        eprintln!("proptest '{name}' failed at case {case} with inputs:\n  {inputs}");
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Choose uniformly between heterogeneous strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( Box::new($strat) as Box<dyn $crate::strategy::DynStrategy<Value = _>> ),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(&config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut rng = runner.rng_for_case(case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut rng,
+                        );
+                    )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}  "),+),
+                        $(&$arg),+
+                    );
+                    $crate::run_case(
+                        stringify!($name),
+                        case,
+                        inputs,
+                        std::panic::AssertUnwindSafe(move || $body),
+                    );
+                }
+            }
+        )*
+    };
+}

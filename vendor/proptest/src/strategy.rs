@@ -1,0 +1,458 @@
+//! Strategy trait and combinators: how test inputs are generated.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// How many times `prop_filter` retries before giving up on a case.
+const MAX_FILTER_RETRIES: usize = 1000;
+
+/// A recipe for generating values of one type from an RNG.
+///
+/// Unlike upstream proptest there is no value tree / shrinking — a
+/// strategy generates a finished value directly.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        MapStrategy { base: self, f }
+    }
+
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        FilterStrategy { base: self, reason: reason.into(), pred }
+    }
+}
+
+pub struct MapStrategy<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+    O: Debug,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+pub struct FilterStrategy<S, F> {
+    base: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for FilterStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..MAX_FILTER_RETRIES {
+            let v = self.base.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected {MAX_FILTER_RETRIES} candidates", self.reason);
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------- any()
+
+/// Types with a canonical "arbitrary value" strategy.
+pub trait Arbitrary: Sized + Debug {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_via_random {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_via_random!(bool, u8, u16, u32, u64, u128, i8, i16, i32, i64, i128, usize, isize);
+
+impl Arbitrary for f64 {
+    /// Mostly raw bit patterns (covering the full exponent range, NaN and
+    /// infinities), with the interesting boundary values overrepresented.
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        match rng.random_range(0..10u32) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            5 => rng.random::<f64>() * 2.0 - 1.0,
+            _ => f64::from_bits(rng.random::<u64>()),
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        if rng.random_bool(0.9) {
+            // Printable ASCII.
+            rng.random_range(0x20u32..0x7F) as u8 as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.random_range(0u32..=0x10FFFF)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 / 0);
+tuple_strategy!(S0 / 0, S1 / 1);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+// --------------------------------------------------------------- ranges
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, i8, i16, i32, i64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+// ----------------------------------------------------- string patterns
+
+/// A `&'static str` is a regex-subset pattern strategy (see
+/// [`crate::string`] for the supported grammar).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+// ------------------------------------------------- collection / option
+
+/// Accepted length specifications for [`vec`].
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.end > r.start, "empty size range {r:?}");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// `prop::collection::vec(element, len_range)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `prop::option::of(strategy)`: `None` half the time.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.random_bool(0.5) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+// --------------------------------------------------------------- sample
+
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// `prop::sample::select(options)`: one of the given values, uniformly.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.options[rng.random_range(0..self.options.len())].clone()
+    }
+}
+
+/// An index into a collection whose length is not known at generation
+/// time: `idx.index(len)` maps it into `0..len`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Index {
+        Index(rng.random())
+    }
+}
+
+// -------------------------------------------------------- prop_oneof!
+
+/// Object-safe strategy facade so `prop_oneof!` can mix strategy types
+/// that share a value type.
+pub trait DynStrategy {
+    type Value;
+
+    fn generate_dyn(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice over boxed strategies; built by `prop_oneof!`.
+pub struct Union<V> {
+    options: Vec<Box<dyn DynStrategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<Box<dyn DynStrategy<Value = V>>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.options[rng.random_range(0..self.options.len())].generate_dyn(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (10..20i32).generate(&mut r);
+            assert!((10..20).contains(&v));
+            let u = (0..4u8).generate(&mut r);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let mut r = rng();
+        let s = (0..100i32).prop_map(|x| x * 2).prop_filter("nonzero", |x| *x != 0);
+        for _ in 0..50 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && v != 0);
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut r = rng();
+        let s = vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let len = s.generate(&mut r).len();
+            assert!((2..5).contains(&len));
+        }
+    }
+
+    #[test]
+    fn option_produces_both_variants() {
+        let mut r = rng();
+        let s = option_of(0..10u8);
+        let vals: Vec<Option<u8>> = (0..100).map(|_| s.generate(&mut r)).collect();
+        assert!(vals.iter().any(Option::is_some));
+        assert!(vals.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn select_and_index() {
+        let mut r = rng();
+        let s = select(vec!["a", "b", "c"]);
+        for _ in 0..20 {
+            assert!(["a", "b", "c"].contains(&s.generate(&mut r)));
+        }
+        let idx = Index::arbitrary(&mut r);
+        assert!(idx.index(7) < 7);
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![
+            Box::new(0..1i32) as Box<dyn DynStrategy<Value = i32>>,
+            Box::new(10..11i32),
+            Box::new(20..21i32),
+        ]);
+        let vals: Vec<i32> = (0..100).map(|_| u.generate(&mut r)).collect();
+        assert!(vals.contains(&0) && vals.contains(&10) && vals.contains(&20));
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut r = rng();
+        let (a, b, c, d) = (0..5u8, 10..15i32, any::<bool>(), option_of(0..3usize)).generate(&mut r);
+        assert!(a < 5);
+        assert!((10..15).contains(&b));
+        let _ = (c, d);
+    }
+}

@@ -1,0 +1,211 @@
+//! Generator for the regex subset used as string strategies.
+//!
+//! Grammar: a pattern is a sequence of atoms, each optionally followed by
+//! a quantifier. Atoms are `.` (printable char, occasionally non-ASCII),
+//! `[class]` (literal chars and `a-z` ranges), `\x` escapes, or literal
+//! characters. Quantifiers are `{n}`, `{n,m}`, `*` (0..=8), `+` (1..=8),
+//! and `?`. Anchors `^`/`$` at the ends are ignored.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A set of characters an atom can produce.
+enum CharSet {
+    /// `.`: printable ASCII plus a pinch of multi-byte chars.
+    Any,
+    /// Inclusive char ranges (single chars are degenerate ranges).
+    Ranges(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharSet::Any => {
+                if rng.random_bool(0.05) {
+                    const EXOTIC: [char; 6] = ['é', 'ß', 'λ', '中', '€', '☃'];
+                    EXOTIC[rng.random_range(0..EXOTIC.len())]
+                } else {
+                    rng.random_range(0x20u32..0x7F) as u8 as char
+                }
+            }
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let mut pick = rng.random_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).expect("range char");
+                    }
+                    pick -= span;
+                }
+                unreachable!("sample index within total span")
+            }
+        }
+    }
+}
+
+struct Atom {
+    set: CharSet,
+    min: u32,
+    max: u32,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        // Anchors carry no generation semantics.
+        if (c == '^' && i == 0) || (c == '$' && i == chars.len() - 1) {
+            i += 1;
+            continue;
+        }
+        let set = match c {
+            '.' => {
+                i += 1;
+                CharSet::Any
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' && i + 1 < chars.len() {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range (a trailing `-` is a literal).
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated [class] in pattern {pattern:?}");
+                i += 1; // consume ']'
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let esc = chars.get(i).copied().expect("dangling escape");
+                i += 1;
+                match esc {
+                    'd' => CharSet::Ranges(vec![('0', '9')]),
+                    'w' => CharSet::Ranges(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => CharSet::Ranges(vec![(' ', ' '), ('\t', '\t')]),
+                    other => CharSet::Ranges(vec![(other, other)]),
+                }
+            }
+            literal => {
+                i += 1;
+                CharSet::Ranges(vec![(literal, literal)])
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = rng.random_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.set.sample(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z]{1,6}", &mut r);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn mixed_class_and_literals() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[A-Za-z$][A-Za-z0-9_]{0,12}", &mut r);
+            let first = s.chars().next().expect("first atom is {1}");
+            assert!(first.is_ascii_alphabetic() || first == '$');
+            assert!(s.chars().count() <= 13);
+        }
+    }
+
+    #[test]
+    fn dot_and_space_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[ -~]{0,16}", &mut r);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            let t = generate(".{0,40}", &mut r);
+            assert!(t.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn punctuation_class_with_dash_literal() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-z0-9 _.-]{0,12}", &mut r);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || " _.-".contains(c)));
+        }
+    }
+}

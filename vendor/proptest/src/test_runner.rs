@@ -1,0 +1,91 @@
+//! Test configuration and the deterministic per-test runner.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Mirrors the upstream config struct; only `cases` is consulted, the
+/// rest exist so `.. ProptestConfig::default()` updates compile.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+    pub max_global_rejects: u32,
+    pub max_local_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+            max_local_rejects: 65_536,
+        }
+    }
+}
+
+/// Drives the generated cases for one `proptest!` test function.
+///
+/// Seeding is deterministic from the test name so failures reproduce;
+/// `PROPTEST_SEED` overrides the base seed and `PROPTEST_CASES` the case
+/// count for ad-hoc deeper runs.
+pub struct TestRunner {
+    cases: u32,
+    base_seed: u64,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+impl TestRunner {
+    pub fn new(config: &ProptestConfig, test_name: &str) -> TestRunner {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(config.cases);
+        let base_seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+        TestRunner { cases, base_seed }
+    }
+
+    pub fn cases(&mut self) -> u32 {
+        self.cases
+    }
+
+    pub fn rng_for_case(&mut self, case: u32) -> StdRng {
+        // Golden-ratio stride decorrelates neighboring cases.
+        StdRng::seed_from_u64(
+            self.base_seed ^ (case as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn seeding_is_deterministic_per_name_and_case() {
+        let cfg = ProptestConfig::default();
+        let mut a = TestRunner::new(&cfg, "some_test");
+        let mut b = TestRunner::new(&cfg, "some_test");
+        assert_eq!(a.rng_for_case(3).next_u64(), b.rng_for_case(3).next_u64());
+        let mut c = TestRunner::new(&cfg, "other_test");
+        assert_ne!(a.rng_for_case(3).next_u64(), c.rng_for_case(3).next_u64());
+    }
+
+    #[test]
+    fn default_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for `rayon`, implementing the subset this workspace
+//! uses with `std::thread::scope` fork-join parallelism.
+//!
+//! Shape of the implementation:
+//!
+//! * Work is split into one contiguous chunk per worker (no stealing); a
+//!   chunk's results are produced into its own `Vec` and concatenated in
+//!   order, so `map(...).collect()` preserves input order exactly.
+//! * Inputs below [`MIN_PARALLEL_LEN`] run inline on the calling thread —
+//!   scoped-thread spawns cost ~10µs each, which would swamp small inputs.
+//! * Worker count comes from `std::thread::available_parallelism`.
+//!
+//! Supported surface: `slice.par_iter()`, `vec.into_par_iter()`,
+//! `(0..n).into_par_iter()` with `.map(f)` / `.for_each(f)` /
+//! `.collect::<Vec<_>>()`, plus [`join`] and [`current_num_threads`].
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+/// Inputs shorter than this run sequentially — below it, thread spawn
+/// overhead exceeds the work saved for the workloads in this repo.
+pub const MIN_PARALLEL_LEN: usize = 128;
+
+/// Number of worker threads fork-join calls will split across.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("rayon::join worker panicked");
+        (ra, rb)
+    })
+}
+
+/// Map `f` over `0..len`, splitting index ranges across workers; chunk
+/// results concatenate in index order. `min_len` is the inline threshold
+/// ([`MIN_PARALLEL_LEN`] unless overridden with `with_min_len`).
+fn par_map_indices<R, F>(len: usize, threads: usize, min_len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if len < min_len.max(2) || threads <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let workers = threads.min(len);
+    let chunk = len.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(len);
+            let f = &f;
+            handles.push(s.spawn(move || (lo..hi).map(f).collect::<Vec<R>>()));
+        }
+        for h in handles {
+            out.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A lazy parallel computation producing an ordered stream of `T`.
+///
+/// Internally everything is "indexed access + length": adapters compose
+/// the access function, and `collect`/`for_each` drive the split.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+
+    fn len_hint(&self) -> usize;
+
+    /// Produce the item at `idx` (0-based, stable across calls).
+    fn get(&self, idx: usize) -> Self::Item;
+
+    /// Inline threshold for this iterator (see `with_min_len`).
+    fn min_len(&self) -> usize {
+        MIN_PARALLEL_LEN
+    }
+
+    fn map<R: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Override the inline threshold: inputs of at least `min` items are
+    /// split across workers. `with_min_len(1)` forces parallelism even
+    /// for tiny inputs — worth it only when each item is expensive (e.g.
+    /// one batch application per attached view).
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+        Self: Sync,
+    {
+        par_map_indices(self.len_hint(), current_num_threads(), self.min_len(), |i| {
+            f(self.get(i))
+        });
+    }
+
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+    where
+        Self: Sync,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types `ParallelIterator::collect` can build.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P: ParallelIterator<Item = T> + Sync>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T> + Sync>(par: P) -> Vec<T> {
+        par_map_indices(par.len_hint(), current_num_threads(), par.min_len(), |i| par.get(i))
+    }
+}
+
+/// `collect::<Result<Vec<T>, E>>()` — first error wins (by index order).
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_par_iter<P: ParallelIterator<Item = Result<T, E>> + Sync>(
+        par: P,
+    ) -> Result<Vec<T>, E> {
+        par_map_indices(par.len_hint(), current_num_threads(), par.min_len(), |i| par.get(i))
+            .into_iter()
+            .collect()
+    }
+}
+
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn get(&self, idx: usize) -> R {
+        (self.f)(self.base.get(idx))
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+}
+
+pub struct MinLen<B> {
+    base: B,
+    min: usize,
+}
+
+impl<B: ParallelIterator> ParallelIterator for MinLen<B> {
+    type Item = B::Item;
+
+    fn len_hint(&self) -> usize {
+        self.base.len_hint()
+    }
+
+    fn get(&self, idx: usize) -> B::Item {
+        self.base.get(idx)
+    }
+
+    fn min_len(&self) -> usize {
+        self.min
+    }
+}
+
+/// `&[T] -> parallel iterator of &T`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len_hint(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn get(&self, idx: usize) -> &'a T {
+        &self.slice[idx]
+    }
+}
+
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> SliceIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> SliceIter<'_, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Owned values: items are handed out by cloning from the source (the
+/// consuming split would need unsafe moves; clone keeps this shim safe,
+/// and every `into_par_iter` use in this repo clones cheap values).
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn len_hint(&self) -> usize {
+        self.items.len()
+    }
+
+    fn get(&self, idx: usize) -> T {
+        self.items[idx].clone()
+    }
+}
+
+pub struct RangeIter {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn len_hint(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn get(&self, idx: usize) -> usize {
+        self.start + idx
+    }
+}
+
+pub trait IntoParallelIterator {
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { start: self.start, end: self.end }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let xs = vec![1, 2, 3];
+        let ys: Vec<i32> = xs.par_iter().map(|x| x + 1).collect();
+        assert_eq!(ys, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn result_collect_propagates_error() {
+        let xs: Vec<usize> = (0..5000).collect();
+        let ok: Result<Vec<usize>, String> =
+            xs.par_iter().map(|x| Ok::<_, String>(*x)).collect();
+        assert_eq!(ok.unwrap().len(), 5000);
+        let err: Result<Vec<usize>, String> = xs
+            .par_iter()
+            .map(|x| if *x == 4321 { Err("boom".to_string()) } else { Ok(*x) })
+            .collect();
+        assert_eq!(err.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = AtomicUsize::new(0);
+        let xs: Vec<usize> = (0..5000).collect();
+        xs.par_iter().for_each(|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 5000);
+    }
+
+    #[test]
+    fn with_min_len_parallelizes_small_inputs() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let xs: Vec<usize> = (0..4).collect();
+        xs.par_iter().with_min_len(1).for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        if current_num_threads() > 1 {
+            assert!(seen.lock().unwrap().len() > 1);
+        }
+    }
+
+    #[test]
+    fn parallelism_actually_used_for_large_inputs() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let xs: Vec<usize> = (0..100_000).collect();
+        xs.par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        let n = seen.lock().unwrap().len();
+        if current_num_threads() > 1 {
+            assert!(n > 1, "expected multiple worker threads, saw {n}");
+        }
+    }
+}
