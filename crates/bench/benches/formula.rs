@@ -13,8 +13,7 @@ fn bench_formula(c: &mut Criterion) {
 
     group.bench_function("compile_select", |b| {
         b.iter(|| {
-            Formula::compile(r#"SELECT Form = "Doc" & Priority >= 2 & Category != "cat9""#)
-                .unwrap()
+            Formula::compile(r#"SELECT Form = "Doc" & Priority >= 2 & Category != "cat9""#).unwrap()
         });
     });
 
@@ -29,8 +28,7 @@ fn bench_formula(c: &mut Criterion) {
         b.iter(|| column.eval(&doc, &env).unwrap());
     });
 
-    let pipeline =
-        Formula::compile(r#"@Implode(@Sort(@Unique(@Explode(F0; " "))); ",")"#).unwrap();
+    let pipeline = Formula::compile(r#"@Implode(@Sort(@Unique(@Explode(F0; " "))); ",")"#).unwrap();
     group.bench_function("eval_list_pipeline", |b| {
         b.iter(|| pipeline.eval(&doc, &env).unwrap());
     });

@@ -9,8 +9,16 @@ use domino_views::{ColumnSpec, SortDir, View, ViewDesign};
 fn design() -> ViewDesign {
     ViewDesign::new("v", r#"SELECT Form = "Doc""#)
         .unwrap()
-        .column(ColumnSpec::new("Category", "Category").unwrap().categorized())
-        .column(ColumnSpec::new("F0", "F0").unwrap().sorted(SortDir::Ascending))
+        .column(
+            ColumnSpec::new("Category", "Category")
+                .unwrap()
+                .categorized(),
+        )
+        .column(
+            ColumnSpec::new("F0", "F0")
+                .unwrap()
+                .sorted(SortDir::Ascending),
+        )
 }
 
 fn bench_view_maint(c: &mut Criterion) {

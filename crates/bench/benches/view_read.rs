@@ -15,7 +15,11 @@ fn bench_view_read(c: &mut Criterion) {
         &db,
         ViewDesign::new("v", r#"SELECT Form = "Doc""#)
             .unwrap()
-            .column(ColumnSpec::new("Category", "Category").unwrap().categorized())
+            .column(
+                ColumnSpec::new("Category", "Category")
+                    .unwrap()
+                    .categorized(),
+            )
             .column(
                 ColumnSpec::new("Priority", "Priority")
                     .unwrap()

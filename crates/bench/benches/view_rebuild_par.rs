@@ -17,9 +17,21 @@ use domino_views::{ColumnSpec, SortDir, ViewDesign};
 fn design() -> ViewDesign {
     ViewDesign::new("v", r#"SELECT Form = "Doc""#)
         .unwrap()
-        .column(ColumnSpec::new("Category", "Category").unwrap().categorized())
-        .column(ColumnSpec::new("Priority", "Priority").unwrap().sorted(SortDir::Descending))
-        .column(ColumnSpec::new("F0", "F0").unwrap().sorted(SortDir::Ascending))
+        .column(
+            ColumnSpec::new("Category", "Category")
+                .unwrap()
+                .categorized(),
+        )
+        .column(
+            ColumnSpec::new("Priority", "Priority")
+                .unwrap()
+                .sorted(SortDir::Descending),
+        )
+        .column(
+            ColumnSpec::new("F0", "F0")
+                .unwrap()
+                .sorted(SortDir::Ascending),
+        )
 }
 
 fn bench_rebuild_par(c: &mut Criterion) {

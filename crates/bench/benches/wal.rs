@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use domino_bench::workload::{make_doc, rng};
 use domino_core::{Database, DbConfig};
-use domino_storage::{EngineConfig, MemDisk};
+use domino_storage::{CommitMode, EngineConfig, MemDisk};
 use domino_types::{LogicalClock, ReplicaId};
 use domino_wal::{LogManager, LogRecord, Lsn, MemLogStore, TxId};
 
@@ -32,15 +32,15 @@ fn bench_log(c: &mut Criterion) {
         });
     });
 
-    for (label, logging, force) in [
-        ("commit_durable", true, true),
-        ("commit_noforce", true, false),
-        ("commit_nolog", false, false),
+    for (label, logging, mode) in [
+        ("commit_durable", true, CommitMode::Force),
+        ("commit_noforce", true, CommitMode::NoForce),
+        ("commit_nolog", false, CommitMode::NoForce),
     ] {
         group.bench_function(label, |b| {
             let engine = EngineConfig {
                 logging,
-                flush_on_commit: force,
+                commit_mode: mode,
                 ..EngineConfig::default()
             };
             let log: Option<Box<dyn domino_wal::LogStore>> = if logging {

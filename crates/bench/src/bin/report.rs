@@ -41,7 +41,10 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let items: Vec<String> = results.iter().map(|t| format!("  {}", t.to_json())).collect();
+        let items: Vec<String> = results
+            .iter()
+            .map(|t| format!("  {}", t.to_json()))
+            .collect();
         let json = format!("[\n{}\n]\n", items.join(",\n"));
         let mut f = std::fs::File::create(&path).expect("create json file");
         f.write_all(json.as_bytes()).expect("write json");

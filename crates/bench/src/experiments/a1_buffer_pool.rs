@@ -34,7 +34,9 @@ pub fn run(scale: Scale) -> Table {
     for capacity in [64usize, 256, 1024, 4096, 16384] {
         let db = make_db_with_capacity(n, capacity);
         let mut r = rng(0xA1);
-        let ids = db.note_ids(Some(domino_types::NoteClass::Document)).expect("ids");
+        let ids = db
+            .note_ids(Some(domino_types::NoteClass::Document))
+            .expect("ids");
         let before = db.engine_stats();
 
         let t0 = Instant::now();
@@ -58,7 +60,10 @@ pub fn run(scale: Scale) -> Table {
             fmt(capacity as f64),
             micros_per(probes, full),
             micros_per(probes, summary),
-            format!("{:.1}%", 100.0 * hits as f64 / (hits + misses).max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * hits as f64 / (hits + misses).max(1) as f64
+            ),
             fmt((after.evictions - before.evictions) as f64),
         ]);
     }

@@ -33,7 +33,14 @@ pub fn run(scale: Scale) -> Table {
     ]);
     let _ = scale;
 
-    for k in [4usize, 16, MAX_REVISIONS - 1, MAX_REVISIONS, MAX_REVISIONS + 4, 64] {
+    for k in [
+        4usize,
+        16,
+        MAX_REVISIONS - 1,
+        MAX_REVISIONS,
+        MAX_REVISIONS + 4,
+        64,
+    ] {
         let a = make_db("a2", 2, 1);
         let b = make_db("a2", 2, 2);
         let mut repl = Replicator::new(ReplicationOptions::default());

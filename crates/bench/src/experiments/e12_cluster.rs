@@ -50,9 +50,8 @@ pub fn run(scale: Scale) -> Table {
         let mut sched_max = 0u64;
         let horizon = interval * trials as u64;
         let mut next_update = update_every;
-        let mut failover_points: Vec<u64> = (0..trials)
-            .map(|_| r.random_range(1..horizon))
-            .collect();
+        let mut failover_points: Vec<u64> =
+            (0..trials).map(|_| r.random_range(1..horizon)).collect();
         failover_points.sort_unstable();
         let mut fp = 0usize;
 

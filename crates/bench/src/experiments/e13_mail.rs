@@ -32,11 +32,17 @@ pub fn run(scale: Scale) -> Table {
         let mut net = Network::new(
             servers,
             topology,
-            LinkSpec { latency: 3, bytes_per_tick: 512 },
+            LinkSpec {
+                latency: 3,
+                bytes_per_tick: 512,
+            },
             LogicalClock::new(),
         );
         let users: Vec<MailUser> = (0..servers)
-            .map(|i| MailUser { name: format!("u{i}"), home_server: i })
+            .map(|i| MailUser {
+                name: format!("u{i}"),
+                home_server: i,
+            })
             .collect();
         let mut router = MailRouter::setup(&mut net, &users).expect("mail setup");
         let mut r = rng(0xE13);

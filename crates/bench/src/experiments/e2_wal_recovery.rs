@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use domino_core::{Database, DbConfig};
-use domino_storage::{EngineConfig, MemDisk};
+use domino_storage::{CommitMode, EngineConfig, MemDisk};
 use domino_types::{LogicalClock, NoteClass, ReplicaId, Value};
 use domino_wal::MemLogStore;
 
@@ -17,11 +17,15 @@ fn open_db(
     disk: MemDisk,
     log: Option<MemLogStore>,
     clock: LogicalClock,
-    flush_on_commit: bool,
+    force: bool,
 ) -> Arc<Database> {
     let engine = EngineConfig {
         logging: log.is_some(),
-        flush_on_commit,
+        commit_mode: if force {
+            CommitMode::Force
+        } else {
+            CommitMode::NoForce
+        },
         ..EngineConfig::default()
     };
     let log_store: Option<Box<dyn domino_wal::LogStore>> = log.map(|l| {

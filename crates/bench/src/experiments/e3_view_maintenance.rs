@@ -13,9 +13,21 @@ use crate::Scale;
 fn design() -> ViewDesign {
     ViewDesign::new("by-cat", r#"SELECT Form = "Doc""#)
         .expect("design")
-        .column(ColumnSpec::new("Category", "Category").expect("col").categorized())
-        .column(ColumnSpec::new("Priority", "Priority").expect("col").sorted(SortDir::Descending))
-        .column(ColumnSpec::new("F0", "F0").expect("col").sorted(SortDir::Ascending))
+        .column(
+            ColumnSpec::new("Category", "Category")
+                .expect("col")
+                .categorized(),
+        )
+        .column(
+            ColumnSpec::new("Priority", "Priority")
+                .expect("col")
+                .sorted(SortDir::Descending),
+        )
+        .column(
+            ColumnSpec::new("F0", "F0")
+                .expect("col")
+                .sorted(SortDir::Ascending),
+        )
 }
 
 pub fn run(scale: Scale) -> Table {

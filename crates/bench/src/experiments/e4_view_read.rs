@@ -38,7 +38,11 @@ pub fn run(scale: Scale) -> Table {
             &db,
             ViewDesign::new("v", r#"SELECT Form = "Doc""#)
                 .expect("design")
-                .column(ColumnSpec::new("Category", "Category").expect("c").categorized())
+                .column(
+                    ColumnSpec::new("Category", "Category")
+                        .expect("c")
+                        .categorized(),
+                )
                 .column(
                     ColumnSpec::new("Priority", "Priority")
                         .expect("c")

@@ -91,9 +91,7 @@ pub fn run(scale: Scale) -> Table {
                 .iter()
                 .filter(|p| !present.contains(p))
                 .count();
-            let merged_docs = a.document_count().expect("count") as u64
-                - n as u64
-                - conflict_docs; // extra docs are all conflicts; merged add none
+            let merged_docs = a.document_count().expect("count") as u64 - n as u64 - conflict_docs; // extra docs are all conflicts; merged add none
             let _ = merged_docs;
             table.row(vec![
                 fmt(p_conflict),

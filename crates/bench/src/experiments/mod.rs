@@ -3,6 +3,10 @@
 pub mod a1_buffer_pool;
 pub mod a2_lineage;
 pub mod a3_checkpoint;
+pub mod e10_formula;
+pub mod e11_security;
+pub mod e12_cluster;
+pub mod e13_mail;
 pub mod e1_nsf_crud;
 pub mod e2_wal_recovery;
 pub mod e3_view_maintenance;
@@ -12,7 +16,3 @@ pub mod e6_convergence;
 pub mod e7_conflicts;
 pub mod e8_stub_purge;
 pub mod e9_fulltext;
-pub mod e10_formula;
-pub mod e11_security;
-pub mod e12_cluster;
-pub mod e13_mail;

@@ -164,8 +164,7 @@ mod tests {
 
     #[test]
     fn markdown_renders() {
-        let mut t = Table::new("e0", "Table 0", "demo", "things hold")
-            .columns(&["n", "ops/s"]);
+        let mut t = Table::new("e0", "Table 0", "demo", "things hold").columns(&["n", "ops/s"]);
         t.row(vec!["10".into(), "123".into()]);
         t.takeaway("flat");
         let md = t.to_markdown();
@@ -184,8 +183,7 @@ mod tests {
 
     #[test]
     fn json_escapes_and_shape() {
-        let mut t = Table::new("e0", "Table 0", "quote \" and \\ back", "c")
-            .columns(&["n"]);
+        let mut t = Table::new("e0", "Table 0", "quote \" and \\ back", "c").columns(&["n"]);
         t.row(vec!["line\nbreak".into()]);
         let j = t.to_json();
         assert!(j.contains("\"title\":\"quote \\\" and \\\\ back\""));

@@ -28,10 +28,34 @@ pub fn make_db(title: &str, lineage: u64, instance: u64) -> Arc<Database> {
 
 /// A vocabulary of plausible words for text generation.
 const WORDS: &[&str] = &[
-    "project", "review", "quarterly", "budget", "deploy", "replica", "server",
-    "meeting", "agenda", "status", "release", "storage", "index", "network",
-    "client", "update", "launch", "report", "metric", "design", "schema",
-    "latency", "backup", "restore", "mailbox", "thread", "topic", "response",
+    "project",
+    "review",
+    "quarterly",
+    "budget",
+    "deploy",
+    "replica",
+    "server",
+    "meeting",
+    "agenda",
+    "status",
+    "release",
+    "storage",
+    "index",
+    "network",
+    "client",
+    "update",
+    "launch",
+    "report",
+    "metric",
+    "design",
+    "schema",
+    "latency",
+    "backup",
+    "restore",
+    "mailbox",
+    "thread",
+    "topic",
+    "response",
 ];
 
 /// `n` words of pseudo-text: common vocabulary words most of the time,
@@ -63,10 +87,15 @@ pub fn make_doc(rng: &mut StdRng, fields: usize, field_len: usize, body_len: usi
             Value::text(text(rng, (field_len / 8).max(1))),
         );
     }
-    n.set("Category", Value::text(format!("cat{}", rng.random_range(0..8))));
+    n.set(
+        "Category",
+        Value::text(format!("cat{}", rng.random_range(0..8))),
+    );
     n.set("Priority", Value::Number(rng.random_range(1..=5) as f64));
     if body_len > 0 {
-        let body: Vec<u8> = (0..body_len).map(|_| rng.random_range(32..127) as u8).collect();
+        let body: Vec<u8> = (0..body_len)
+            .map(|_| rng.random_range(32..127) as u8)
+            .collect();
         n.set_body("Body", Value::RichText(body));
     }
     n
@@ -105,7 +134,10 @@ pub fn populate_threads(
     let mut total = 0;
     for t in 0..topics {
         let mut topic = Note::document("Topic");
-        topic.set("Subject", Value::text(format!("topic {t}: {}", text(rng, 4))));
+        topic.set(
+            "Subject",
+            Value::text(format!("topic {t}: {}", text(rng, 4))),
+        );
         topic.set("Category", Value::text(format!("cat{}", t % 5)));
         db.save(&mut topic).expect("save topic");
         total += 1;

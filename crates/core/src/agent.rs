@@ -136,7 +136,11 @@ impl AgentDesign {
             Some("onupdate") => AgentTrigger::OnUpdate,
             _ => AgentTrigger::Manual,
         };
-        Ok(AgentDesign { name, formula: Formula::compile(&src)?, trigger })
+        Ok(AgentDesign {
+            name,
+            formula: Formula::compile(&src)?,
+            trigger,
+        })
     }
 }
 

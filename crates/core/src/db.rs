@@ -30,7 +30,7 @@ use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use domino_formula::{EvalEnv, Formula};
-use domino_security::{Acl, AclEntry, AccessLevel};
+use domino_security::{AccessLevel, Acl, AclEntry};
 use domino_storage::{Engine, EngineConfig, MemDisk, NoteStore, Segment};
 use domino_types::{
     Clock, DominoError, ItemFlags, LogicalClock, NoteClass, NoteId, Oid, ReplicaId, Result,
@@ -196,6 +196,33 @@ struct DbInner {
     unread: std::collections::HashMap<String, std::collections::HashSet<Unid>>,
 }
 
+/// Handle to a background checkpointer thread started by
+/// [`Database::start_checkpointer`]. Stops and joins the thread on drop.
+pub struct CheckpointerHandle {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CheckpointerHandle {
+    /// Stop the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CheckpointerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// A Notes database. Thread-safe; share via `Arc<Database>`.
 pub struct Database {
     inner: Mutex<DbInner>,
@@ -347,7 +374,10 @@ impl Database {
         match batch_obs.len() {
             0 => {}
             1 => batch_obs[0](events),
-            _ => batch_obs.par_iter().with_min_len(1).for_each(|obs| obs(events)),
+            _ => batch_obs
+                .par_iter()
+                .with_min_len(1)
+                .for_each(|obs| obs(events)),
         }
     }
 
@@ -360,8 +390,8 @@ impl Database {
     pub fn save(&self, note: &mut Note) -> Result<()> {
         let event = {
             let mut g = self.inner.lock();
-        #[allow(unused_variables)]
-        let store = g.store;
+            #[allow(unused_variables)]
+            let store = g.store;
             let now = self.clock.now();
             // Truncated copies (bodies stripped by partial replication)
             // are read-only: saving one would replicate the body loss back
@@ -386,9 +416,9 @@ impl Database {
                 }
                 None
             } else {
-                let old = g.load(note.id)?.ok_or_else(|| {
-                    DominoError::NotFound(format!("note {} vanished", note.id))
-                })?;
+                let old = g
+                    .load(note.id)?
+                    .ok_or_else(|| DominoError::NotFound(format!("note {} vanished", note.id)))?;
                 if old.unid() != note.unid() {
                     return Err(DominoError::InvalidArgument(
                         "note id/unid mismatch on save".into(),
@@ -441,7 +471,10 @@ impl Database {
                 Some(old)
             };
             g.persist(note, old.is_none())?;
-            ChangeEvent::Saved { old, new: note.clone() }
+            ChangeEvent::Saved {
+                old,
+                new: note.clone(),
+            }
         };
         self.notify(event);
         Ok(())
@@ -453,8 +486,8 @@ impl Database {
     pub fn save_replicated(&self, mut note: Note) -> Result<Note> {
         let event = {
             let mut g = self.inner.lock();
-        #[allow(unused_variables)]
-        let store = g.store;
+            #[allow(unused_variables)]
+            let store = g.store;
             self.clock.observe(note.oid.seq_time);
             self.clock.observe(note.modified);
             let existing = store.lookup_unid(&mut g.engine, note.unid())?;
@@ -471,7 +504,10 @@ impl Database {
                 }
             };
             g.persist(&mut note, existing.is_none())?;
-            ChangeEvent::Saved { old, new: note.clone() }
+            ChangeEvent::Saved {
+                old,
+                new: note.clone(),
+            }
         };
         let note = match &event {
             ChangeEvent::Saved { new, .. } => new.clone(),
@@ -512,7 +548,9 @@ impl Database {
             .get(&mut g.engine, id, Segment::Summary)?
             .ok_or_else(|| DominoError::NotFound(format!("record {id}")))?;
         if !record_is_stub(&summary) {
-            return Err(DominoError::NotFound(format!("{id} is not a deletion stub")));
+            return Err(DominoError::NotFound(format!(
+                "{id} is not a deletion stub"
+            )));
         }
         DeletionStub::decode(id, &summary)
     }
@@ -520,8 +558,8 @@ impl Database {
     pub fn open_by_unid(&self, unid: Unid) -> Result<Note> {
         let id = {
             let mut g = self.inner.lock();
-        #[allow(unused_variables)]
-        let store = g.store;
+            #[allow(unused_variables)]
+            let store = g.store;
             store.lookup_unid(&mut g.engine, unid)?
         }
         .ok_or_else(|| DominoError::NotFound(format!("unid {unid}")))?;
@@ -540,15 +578,19 @@ impl Database {
     pub fn delete(&self, id: NoteId) -> Result<DeletionStub> {
         let event = {
             let mut g = self.inner.lock();
-        #[allow(unused_variables)]
-        let store = g.store;
+            #[allow(unused_variables)]
+            let store = g.store;
             let old = g
                 .load(id)?
                 .ok_or_else(|| DominoError::NotFound(format!("note {id}")))?;
             let now = self.clock.now();
             let mut oid = old.oid;
             oid.bump(now);
-            let stub = DeletionStub { id, oid, deleted_at: now };
+            let stub = DeletionStub {
+                id,
+                oid,
+                deleted_at: now,
+            };
             g.write_stub(&stub, Some(old.modified))?;
             ChangeEvent::Deleted { old, stub }
         };
@@ -567,8 +609,8 @@ impl Database {
     pub fn apply_remote_deletion(&self, remote: &DeletionStub) -> Result<Option<DeletionStub>> {
         let event = {
             let mut g = self.inner.lock();
-        #[allow(unused_variables)]
-        let store = g.store;
+            #[allow(unused_variables)]
+            let store = g.store;
             self.clock.observe(remote.oid.seq_time);
             let existing = store.lookup_unid(&mut g.engine, remote.oid.unid)?;
             match existing {
@@ -596,12 +638,10 @@ impl Database {
                 }
             }
         };
-        let stub = event
-            .as_ref()
-            .map(|e| match e {
-                ChangeEvent::Deleted { stub, .. } => *stub,
-                _ => unreachable!(),
-            });
+        let stub = event.as_ref().map(|e| match e {
+            ChangeEvent::Deleted { stub, .. } => *stub,
+            _ => unreachable!(),
+        });
         if let Some(event) = event {
             self.notify(event);
         }
@@ -726,11 +766,7 @@ impl Database {
                 store.remove(&mut g.engine, &mut tx, stub.id)?;
                 store.unbind_unid(&mut g.engine, &mut tx, stub.oid.unid)?;
                 let seq = domino_storage::BTree::open_existing(&mut g.engine, TREE_SEQ_INDEX)?;
-                seq.delete(
-                    &mut g.engine,
-                    &mut tx,
-                    seq_key(stub.oid.seq_time, stub.id),
-                )?;
+                seq.delete(&mut g.engine, &mut tx, seq_key(stub.oid.seq_time, stub.id))?;
                 g.engine.commit(tx)?;
                 purged += 1;
             }
@@ -759,8 +795,8 @@ impl Database {
     pub fn acl(&self) -> Result<Acl> {
         let acl_id = {
             let mut g = self.inner.lock();
-        #[allow(unused_variables)]
-        let store = g.store;
+            #[allow(unused_variables)]
+            let store = g.store;
             g.engine.user_slot(SLOT_ACL_NOTE)?
         };
         if acl_id == 0 {
@@ -773,16 +809,15 @@ impl Database {
             Some(v) => v.iter_scalars().iter().map(|s| s.to_text()).collect(),
             None => Vec::new(),
         };
-        Acl::from_lines(&lines)
-            .ok_or_else(|| DominoError::Corrupt("unparseable ACL note".into()))
+        Acl::from_lines(&lines).ok_or_else(|| DominoError::Corrupt("unparseable ACL note".into()))
     }
 
     /// Store the ACL (as an ACL-class note, so it replicates).
     pub fn set_acl(&self, acl: &Acl) -> Result<()> {
         let acl_id = {
             let mut g = self.inner.lock();
-        #[allow(unused_variables)]
-        let store = g.store;
+            #[allow(unused_variables)]
+            let store = g.store;
             g.engine.user_slot(SLOT_ACL_NOTE)?
         };
         let mut note = if acl_id != 0 {
@@ -796,7 +831,8 @@ impl Database {
         #[allow(unused_variables)]
         let store = g.store;
         let mut tx = g.engine.begin()?;
-        g.engine.set_user_slot(&mut tx, SLOT_ACL_NOTE, note.id.0 as u64)?;
+        g.engine
+            .set_user_slot(&mut tx, SLOT_ACL_NOTE, note.id.0 as u64)?;
         g.engine.commit(tx)
     }
 
@@ -840,9 +876,77 @@ impl Database {
     // maintenance
     // ------------------------------------------------------------------
 
-    /// Write a fuzzy checkpoint (bounds restart-recovery work).
+    /// Write a fuzzy checkpoint (bounds restart-recovery work and
+    /// truncates the durable log below the new redo point).
     pub fn checkpoint(&self) -> Result<()> {
         self.inner.lock().engine.checkpoint()
+    }
+
+    /// Incremental fuzzy checkpoint: snapshot the dirty-page table, then
+    /// write it back `pages_per_step` pages at a time, releasing the
+    /// database lock between steps so writers interleave instead of
+    /// stalling behind one big flush. No-op if a checkpoint is already in
+    /// flight (e.g. the background checkpointer's).
+    pub fn checkpoint_incremental(&self, pages_per_step: usize) -> Result<()> {
+        {
+            let mut g = self.inner.lock();
+            if g.engine.checkpoint_in_progress() {
+                return Ok(());
+            }
+            g.engine.begin_checkpoint()?;
+        }
+        loop {
+            let more = self
+                .inner
+                .lock()
+                .engine
+                .checkpoint_step(pages_per_step.max(1))?;
+            if !more {
+                break;
+            }
+            // Lock released: queued writers run here.
+            std::thread::yield_now();
+        }
+        self.inner.lock().engine.complete_checkpoint()
+    }
+
+    /// Spawn a background checkpointing thread that runs
+    /// [`Database::checkpoint_incremental`] every `interval`. The returned
+    /// handle stops and joins the thread when dropped (or via
+    /// [`CheckpointerHandle::stop`]); the thread also exits on its own once
+    /// the database is dropped.
+    pub fn start_checkpointer(
+        self: &Arc<Database>,
+        interval: std::time::Duration,
+        pages_per_step: usize,
+    ) -> CheckpointerHandle {
+        use std::sync::atomic::Ordering;
+        let weak = Arc::downgrade(self);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            // Sleep in short slices so stop() never waits a full interval.
+            let slice = std::time::Duration::from_millis(5)
+                .min(interval)
+                .max(std::time::Duration::from_millis(1));
+            let mut elapsed = std::time::Duration::ZERO;
+            while !stop_flag.load(Ordering::Relaxed) {
+                std::thread::sleep(slice);
+                elapsed += slice;
+                if elapsed < interval {
+                    continue;
+                }
+                elapsed = std::time::Duration::ZERO;
+                let Some(db) = weak.upgrade() else { return };
+                // Best-effort: a failed cycle (e.g. I/O error) is retried
+                // at the next interval.
+                let _ = db.checkpoint_incremental(pages_per_step);
+            }
+        });
+        CheckpointerHandle {
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// Flush everything and truncate the log (clean shutdown).
@@ -1008,10 +1112,18 @@ impl DbInner {
         };
         if record_is_stub(&summary) {
             let stub = DeletionStub::decode(id, &summary)?;
-            Ok(Some(ChangedNote { id, oid: stub.oid, is_stub: true }))
+            Ok(Some(ChangedNote {
+                id,
+                oid: stub.oid,
+                is_stub: true,
+            }))
         } else {
             let note = Note::decode(id, &summary, None)?;
-            Ok(Some(ChangedNote { id, oid: note.oid, is_stub: false }))
+            Ok(Some(ChangedNote {
+                id,
+                oid: note.oid,
+                is_stub: false,
+            }))
         }
     }
 
@@ -1025,7 +1137,10 @@ impl DbInner {
             let old_seq_ts = if note.id.is_none() {
                 None
             } else {
-                match self.store.get(&mut self.engine, note.id, Segment::Summary)? {
+                match self
+                    .store
+                    .get(&mut self.engine, note.id, Segment::Summary)?
+                {
                     Some(bytes) if record_is_stub(&bytes) => {
                         Some(DeletionStub::decode(note.id, &bytes)?.oid.seq_time)
                     }
@@ -1037,24 +1152,37 @@ impl DbInner {
                 note.id = self.store.alloc_note_id(&mut self.engine, &mut tx)?;
             }
             let id = note.id;
-            self.store
-                .put(&mut self.engine, &mut tx, id, Segment::Summary, &note.encode_summary())?;
+            self.store.put(
+                &mut self.engine,
+                &mut tx,
+                id,
+                Segment::Summary,
+                &note.encode_summary(),
+            )?;
             match note.encode_body() {
                 Some(body) => {
-                    self.store.put(&mut self.engine, &mut tx, id, Segment::Body, &body)?
+                    self.store
+                        .put(&mut self.engine, &mut tx, id, Segment::Body, &body)?
                 }
                 None => {
-                    self.store.remove_segment(&mut self.engine, &mut tx, id, Segment::Body)?;
+                    self.store
+                        .remove_segment(&mut self.engine, &mut tx, id, Segment::Body)?;
                 }
             }
             if is_new {
-                self.store.bind_unid(&mut self.engine, &mut tx, note.unid(), id)?;
+                self.store
+                    .bind_unid(&mut self.engine, &mut tx, note.unid(), id)?;
             }
             let seq = domino_storage::BTree::open_existing(&mut self.engine, TREE_SEQ_INDEX)?;
             if let Some(old_ts) = old_seq_ts {
                 seq.delete(&mut self.engine, &mut tx, seq_key(old_ts, id))?;
             }
-            seq.insert(&mut self.engine, &mut tx, seq_key(note.oid.seq_time, id), id.0 as u64)?;
+            seq.insert(
+                &mut self.engine,
+                &mut tx,
+                seq_key(note.oid.seq_time, id),
+                id.0 as u64,
+            )?;
             Ok(())
         })();
         match result {
@@ -1073,21 +1201,30 @@ impl DbInner {
         let mut tx = self.engine.begin()?;
         let result = (|| {
             // Remove the old seq entry, whatever record type was there.
-            let old_ts = match self.store.get(&mut self.engine, stub.id, Segment::Summary)? {
+            let old_ts = match self
+                .store
+                .get(&mut self.engine, stub.id, Segment::Summary)?
+            {
                 Some(bytes) if record_is_stub(&bytes) => {
                     Some(DeletionStub::decode(stub.id, &bytes)?.oid.seq_time)
                 }
                 Some(bytes) => Some(Note::decode(stub.id, &bytes, None)?.oid.seq_time),
                 None => None,
             };
-            self.store
-                .put(&mut self.engine, &mut tx, stub.id, Segment::Summary, &stub.encode())?;
+            self.store.put(
+                &mut self.engine,
+                &mut tx,
+                stub.id,
+                Segment::Summary,
+                &stub.encode(),
+            )?;
             self.store
                 .remove_segment(&mut self.engine, &mut tx, stub.id, Segment::Body)?;
             // Keep the UNID bound so later updates find the stub.
             let bound = self.store.lookup_unid(&mut self.engine, stub.oid.unid)?;
             if bound.is_none() {
-                self.store.bind_unid(&mut self.engine, &mut tx, stub.oid.unid, stub.id)?;
+                self.store
+                    .bind_unid(&mut self.engine, &mut tx, stub.oid.unid, stub.id)?;
             }
             let seq = domino_storage::BTree::open_existing(&mut self.engine, TREE_SEQ_INDEX)?;
             if let Some(old_ts) = old_ts {
@@ -1163,7 +1300,10 @@ mod batch_tests {
             n.set("Subject", Value::text("v2"));
             db.save(&mut n).unwrap();
             doc(&db, "other");
-            assert!(seen.lock().is_empty(), "events must buffer inside the batch");
+            assert!(
+                seen.lock().is_empty(),
+                "events must buffer inside the batch"
+            );
             n
         };
         let batches = seen.lock();
@@ -1247,7 +1387,8 @@ mod batch_tests {
         let sink = seen.clone();
         db.subscribe(Arc::new(move |event: &ChangeEvent| {
             if let ChangeEvent::Saved { new, .. } = event {
-                sink.lock().push(new.get_text("Subject").unwrap_or_default());
+                sink.lock()
+                    .push(new.get_text("Subject").unwrap_or_default());
             }
         }));
         {
@@ -1255,7 +1396,10 @@ mod batch_tests {
             doc(&db, "first");
             doc(&db, "second");
         }
-        assert_eq!(*seen.lock(), vec!["first".to_string(), "second".to_string()]);
+        assert_eq!(
+            *seen.lock(),
+            vec!["first".to_string(), "second".to_string()]
+        );
     }
 
     #[test]

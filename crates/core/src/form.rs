@@ -114,7 +114,10 @@ pub struct FormDesign {
 
 impl FormDesign {
     pub fn new(name: &str) -> FormDesign {
-        FormDesign { name: name.to_string(), fields: Vec::new() }
+        FormDesign {
+            name: name.to_string(),
+            fields: Vec::new(),
+        }
     }
 
     pub fn field(mut self, f: FieldSpec) -> FormDesign {
@@ -233,7 +236,13 @@ impl FormDesign {
                 } else {
                     Some(Formula::compile(&parts[4].replace('\u{1}', "|"))?)
                 };
-                design.fields.push(FieldSpec { name: fname, kind, formula, validation, flags });
+                design.fields.push(FieldSpec {
+                    name: fname,
+                    kind,
+                    formula,
+                    validation,
+                    flags,
+                });
             }
         }
         Ok(design)
@@ -292,21 +301,22 @@ mod tests {
                     .with_default(r#""new""#)
                     .unwrap(),
             )
-            .field(
-                FieldSpec::computed("Total", "Quantity * UnitPrice").unwrap(),
-            )
-            .field(
-                FieldSpec::computed_when_composed("OrderedBy", "@UserName").unwrap(),
-            )
+            .field(FieldSpec::computed("Total", "Quantity * UnitPrice").unwrap())
+            .field(FieldSpec::computed_when_composed("OrderedBy", "@UserName").unwrap())
             .field(
                 FieldSpec::editable("Quantity")
-                    .validated(r#"@If(Quantity > 0; @Success; @Failure("quantity must be positive"))"#)
+                    .validated(
+                        r#"@If(Quantity > 0; @Success; @Failure("quantity must be positive"))"#,
+                    )
                     .unwrap(),
             )
     }
 
     fn env(user: &str) -> EvalEnv {
-        EvalEnv { username: user.into(), ..EvalEnv::default() }
+        EvalEnv {
+            username: user.into(),
+            ..EvalEnv::default()
+        }
     }
 
     #[test]
@@ -355,7 +365,10 @@ mod tests {
         n.set("Quantity", Value::Number(0.0));
         n.set("UnitPrice", Value::Number(10.0));
         let err = form.process(&mut n, &env("ann"), true).unwrap_err();
-        assert!(err.to_string().contains("quantity must be positive"), "{err}");
+        assert!(
+            err.to_string().contains("quantity must be positive"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -37,16 +37,16 @@ pub mod form;
 pub mod note;
 pub mod session;
 
+pub use agent::{save_agent, stored_agents, AgentDesign, AgentRunReport, AgentTrigger};
 pub use db::{
-    ChangeEvent, ChangedNote, CompactStats, Database, DbConfig, DbInfo,
+    ChangeEvent, ChangedNote, CheckpointerHandle, CompactStats, Database, DbConfig, DbInfo,
     DEFAULT_PURGE_INTERVAL,
 };
+pub use form::{form_for, save_form, stored_forms, FieldKind, FieldSpec, FormDesign};
 pub use note::{
     revision_fingerprint, same_revision, DeletionStub, Note, ITEM_AUTHORS, ITEM_CONFLICT,
     ITEM_FORM, ITEM_READERS, ITEM_REF, ITEM_REVISIONS, ITEM_TRUNCATED, MAX_REVISIONS,
 };
-pub use agent::{save_agent, stored_agents, AgentDesign, AgentRunReport, AgentTrigger};
-pub use form::{form_for, save_form, stored_forms, FieldKind, FieldSpec, FormDesign};
 pub use session::{Session, ITEM_FROM, ITEM_UPDATED_BY};
 
 #[cfg(test)]
@@ -55,9 +55,7 @@ mod tests {
     use domino_formula::{EvalEnv, Formula};
     use domino_security::{AccessLevel, Acl, AclEntry, Directory};
     use domino_storage::MemDisk;
-    use domino_types::{
-        Clock, ItemFlags, LogicalClock, NoteClass, ReplicaId, Timestamp, Value,
-    };
+    use domino_types::{Clock, ItemFlags, LogicalClock, NoteClass, ReplicaId, Timestamp, Value};
     use domino_wal::MemLogStore;
     use std::sync::Arc;
 
@@ -106,7 +104,12 @@ mod tests {
             .find(|i| i.name == "Subject")
             .unwrap()
             .revised;
-        let keep_rev = n.items_raw().iter().find(|i| i.name == "Keep").unwrap().revised;
+        let keep_rev = n
+            .items_raw()
+            .iter()
+            .find(|i| i.name == "Keep")
+            .unwrap()
+            .revised;
         assert!(subject_rev_2 > subject_rev_1);
         assert!(keep_rev < subject_rev_2, "unchanged item keeps its stamp");
     }
@@ -338,7 +341,10 @@ mod tests {
         acl.set("editor-ed", AclEntry::new(AccessLevel::Editor));
         acl.set("author-al", AclEntry::new(AccessLevel::Author));
         acl.set("reader-rita", AclEntry::new(AccessLevel::Reader));
-        acl.set("manager-mo", AclEntry::new(AccessLevel::Manager).with_role("Audit"));
+        acl.set(
+            "manager-mo",
+            AclEntry::new(AccessLevel::Manager).with_role("Audit"),
+        );
         db.set_acl(&acl).unwrap();
         (db, dir)
     }
@@ -531,7 +537,12 @@ mod compact_tests {
         )
         .unwrap();
         let mut r = domino_replica_stub::sync(&fresh, &other);
-        assert!(r.is_ok() || { r = domino_replica_stub::sync(&fresh, &other); r.is_ok() });
+        assert!(
+            r.is_ok() || {
+                r = domino_replica_stub::sync(&fresh, &other);
+                r.is_ok()
+            }
+        );
     }
 
     /// Minimal local stand-in to avoid a circular dev-dependency on

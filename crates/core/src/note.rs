@@ -232,7 +232,9 @@ impl Note {
     /// Parsed `$Revisions` lineage: `(fingerprint, seq_time)` per revision,
     /// oldest first, ending with the current revision.
     pub fn revisions(&self) -> Vec<(u64, Timestamp)> {
-        let Some(v) = self.get(ITEM_REVISIONS) else { return Vec::new() };
+        let Some(v) = self.get(ITEM_REVISIONS) else {
+            return Vec::new();
+        };
         v.iter_scalars()
             .iter()
             .filter_map(|s| {
@@ -369,14 +371,17 @@ impl Note {
         pos += 16;
         let seq = u32::from_le_bytes(summary[pos..pos + 4].try_into().expect("4"));
         pos += 4;
-        let seq_time =
-            Timestamp(u64::from_le_bytes(summary[pos..pos + 8].try_into().expect("8")));
+        let seq_time = Timestamp(u64::from_le_bytes(
+            summary[pos..pos + 8].try_into().expect("8"),
+        ));
         pos += 8;
-        let created =
-            Timestamp(u64::from_le_bytes(summary[pos..pos + 8].try_into().expect("8")));
+        let created = Timestamp(u64::from_le_bytes(
+            summary[pos..pos + 8].try_into().expect("8"),
+        ));
         pos += 8;
-        let modified =
-            Timestamp(u64::from_le_bytes(summary[pos..pos + 8].try_into().expect("8")));
+        let modified = Timestamp(u64::from_le_bytes(
+            summary[pos..pos + 8].try_into().expect("8"),
+        ));
         pos += 8;
         let n = u16::from_le_bytes(summary[pos..pos + 2].try_into().expect("2")) as usize;
         pos += 2;
@@ -397,7 +402,11 @@ impl Note {
         }
         Ok(Note {
             id,
-            oid: Oid { unid, seq, seq_time },
+            oid: Oid {
+                unid,
+                seq,
+                seq_time,
+            },
             class,
             created,
             modified,
@@ -458,7 +467,11 @@ impl DeletionStub {
         let deleted_at = Timestamp(u64::from_le_bytes(buf[29..37].try_into().expect("8")));
         Ok(DeletionStub {
             id,
-            oid: Oid { unid, seq, seq_time },
+            oid: Oid {
+                unid,
+                seq,
+                seq_time,
+            },
             deleted_at,
         })
     }
@@ -513,7 +526,11 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip_with_body() {
         let mut n = Note::document("Memo");
-        n.oid = Oid { unid: Unid(77), seq: 3, seq_time: Timestamp(30) };
+        n.oid = Oid {
+            unid: Unid(77),
+            seq: 3,
+            seq_time: Timestamp(30),
+        };
         n.id = NoteId(9);
         n.created = Timestamp(10);
         n.modified = Timestamp(30);
@@ -594,7 +611,11 @@ mod tests {
     fn stub_roundtrip() {
         let stub = DeletionStub {
             id: NoteId(4),
-            oid: Oid { unid: Unid(5), seq: 7, seq_time: Timestamp(70) },
+            oid: Oid {
+                unid: Unid(5),
+                seq: 7,
+                seq_time: Timestamp(70),
+            },
             deleted_at: Timestamp(71),
         };
         let enc = stub.encode();

@@ -47,7 +47,11 @@ pub struct Session {
 
 impl Session {
     pub fn new(db: Arc<Database>, user: &str, directory: Directory) -> Session {
-        Session { db, user: user.to_string(), directory }
+        Session {
+            db,
+            user: user.to_string(),
+            directory,
+        }
     }
 
     pub fn user(&self) -> &str {
@@ -149,9 +153,11 @@ impl Session {
         if !access.level.can_edit_any() {
             for old in stored.items_raw() {
                 if old.flags.contains(ItemFlags::PROTECTED) {
-                    let changed = match note.items_raw().iter().find(|n| {
-                        n.name.eq_ignore_ascii_case(&old.name)
-                    }) {
+                    let changed = match note
+                        .items_raw()
+                        .iter()
+                        .find(|n| n.name.eq_ignore_ascii_case(&old.name))
+                    {
                         Some(new) => new.value != old.value,
                         None => true,
                     };
@@ -175,10 +181,7 @@ impl Session {
         let author = stored.get_text(ITEM_FROM).unwrap_or_default();
         let may = access.level.can_delete()
             || (access.level == AccessLevel::Author
-                && self
-                    .names()
-                    .iter()
-                    .any(|n| n.eq_ignore_ascii_case(&author)));
+                && self.names().iter().any(|n| n.eq_ignore_ascii_case(&author)));
         if !may {
             return Err(DominoError::AccessDenied(format!(
                 "{} may not delete {}",

@@ -95,9 +95,7 @@ impl Expr {
         f(self);
         match self {
             Expr::Lit(_) | Expr::Ref(_) => {}
-            Expr::Assign(_, e) | Expr::FieldAssign(_, e) | Expr::Unary(_, e) => {
-                e.visit(f)
-            }
+            Expr::Assign(_, e) | Expr::FieldAssign(_, e) | Expr::Unary(_, e) => e.visit(f),
             Expr::Binary(_, a, b) => {
                 a.visit(f);
                 b.visit(f);
@@ -182,7 +180,10 @@ mod tests {
         let e = Expr::Binary(
             BinOp::Add,
             Box::new(Expr::Ref("a".into())),
-            Box::new(Expr::Call("sum".into(), vec![Expr::Lit(Value::Number(1.0))])),
+            Box::new(Expr::Call(
+                "sum".into(),
+                vec![Expr::Lit(Value::Number(1.0))],
+            )),
         );
         let mut count = 0;
         e.visit(&mut |_| count += 1);
@@ -201,7 +202,10 @@ mod tests {
                 Statement::Select(Expr::Ref("Form".into())),
             ],
         };
-        assert_eq!(p.referenced_names(), vec!["form".to_string(), "total".to_string()]);
+        assert_eq!(
+            p.referenced_names(),
+            vec!["form".to_string(), "total".to_string()]
+        );
     }
 
     #[test]

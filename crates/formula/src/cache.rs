@@ -53,7 +53,10 @@ pub fn compile_cached(source: &str) -> Result<(Formula, bool)> {
     if let Some(program) = c.programs.lock().expect("formula cache lock").get(source) {
         c.hits.fetch_add(1, Ordering::Relaxed);
         return Ok((
-            Formula { source: source.to_string(), program: Arc::clone(program) },
+            Formula {
+                source: source.to_string(),
+                program: Arc::clone(program),
+            },
             true,
         ));
     }
@@ -66,7 +69,13 @@ pub fn compile_cached(source: &str) -> Result<(Formula, bool)> {
         let mut map = c.programs.lock().expect("formula cache lock");
         Arc::clone(map.entry(source.to_string()).or_insert(program))
     };
-    Ok((Formula { source: source.to_string(), program }, false))
+    Ok((
+        Formula {
+            source: source.to_string(),
+            program,
+        },
+        false,
+    ))
 }
 
 /// Process-wide hit/miss/entry counts.

@@ -115,7 +115,10 @@ impl Default for EvalEnv {
 
 impl EvalEnv {
     pub fn user(username: impl Into<String>) -> EvalEnv {
-        EvalEnv { username: username.into(), ..EvalEnv::default() }
+        EvalEnv {
+            username: username.into(),
+            ..EvalEnv::default()
+        }
     }
 }
 
@@ -176,8 +179,7 @@ impl<'e> Evaluator<'e> {
                 }
             }
         }
-        let selected =
-            selected.unwrap_or_else(|| last.as_bool().unwrap_or(false));
+        let selected = selected.unwrap_or_else(|| last.as_bool().unwrap_or(false));
         Ok(EvalOutput {
             value: last,
             selected,
@@ -258,9 +260,7 @@ impl<'e> Evaluator<'e> {
 fn map_numeric(v: &Value, f: impl Fn(f64) -> f64) -> Result<Value> {
     match v {
         Value::Number(n) => Ok(Value::Number(f(*n))),
-        Value::NumberList(v) => {
-            Ok(Value::NumberList(v.iter().map(|n| f(*n)).collect()))
-        }
+        Value::NumberList(v) => Ok(Value::NumberList(v.iter().map(|n| f(*n)).collect())),
         other => Err(DominoError::FormulaEval(format!(
             "numeric operator applied to {:?}",
             other.value_type()
@@ -291,12 +291,8 @@ fn pairs(a: &Value, b: &Value) -> Vec<(Value, Value)> {
 pub(crate) fn compare_scalars(a: &Value, b: &Value) -> Result<std::cmp::Ordering> {
     use std::cmp::Ordering;
     match (a, b) {
-        (Value::Number(x), Value::Number(y)) => {
-            Ok(x.partial_cmp(y).unwrap_or(Ordering::Equal))
-        }
-        (Value::Text(x), Value::Text(y)) => {
-            Ok(x.to_lowercase().cmp(&y.to_lowercase()))
-        }
+        (Value::Number(x), Value::Number(y)) => Ok(x.partial_cmp(y).unwrap_or(Ordering::Equal)),
+        (Value::Text(x), Value::Text(y)) => Ok(x.to_lowercase().cmp(&y.to_lowercase())),
         (Value::DateTime(x), Value::DateTime(y)) => Ok(x.cmp(y)),
         _ => Err(DominoError::FormulaEval(format!(
             "cannot compare {:?} with {:?}",
@@ -314,9 +310,7 @@ fn apply_binary(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
             items.extend(b.iter_scalars());
             // `:` always yields a list, even for two scalars.
             match Value::from_scalars(items.clone())? {
-                v @ (Value::NumberList(_) | Value::TextList(_) | Value::DateTimeList(_)) => {
-                    Ok(v)
-                }
+                v @ (Value::NumberList(_) | Value::TextList(_) | Value::DateTimeList(_)) => Ok(v),
                 Value::Number(n) => Ok(Value::NumberList(vec![n])),
                 Value::Text(s) => Ok(Value::TextList(vec![s])),
                 Value::DateTime(d) => Ok(Value::DateTimeList(vec![d])),
@@ -335,9 +329,7 @@ fn apply_binary(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
             (x, y) => Ok(Value::Number(x.as_number()? + y.as_number()?)),
         }),
         BinOp::Sub => pairwise_each(a, b, |x, y| match (x, y) {
-            (Value::DateTime(p), Value::DateTime(q)) => {
-                Ok(Value::Number((p.0 - q.0) as f64))
-            }
+            (Value::DateTime(p), Value::DateTime(q)) => Ok(Value::Number((p.0 - q.0) as f64)),
             (Value::DateTime(d), Value::Number(n)) => {
                 Ok(Value::DateTime(DateTime(d.0 - *n as i64)))
             }
@@ -490,10 +482,7 @@ mod tests {
 
     #[test]
     fn pairwise_text_concat_lists() {
-        assert_eq!(
-            eval(r#"("a" : "b") + "x""#),
-            Value::text_list(["ax", "bx"])
-        );
+        assert_eq!(eval(r#"("a" : "b") + "x""#), Value::text_list(["ax", "bx"]));
     }
 
     #[test]
@@ -507,14 +496,8 @@ mod tests {
 
     #[test]
     fn permuted_equality() {
-        assert_eq!(
-            eval(r#"("a" : "b") *= ("x" : "b")"#),
-            Value::from(true)
-        );
-        assert_eq!(
-            eval(r#"("a" : "b") *= ("x" : "y")"#),
-            Value::from(false)
-        );
+        assert_eq!(eval(r#"("a" : "b") *= ("x" : "b")"#), Value::from(true));
+        assert_eq!(eval(r#"("a" : "b") *= ("x" : "y")"#), Value::from(false));
     }
 
     #[test]
@@ -559,7 +542,10 @@ mod tests {
         let f = Formula::compile(r#"FIELD Status := "Done"; Status"#).unwrap();
         let out = f.eval_full(&MapDoc::new(), &EvalEnv::default()).unwrap();
         assert_eq!(out.value, Value::text("Done"));
-        assert_eq!(out.field_writes, vec![("Status".to_string(), Value::text("Done"))]);
+        assert_eq!(
+            out.field_writes,
+            vec![("Status".to_string(), Value::text("Done"))]
+        );
     }
 
     #[test]
@@ -574,14 +560,8 @@ mod tests {
     #[test]
     fn datetime_arithmetic() {
         let doc = MapDoc::new().with("When", Value::DateTime(DateTime(100)));
-        assert_eq!(
-            eval_doc("When + 5", &doc),
-            Value::DateTime(DateTime(105))
-        );
-        assert_eq!(
-            eval_doc("When - 40", &doc),
-            Value::DateTime(DateTime(60))
-        );
+        assert_eq!(eval_doc("When + 5", &doc), Value::DateTime(DateTime(105)));
+        assert_eq!(eval_doc("When - 40", &doc), Value::DateTime(DateTime(60)));
         let doc2 = doc.with("Then", Value::DateTime(DateTime(30)));
         assert_eq!(eval_doc("When - Then", &doc2), Value::Number(70.0));
     }

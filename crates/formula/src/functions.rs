@@ -10,14 +10,8 @@ use crate::ast::Expr;
 use crate::eval::{compare_scalars, DocContext, Evaluator};
 use domino_types::{DateTime, DominoError, Result, Value};
 
-
 /// Dispatch an @-function call.
-pub fn call(
-    ev: &mut Evaluator,
-    name: &str,
-    args: &[Expr],
-    doc: &dyn DocContext,
-) -> Result<Value> {
+pub fn call(ev: &mut Evaluator, name: &str, args: &[Expr], doc: &dyn DocContext) -> Result<Value> {
     // --- lazily-evaluated control functions -----------------------------
     match name {
         "if" => return fn_if(ev, args, doc),
@@ -25,7 +19,11 @@ pub fn call(
         "_default" => return fn_default(ev, args, doc),
         "isavailable" | "isunavailable" => {
             let avail = availability(ev, args, doc, name)?;
-            return Ok(Value::from(if name == "isavailable" { avail } else { !avail }));
+            return Ok(Value::from(if name == "isavailable" {
+                avail
+            } else {
+                !avail
+            }));
         }
         _ => {}
     }
@@ -68,9 +66,8 @@ pub fn call(
         "char" => {
             arity(name, v, 1)?;
             let code = v[0].as_number()? as u32;
-            let c = char::from_u32(code).ok_or_else(|| {
-                DominoError::FormulaEval(format!("@Char: invalid code {code}"))
-            })?;
+            let c = char::from_u32(code)
+                .ok_or_else(|| DominoError::FormulaEval(format!("@Char: invalid code {code}")))?;
             Ok(Value::Text(c.to_string()))
         }
         "length" => {
@@ -101,8 +98,7 @@ pub fn call(
             let start = v[1].as_number()? as usize;
             let len = v[2].as_number()? as usize;
             let chars: Vec<char> = s.chars().collect();
-            let out: String =
-                chars.iter().skip(start).take(len).collect();
+            let out: String = chars.iter().skip(start).take(len).collect();
             Ok(Value::Text(out))
         }
         "contains" => fn_scan(name, v, |hay, needle| hay.contains(needle)),
@@ -132,14 +128,21 @@ pub fn call(
         }
         "implode" => {
             min_arity(name, v, 1)?;
-            let sep = if v.len() > 1 { v[1].to_text() } else { " ".to_string() };
-            let parts: Vec<String> =
-                v[0].iter_scalars().iter().map(|x| x.to_text()).collect();
+            let sep = if v.len() > 1 {
+                v[1].to_text()
+            } else {
+                " ".to_string()
+            };
+            let parts: Vec<String> = v[0].iter_scalars().iter().map(|x| x.to_text()).collect();
             Ok(Value::Text(parts.join(&sep)))
         }
         "explode" => {
             min_arity(name, v, 1)?;
-            let seps = if v.len() > 1 { v[1].to_text() } else { " ,;".to_string() };
+            let seps = if v.len() > 1 {
+                v[1].to_text()
+            } else {
+                " ,;".to_string()
+            };
             let text = v[0].to_text();
             let parts: Vec<String> = text
                 .split(|c: char| seps.contains(c))
@@ -150,10 +153,8 @@ pub fn call(
         }
         "replacesubstring" => {
             arity(name, v, 3)?;
-            let froms: Vec<String> =
-                v[1].iter_scalars().iter().map(|x| x.to_text()).collect();
-            let tos: Vec<String> =
-                v[2].iter_scalars().iter().map(|x| x.to_text()).collect();
+            let froms: Vec<String> = v[1].iter_scalars().iter().map(|x| x.to_text()).collect();
+            let tos: Vec<String> = v[2].iter_scalars().iter().map(|x| x.to_text()).collect();
             map_text(&v[0], |mut s| {
                 for (i, from) in froms.iter().enumerate() {
                     if from.is_empty() {
@@ -206,7 +207,8 @@ pub fn call(
         // lists
         "elements" => {
             arity(name, v, 1)?;
-            let n = if v[0].is_empty() && v[0].elements() <= 1 && matches!(v[0], Value::TextList(_)) {
+            let n = if v[0].is_empty() && v[0].elements() <= 1 && matches!(v[0], Value::TextList(_))
+            {
                 0
             } else {
                 v[0].elements()
@@ -218,7 +220,9 @@ pub fn call(
             let n = v[1].as_number()? as i64;
             let items = v[0].iter_scalars();
             if n == 0 {
-                return Err(DominoError::FormulaEval("@Subset: count may not be 0".into()));
+                return Err(DominoError::FormulaEval(
+                    "@Subset: count may not be 0".into(),
+                ));
             }
             let picked: Vec<Value> = if n > 0 {
                 items.into_iter().take(n as usize).collect()
@@ -232,17 +236,20 @@ pub fn call(
         "member" => {
             arity(name, v, 2)?;
             let needle = &v[0];
-            let pos = v[1]
-                .iter_scalars()
-                .iter()
-                .position(|x| compare_scalars(x, needle).map(|o| o.is_eq()).unwrap_or(false));
+            let pos = v[1].iter_scalars().iter().position(|x| {
+                compare_scalars(x, needle)
+                    .map(|o| o.is_eq())
+                    .unwrap_or(false)
+            });
             Ok(Value::Number(pos.map(|p| p + 1).unwrap_or(0) as f64))
         }
         "ismember" | "isnotmember" => {
             arity(name, v, 2)?;
             let found = v[0].iter_scalars().iter().all(|needle| {
                 v[1].iter_scalars().iter().any(|x| {
-                    compare_scalars(x, needle).map(|o| o.is_eq()).unwrap_or(false)
+                    compare_scalars(x, needle)
+                        .map(|o| o.is_eq())
+                        .unwrap_or(false)
                 })
             });
             Ok(Value::from(if name == "ismember" { found } else { !found }))
@@ -422,7 +429,10 @@ pub fn call(
         "like" => {
             arity(name, v, 2)?;
             let pat = v[1].to_text();
-            let hit = v[0].iter_scalars().iter().any(|x| sql_like(&x.to_text(), &pat));
+            let hit = v[0]
+                .iter_scalars()
+                .iter()
+                .any(|x| sql_like(&x.to_text(), &pat));
             Ok(Value::from(hit))
         }
         "soundex" => {
@@ -487,7 +497,9 @@ pub fn call(
         "docuniqueid" => Ok(Value::Text(doc.unid_text())),
         "isresponsedoc" => Ok(Value::from(doc.is_response())),
 
-        other => Err(DominoError::FormulaEval(format!("unknown function @{other}"))),
+        other => Err(DominoError::FormulaEval(format!(
+            "unknown function @{other}"
+        ))),
     }
 }
 
@@ -518,7 +530,9 @@ fn fn_if(ev: &mut Evaluator, args: &[Expr], doc: &dyn DocContext) -> Result<Valu
 /// indexes clamp to the nearest branch (the Notes behaviour).
 fn fn_select(ev: &mut Evaluator, args: &[Expr], doc: &dyn DocContext) -> Result<Value> {
     if args.len() < 2 {
-        return Err(DominoError::FormulaEval("@Select needs an index and at least one value".into()));
+        return Err(DominoError::FormulaEval(
+            "@Select needs an index and at least one value".into(),
+        ));
     }
     let idx = ev.eval_expr(&args[0], doc)?.as_number()? as i64;
     let clamped = idx.clamp(1, (args.len() - 1) as i64) as usize;
@@ -530,7 +544,11 @@ fn fn_select(ev: &mut Evaluator, args: &[Expr], doc: &dyn DocContext) -> Result<
 fn fn_default(ev: &mut Evaluator, args: &[Expr], doc: &dyn DocContext) -> Result<Value> {
     let name = match &args[0] {
         Expr::Lit(Value::Text(s)) => s.clone(),
-        _ => return Err(DominoError::FormulaEval("DEFAULT needs a field name".into())),
+        _ => {
+            return Err(DominoError::FormulaEval(
+                "DEFAULT needs a field name".into(),
+            ))
+        }
     };
     let value = match doc.item(&name) {
         Some(v) => v,
@@ -549,7 +567,9 @@ fn availability(
     name: &str,
 ) -> Result<bool> {
     if args.len() != 1 {
-        return Err(DominoError::FormulaEval(format!("@{name} takes 1 argument")));
+        return Err(DominoError::FormulaEval(format!(
+            "@{name} takes 1 argument"
+        )));
     }
     let field = match &args[0] {
         Expr::Ref(n) => n.clone(),
@@ -612,12 +632,7 @@ fn numbers_of(name: &str, v: &[Value]) -> Result<Vec<f64>> {
     Ok(out)
 }
 
-fn fold_numbers(
-    name: &str,
-    v: &[Value],
-    init: f64,
-    f: impl Fn(f64, f64) -> f64,
-) -> Result<Value> {
+fn fold_numbers(name: &str, v: &[Value], init: f64, f: impl Fn(f64, f64) -> f64) -> Result<Value> {
     let nums = numbers_of(name, v)?;
     Ok(Value::Number(nums.into_iter().fold(init, f)))
 }
@@ -711,9 +726,7 @@ fn sql_like(text: &str, pattern: &str) -> bool {
             None => t.is_empty(),
             Some('%') => (0..=t.len()).any(|k| rec(&t[k..], &p[1..])),
             Some('_') => !t.is_empty() && rec(&t[1..], &p[1..]),
-            Some('\\') if p.len() > 1 => {
-                !t.is_empty() && t[0] == p[1] && rec(&t[1..], &p[2..])
-            }
+            Some('\\') if p.len() > 1 => !t.is_empty() && t[0] == p[1] && rec(&t[1..], &p[2..]),
             Some(c) => !t.is_empty() && t[0] == *c && rec(&t[1..], &p[1..]),
         }
     }
@@ -736,7 +749,9 @@ fn soundex(s: &str) -> String {
         }
     }
     let mut chars = s.chars().filter(|c| c.is_ascii_alphabetic());
-    let Some(first) = chars.next() else { return String::new() };
+    let Some(first) = chars.next() else {
+        return String::new();
+    };
     let mut out = String::new();
     out.push(first.to_ascii_uppercase());
     let mut prev = code(first);
@@ -785,13 +800,9 @@ fn wildcard_match(text: &str, pattern: &str) -> bool {
     fn rec(t: &[char], p: &[char]) -> bool {
         match p.first() {
             None => t.is_empty(),
-            Some('*') => {
-                (0..=t.len()).any(|k| rec(&t[k..], &p[1..]))
-            }
+            Some('*') => (0..=t.len()).any(|k| rec(&t[k..], &p[1..])),
             Some('?') => !t.is_empty() && rec(&t[1..], &p[1..]),
-            Some('\\') if p.len() > 1 => {
-                !t.is_empty() && t[0] == p[1] && rec(&t[1..], &p[2..])
-            }
+            Some('\\') if p.len() > 1 => !t.is_empty() && t[0] == p[1] && rec(&t[1..], &p[2..]),
             Some(c) => !t.is_empty() && t[0] == *c && rec(&t[1..], &p[1..]),
         }
     }
@@ -831,10 +842,7 @@ mod tests {
     fn at_if_branches_and_laziness() {
         assert_eq!(eval(r#"@If(1; "yes"; "no")"#), Value::text("yes"));
         assert_eq!(eval(r#"@If(0; "yes"; "no")"#), Value::text("no"));
-        assert_eq!(
-            eval(r#"@If(0; "a"; 1; "b"; "c")"#),
-            Value::text("b")
-        );
+        assert_eq!(eval(r#"@If(0; "a"; 1; "b"; "c")"#), Value::text("b"));
         // Untaken branches must not evaluate (1/0 would error).
         assert_eq!(eval(r#"@If(1; "ok"; 1/0)"#), Value::text("ok"));
         fails("@If(1; 2)");
@@ -852,7 +860,10 @@ mod tests {
     fn text_functions() {
         assert_eq!(eval(r#"@Uppercase("aBc")"#), Value::text("ABC"));
         assert_eq!(eval(r#"@Lowercase("aBc")"#), Value::text("abc"));
-        assert_eq!(eval(r#"@ProperCase("john von neumann")"#), Value::text("John Von Neumann"));
+        assert_eq!(
+            eval(r#"@ProperCase("john von neumann")"#),
+            Value::text("John Von Neumann")
+        );
         assert_eq!(eval(r#"@Length("héllo")"#), Value::Number(5.0));
         assert_eq!(eval(r#"@Trim("  a   b  ")"#), Value::text("a b"));
         assert_eq!(eval(r#"@Text(42)"#), Value::text("42"));
@@ -881,7 +892,10 @@ mod tests {
 
     #[test]
     fn scanning_predicates() {
-        assert_eq!(eval(r#"@Contains("hello world"; "lo w")"#), Value::from(true));
+        assert_eq!(
+            eval(r#"@Contains("hello world"; "lo w")"#),
+            Value::from(true)
+        );
         assert_eq!(eval(r#"@Contains("hello"; "xyz")"#), Value::from(false));
         assert_eq!(eval(r#"@Begins("hello"; "he")"#), Value::from(true));
         assert_eq!(eval(r#"@Ends("hello"; "lo")"#), Value::from(true));
@@ -929,7 +943,10 @@ mod tests {
 
     #[test]
     fn matches_wildcards() {
-        assert_eq!(eval(r#"@Matches("report-2024"; "report*")"#), Value::from(true));
+        assert_eq!(
+            eval(r#"@Matches("report-2024"; "report*")"#),
+            Value::from(true)
+        );
         assert_eq!(eval(r#"@Matches("cat"; "c?t")"#), Value::from(true));
         assert_eq!(eval(r#"@Matches("cart"; "c?t")"#), Value::from(false));
         assert_eq!(eval(r#"@Matches("CAT"; "cat")"#), Value::from(true));
@@ -951,10 +968,7 @@ mod tests {
             eval(r#"@Subset("a" : "b" : "c"; 2)"#),
             Value::text_list(["a", "b"])
         );
-        assert_eq!(
-            eval(r#"@Subset("a" : "b" : "c"; -1)"#),
-            Value::text("c")
-        );
+        assert_eq!(eval(r#"@Subset("a" : "b" : "c"; -1)"#), Value::text("c"));
         assert_eq!(eval(r#"@Member("b"; "a" : "b")"#), Value::Number(2.0));
         assert_eq!(eval(r#"@Member("z"; "a" : "b")"#), Value::Number(0.0));
         assert_eq!(eval(r#"@IsMember("b"; "a" : "b")"#), Value::from(true));
@@ -1032,7 +1046,10 @@ mod tests {
             Value::text("Ada Lovelace @ Orders")
         );
         let g = Formula::compile("@Now").unwrap();
-        assert_eq!(g.eval(&MapDoc::new(), &env).unwrap(), Value::DateTime(DateTime(55)));
+        assert_eq!(
+            g.eval(&MapDoc::new(), &env).unwrap(),
+            Value::DateTime(DateTime(55))
+        );
     }
 
     #[test]
@@ -1059,10 +1076,7 @@ mod tests {
 
     #[test]
     fn date_construction_and_parts() {
-        assert_eq!(
-            eval("@Year(@Date(2024; 2; 29))"),
-            Value::Number(2024.0)
-        );
+        assert_eq!(eval("@Year(@Date(2024; 2; 29))"), Value::Number(2024.0));
         assert_eq!(eval("@Month(@Date(2024; 2; 29))"), Value::Number(2.0));
         assert_eq!(eval("@Day(@Date(2024; 2; 29))"), Value::Number(29.0));
         assert_eq!(
@@ -1120,7 +1134,11 @@ mod tests {
         assert_eq!(eval(r#"@Like("domino"; "d_mino")"#), Value::from(true));
         assert_eq!(eval(r#"@Like("domino"; "d_m")"#), Value::from(false));
         assert_eq!(eval(r#"@Like("100%"; "100\%")"#), Value::from(true));
-        assert_eq!(eval(r#"@Like("Domino"; "dom%")"#), Value::from(false), "case-sensitive");
+        assert_eq!(
+            eval(r#"@Like("Domino"; "dom%")"#),
+            Value::from(false),
+            "case-sensitive"
+        );
     }
 
     #[test]
@@ -1142,7 +1160,10 @@ mod tests {
         );
         let f = Formula::compile(r#"@SetField("Out_" + @Text(1 + 1); 7)"#).unwrap();
         let out = f.eval_full(&MapDoc::new(), &EvalEnv::default()).unwrap();
-        assert_eq!(out.field_writes, vec![("Out_2".to_string(), Value::Number(7.0))]);
+        assert_eq!(
+            out.field_writes,
+            vec![("Out_2".to_string(), Value::Number(7.0))]
+        );
         // @GetField sees pending @SetField writes.
         let g = Formula::compile(r#"@SetField("X"; 5); @GetField("X")"#).unwrap();
         assert_eq!(
@@ -1161,10 +1182,8 @@ mod tests {
         let g = Formula::compile(r#"@Environment("Missing")"#).unwrap();
         assert_eq!(g.eval(&MapDoc::new(), &env).unwrap(), Value::text(""));
         // Writes surface in the output and shadow subsequent reads.
-        let h = Formula::compile(
-            r#"@SetEnvironment("Region"; "east"); @Environment("Region")"#,
-        )
-        .unwrap();
+        let h = Formula::compile(r#"@SetEnvironment("Region"; "east"); @Environment("Region")"#)
+            .unwrap();
         let out = h.eval_full(&MapDoc::new(), &env).unwrap();
         assert_eq!(out.value, Value::text("east"));
         assert_eq!(
@@ -1174,7 +1193,10 @@ mod tests {
         // The two-argument @Environment form also assigns.
         let k = Formula::compile(r#"@Environment("Quota"; "9")"#).unwrap();
         let out = k.eval_full(&MapDoc::new(), &env).unwrap();
-        assert_eq!(out.environment_writes, vec![("Quota".to_string(), "9".to_string())]);
+        assert_eq!(
+            out.environment_writes,
+            vec![("Quota".to_string(), "9".to_string())]
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl Formula {
     /// Parse `source` into a reusable formula.
     pub fn compile(source: &str) -> Result<Formula> {
         let program = Arc::new(parse(source)?);
-        Ok(Formula { source: source.to_string(), program })
+        Ok(Formula {
+            source: source.to_string(),
+            program,
+        })
     }
 
     /// Like [`Formula::compile`], but consults the process-wide compile
@@ -130,8 +133,14 @@ mod tests {
     fn selects_without_select_uses_truthiness() {
         let doc = MapDoc::new().with("N", Value::Number(5.0));
         let env = EvalEnv::default();
-        assert!(Formula::compile("N > 1").unwrap().selects(&doc, &env).unwrap());
-        assert!(!Formula::compile("N > 9").unwrap().selects(&doc, &env).unwrap());
+        assert!(Formula::compile("N > 1")
+            .unwrap()
+            .selects(&doc, &env)
+            .unwrap());
+        assert!(!Formula::compile("N > 9")
+            .unwrap()
+            .selects(&doc, &env)
+            .unwrap());
     }
 
     #[test]
@@ -144,12 +153,7 @@ mod tests {
 
     #[test]
     fn eval_str_shorthand() {
-        let v = eval_str(
-            "@Uppercase(\"abc\")",
-            &MapDoc::new(),
-            &EvalEnv::default(),
-        )
-        .unwrap();
+        let v = eval_str("@Uppercase(\"abc\")", &MapDoc::new(), &EvalEnv::default()).unwrap();
         assert_eq!(v, Value::text("ABC"));
     }
 }

@@ -115,10 +115,7 @@ impl Parser {
                     let name = self.ident()?;
                     self.expect(&TokenKind::Assign)?;
                     let e = self.expr()?;
-                    return Ok(Some(Statement::Expr(Expr::FieldAssign(
-                        name,
-                        Box::new(e),
-                    ))));
+                    return Ok(Some(Statement::Expr(Expr::FieldAssign(name, Box::new(e)))));
                 }
                 "REM" => {
                     self.bump();
@@ -155,10 +152,7 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             TokenKind::Ident(s) => Ok(s),
-            other => Err(self.error(&format!(
-                "expected identifier, found {}",
-                other.describe()
-            ))),
+            other => Err(self.error(&format!("expected identifier, found {}", other.describe()))),
         }
     }
 
@@ -311,10 +305,7 @@ impl Parser {
                 self.expect(&TokenKind::RParen)?;
                 Ok(e)
             }
-            other => Err(self.error(&format!(
-                "expected a value, found {}",
-                other.describe()
-            ))),
+            other => Err(self.error(&format!("expected a value, found {}", other.describe()))),
         }
     }
 }

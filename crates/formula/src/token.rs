@@ -28,22 +28,22 @@ pub enum TokenKind {
     Minus,
     Star,
     Slash,
-    Assign,    // :=
-    Colon,     // : (list concatenation)
-    Semi,      // ;
+    Assign, // :=
+    Colon,  // : (list concatenation)
+    Semi,   // ;
     LParen,
     RParen,
-    Eq,        // =
-    Ne,        // <> or !=
+    Eq, // =
+    Ne, // <> or !=
     Lt,
     Le,
     Gt,
     Ge,
-    PermEq,    // *= permuted equality
-    PermNe,    // *<> permuted inequality
-    And,       // &
-    Or,        // |
-    Not,       // !
+    PermEq, // *= permuted equality
+    PermNe, // *<> permuted inequality
+    And,    // &
+    Or,     // |
+    Not,    // !
     Eof,
 }
 
@@ -93,109 +93,175 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, offset: start });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, offset: start });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semi, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Token { kind: TokenKind::Plus, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Token { kind: TokenKind::Minus, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '&' => {
-                out.push(Token { kind: TokenKind::And, offset: start });
+                out.push(Token {
+                    kind: TokenKind::And,
+                    offset: start,
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Token { kind: TokenKind::Or, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Or,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
                 // `*=` / `*<>` are the permuted comparisons; bare `*` is multiply.
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::PermEq, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::PermEq,
+                        offset: start,
+                    });
                     i += 2;
-                } else if bytes.get(i + 1) == Some(&b'<') && bytes.get(i + 2) == Some(&b'>')
-                {
-                    out.push(Token { kind: TokenKind::PermNe, offset: start });
+                } else if bytes.get(i + 1) == Some(&b'<') && bytes.get(i + 2) == Some(&b'>') {
+                    out.push(Token {
+                        kind: TokenKind::PermNe,
+                        offset: start,
+                    });
                     i += 3;
                 } else {
-                    out.push(Token { kind: TokenKind::Star, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Star,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Le, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Lt, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ge, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Gt, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Not, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Not,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             ':' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { kind: TokenKind::Assign, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Assign,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Token { kind: TokenKind::Colon, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Colon,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '"' => {
                 let (s, next) = lex_quoted(src, i, '"', '"')?;
-                out.push(Token { kind: TokenKind::Str(s), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
                 i = next;
             }
             '{' => {
                 let (s, next) = lex_quoted(src, i, '{', '}')?;
-                out.push(Token { kind: TokenKind::Str(s), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
                 i = next;
             }
             '@' => {
                 let mut j = i + 1;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
                 if j == i + 1 {
@@ -244,7 +310,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         &src[i..j]
                     ))
                 })?;
-                out.push(Token { kind: TokenKind::Number(n), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Number(n),
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
@@ -269,7 +338,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(out)
 }
 
@@ -359,7 +431,10 @@ mod tests {
     fn lexes_numbers() {
         assert_eq!(kinds("3"), vec![TokenKind::Number(3.0), TokenKind::Eof]);
         assert_eq!(kinds("3.5"), vec![TokenKind::Number(3.5), TokenKind::Eof]);
-        assert_eq!(kinds("1e3"), vec![TokenKind::Number(1000.0), TokenKind::Eof]);
+        assert_eq!(
+            kinds("1e3"),
+            vec![TokenKind::Number(1000.0), TokenKind::Eof]
+        );
         assert_eq!(
             kinds("2.5E-1"),
             vec![TokenKind::Number(0.25), TokenKind::Eof]

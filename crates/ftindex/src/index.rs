@@ -54,9 +54,7 @@ impl InvertedIndex {
                 continue;
             }
             match &item.value {
-                Value::Text(_)
-                | Value::TextList(_)
-                | Value::RichText(_) => {
+                Value::Text(_) | Value::TextList(_) | Value::RichText(_) => {
                     out.push_str(&item.value.to_text());
                     out.push('\n');
                 }
@@ -86,7 +84,9 @@ impl InvertedIndex {
 
     /// Remove one document entirely.
     pub fn remove(&mut self, unid: Unid) {
-        let Some((_, terms)) = self.docs.remove(&unid) else { return };
+        let Some((_, terms)) = self.docs.remove(&unid) else {
+            return;
+        };
         for term in terms {
             if let Some(postings) = self.terms.get_mut(&term) {
                 postings.remove(&unid);
@@ -122,7 +122,10 @@ impl InvertedIndex {
             .into_iter()
             .map(|(unid, tf)| {
                 let len = self.docs.get(&unid).map(|(n, _)| *n).unwrap_or(1);
-                SearchHit { unid, score: tf as f32 / len as f32 }
+                SearchHit {
+                    unid,
+                    score: tf as f32 / len as f32,
+                }
             })
             .collect();
         hits.sort_by(|a, b| {
@@ -159,9 +162,7 @@ impl InvertedIndex {
                 };
                 small
                     .into_iter()
-                    .filter_map(|(unid, tf)| {
-                        large.get(&unid).map(|tf2| (unid, tf + tf2))
-                    })
+                    .filter_map(|(unid, tf)| large.get(&unid).map(|tf2| (unid, tf + tf2)))
                     .collect()
             }
             QueryNode::Or(a, b) => {
@@ -182,7 +183,9 @@ impl InvertedIndex {
     }
 
     fn eval_phrase(&self, words: &[String]) -> HashMap<Unid, u32> {
-        let Some(first) = words.first() else { return HashMap::new() };
+        let Some(first) = words.first() else {
+            return HashMap::new();
+        };
         let Some(first_postings) = self.terms.get(first) else {
             return HashMap::new();
         };

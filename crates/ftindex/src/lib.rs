@@ -48,7 +48,9 @@ pub struct FtIndex {
 impl FtIndex {
     /// Index the current contents and stay current via change events.
     pub fn attach(db: &Arc<Database>) -> Result<FtIndex> {
-        let ft = FtIndex { state: Arc::new(Mutex::new(InvertedIndex::new())) };
+        let ft = FtIndex {
+            state: Arc::new(Mutex::new(InvertedIndex::new())),
+        };
         ft.rebuild(db)?;
         let state = ft.state.clone();
         db.subscribe(Arc::new(move |event: &ChangeEvent| {
@@ -63,7 +65,9 @@ impl FtIndex {
 
     /// An empty, manually-maintained index.
     pub fn detached() -> FtIndex {
-        FtIndex { state: Arc::new(Mutex::new(InvertedIndex::new())) }
+        FtIndex {
+            state: Arc::new(Mutex::new(InvertedIndex::new())),
+        }
     }
 
     /// Re-index everything.

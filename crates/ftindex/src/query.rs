@@ -107,7 +107,9 @@ pub fn parse_query(src: &str) -> Result<QueryNode> {
     let mut p = Parser { toks, pos: 0 };
     let node = p.or()?;
     if p.pos != p.toks.len() {
-        return Err(DominoError::InvalidArgument("trailing tokens in query".into()));
+        return Err(DominoError::InvalidArgument(
+            "trailing tokens in query".into(),
+        ));
     }
     Ok(node)
 }
@@ -182,9 +184,7 @@ impl Parser {
                 self.pos += 1;
                 let node = self.or()?;
                 if !matches!(self.toks.get(self.pos), Some(Tok::RParen)) {
-                    return Err(DominoError::InvalidArgument(
-                        "missing `)` in query".into(),
-                    ));
+                    return Err(DominoError::InvalidArgument("missing `)` in query".into()));
                 }
                 self.pos += 1;
                 Ok(node)
@@ -202,7 +202,10 @@ mod tests {
 
     #[test]
     fn single_word() {
-        assert_eq!(parse_query("Elephants").unwrap(), QueryNode::Term("elephants".into()));
+        assert_eq!(
+            parse_query("Elephants").unwrap(),
+            QueryNode::Term("elephants".into())
+        );
     }
 
     #[test]
@@ -250,7 +253,10 @@ mod tests {
             QueryNode::Phrase(vec!["quick".into(), "brown".into(), "fox".into()])
         );
         // One-word phrase degrades to a term.
-        assert_eq!(parse_query("\"fox\"").unwrap(), QueryNode::Term("fox".into()));
+        assert_eq!(
+            parse_query("\"fox\"").unwrap(),
+            QueryNode::Term("fox".into())
+        );
     }
 
     #[test]

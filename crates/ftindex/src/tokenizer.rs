@@ -6,10 +6,9 @@
 
 /// Common English stopwords (the short list Domino's index options used).
 pub const STOPWORDS: &[&str] = &[
-    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had",
-    "has", "have", "he", "her", "his", "if", "in", "is", "it", "its", "not", "of",
-    "on", "or", "she", "that", "the", "their", "they", "this", "to", "was", "we",
-    "were", "which", "will", "with", "you",
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "had", "has", "have",
+    "he", "her", "his", "if", "in", "is", "it", "its", "not", "of", "on", "or", "she", "that",
+    "the", "their", "they", "this", "to", "was", "we", "were", "which", "will", "with", "you",
 ];
 
 fn is_stopword(w: &str) -> bool {

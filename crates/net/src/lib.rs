@@ -33,8 +33,14 @@ mod tests {
         let mut router = MailRouter::setup(
             &mut net,
             &[
-                MailUser { name: "ann".into(), home_server: 1 },
-                MailUser { name: "bea".into(), home_server: 3 },
+                MailUser {
+                    name: "ann".into(),
+                    home_server: 1,
+                },
+                MailUser {
+                    name: "bea".into(),
+                    home_server: 3,
+                },
             ],
         )
         .unwrap();
@@ -44,7 +50,9 @@ mod tests {
         let mut topic = Note::document("Topic");
         topic.set("Subject", Value::text("launch plan"));
         db1.save(&mut topic).unwrap();
-        router.send(&net, 1, "ann", "bea", "see the launch plan", "in disc").unwrap();
+        router
+            .send(&net, 1, "ann", "bea", "see the launch plan", "in disc")
+            .unwrap();
 
         // Let scheduled replication fire a few times and route mail.
         for _ in 0..5 {
@@ -54,7 +62,10 @@ mod tests {
         router.run_until_delivered(&mut net, 100).unwrap();
 
         assert!(net.converged("disc").unwrap());
-        assert_eq!(router.inbox(&net, "bea").unwrap(), vec!["see the launch plan"]);
+        assert_eq!(
+            router.inbox(&net, "bea").unwrap(),
+            vec!["see the launch plan"]
+        );
         assert!(net.total_traffic().bytes > 0);
     }
 

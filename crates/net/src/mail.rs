@@ -65,7 +65,11 @@ impl MailRouter {
             let lineage = ReplicaId(0xFEED_0000 + k as u64);
             net.create_replica_on(u.home_server, &mail_file(&u.name), lineage)?;
         }
-        Ok(MailRouter { users: users.to_vec(), stats: MailStats::default(), next_lineage: 0 })
+        Ok(MailRouter {
+            users: users.to_vec(),
+            stats: MailStats::default(),
+            next_lineage: 0,
+        })
     }
 
     pub fn stats(&self) -> MailStats {
@@ -73,7 +77,9 @@ impl MailRouter {
     }
 
     fn user(&self, name: &str) -> Option<&MailUser> {
-        self.users.iter().find(|u| u.name.eq_ignore_ascii_case(name))
+        self.users
+            .iter()
+            .find(|u| u.name.eq_ignore_ascii_case(name))
     }
 
     /// Deposit a memo into `from_server`'s mail.box.
@@ -86,9 +92,9 @@ impl MailRouter {
         subject: &str,
         body: &str,
     ) -> Result<Unid> {
-        let recipient = self.user(to).ok_or_else(|| {
-            DominoError::NotFound(format!("no mail user {to:?}"))
-        })?;
+        let recipient = self
+            .user(to)
+            .ok_or_else(|| DominoError::NotFound(format!("no mail user {to:?}")))?;
         let now = net.clock().peek().0;
         let mut memo = Note::document("Memo");
         memo.set("From", Value::text(from));
@@ -167,7 +173,10 @@ impl MailRouter {
     ) -> Result<()> {
         let bytes = memo.byte_size() as u64;
         let transfer = net.account_bytes(from, to, bytes);
-        let hops = memo.get("Hops").and_then(|v| v.as_number().ok()).unwrap_or(0.0);
+        let hops = memo
+            .get("Hops")
+            .and_then(|v| v.as_number().ok())
+            .unwrap_or(0.0);
         let mut copy = Note::document("Memo");
         for it in memo.items() {
             if !it.is_system() {
@@ -187,14 +196,16 @@ impl MailRouter {
         let inbox = net.db(server, &file)?;
         let mut letter = Note::document("Memo");
         for it in memo.items() {
-            if !it.is_system() && !["ReadyAt", "Hops", "DestServer"].contains(&it.name.as_str())
-            {
+            if !it.is_system() && !["ReadyAt", "Hops", "DestServer"].contains(&it.name.as_str()) {
                 letter.set_item(it.clone());
             }
         }
         letter.set("DeliveredAt", Value::Number(now as f64));
         inbox.save(&mut letter)?;
-        let sent = memo.get("SentAt").and_then(|v| v.as_number().ok()).unwrap_or(0.0) as u64;
+        let sent = memo
+            .get("SentAt")
+            .and_then(|v| v.as_number().ok())
+            .unwrap_or(0.0) as u64;
         let latency = now.saturating_sub(sent);
         self.stats.delivered += 1;
         self.stats.total_latency += latency;
@@ -251,20 +262,36 @@ mod tests {
 
     fn users() -> Vec<MailUser> {
         vec![
-            MailUser { name: "alice".into(), home_server: 0 },
-            MailUser { name: "bob".into(), home_server: 2 },
+            MailUser {
+                name: "alice".into(),
+                home_server: 0,
+            },
+            MailUser {
+                name: "bob".into(),
+                home_server: 2,
+            },
         ]
     }
 
     fn net(topology: Topology) -> Network {
-        Network::new(3, topology, LinkSpec { latency: 2, bytes_per_tick: 0 }, LogicalClock::new())
+        Network::new(
+            3,
+            topology,
+            LinkSpec {
+                latency: 2,
+                bytes_per_tick: 0,
+            },
+            LogicalClock::new(),
+        )
     }
 
     #[test]
     fn local_delivery_same_server() {
         let mut n = net(Topology::Mesh);
         let mut router = MailRouter::setup(&mut n, &users()).unwrap();
-        router.send(&n, 0, "bob", "alice", "hi alice", "body").unwrap();
+        router
+            .send(&n, 0, "bob", "alice", "hi alice", "body")
+            .unwrap();
         router.run_until_delivered(&mut n, 100).unwrap();
         assert_eq!(router.inbox(&n, "alice").unwrap(), vec!["hi alice"]);
         assert_eq!(router.stats().forwarded, 0);
@@ -274,7 +301,9 @@ mod tests {
     fn cross_server_mail_routes_over_chain() {
         let mut n = net(Topology::Chain); // 0-1-2
         let mut router = MailRouter::setup(&mut n, &users()).unwrap();
-        router.send(&n, 0, "alice", "bob", "hello bob", "body").unwrap();
+        router
+            .send(&n, 0, "alice", "bob", "hello bob", "body")
+            .unwrap();
         router.run_until_delivered(&mut n, 200).unwrap();
         assert_eq!(router.inbox(&n, "bob").unwrap(), vec!["hello bob"]);
         let s = router.stats();
@@ -330,7 +359,9 @@ mod tests {
             } else {
                 (2, "bob", "alice")
             };
-            router.send(&n, from_server, from, to, &format!("m{i}"), "b").unwrap();
+            router
+                .send(&n, from_server, from, to, &format!("m{i}"), "b")
+                .unwrap();
         }
         router.run_until_delivered(&mut n, 1000).unwrap();
         assert_eq!(router.stats().delivered, 20);

@@ -31,7 +31,10 @@ pub struct LinkSpec {
 
 impl Default for LinkSpec {
     fn default() -> LinkSpec {
-        LinkSpec { latency: 1, bytes_per_tick: 0 }
+        LinkSpec {
+            latency: 1,
+            bytes_per_tick: 0,
+        }
     }
 }
 
@@ -243,7 +246,11 @@ impl Network {
     }
 
     /// Run all stored agents of `db` on `server` immediately.
-    pub fn run_agents(&mut self, server: usize, db: &str) -> Result<Vec<domino_core::AgentRunReport>> {
+    pub fn run_agents(
+        &mut self,
+        server: usize,
+        db: &str,
+    ) -> Result<Vec<domino_core::AgentRunReport>> {
         let database = self.db(server, db)?;
         let mut out = Vec::new();
         for agent in domino_core::stored_agents(&database)? {
@@ -455,7 +462,9 @@ impl Network {
     /// same stubs)?
     pub fn converged(&self, db: &str) -> Result<bool> {
         let replicas = self.replicas(db);
-        let Some(first) = replicas.first() else { return Ok(true) };
+        let Some(first) = replicas.first() else {
+            return Ok(true);
+        };
         let want = signature(first)?;
         for r in &replicas[1..] {
             if signature(r)? != want {
@@ -489,7 +498,10 @@ fn signature(db: &Database) -> Result<Vec<(u128, u64)>> {
     let mut sig = Vec::new();
     for id in db.note_ids(None)? {
         let n = db.open_note(id)?;
-        let fp = n.revision_at(n.oid.seq).map(|(f, _)| f).unwrap_or(n.oid.seq as u64);
+        let fp = n
+            .revision_at(n.oid.seq)
+            .map(|(f, _)| f)
+            .unwrap_or(n.oid.seq as u64);
         sig.push((n.unid().0, fp));
     }
     for stub in db.stubs()? {
@@ -513,9 +525,15 @@ mod tests {
 
     #[test]
     fn link_spec_transfer_math() {
-        let inf = LinkSpec { latency: 3, bytes_per_tick: 0 };
+        let inf = LinkSpec {
+            latency: 3,
+            bytes_per_tick: 0,
+        };
         assert_eq!(inf.transfer_ticks(1_000_000), 3, "0 = infinite bandwidth");
-        let slow = LinkSpec { latency: 2, bytes_per_tick: 100 };
+        let slow = LinkSpec {
+            latency: 2,
+            bytes_per_tick: 100,
+        };
         assert_eq!(slow.transfer_ticks(0), 2);
         assert_eq!(slow.transfer_ticks(1), 3);
         assert_eq!(slow.transfer_ticks(100), 3);
@@ -524,13 +542,15 @@ mod tests {
 
     #[test]
     fn server_accessors() {
-        let mut net =
-            Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
+        let mut net = Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
         net.create_replica_set("beta").unwrap();
         net.create_replica_set("alpha").unwrap();
         let s = net.server(0);
         assert_eq!(s.name, "server0");
-        assert_eq!(s.database_names(), vec!["alpha".to_string(), "beta".to_string()]);
+        assert_eq!(
+            s.database_names(),
+            vec!["alpha".to_string(), "beta".to_string()]
+        );
         assert!(s.database("alpha").is_some());
         assert!(s.database("gamma").is_none());
         assert!(net.db(0, "gamma").is_err());
@@ -564,8 +584,7 @@ mod tests {
         // Seed at the chain's tail: links replicate in ascending order
         // within a round, so propagation toward server 0 pays one hop per
         // round (the worst case an administrator schedules around).
-        let mut chain =
-            Network::new(6, Topology::Chain, LinkSpec::default(), LogicalClock::new());
+        let mut chain = Network::new(6, Topology::Chain, LinkSpec::default(), LogicalClock::new());
         chain.create_replica_set("d").unwrap();
         doc(&chain.db(5, "d").unwrap(), "x");
         let chain_rounds = chain.run_until_converged("d", 20).unwrap();
@@ -575,14 +594,16 @@ mod tests {
         doc(&mesh.db(5, "d").unwrap(), "x");
         let mesh_rounds = mesh.run_until_converged("d", 20).unwrap();
 
-        assert!(chain_rounds > mesh_rounds, "{chain_rounds} vs {mesh_rounds}");
+        assert!(
+            chain_rounds > mesh_rounds,
+            "{chain_rounds} vs {mesh_rounds}"
+        );
         assert_eq!(mesh_rounds, 1);
     }
 
     #[test]
     fn scheduled_replication_fires_on_interval() {
-        let mut net =
-            Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
+        let mut net = Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
         net.create_replica_set("d").unwrap();
         net.schedule_replication("d", 100, ReplicationOptions::default());
         doc(&net.db(0, "d").unwrap(), "scheduled");
@@ -596,8 +617,7 @@ mod tests {
 
     #[test]
     fn partition_blocks_until_healed() {
-        let mut net =
-            Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
+        let mut net = Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
         net.create_replica_set("d").unwrap();
         doc(&net.db(0, "d").unwrap(), "stuck");
         net.partition(0, 1);
@@ -613,7 +633,10 @@ mod tests {
         let mut net = Network::new(
             2,
             Topology::Mesh,
-            LinkSpec { latency: 5, bytes_per_tick: 10 },
+            LinkSpec {
+                latency: 5,
+                bytes_per_tick: 10,
+            },
             LogicalClock::new(),
         );
         net.create_replica_set("d").unwrap();
@@ -628,8 +651,7 @@ mod tests {
     #[test]
     fn scheduled_agents_run_and_results_replicate() {
         use domino_core::{save_agent, AgentDesign};
-        let mut net =
-            Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
+        let mut net = Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
         net.create_replica_set("d").unwrap();
         net.schedule_replication("d", 100, domino_replica::ReplicationOptions::default());
         net.schedule_agents(0, "d", 100);
@@ -662,8 +684,7 @@ mod tests {
     #[test]
     fn on_update_agents_fire_after_replication_delivers() {
         use domino_core::{save_agent, AgentDesign};
-        let mut net =
-            Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
+        let mut net = Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
         net.create_replica_set("d").unwrap();
         net.schedule_replication("d", 100, domino_replica::ReplicationOptions::default());
         // Server 1 reacts to arriving documents.
@@ -694,8 +715,7 @@ mod tests {
 
     #[test]
     fn convergence_includes_deletions() {
-        let mut net =
-            Network::new(3, Topology::Ring, LinkSpec::default(), LogicalClock::new());
+        let mut net = Network::new(3, Topology::Ring, LinkSpec::default(), LogicalClock::new());
         net.create_replica_set("d").unwrap();
         let db0 = net.db(0, "d").unwrap();
         doc(&db0, "temp");

@@ -20,8 +20,12 @@ pub enum Topology {
 }
 
 impl Topology {
-    pub const ALL: [Topology; 4] =
-        [Topology::HubSpoke, Topology::Ring, Topology::Mesh, Topology::Chain];
+    pub const ALL: [Topology; 4] = [
+        Topology::HubSpoke,
+        Topology::Ring,
+        Topology::Mesh,
+        Topology::Chain,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {

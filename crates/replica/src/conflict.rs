@@ -37,7 +37,11 @@ pub fn make_conflict_document(loser: &Note) -> Note {
     let mut doc = loser.clone();
     doc.id = domino_types::NoteId::NONE;
     let unid = conflict_unid(loser.unid(), loser.oid.seq, loser.oid.seq_time);
-    doc.oid = Oid { unid, seq: 1, seq_time: loser.oid.seq_time };
+    doc.oid = Oid {
+        unid,
+        seq: 1,
+        seq_time: loser.oid.seq_time,
+    };
     doc.set_parent(loser.unid());
     doc.set(ITEM_CONFLICT, Value::text("1"));
     doc
@@ -51,7 +55,11 @@ mod tests {
     fn loser() -> Note {
         let mut n = Note::document("Memo");
         n.id = NoteId(5);
-        n.oid = Oid { unid: Unid(42), seq: 3, seq_time: Timestamp(30) };
+        n.oid = Oid {
+            unid: Unid(42),
+            seq: 3,
+            seq_time: Timestamp(30),
+        };
         n.set("Subject", Value::text("my edit"));
         n
     }

@@ -17,9 +17,7 @@
 //! * bandwidth is accounted either whole-document (R3) or changed-fields
 //!   (R4), the comparison E5 measures.
 
-use domino_core::{
-    same_revision, ChangedNote, Database, Note, ITEM_REVISIONS, MAX_REVISIONS,
-};
+use domino_core::{same_revision, ChangedNote, Database, Note, ITEM_REVISIONS, MAX_REVISIONS};
 use domino_formula::{EvalEnv, Formula};
 use domino_types::{Clock, DominoError, Item, Result, Timestamp};
 
@@ -125,7 +123,10 @@ pub struct Replicator {
 
 impl Replicator {
     pub fn new(options: ReplicationOptions) -> Replicator {
-        Replicator { options, history: ReplicationHistory::new() }
+        Replicator {
+            options,
+            history: ReplicationHistory::new(),
+        }
     }
 
     /// Pull changes from `src` into `dst`.
@@ -155,7 +156,8 @@ impl Replicator {
         }
         // Success: next time, look only at newer changes.
         dst.clock().observe(start);
-        self.history.record(dst.instance_id(), src.instance_id(), start);
+        self.history
+            .record(dst.instance_id(), src.instance_id(), start);
         Ok(report)
     }
 
@@ -646,17 +648,17 @@ mod tests {
         assert!(docs_equal(&a, &b));
         assert_eq!(a.document_count().unwrap(), 2);
         // The conflict document is a response to the winner.
-        let f = domino_formula::Formula::compile(&format!(
-            "SELECT {ITEM_CONFLICT} = \"1\""
-        ))
-        .unwrap();
+        let f =
+            domino_formula::Formula::compile(&format!("SELECT {ITEM_CONFLICT} = \"1\"")).unwrap();
         let conflicts = a.search(&f, &EvalEnv::default()).unwrap();
         assert_eq!(conflicts.len(), 1);
         assert_eq!(conflicts[0].parent(), Some(n.unid()));
         // No update was lost: both texts exist somewhere.
         let main = a.open_by_unid(n.unid()).unwrap();
-        let texts = [main.get_text("Subject").unwrap(),
-            conflicts[0].get_text("Subject").unwrap()];
+        let texts = [
+            main.get_text("Subject").unwrap(),
+            conflicts[0].get_text("Subject").unwrap(),
+        ];
         assert!(texts.contains(&"a-edit".to_string()));
         assert!(texts.contains(&"b-edit".to_string()));
     }
@@ -801,7 +803,10 @@ mod tests {
         n3.set("F4", Value::text("z".repeat(200)));
         a.save(&mut n3).unwrap();
         let mut r_doc = Replicator {
-            options: ReplicationOptions { field_level: false, ..Default::default() },
+            options: ReplicationOptions {
+                field_level: false,
+                ..Default::default()
+            },
             history: r_field.history.clone(),
         };
         let (_, doc_rep) = r_doc.sync(&a, &b).unwrap();
@@ -863,7 +868,10 @@ mod tests {
         // The full copy at the source is untouched by further syncs.
         r.sync(&a, &b).unwrap();
         let original = a.open_by_unid(n.unid()).unwrap();
-        assert_eq!(original.get("Body"), Some(&Value::RichText(vec![9u8; 50_000])));
+        assert_eq!(
+            original.get("Body"),
+            Some(&Value::RichText(vec![9u8; 50_000]))
+        );
         assert!(!original.is_truncated());
 
         // A later full pull upgrades the truncated copy in place.
@@ -873,16 +881,17 @@ mod tests {
         });
         full.pull(&b, &a).unwrap();
         let upgraded = b.open_by_unid(n.unid()).unwrap();
-        assert_eq!(upgraded.get("Body"), Some(&Value::RichText(vec![9u8; 50_000])));
+        assert_eq!(
+            upgraded.get("Body"),
+            Some(&Value::RichText(vec![9u8; 50_000]))
+        );
     }
 
     #[test]
     fn selective_replication_filters_documents() {
         let (a, b, _) = pair();
         let mut r = Replicator::new(ReplicationOptions {
-            selective: Some(
-                Formula::compile(r#"SELECT Priority = "high""#).unwrap(),
-            ),
+            selective: Some(Formula::compile(r#"SELECT Priority = "high""#).unwrap()),
             ..ReplicationOptions::default()
         });
         for i in 0..6 {
@@ -938,7 +947,10 @@ mod tests {
         r1.sync(&hub, &s1).unwrap();
         r2.sync(&hub, &s2).unwrap();
         assert_eq!(
-            s2.open_by_unid(n.unid()).unwrap().get_text("Subject").unwrap(),
+            s2.open_by_unid(n.unid())
+                .unwrap()
+                .get_text("Subject")
+                .unwrap(),
             "updated"
         );
     }

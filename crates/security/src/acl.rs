@@ -3,8 +3,7 @@
 use std::collections::HashMap;
 
 /// The seven Notes access levels, in increasing order of privilege.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum AccessLevel {
     /// May not open the database.
     #[default]
@@ -88,10 +87,12 @@ pub struct AclEntry {
     pub roles: Vec<String>,
 }
 
-
 impl AclEntry {
     pub fn new(level: AccessLevel) -> AclEntry {
-        AclEntry { level, roles: Vec::new() }
+        AclEntry {
+            level,
+            roles: Vec::new(),
+        }
     }
 
     pub fn with_role(mut self, role: impl Into<String>) -> AclEntry {
@@ -312,7 +313,10 @@ mod tests {
         dir.add_group("admins", ["ann"]);
         let mut acl = Acl::new(AccessLevel::NoAccess);
         acl.set("staff", AclEntry::new(AccessLevel::Reader).with_role("R1"));
-        acl.set("admins", AclEntry::new(AccessLevel::Manager).with_role("R2"));
+        acl.set(
+            "admins",
+            AclEntry::new(AccessLevel::Manager).with_role("R2"),
+        );
         let eff = acl.effective(&dir, "ann");
         assert_eq!(eff.level, AccessLevel::Manager);
         assert_eq!(eff.roles, vec!["R1".to_string(), "R2".to_string()]);
@@ -332,7 +336,10 @@ mod tests {
     fn acl_serialization_roundtrip() {
         let mut acl = Acl::new(AccessLevel::Reader);
         acl.set_default(AclEntry::new(AccessLevel::Reader).with_role("Everyone"));
-        acl.set("alice", AclEntry::new(AccessLevel::Manager).with_role("Admin"));
+        acl.set(
+            "alice",
+            AclEntry::new(AccessLevel::Manager).with_role("Admin"),
+        );
         acl.set("HR", AclEntry::new(AccessLevel::Editor));
         let lines = acl.to_lines();
         let back = Acl::from_lines(&lines).unwrap();

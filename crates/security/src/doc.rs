@@ -59,7 +59,10 @@ pub fn can_edit_document(
         return false;
     }
     // Author level.
-    if user_names.iter().any(|n| n.eq_ignore_ascii_case(doc_author)) {
+    if user_names
+        .iter()
+        .any(|n| n.eq_ignore_ascii_case(doc_author))
+    {
         return true;
     }
     list_matches(access, user_names, authors)
@@ -83,14 +86,26 @@ mod tests {
 
     #[test]
     fn empty_readers_means_unrestricted() {
-        assert!(can_read_document(&eff(AccessLevel::Reader, &[]), &names("a"), &[]));
+        assert!(can_read_document(
+            &eff(AccessLevel::Reader, &[]),
+            &names("a"),
+            &[]
+        ));
     }
 
     #[test]
     fn no_access_never_reads() {
         let r = vec!["a".to_string()];
-        assert!(!can_read_document(&eff(AccessLevel::NoAccess, &[]), &names("a"), &r));
-        assert!(!can_read_document(&eff(AccessLevel::Depositor, &[]), &names("a"), &[]));
+        assert!(!can_read_document(
+            &eff(AccessLevel::NoAccess, &[]),
+            &names("a"),
+            &r
+        ));
+        assert!(!can_read_document(
+            &eff(AccessLevel::Depositor, &[]),
+            &names("a"),
+            &[]
+        ));
     }
 
     #[test]
@@ -113,7 +128,11 @@ mod tests {
         let readers = vec!["HR".to_string()];
         let mut user_names = names("dana");
         user_names.push("hr".to_string()); // from Directory::names_of
-        assert!(can_read_document(&eff(AccessLevel::Reader, &[]), &user_names, &readers));
+        assert!(can_read_document(
+            &eff(AccessLevel::Reader, &[]),
+            &user_names,
+            &readers
+        ));
     }
 
     #[test]

@@ -24,7 +24,10 @@ mod integration_tests {
         dir.add_group("HR", ["alice", "bob"]);
 
         let mut acl = Acl::new(AccessLevel::NoAccess);
-        acl.set("HR", AclEntry::new(AccessLevel::Reader).with_role("Personnel"));
+        acl.set(
+            "HR",
+            AclEntry::new(AccessLevel::Reader).with_role("Personnel"),
+        );
         acl.set("carol", AclEntry::new(AccessLevel::Editor));
 
         // Alice reads via the HR group...

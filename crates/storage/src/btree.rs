@@ -68,25 +68,27 @@ impl BTree {
         engine.tree_root(self.slot)
     }
 
-    /// Point lookup.
+    /// Point lookup. Descends through the buffer pool without cloning
+    /// pages (`Engine::with_page`).
     pub fn get(&self, engine: &mut Engine, key: u128) -> Result<Option<u64>> {
         let mut page_id = self.root(engine)?;
         loop {
-            let page = engine.fetch(page_id)?;
-            match page.page_type() {
-                PageType::BTreeInternal => page_id = route(&page, key),
+            let step = engine.with_page(page_id, |page| match page.page_type() {
+                PageType::BTreeInternal => Ok(Descent::Down(route(page, key))),
                 PageType::BTreeLeaf => {
-                    let n = count(&page);
-                    return Ok(match leaf_search(&page, n, key) {
-                        Ok(pos) => Some(leaf_value(&page, pos)),
+                    let n = count(page);
+                    Ok(Descent::Found(match leaf_search(page, n, key) {
+                        Ok(pos) => Some(leaf_value(page, pos)),
                         Err(_) => None,
-                    });
+                    }))
                 }
-                other => {
-                    return Err(DominoError::Corrupt(format!(
-                        "b-tree descent hit a {other:?} page"
-                    )))
-                }
+                other => Err(DominoError::Corrupt(format!(
+                    "b-tree descent hit a {other:?} page"
+                ))),
+            })??;
+            match step {
+                Descent::Down(id) => page_id = id,
+                Descent::Found(v) => return Ok(v),
             }
         }
     }
@@ -119,29 +121,37 @@ impl BTree {
     pub fn delete(&self, engine: &mut Engine, tx: &mut Tx, key: u128) -> Result<Option<u64>> {
         let mut page_id = self.root(engine)?;
         loop {
-            let page = engine.fetch(page_id)?;
-            match page.page_type() {
-                PageType::BTreeInternal => page_id = route(&page, key),
+            // Leaf hit yields (entry count, position, old value, tail bytes
+            // to shift left); the copies happen inside the pool.
+            let step = engine.with_page(page_id, |page| match page.page_type() {
+                PageType::BTreeInternal => Ok(Descent::Down(route(page, key))),
                 PageType::BTreeLeaf => {
-                    let n = count(&page);
-                    let Ok(pos) = leaf_search(&page, n, key) else {
-                        return Ok(None);
+                    let n = count(page);
+                    let Ok(pos) = leaf_search(page, n, key) else {
+                        return Ok(Descent::Found(None));
                     };
-                    let old = leaf_value(&page, pos);
-                    // Shift entries left over the removed slot.
+                    let old = leaf_value(page, pos);
                     let start = LEAF_ENTRIES + pos * ENTRY_SIZE;
                     let end = LEAF_ENTRIES + n * ENTRY_SIZE;
-                    let tail = page.bytes(start + ENTRY_SIZE, end - start - ENTRY_SIZE).to_vec();
+                    let tail = page
+                        .bytes(start + ENTRY_SIZE, end - start - ENTRY_SIZE)
+                        .to_vec();
+                    Ok(Descent::Found(Some((n, start, old, tail))))
+                }
+                other => Err(DominoError::Corrupt(format!(
+                    "b-tree descent hit a {other:?} page"
+                ))),
+            })??;
+            match step {
+                Descent::Down(id) => page_id = id,
+                Descent::Found(None) => return Ok(None),
+                Descent::Found(Some((n, start, old, tail))) => {
+                    // Shift entries left over the removed slot.
                     if !tail.is_empty() {
                         engine.write(tx, page_id, start as u16, &tail)?;
                     }
                     write_count(engine, tx, page_id, (n - 1) as u16)?;
                     return Ok(Some(old));
-                }
-                other => {
-                    return Err(DominoError::Corrupt(format!(
-                        "b-tree descent hit a {other:?} page"
-                    )))
                 }
             }
         }
@@ -162,34 +172,33 @@ impl BTree {
         // Descend to the leaf that would hold `lo`.
         let mut page_id = self.root(engine)?;
         loop {
-            let page = engine.fetch(page_id)?;
-            match page.page_type() {
-                PageType::BTreeInternal => page_id = route(&page, lo),
-                PageType::BTreeLeaf => break,
-                other => {
-                    return Err(DominoError::Corrupt(format!(
-                        "b-tree descent hit a {other:?} page"
-                    )))
-                }
+            let step = engine.with_page(page_id, |page| match page.page_type() {
+                PageType::BTreeInternal => Ok(Descent::Down(route(page, lo))),
+                PageType::BTreeLeaf => Ok(Descent::Found(())),
+                other => Err(DominoError::Corrupt(format!(
+                    "b-tree descent hit a {other:?} page"
+                ))),
+            })??;
+            match step {
+                Descent::Down(id) => page_id = id,
+                Descent::Found(()) => break,
             }
         }
-        // Walk the leaf chain.
+        // Walk the leaf chain, invoking the callback inside the pool.
         loop {
-            let page = engine.fetch(page_id)?;
-            let n = count(&page);
-            let start = match leaf_search(&page, n, lo) {
-                Ok(p) | Err(p) => p,
-            };
-            for pos in start..n {
-                let k = leaf_key(&page, pos);
-                if k > hi {
-                    return Ok(());
+            let next = engine.with_page(page_id, |page| {
+                let n = count(page);
+                let start = match leaf_search(page, n, lo) {
+                    Ok(p) | Err(p) => p,
+                };
+                for pos in start..n {
+                    let k = leaf_key(page, pos);
+                    if k > hi || !f(k, leaf_value(page, pos)) {
+                        return 0;
+                    }
                 }
-                if !f(k, leaf_value(&page, pos)) {
-                    return Ok(());
-                }
-            }
-            let next = page.link();
+                page.link()
+            })?;
             if next == 0 {
                 return Ok(());
             }
@@ -215,6 +224,12 @@ impl BTree {
         })?;
         Ok(!any)
     }
+}
+
+/// One step of a root-to-leaf descent run inside `Engine::with_page`.
+enum Descent<T> {
+    Down(PageId),
+    Found(T),
 }
 
 // ---------------------------------------------------------------------------
@@ -292,27 +307,34 @@ fn insert_rec(
     key: u128,
     value: u64,
 ) -> Result<InsertOutcome> {
-    let page = engine.fetch(page_id)?;
-    match page.page_type() {
-        PageType::BTreeLeaf => leaf_insert(engine, tx, page, key, value),
+    let ptype = engine.with_page(page_id, |p| p.page_type())?;
+    match ptype {
+        PageType::BTreeLeaf => {
+            let page = engine.fetch(page_id)?;
+            leaf_insert(engine, tx, page, key, value)
+        }
         PageType::BTreeInternal => {
-            let n = count(&page);
-            let (mut lo, mut hi) = (0usize, n);
-            while lo < hi {
-                let mid = (lo + hi) / 2;
-                if int_key(&page, mid) <= key {
-                    lo = mid + 1;
-                } else {
-                    hi = mid;
+            // Route without cloning the node.
+            let (child_idx, child) = engine.with_page(page_id, |page| {
+                let n = count(page);
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if int_key(page, mid) <= key {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
                 }
-            }
-            let child_idx = lo;
-            let child = int_child(&page, child_idx);
+                (lo, int_child(page, lo))
+            })?;
             let (old, split) = insert_rec(engine, tx, child, key, value)?;
             let Some((sep, right)) = split else {
                 return Ok((old, None));
             };
-            // Insert (sep, right) after child_idx.
+            // Insert (sep, right) after child_idx. Splits mutate this node,
+            // so take a snapshot for the region arithmetic.
+            let page = engine.fetch(page_id)?;
             Ok((old, int_insert(engine, tx, page, child_idx, sep, right)?))
         }
         other => Err(DominoError::Corrupt(format!(
@@ -358,11 +380,9 @@ fn leaf_insert(
             // Split: upper half moves to a fresh right sibling.
             let mid = n / 2;
             let right_id = engine.alloc_page(tx, PageType::BTreeLeaf)?;
-            let moved = page.bytes(
-                LEAF_ENTRIES + mid * ENTRY_SIZE,
-                (n - mid) * ENTRY_SIZE,
-            )
-            .to_vec();
+            let moved = page
+                .bytes(LEAF_ENTRIES + mid * ENTRY_SIZE, (n - mid) * ENTRY_SIZE)
+                .to_vec();
             let mut right_init = Vec::with_capacity(2 + moved.len());
             right_init.extend_from_slice(&((n - mid) as u16).to_le_bytes());
             right_init.extend_from_slice(&moved);
@@ -375,7 +395,11 @@ fn leaf_insert(
 
             let sep = page.get_u128(LEAF_ENTRIES + mid * ENTRY_SIZE);
             // Insert the pending key into whichever side owns it.
-            let target = if pos < mid || key < sep { page_id } else { right_id };
+            let target = if pos < mid || key < sep {
+                page_id
+            } else {
+                right_id
+            };
             let tpage = engine.fetch(target)?;
             let (old, split2) = leaf_insert(engine, tx, tpage, key, value)?;
             debug_assert!(split2.is_none(), "freshly split leaf cannot split again");
@@ -441,7 +465,10 @@ fn int_insert(
         }
     }
     let split2 = int_insert(engine, tx, tpage, lo, sep, right)?;
-    debug_assert!(split2.is_none(), "freshly split internal node cannot split again");
+    debug_assert!(
+        split2.is_none(),
+        "freshly split internal node cannot split again"
+    );
     Ok(Some((promoted, right_id)))
 }
 
@@ -602,12 +629,8 @@ mod tests {
             e.commit(tx).unwrap();
             e.shutdown().unwrap();
         }
-        let mut e = Engine::open(
-            Box::new(disk),
-            Some(Box::new(log)),
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut e =
+            Engine::open(Box::new(disk), Some(Box::new(log)), EngineConfig::default()).unwrap();
         let t = BTree::open_existing(&mut e, 1).unwrap();
         for i in 0..500u128 {
             assert_eq!(t.get(&mut e, i).unwrap(), Some(i as u64 + 7));
@@ -622,7 +645,10 @@ mod tests {
             let mut e = Engine::open(
                 Box::new(disk.clone()),
                 Some(Box::new(log.clone())),
-                EngineConfig { buffer_capacity: 16, ..EngineConfig::default() },
+                EngineConfig {
+                    buffer_capacity: 16,
+                    ..EngineConfig::default()
+                },
             )
             .unwrap();
             let mut tx = e.begin().unwrap();
@@ -641,16 +667,16 @@ mod tests {
             log.crash();
             (800u128, ())
         };
-        let mut e = Engine::open(
-            Box::new(disk),
-            Some(Box::new(log)),
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut e =
+            Engine::open(Box::new(disk), Some(Box::new(log)), EngineConfig::default()).unwrap();
         assert!(e.recovery.is_some());
         let t = BTree::open_existing(&mut e, 0).unwrap();
         for i in 0..tree_keys {
-            assert_eq!(t.get(&mut e, i).unwrap(), Some(i as u64), "committed key {i}");
+            assert_eq!(
+                t.get(&mut e, i).unwrap(),
+                Some(i as u64),
+                "committed key {i}"
+            );
         }
         for i in tree_keys..900 {
             assert_eq!(t.get(&mut e, i).unwrap(), None, "uncommitted key {i}");

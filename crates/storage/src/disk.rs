@@ -91,7 +91,9 @@ impl FileDisk {
                 "store file length {len} is not a multiple of the page size"
             )));
         }
-        Ok(FileDisk { file: Mutex::new(file) })
+        Ok(FileDisk {
+            file: Mutex::new(file),
+        })
     }
 }
 
@@ -120,6 +122,41 @@ impl Disk for FileDisk {
     fn page_count(&self) -> Result<u32> {
         let len = self.file.lock().metadata()?.len();
         Ok((len / PAGE_SIZE as u64) as u32)
+    }
+}
+
+/// A disk that injects a failure after a budgeted number of page writes —
+/// the storage-side half of crash-point testing (the log side is
+/// `domino_wal::FaultLogStore`). Sharing one [`FaultPlan`] across both
+/// lets a test kill the *whole* I/O stack at an exact global operation
+/// count. Reads never fail: a crashed machine can still be read back.
+pub struct FaultDisk<D: Disk> {
+    disk: D,
+    plan: domino_wal::FaultPlan,
+}
+
+impl<D: Disk> FaultDisk<D> {
+    pub fn new(disk: D, plan: domino_wal::FaultPlan) -> FaultDisk<D> {
+        FaultDisk { disk, plan }
+    }
+
+    pub fn plan(&self) -> &domino_wal::FaultPlan {
+        &self.plan
+    }
+}
+
+impl<D: Disk> Disk for FaultDisk<D> {
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<()> {
+        self.disk.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<()> {
+        self.plan.tick("disk write_page")?;
+        self.disk.write_page(id, buf)
+    }
+
+    fn page_count(&self) -> Result<u32> {
+        self.disk.page_count()
     }
 }
 
@@ -164,8 +201,7 @@ mod tests {
 
     #[test]
     fn file_disk_basics() {
-        let dir =
-            std::env::temp_dir().join(format!("domino-disk-test-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("domino-disk-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("pages.nsf");
         let _ = std::fs::remove_file(&path);

@@ -57,7 +57,10 @@ impl RecordPtr {
     }
 
     pub fn from_u64(v: u64) -> RecordPtr {
-        RecordPtr { page: (v >> 16) as u32, slot: (v & 0xFFFF) as u16 }
+        RecordPtr {
+            page: (v >> 16) as u32,
+            slot: (v & 0xFFFF) as u16,
+        }
     }
 }
 
@@ -93,25 +96,27 @@ impl Heap {
         Ok(next.expect("at least one chunk"))
     }
 
-    /// Read a whole record.
+    /// Read a whole record. Chunks are copied straight out of the buffer
+    /// pool (`Engine::with_page`), never cloning whole pages.
     pub fn read(&self, engine: &mut Engine, ptr: RecordPtr) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         let mut cur = Some(ptr);
         while let Some(ptr) = cur {
-            let page = engine.fetch(ptr.page)?;
-            if page.page_type() != PageType::Heap {
-                return Err(DominoError::Corrupt(format!(
-                    "record pointer into non-heap page {}",
-                    ptr.page
-                )));
-            }
-            let (off, len) = slot(&page, ptr.slot)?;
-            let raw = page.bytes(off, len);
-            if raw.len() < CHUNK_HEADER {
-                return Err(DominoError::Corrupt("short heap chunk".into()));
-            }
-            out.extend_from_slice(&raw[CHUNK_HEADER..]);
-            cur = chunk_next(raw);
+            cur = engine.with_page(ptr.page, |page| -> Result<Option<RecordPtr>> {
+                if page.page_type() != PageType::Heap {
+                    return Err(DominoError::Corrupt(format!(
+                        "record pointer into non-heap page {}",
+                        ptr.page
+                    )));
+                }
+                let (off, len) = slot(page, ptr.slot)?;
+                let raw = page.bytes(off, len);
+                if raw.len() < CHUNK_HEADER {
+                    return Err(DominoError::Corrupt("short heap chunk".into()));
+                }
+                out.extend_from_slice(&raw[CHUNK_HEADER..]);
+                Ok(chunk_next(raw))
+            })??;
         }
         Ok(out)
     }
@@ -123,9 +128,10 @@ impl Heap {
         let mut cur = Some(ptr);
         while let Some(ptr) = cur {
             pages.push(ptr.page);
-            let page = engine.fetch(ptr.page)?;
-            let (off, len) = slot(&page, ptr.slot)?;
-            cur = chunk_next(page.bytes(off, len));
+            cur = engine.with_page(ptr.page, |page| -> Result<Option<RecordPtr>> {
+                let (off, len) = slot(page, ptr.slot)?;
+                Ok(chunk_next(page.bytes(off, len)))
+            })??;
         }
         Ok(pages)
     }
@@ -134,15 +140,16 @@ impl Heap {
     pub fn delete(&self, engine: &mut Engine, tx: &mut Tx, ptr: RecordPtr) -> Result<()> {
         let mut cur = Some(ptr);
         while let Some(ptr) = cur {
-            let page = engine.fetch(ptr.page)?;
-            let (off, len) = slot(&page, ptr.slot)?;
-            cur = chunk_next(page.bytes(off, len));
+            cur = engine.with_page(ptr.page, |page| -> Result<Option<RecordPtr>> {
+                let (off, len) = slot(page, ptr.slot)?;
+                Ok(chunk_next(page.bytes(off, len)))
+            })??;
             // Tombstone the slot.
             let slot_off = SLOTS_START + ptr.slot as usize * SLOT_SIZE;
             engine.write(tx, ptr.page, slot_off as u16, &[0u8; 4])?;
             // A page with reclaimable room goes back on the chain.
-            let page = engine.fetch(ptr.page)?;
-            if !on_chain(&page) && total_free(&page) >= MIN_USEFUL {
+            let (chained, free) = engine.with_page(ptr.page, |p| (on_chain(p), total_free(p)))?;
+            if !chained && free >= MIN_USEFUL {
                 self.push_chain(engine, tx, ptr.page)?;
             }
         }
@@ -171,21 +178,21 @@ impl Heap {
         let mut cur = engine.heap_avail()?;
         let mut probes = 0;
         while cur != 0 && probes < CHAIN_PROBES {
-            let page = engine.fetch(cur)?;
-            if total_free(&page) >= need {
-                if contiguous_free(&page) < need {
+            let (total, contiguous, link) =
+                engine.with_page(cur, |p| (total_free(p), contiguous_free(p), p.link()))?;
+            if total >= need {
+                if contiguous < need {
                     self.compact_page(engine, tx, cur)?;
                 }
                 let ptr = self.place(engine, tx, cur, bytes)?;
                 // Drop exhausted pages from the chain.
-                let page = engine.fetch(cur)?;
-                if total_free(&page) < MIN_USEFUL {
+                if engine.with_page(cur, total_free)? < MIN_USEFUL {
                     self.unlink_chain(engine, tx, prev, cur)?;
                 }
                 return Ok(ptr);
             }
             prev = Some(cur);
-            cur = page.link();
+            cur = link;
             probes += 1;
         }
         // No room in the probed chain: extend the file.
@@ -198,21 +205,28 @@ impl Heap {
     }
 
     /// Put a chunk on a page known to have contiguous room.
-    fn place(&self, engine: &mut Engine, tx: &mut Tx, id: PageId, bytes: &[u8]) -> Result<RecordPtr> {
-        let page = engine.fetch(id)?;
-        let n = page.get_u16(OFF_SLOT_COUNT) as usize;
-        let free_ptr = page.get_u16(OFF_FREE_PTR) as usize;
+    fn place(
+        &self,
+        engine: &mut Engine,
+        tx: &mut Tx,
+        id: PageId,
+        bytes: &[u8],
+    ) -> Result<RecordPtr> {
+        let (n, free_ptr, slot_idx) = engine.with_page(id, |page| {
+            let n = page.get_u16(OFF_SLOT_COUNT) as usize;
+            let free_ptr = page.get_u16(OFF_FREE_PTR) as usize;
+            // Reuse a tombstone slot if one exists.
+            let mut slot_idx = None;
+            for i in 0..n {
+                if page.get_u16(SLOTS_START + i * SLOT_SIZE) == 0 {
+                    slot_idx = Some(i);
+                    break;
+                }
+            }
+            (n, free_ptr, slot_idx)
+        })?;
         let new_off = free_ptr - bytes.len();
 
-        // Reuse a tombstone slot if one exists.
-        let mut slot_idx = None;
-        for i in 0..n {
-            let off = page.get_u16(SLOTS_START + i * SLOT_SIZE);
-            if off == 0 {
-                slot_idx = Some(i);
-                break;
-            }
-        }
         let (idx, grew) = match slot_idx {
             Some(i) => (i, false),
             None => (n, true),
@@ -228,25 +242,35 @@ impl Heap {
         slot_bytes[2..4].copy_from_slice(&(bytes.len() as u16).to_le_bytes());
         engine.write(tx, id, (SLOTS_START + idx * SLOT_SIZE) as u16, &slot_bytes)?;
         if grew {
-            engine.write(tx, id, OFF_SLOT_COUNT as u16, &((n + 1) as u16).to_le_bytes())?;
+            engine.write(
+                tx,
+                id,
+                OFF_SLOT_COUNT as u16,
+                &((n + 1) as u16).to_le_bytes(),
+            )?;
         }
         engine.write(tx, id, OFF_FREE_PTR as u16, &(new_off as u16).to_le_bytes())?;
-        Ok(RecordPtr { page: id, slot: idx as u16 })
+        Ok(RecordPtr {
+            page: id,
+            slot: idx as u16,
+        })
     }
 
     /// Rewrite the data region dropping tombstoned bytes.
     fn compact_page(&self, engine: &mut Engine, tx: &mut Tx, id: PageId) -> Result<()> {
-        let page = engine.fetch(id)?;
-        let n = page.get_u16(OFF_SLOT_COUNT) as usize;
         // Gather live records.
-        let mut live: Vec<(usize, Vec<u8>)> = Vec::new();
-        for i in 0..n {
-            let off = page.get_u16(SLOTS_START + i * SLOT_SIZE) as usize;
-            let len = page.get_u16(SLOTS_START + i * SLOT_SIZE + 2) as usize;
-            if off != 0 {
-                live.push((i, page.bytes(off, len).to_vec()));
+        let (n, live) = engine.with_page(id, |page| {
+            let n = page.get_u16(OFF_SLOT_COUNT) as usize;
+            let mut live: Vec<(usize, Vec<u8>)> = Vec::new();
+            for i in 0..n {
+                let off = page.get_u16(SLOTS_START + i * SLOT_SIZE) as usize;
+                let len = page.get_u16(SLOTS_START + i * SLOT_SIZE + 2) as usize;
+                if off != 0 {
+                    live.push((i, page.bytes(off, len).to_vec()));
+                }
             }
-        }
+            (n, live)
+        })?;
         // Rebuild from the top down.
         let mut cursor = PAGE_SIZE;
         let mut data_start = PAGE_SIZE;
@@ -260,8 +284,7 @@ impl Heap {
         }
         // Build the contiguous data image in slot order of placement.
         let mut at = PAGE_SIZE;
-        let mut placed: Vec<(usize, &Vec<u8>)> =
-            live.iter().map(|(i, b)| (*i, b)).collect();
+        let mut placed: Vec<(usize, &Vec<u8>)> = live.iter().map(|(i, b)| (*i, b)).collect();
         region.resize(PAGE_SIZE - data_start, 0);
         for (_, bytes) in placed.iter_mut() {
             at -= bytes.len();
@@ -277,7 +300,12 @@ impl Heap {
         if !slot_region.is_empty() {
             engine.write(tx, id, SLOTS_START as u16, &slot_region)?;
         }
-        engine.write(tx, id, OFF_FREE_PTR as u16, &(data_start as u16).to_le_bytes())?;
+        engine.write(
+            tx,
+            id,
+            OFF_FREE_PTR as u16,
+            &(data_start as u16).to_le_bytes(),
+        )?;
         Ok(())
     }
 
@@ -295,8 +323,7 @@ impl Heap {
         prev: Option<PageId>,
         id: PageId,
     ) -> Result<()> {
-        let page = engine.fetch(id)?;
-        let next = page.link();
+        let next = engine.with_page(id, |p| p.link())?;
         match prev {
             Some(p) => engine.write(tx, p, 10, &next.to_le_bytes())?,
             None => engine.set_heap_avail(tx, next)?,
@@ -423,7 +450,11 @@ mod tests {
         let mut tx = e.begin().unwrap();
         let mut ptrs = Vec::new();
         for i in 0..200 {
-            ptrs.push((i, h.insert(&mut e, &mut tx, &payload(i, 100 + i % 300)).unwrap()));
+            ptrs.push((
+                i,
+                h.insert(&mut e, &mut tx, &payload(i, 100 + i % 300))
+                    .unwrap(),
+            ));
         }
         // Delete every other record.
         for (i, ptr) in &ptrs {
@@ -510,7 +541,10 @@ mod tests {
 
     #[test]
     fn record_ptr_packs() {
-        let p = RecordPtr { page: 0xABCDEF, slot: 0x1234 };
+        let p = RecordPtr {
+            page: 0xABCDEF,
+            slot: 0x1234,
+        };
         assert_eq!(RecordPtr::from_u64(p.to_u64()), p);
     }
 
@@ -536,12 +570,8 @@ mod tests {
             log.crash();
             (a, b)
         };
-        let mut e = Engine::open(
-            Box::new(disk),
-            Some(Box::new(log)),
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut e =
+            Engine::open(Box::new(disk), Some(Box::new(log)), EngineConfig::default()).unwrap();
         assert_eq!(h.read(&mut e, committed).unwrap(), payload(1, 5000));
         assert!(h.read(&mut e, uncommitted).is_err());
     }

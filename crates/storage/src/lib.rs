@@ -28,10 +28,12 @@ pub mod engine;
 pub mod heap;
 pub mod nsf;
 pub mod page;
+pub mod pool;
 
 pub use btree::BTree;
-pub use disk::{Disk, FileDisk, MemDisk};
-pub use engine::{Engine, EngineConfig, EngineStats, Tx};
+pub use disk::{Disk, FaultDisk, FileDisk, MemDisk};
+pub use engine::{CommitMode, Engine, EngineConfig, EngineStats, Tx};
 pub use heap::{Heap, RecordPtr};
 pub use nsf::{NoteStore, Segment};
 pub use page::{PageBuf, PageId, PageType, PAGE_SIZE};
+pub use pool::BufferPool;

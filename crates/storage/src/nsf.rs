@@ -63,7 +63,11 @@ impl NoteStore {
             engine.set_user_slot(tx, SLOT_REPLICA_ID, replica.0)?;
             engine.set_user_slot(tx, SLOT_NEXT_NOTE, 1)?;
         }
-        Ok(NoteStore { records, unids, heap: Heap })
+        Ok(NoteStore {
+            records,
+            unids,
+            heap: Heap,
+        })
     }
 
     /// The id this replica was created with (stable across reopen).
@@ -89,7 +93,9 @@ impl NoteStore {
     ) -> Result<()> {
         let key = record_key(id, seg);
         let ptr = match self.records.get(engine, key)? {
-            Some(old) => self.heap.update(engine, tx, RecordPtr::from_u64(old), bytes)?,
+            Some(old) => self
+                .heap
+                .update(engine, tx, RecordPtr::from_u64(old), bytes)?,
             None => self.heap.insert(engine, tx, bytes)?,
         };
         self.records.insert(engine, tx, key, ptr.to_u64())?;
@@ -131,7 +137,10 @@ impl NoteStore {
 
     /// Does the note exist (has a summary segment)?
     pub fn exists(&self, engine: &mut Engine, id: NoteId) -> Result<bool> {
-        Ok(self.records.get(engine, record_key(id, Segment::Summary))?.is_some())
+        Ok(self
+            .records
+            .get(engine, record_key(id, Segment::Summary))?
+            .is_some())
     }
 
     /// Number of distinct pages reading this segment would touch.
@@ -235,8 +244,10 @@ mod tests {
         let (mut e, s) = open_store();
         let mut tx = e.begin().unwrap();
         let id = s.alloc_note_id(&mut e, &mut tx).unwrap();
-        s.put(&mut e, &mut tx, id, Segment::Summary, b"summary bytes").unwrap();
-        s.put(&mut e, &mut tx, id, Segment::Body, &vec![7u8; 9000]).unwrap();
+        s.put(&mut e, &mut tx, id, Segment::Summary, b"summary bytes")
+            .unwrap();
+        s.put(&mut e, &mut tx, id, Segment::Body, &vec![7u8; 9000])
+            .unwrap();
         e.commit(tx).unwrap();
 
         assert_eq!(
@@ -258,7 +269,8 @@ mod tests {
         let mut tx = e.begin().unwrap();
         let id = s.alloc_note_id(&mut e, &mut tx).unwrap();
         s.put(&mut e, &mut tx, id, Segment::Summary, b"v1").unwrap();
-        s.put(&mut e, &mut tx, id, Segment::Summary, b"version two").unwrap();
+        s.put(&mut e, &mut tx, id, Segment::Summary, b"version two")
+            .unwrap();
         e.commit(tx).unwrap();
         assert_eq!(
             s.get(&mut e, id, Segment::Summary).unwrap().unwrap(),
@@ -302,9 +314,11 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..50 {
             let id = s.alloc_note_id(&mut e, &mut tx).unwrap();
-            s.put(&mut e, &mut tx, id, Segment::Summary, &[i as u8]).unwrap();
+            s.put(&mut e, &mut tx, id, Segment::Summary, &[i as u8])
+                .unwrap();
             if i % 3 == 0 {
-                s.put(&mut e, &mut tx, id, Segment::Body, &[0u8; 64]).unwrap();
+                s.put(&mut e, &mut tx, id, Segment::Body, &[0u8; 64])
+                    .unwrap();
             }
             ids.push(id);
         }
@@ -333,18 +347,15 @@ mod tests {
             let mut tx = e.begin().unwrap();
             let s = NoteStore::open(&mut e, &mut tx, ReplicaId(1)).unwrap();
             let id = s.alloc_note_id(&mut e, &mut tx).unwrap();
-            s.put(&mut e, &mut tx, id, Segment::Summary, b"durable note").unwrap();
+            s.put(&mut e, &mut tx, id, Segment::Summary, b"durable note")
+                .unwrap();
             e.commit(tx).unwrap();
             e.crash();
             log.crash();
             id
         };
-        let mut e = Engine::open(
-            Box::new(disk),
-            Some(Box::new(log)),
-            EngineConfig::default(),
-        )
-        .unwrap();
+        let mut e =
+            Engine::open(Box::new(disk), Some(Box::new(log)), EngineConfig::default()).unwrap();
         let mut tx = e.begin().unwrap();
         let s = NoteStore::open(&mut e, &mut tx, ReplicaId(1)).unwrap();
         e.commit(tx).unwrap();

@@ -72,7 +72,10 @@ pub struct PageBuf {
 
 impl PageBuf {
     pub fn zeroed(id: PageId) -> PageBuf {
-        PageBuf { id, data: Box::new([0u8; PAGE_SIZE]) }
+        PageBuf {
+            id,
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
     }
 
     pub fn lsn(&self) -> Lsn {

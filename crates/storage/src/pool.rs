@@ -1,0 +1,207 @@
+//! Slotted buffer pool with clock-sweep (second-chance) eviction.
+//!
+//! The seed engine kept frames in a `HashMap` and drove LRU through a
+//! `BTreeMap<tick, PageId>`, paying two tree operations and an allocation
+//! on *every* page touch. Here a page hit is one hash probe plus a
+//! reference-bit store: frames live in a flat slot vector, recency is the
+//! classic clock approximation (each touch sets a bit; the sweeping hand
+//! clears bits and evicts the first frame found unreferenced), and an
+//! evicted slot's 4 KiB buffer is reused in place for the incoming page —
+//! the steady-state miss path allocates nothing.
+//!
+//! The pool is a passive structure: it picks victims but performs no I/O.
+//! The engine owns the write-ahead rule (force the log up to the victim's
+//! page LSN, write the page back) before calling [`BufferPool::rebind`].
+
+use std::collections::HashMap;
+
+use crate::page::{PageBuf, PageId};
+
+/// One pool slot.
+pub struct Frame {
+    pub page: PageBuf,
+    pub dirty: bool,
+    /// Second-chance bit: set on every touch, cleared by the sweeping hand.
+    referenced: bool,
+}
+
+impl Frame {
+    pub fn id(&self) -> PageId {
+        self.page.id
+    }
+}
+
+/// Fixed-capacity frame table with clock-sweep replacement.
+pub struct BufferPool {
+    frames: Vec<Frame>,
+    /// Page id -> slot index.
+    map: HashMap<PageId, u32>,
+    /// Clock hand: next slot the sweep examines.
+    hand: usize,
+    capacity: usize,
+}
+
+impl BufferPool {
+    pub fn new(capacity: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        BufferPool {
+            frames: Vec::with_capacity(capacity),
+            map: HashMap::with_capacity(capacity),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.frames.len() >= self.capacity
+    }
+
+    /// The hit path: find `id`'s slot and mark it recently used.
+    /// One hash probe + one store; no allocation, no reordering.
+    pub fn lookup(&mut self, id: PageId) -> Option<usize> {
+        let slot = *self.map.get(&id)? as usize;
+        self.frames[slot].referenced = true;
+        Some(slot)
+    }
+
+    /// Whether `id` is resident, without touching its reference bit.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.map.contains_key(&id)
+    }
+
+    /// `id`'s slot without promoting it (background writeback is not a
+    /// use; it shouldn't shield a page from eviction).
+    pub fn slot_of(&self, id: PageId) -> Option<usize> {
+        self.map.get(&id).map(|s| *s as usize)
+    }
+
+    pub fn frame(&self, slot: usize) -> &Frame {
+        &self.frames[slot]
+    }
+
+    pub fn frame_mut(&mut self, slot: usize) -> &mut Frame {
+        &mut self.frames[slot]
+    }
+
+    /// Add a frame for `id` in a fresh slot. Caller must have checked
+    /// [`BufferPool::is_full`]; when full, evict via [`BufferPool::pick_victim`] +
+    /// [`BufferPool::rebind`] instead.
+    pub fn push(&mut self, page: PageBuf) -> usize {
+        debug_assert!(!self.is_full());
+        debug_assert!(!self.map.contains_key(&page.id));
+        let slot = self.frames.len();
+        self.map.insert(page.id, slot as u32);
+        self.frames.push(Frame {
+            page,
+            dirty: false,
+            referenced: true,
+        });
+        slot
+    }
+
+    /// Clock sweep: advance the hand, giving referenced frames a second
+    /// chance (clear the bit, move on) and returning the first slot found
+    /// unreferenced. Terminates within two revolutions. Pool must be
+    /// non-empty.
+    pub fn pick_victim(&mut self) -> usize {
+        debug_assert!(!self.frames.is_empty());
+        loop {
+            if self.hand >= self.frames.len() {
+                self.hand = 0;
+            }
+            let slot = self.hand;
+            self.hand += 1;
+            let f = &mut self.frames[slot];
+            if f.referenced {
+                f.referenced = false;
+            } else {
+                return slot;
+            }
+        }
+    }
+
+    /// Repoint a victim slot at `new_id`, reusing its page buffer. The
+    /// caller has already written back the old contents if dirty; the
+    /// buffer is left stale for the caller to overwrite (a disk read fills
+    /// every byte).
+    pub fn rebind(&mut self, slot: usize, new_id: PageId) {
+        let f = &mut self.frames[slot];
+        debug_assert!(!f.dirty, "rebind of a dirty frame loses data");
+        let old = f.page.id;
+        f.page.id = new_id;
+        f.referenced = true;
+        self.map.remove(&old);
+        self.map.insert(new_id, slot as u32);
+    }
+
+    /// All resident frames, for checkpoint/flush sweeps.
+    pub fn frames_mut(&mut self) -> &mut [Frame] {
+        &mut self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with(ids: &[PageId], cap: usize) -> BufferPool {
+        let mut p = BufferPool::new(cap);
+        for id in ids {
+            p.push(PageBuf::zeroed(*id));
+        }
+        p
+    }
+
+    #[test]
+    fn lookup_sets_reference_bit() {
+        let mut p = pool_with(&[1, 2, 3], 3);
+        assert_eq!(p.lookup(2), Some(1));
+        assert!(p.frame(1).referenced);
+        assert_eq!(p.lookup(99), None);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut p = pool_with(&[1, 2, 3], 3);
+        // All pushed frames start referenced: first sweep clears 1 and 2,
+        // second chance order makes slot 0 (page 1) the victim after a
+        // full revolution.
+        let v = p.pick_victim();
+        assert_eq!(p.frame(v).id(), 1);
+        // Touching page 2 protects it; next victim is page 3.
+        p.rebind(v, 10);
+        p.lookup(2);
+        let v2 = p.pick_victim();
+        assert_eq!(p.frame(v2).id(), 3);
+    }
+
+    #[test]
+    fn rebind_moves_the_mapping() {
+        let mut p = pool_with(&[1, 2], 2);
+        let slot = p.lookup(1).unwrap();
+        p.frames_mut()[slot].referenced = false;
+        p.frame_mut(slot).dirty = false;
+        p.rebind(slot, 7);
+        assert!(!p.contains(1));
+        assert_eq!(p.lookup(7), Some(slot));
+        assert_eq!(p.frame(slot).id(), 7);
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let p = BufferPool::new(0);
+        assert_eq!(p.capacity(), 1);
+    }
+}

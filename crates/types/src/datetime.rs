@@ -52,12 +52,7 @@ impl DateTime {
     /// Build from civil components (month 1-12, day 1-31, 24h time).
     pub fn from_civil(year: i64, month: u8, day: u8, hour: u8, minute: u8, second: u8) -> DateTime {
         let days = days_from_civil(year, month as i64, day as i64) - EPOCH_2000_DAYS_FROM_1970;
-        DateTime(
-            days * SECONDS_PER_DAY
-                + hour as i64 * 3600
-                + minute as i64 * 60
-                + second as i64,
-        )
+        DateTime(days * SECONDS_PER_DAY + hour as i64 * 3600 + minute as i64 * 60 + second as i64)
     }
 
     /// Midnight of a civil date.
@@ -90,7 +85,15 @@ impl DateTime {
     /// `@Adjust`: shift by calendar years/months and exact days/h/m/s.
     /// Day-of-month overflow clamps to the target month's end (adding one
     /// month to Jan 31 yields Feb 28/29), as calendar arithmetic should.
-    pub fn adjust(self, years: i64, months: i64, days: i64, hours: i64, minutes: i64, seconds: i64) -> DateTime {
+    pub fn adjust(
+        self,
+        years: i64,
+        months: i64,
+        days: i64,
+        hours: i64,
+        minutes: i64,
+        seconds: i64,
+    ) -> DateTime {
         let c = self.civil();
         let total_months = (c.year * 12 + (c.month as i64 - 1)) + years * 12 + months;
         let y = total_months.div_euclid(12);
@@ -141,7 +144,10 @@ mod tests {
         ] {
             let dt = DateTime::from_ymd(y, m, d);
             let c = dt.civil();
-            assert_eq!((c.year, c.month as i64, c.day as i64), (y, m as i64, d as i64));
+            assert_eq!(
+                (c.year, c.month as i64, c.day as i64),
+                (y, m as i64, d as i64)
+            );
         }
     }
 
@@ -172,7 +178,9 @@ mod tests {
         let jan31 = DateTime::from_ymd(2001, 1, 31);
         let feb = jan31.adjust(0, 1, 0, 0, 0, 0).civil();
         assert_eq!((feb.month, feb.day), (2, 28));
-        let leap = DateTime::from_ymd(2000, 1, 31).adjust(0, 1, 0, 0, 0, 0).civil();
+        let leap = DateTime::from_ymd(2000, 1, 31)
+            .adjust(0, 1, 0, 0, 0, 0)
+            .civil();
         assert_eq!((leap.month, leap.day), (2, 29));
     }
 
@@ -181,7 +189,14 @@ mod tests {
         let dt = DateTime::from_civil(2020, 6, 15, 10, 0, 0);
         let moved = dt.adjust(1, 2, 3, 4, 5, 6).civil();
         assert_eq!(
-            (moved.year, moved.month, moved.day, moved.hour, moved.minute, moved.second),
+            (
+                moved.year,
+                moved.month,
+                moved.day,
+                moved.hour,
+                moved.minute,
+                moved.second
+            ),
             (2021, 8, 18, 14, 5, 6)
         );
         // Negative adjustments too.

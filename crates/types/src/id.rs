@@ -99,7 +99,11 @@ pub struct Oid {
 
 impl Oid {
     pub fn new(unid: Unid, ts: Timestamp) -> Oid {
-        Oid { unid, seq: 1, seq_time: ts }
+        Oid {
+            unid,
+            seq: 1,
+            seq_time: ts,
+        }
     }
 
     /// Record another saved revision at time `ts`.
@@ -215,10 +219,22 @@ mod tests {
 
     #[test]
     fn winner_key_orders_by_seq_then_time() {
-        let older = Oid { unid: Unid(9), seq: 2, seq_time: Timestamp(50) };
-        let newer = Oid { unid: Unid(1), seq: 3, seq_time: Timestamp(10) };
+        let older = Oid {
+            unid: Unid(9),
+            seq: 2,
+            seq_time: Timestamp(50),
+        };
+        let newer = Oid {
+            unid: Unid(1),
+            seq: 3,
+            seq_time: Timestamp(10),
+        };
         assert!(newer.winner_key() > older.winner_key());
-        let tie_late = Oid { unid: Unid(1), seq: 2, seq_time: Timestamp(60) };
+        let tie_late = Oid {
+            unid: Unid(1),
+            seq: 2,
+            seq_time: Timestamp(60),
+        };
         assert!(tie_late.winner_key() > older.winner_key());
     }
 

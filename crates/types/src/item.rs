@@ -106,8 +106,7 @@ impl Item {
         if *pos + 2 > buf.len() {
             return Err(DominoError::Corrupt("truncated item header".into()));
         }
-        let name_len =
-            u16::from_le_bytes(buf[*pos..*pos + 2].try_into().expect("len 2")) as usize;
+        let name_len = u16::from_le_bytes(buf[*pos..*pos + 2].try_into().expect("len 2")) as usize;
         *pos += 2;
         if *pos + name_len + 9 > buf.len() {
             return Err(DominoError::Corrupt("truncated item".into()));
@@ -122,7 +121,12 @@ impl Item {
         ));
         *pos += 8;
         let value = Value::decode(buf, pos)?;
-        Ok(Item { name, value, flags, revised })
+        Ok(Item {
+            name,
+            value,
+            flags,
+            revised,
+        })
     }
 }
 

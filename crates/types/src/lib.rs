@@ -24,9 +24,9 @@ pub mod item;
 pub mod time;
 pub mod value;
 
+pub use datetime::{days_in_month, Civil, SECONDS_PER_DAY};
 pub use error::{DominoError, Result};
 pub use id::{NoteClass, NoteId, Oid, ReplicaId, Unid};
 pub use item::{Item, ItemFlags};
 pub use time::{Clock, LogicalClock, Timestamp};
-pub use datetime::{days_in_month, Civil, SECONDS_PER_DAY};
 pub use value::{DateTime, Value, ValueType};

@@ -68,7 +68,9 @@ impl LogicalClock {
     /// Start the clock at a given instant (useful to make replica clocks
     /// intentionally skewed in tests).
     pub fn starting_at(ts: Timestamp) -> LogicalClock {
-        LogicalClock { ticks: Arc::new(AtomicU64::new(ts.0)) }
+        LogicalClock {
+            ticks: Arc::new(AtomicU64::new(ts.0)),
+        }
     }
 
     /// Jump the clock forward by `ticks` (simulating elapsed idle time,

@@ -127,13 +127,18 @@ impl Value {
     /// interpreted as UTF-8 (lossy).
     pub fn to_text(&self) -> String {
         fn join<T: ToString>(v: &[T]) -> String {
-            v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(";")
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(";")
         }
         match self {
             Value::Number(n) => fmt_number(*n),
-            Value::NumberList(v) => {
-                v.iter().map(|n| fmt_number(*n)).collect::<Vec<_>>().join(";")
-            }
+            Value::NumberList(v) => v
+                .iter()
+                .map(|n| fmt_number(*n))
+                .collect::<Vec<_>>()
+                .join(";"),
             Value::Text(s) => s.clone(),
             Value::TextList(v) => v.join(";"),
             Value::DateTime(d) => d.to_string(),
@@ -147,12 +152,14 @@ impl Value {
     pub fn as_number(&self) -> Result<f64> {
         match self {
             Value::Number(n) => Ok(*n),
-            Value::NumberList(v) => v.first().copied().ok_or_else(|| {
-                DominoError::FormulaEval("empty number list has no value".into())
-            }),
-            Value::Text(s) => s.trim().parse::<f64>().map_err(|_| {
-                DominoError::FormulaEval(format!("cannot convert {s:?} to number"))
-            }),
+            Value::NumberList(v) => v
+                .first()
+                .copied()
+                .ok_or_else(|| DominoError::FormulaEval("empty number list has no value".into())),
+            Value::Text(s) => s
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| DominoError::FormulaEval(format!("cannot convert {s:?} to number"))),
             Value::DateTime(d) => Ok(d.0 as f64),
             other => Err(DominoError::FormulaEval(format!(
                 "cannot convert {:?} to number",
@@ -207,9 +214,7 @@ impl Value {
                     match v {
                         Value::DateTime(d) => out.push(*d),
                         _ => {
-                            return Err(DominoError::FormulaEval(
-                                "mixed list element types".into(),
-                            ))
+                            return Err(DominoError::FormulaEval("mixed list element types".into()))
                         }
                     }
                 }
@@ -233,9 +238,7 @@ impl Value {
         let b = other.iter_scalars();
         for (x, y) in a.iter().zip(b.iter()) {
             let ord = match (x, y) {
-                (Value::Number(m), Value::Number(n)) => {
-                    m.partial_cmp(n).unwrap_or(Ordering::Equal)
-                }
+                (Value::Number(m), Value::Number(n)) => m.partial_cmp(n).unwrap_or(Ordering::Equal),
                 (Value::DateTime(m), Value::DateTime(n)) => m.cmp(n),
                 (Value::Text(m), Value::Text(n)) => {
                     // Case-insensitive primary weight, case-sensitive tiebreak,
@@ -354,9 +357,10 @@ impl Value {
             2 => {
                 let n = get_len(buf, pos)?;
                 let bytes = need(buf, pos, n)?;
-                Value::Text(String::from_utf8(bytes.to_vec()).map_err(|_| {
-                    DominoError::Corrupt("invalid utf-8 in text value".into())
-                })?)
+                Value::Text(
+                    String::from_utf8(bytes.to_vec())
+                        .map_err(|_| DominoError::Corrupt("invalid utf-8 in text value".into()))?,
+                )
             }
             3 => {
                 let n = get_len(buf, pos)?;
@@ -364,9 +368,11 @@ impl Value {
                 for _ in 0..n {
                     let len = get_len(buf, pos)?;
                     let bytes = need(buf, pos, len)?;
-                    v.push(String::from_utf8(bytes.to_vec()).map_err(|_| {
-                        DominoError::Corrupt("invalid utf-8 in text list".into())
-                    })?);
+                    v.push(
+                        String::from_utf8(bytes.to_vec()).map_err(|_| {
+                            DominoError::Corrupt("invalid utf-8 in text list".into())
+                        })?,
+                    );
                 }
                 Value::TextList(v)
             }
@@ -510,8 +516,14 @@ mod tests {
         let t = Value::text("a");
         assert_eq!(n.collate(&d), Ordering::Less);
         assert_eq!(d.collate(&t), Ordering::Less);
-        assert_eq!(Value::text("Apple").collate(&Value::text("banana")), Ordering::Less);
-        assert_eq!(Value::text("a").collate(&Value::text("A")), Ordering::Greater);
+        assert_eq!(
+            Value::text("Apple").collate(&Value::text("banana")),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::text("a").collate(&Value::text("A")),
+            Ordering::Greater
+        );
         assert_eq!(
             Value::NumberList(vec![1.0, 5.0]).collate(&Value::NumberList(vec![1.0])),
             Ordering::Greater

@@ -84,7 +84,10 @@ fn main() {
             let _inner = db.begin_batch();
             task(&db, "nested", "open");
         }
-        println!("inner guard dropped, view.len() = {} (still buffered)", view.len());
+        println!(
+            "inner guard dropped, view.len() = {} (still buffered)",
+            view.len()
+        );
     }
     let s = view.stats();
     println!(

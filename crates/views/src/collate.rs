@@ -73,7 +73,11 @@ fn encode_ascending(v: &Value, out: &mut Vec<u8>) {
 
 /// Map `f64` to bytes whose lexicographic order matches numeric order.
 fn order_f64(n: f64) -> [u8; 8] {
-    let bits = if n.is_nan() { f64::NAN.to_bits() } else { n.to_bits() };
+    let bits = if n.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        n.to_bits()
+    };
     let flipped = if bits & (1 << 63) == 0 {
         bits | (1 << 63)
     } else {

@@ -170,10 +170,7 @@ impl ViewDesign {
         let mut n = Note::new(NoteClass::View);
         n.set("$TITLE", Value::text(self.name.clone()));
         n.set("Selection", Value::text(self.selection.source()));
-        n.set(
-            "ShowResponses",
-            Value::from(self.show_responses),
-        );
+        n.set("ShowResponses", Value::from(self.show_responses));
         let cols: Vec<String> = self.columns.iter().map(encode_column).collect();
         n.set("Columns", Value::text_list(cols));
         let alts: Vec<String> = self
@@ -223,10 +220,14 @@ impl ViewDesign {
                 let mut keys = Vec::new();
                 for part in alt.to_text().split(',').filter(|s| !s.is_empty()) {
                     let (idx, dir) = part.split_at(part.len() - 1);
-                    let i: usize = idx.parse().map_err(|_| {
-                        DominoError::Corrupt(format!("bad collation key {part:?}"))
-                    })?;
-                    let d = if dir == "d" { SortDir::Descending } else { SortDir::Ascending };
+                    let i: usize = idx
+                        .parse()
+                        .map_err(|_| DominoError::Corrupt(format!("bad collation key {part:?}")))?;
+                    let d = if dir == "d" {
+                        SortDir::Descending
+                    } else {
+                        SortDir::Ascending
+                    };
                     keys.push((i, d));
                 }
                 design.alternates.push(Collation { keys });
@@ -297,7 +298,10 @@ mod tests {
     fn primary_collation_from_sorted_columns() {
         let d = sample();
         let c = d.primary_collation();
-        assert_eq!(c.keys, vec![(0, SortDir::Ascending), (1, SortDir::Descending)]);
+        assert_eq!(
+            c.keys,
+            vec![(0, SortDir::Ascending), (1, SortDir::Descending)]
+        );
         assert_eq!(d.collations().len(), 2);
     }
 
@@ -319,7 +323,11 @@ mod tests {
     fn validate_rejects_category_after_data_sort() {
         let d = ViewDesign::new("v", "SELECT @All")
             .unwrap()
-            .column(ColumnSpec::new("A", "A").unwrap().sorted(SortDir::Ascending))
+            .column(
+                ColumnSpec::new("A", "A")
+                    .unwrap()
+                    .sorted(SortDir::Ascending),
+            )
             .column(ColumnSpec::new("B", "B").unwrap().categorized());
         assert!(d.validate().is_err());
     }

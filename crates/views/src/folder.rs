@@ -35,14 +35,20 @@ impl Folder {
         note.set("Type", Value::text(FOLDER_TYPE));
         note.set("Members", Value::TextList(Vec::new()));
         db.save(&mut note)?;
-        Ok(Folder { db: db.clone(), unid: note.unid() })
+        Ok(Folder {
+            db: db.clone(),
+            unid: note.unid(),
+        })
     }
 
     /// Open an existing folder by name.
     pub fn open(db: &Arc<Database>, name: &str) -> Result<Folder> {
         let note = find_folder_note(db, name)?
             .ok_or_else(|| DominoError::NotFound(format!("folder {name:?}")))?;
-        Ok(Folder { db: db.clone(), unid: note.unid() })
+        Ok(Folder {
+            db: db.clone(),
+            unid: note.unid(),
+        })
     }
 
     fn load(&self) -> Result<Note> {

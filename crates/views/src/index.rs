@@ -245,7 +245,10 @@ impl ViewIndex {
                 } else {
                     None
                 };
-                Ok(Some(PreEval { selected: out.selected, values }))
+                Ok(Some(PreEval {
+                    selected: out.selected,
+                    values,
+                }))
             })
             .collect();
         let pre = pre?;
@@ -407,8 +410,10 @@ impl ViewIndex {
             let mut kept = 0;
             for i in 0..before {
                 let n = remaining[i];
-                let parent_in =
-                    n.parent().map(|p| self.entries.contains_key(&p)).unwrap_or(false);
+                let parent_in = n
+                    .parent()
+                    .map(|p| self.entries.contains_key(&p))
+                    .unwrap_or(false);
                 if parent_in {
                     self.consider(n, src)?;
                 } else {
@@ -459,7 +464,9 @@ impl ViewIndex {
         }
         let included = selected
             || (self.design.show_responses
-                && parent.map(|p| self.entries.contains_key(&p)).unwrap_or(false));
+                && parent
+                    .map(|p| self.entries.contains_key(&p))
+                    .unwrap_or(false));
         if !included {
             self.remove_entry(note.unid());
             self.reconsider_children(note.unid(), src)?;
@@ -654,11 +661,7 @@ impl ViewIndex {
 
     /// Entries whose leading sorted columns equal `prefix_values`
     /// (logarithmic positioning + linear in matches).
-    pub fn entries_by_prefix(
-        &self,
-        collation: usize,
-        prefix_values: &[Value],
-    ) -> Vec<&ViewEntry> {
+    pub fn entries_by_prefix(&self, collation: usize, prefix_values: &[Value]) -> Vec<&ViewEntry> {
         let coll = &self.design.collations()[collation];
         let cols: Vec<(Value, SortDir)> = coll
             .keys

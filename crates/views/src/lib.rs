@@ -34,8 +34,8 @@ pub mod folder;
 pub mod index;
 
 pub use collate::SortDir;
-pub use folder::{list_folders, Folder};
 pub use design::{Collation, ColumnSpec, ViewDesign};
+pub use folder::{list_folders, Folder};
 pub use index::{CategoryRow, NoteSource, ViewEntry, ViewIndex, ViewStats};
 
 use std::sync::{Arc, Weak};
@@ -106,9 +106,9 @@ impl View {
     }
 
     fn db(&self) -> Result<Arc<Database>> {
-        self.db.upgrade().ok_or_else(|| {
-            domino_types::DominoError::InvalidArgument("database dropped".into())
-        })
+        self.db
+            .upgrade()
+            .ok_or_else(|| domino_types::DominoError::InvalidArgument("database dropped".into()))
     }
 
     /// Recompute the whole index from the database.
@@ -119,20 +119,26 @@ impl View {
         for id in ids {
             docs.push(db.open_summary(id)?);
         }
-        let src = DbSource { db: self.db.clone() };
+        let src = DbSource {
+            db: self.db.clone(),
+        };
         self.state.lock().rebuild(docs.iter(), &src)
     }
 
     /// Apply one change event manually (detached views).
     pub fn apply(&self, event: &ChangeEvent) -> Result<()> {
-        let src = DbSource { db: self.db.clone() };
+        let src = DbSource {
+            db: self.db.clone(),
+        };
         self.state.lock().apply(event, &src)
     }
 
     /// Apply a coalesced batch of change events manually (detached
     /// views); events are pre-evaluated in parallel and merged in order.
     pub fn apply_batch(&self, events: &[ChangeEvent]) -> Result<()> {
-        let src = DbSource { db: self.db.clone() };
+        let src = DbSource {
+            db: self.db.clone(),
+        };
         self.state.lock().apply_batch(events, &src)
     }
 
@@ -390,8 +396,11 @@ mod tests {
         task(&db, "a", "s", 1.0);
         task(&db, "b", "s", 9.0);
         task(&db, "c", "s", 5.0);
-        let by_subject: Vec<String> =
-            view.rows_in(0).iter().map(|e| e.values[0].to_text()).collect();
+        let by_subject: Vec<String> = view
+            .rows_in(0)
+            .iter()
+            .map(|e| e.values[0].to_text())
+            .collect();
         assert_eq!(by_subject, vec!["a", "b", "c"]);
         let by_hours: Vec<f64> = view
             .rows_in(1)
@@ -404,16 +413,13 @@ mod tests {
     #[test]
     fn responses_nest_under_parent() {
         let db = db();
-        let design = ViewDesign::new(
-            "Threads",
-            r#"SELECT Form = "Topic" | @AllDescendants"#,
-        )
-        .unwrap()
-        .column(
-            ColumnSpec::new("Subject", "Subject")
-                .unwrap()
-                .sorted(SortDir::Ascending),
-        );
+        let design = ViewDesign::new("Threads", r#"SELECT Form = "Topic" | @AllDescendants"#)
+            .unwrap()
+            .column(
+                ColumnSpec::new("Subject", "Subject")
+                    .unwrap()
+                    .sorted(SortDir::Ascending),
+            );
         let view = View::attach(&db, design).unwrap();
 
         let mut t1 = Note::document("Topic");
@@ -444,16 +450,13 @@ mod tests {
     #[test]
     fn response_rekeys_when_parent_moves() {
         let db = db();
-        let design = ViewDesign::new(
-            "Threads",
-            r#"SELECT Form = "Topic" | @AllDescendants"#,
-        )
-        .unwrap()
-        .column(
-            ColumnSpec::new("Subject", "Subject")
-                .unwrap()
-                .sorted(SortDir::Ascending),
-        );
+        let design = ViewDesign::new("Threads", r#"SELECT Form = "Topic" | @AllDescendants"#)
+            .unwrap()
+            .column(
+                ColumnSpec::new("Subject", "Subject")
+                    .unwrap()
+                    .sorted(SortDir::Ascending),
+            );
         let view = View::attach(&db, design).unwrap();
         let mut parent = Note::document("Topic");
         parent.set("Subject", Value::text("zzz"));
@@ -479,16 +482,13 @@ mod tests {
     #[test]
     fn deleting_parent_reconsiders_children() {
         let db = db();
-        let design = ViewDesign::new(
-            "Threads",
-            r#"SELECT Form = "Topic" | @AllDescendants"#,
-        )
-        .unwrap()
-        .column(
-            ColumnSpec::new("Subject", "Subject")
-                .unwrap()
-                .sorted(SortDir::Ascending),
-        );
+        let design = ViewDesign::new("Threads", r#"SELECT Form = "Topic" | @AllDescendants"#)
+            .unwrap()
+            .column(
+                ColumnSpec::new("Subject", "Subject")
+                    .unwrap()
+                    .sorted(SortDir::Ascending),
+            );
         let view = View::attach(&db, design).unwrap();
         let mut parent = Note::document("Topic");
         parent.set("Subject", Value::text("p"));

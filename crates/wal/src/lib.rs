@@ -28,4 +28,4 @@ pub mod store;
 pub use manager::{LogManager, LogStats};
 pub use record::{LogRecord, Lsn, TxId};
 pub use recovery::{recover, RecoveryStats, RedoTarget};
-pub use store::{FileLogStore, LogStore, MemLogStore};
+pub use store::{FaultLogStore, FaultPlan, FileLogStore, LogStore, MemLogStore};

@@ -106,7 +106,14 @@ impl LogRecord {
             LogRecord::Begin { tx } | LogRecord::Commit { tx } | LogRecord::Abort { tx } => {
                 payload.extend_from_slice(&tx.0.to_le_bytes());
             }
-            LogRecord::Update { tx, prev, page, offset, before, after } => {
+            LogRecord::Update {
+                tx,
+                prev,
+                page,
+                offset,
+                before,
+                after,
+            } => {
                 payload.extend_from_slice(&tx.0.to_le_bytes());
                 payload.extend_from_slice(&prev.0.to_le_bytes());
                 payload.extend_from_slice(&page.to_le_bytes());
@@ -116,7 +123,13 @@ impl LogRecord {
                 payload.extend_from_slice(&(after.len() as u32).to_le_bytes());
                 payload.extend_from_slice(after);
             }
-            LogRecord::Clr { tx, page, offset, after, undo_next } => {
+            LogRecord::Clr {
+                tx,
+                page,
+                offset,
+                after,
+                undo_next,
+            } => {
                 payload.extend_from_slice(&tx.0.to_le_bytes());
                 payload.extend_from_slice(&page.to_le_bytes());
                 payload.extend_from_slice(&offset.to_le_bytes());
@@ -167,9 +180,15 @@ impl LogRecord {
         *pos += 8 + len;
         let mut p = 1;
         let rec = match payload[0] {
-            1 => LogRecord::Begin { tx: TxId(get_u64(payload, &mut p)?) },
-            4 => LogRecord::Commit { tx: TxId(get_u64(payload, &mut p)?) },
-            5 => LogRecord::Abort { tx: TxId(get_u64(payload, &mut p)?) },
+            1 => LogRecord::Begin {
+                tx: TxId(get_u64(payload, &mut p)?),
+            },
+            4 => LogRecord::Commit {
+                tx: TxId(get_u64(payload, &mut p)?),
+            },
+            5 => LogRecord::Abort {
+                tx: TxId(get_u64(payload, &mut p)?),
+            },
             2 => {
                 let tx = TxId(get_u64(payload, &mut p)?);
                 let prev = Lsn(get_u64(payload, &mut p)?);
@@ -179,7 +198,14 @@ impl LogRecord {
                 let before = get_bytes(payload, &mut p, blen)?;
                 let alen = get_u32(payload, &mut p)? as usize;
                 let after = get_bytes(payload, &mut p, alen)?;
-                LogRecord::Update { tx, prev, page, offset, before, after }
+                LogRecord::Update {
+                    tx,
+                    prev,
+                    page,
+                    offset,
+                    before,
+                    after,
+                }
             }
             3 => {
                 let tx = TxId(get_u64(payload, &mut p)?);
@@ -188,7 +214,13 @@ impl LogRecord {
                 let alen = get_u32(payload, &mut p)? as usize;
                 let after = get_bytes(payload, &mut p, alen)?;
                 let undo_next = Lsn(get_u64(payload, &mut p)?);
-                LogRecord::Clr { tx, page, offset, after, undo_next }
+                LogRecord::Clr {
+                    tx,
+                    page,
+                    offset,
+                    after,
+                    undo_next,
+                }
             }
             6 => {
                 let na = get_u32(payload, &mut p)? as usize;
@@ -207,11 +239,7 @@ impl LogRecord {
                 }
                 LogRecord::Checkpoint { active, dirty }
             }
-            t => {
-                return Err(DominoError::Corrupt(format!(
-                    "unknown log record tag {t}"
-                )))
-            }
+            t => return Err(DominoError::Corrupt(format!("unknown log record tag {t}"))),
         };
         Ok(Some(rec))
     }
@@ -332,7 +360,11 @@ mod tests {
     fn tx_accessor() {
         assert_eq!(LogRecord::Begin { tx: TxId(3) }.tx(), Some(TxId(3)));
         assert_eq!(
-            LogRecord::Checkpoint { active: vec![], dirty: vec![] }.tx(),
+            LogRecord::Checkpoint {
+                active: vec![],
+                dirty: vec![]
+            }
+            .tx(),
             None
         );
     }

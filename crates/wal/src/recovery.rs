@@ -114,11 +114,23 @@ pub fn recover<S: LogStore>(
             continue;
         }
         let (page, offset, image) = match rec {
-            LogRecord::Update { page, offset, after, .. } => (*page, *offset, after),
-            LogRecord::Clr { page, offset, after, .. } => (*page, *offset, after),
+            LogRecord::Update {
+                page,
+                offset,
+                after,
+                ..
+            } => (*page, *offset, after),
+            LogRecord::Clr {
+                page,
+                offset,
+                after,
+                ..
+            } => (*page, *offset, after),
             _ => continue,
         };
-        let Some(rec_lsn) = dpt.get(&page) else { continue };
+        let Some(rec_lsn) = dpt.get(&page) else {
+            continue;
+        };
         if lsn < rec_lsn {
             continue;
         }
@@ -160,7 +172,13 @@ pub fn recover<S: LogStore>(
             )));
         };
         match rec {
-            LogRecord::Update { prev, page, offset, before, .. } => {
+            LogRecord::Update {
+                prev,
+                page,
+                offset,
+                before,
+                ..
+            } => {
                 let clr_lsn = log.append(&LogRecord::Clr {
                     tx,
                     page: *page,
@@ -357,7 +375,10 @@ mod tests {
         // Page 1 was flushed, so the checkpoint's DPT is empty.
         let cp = h
             .log
-            .append(&LogRecord::Checkpoint { active: vec![], dirty: vec![] })
+            .append(&LogRecord::Checkpoint {
+                active: vec![],
+                dirty: vec![],
+            })
             .unwrap();
         h.log.flush_all().unwrap();
         h.log.set_master(cp).unwrap();

@@ -62,7 +62,10 @@ fn main() -> domino::types::Result<()> {
                 .unwrap_or(false)
         })
         .count();
-    println!("documents: {}, updated amounts recovered: {updated}/20", db.document_count()?);
+    println!(
+        "documents: {}, updated amounts recovered: {updated}/20",
+        db.document_count()?
+    );
     assert_eq!(updated, 20);
     println!("recovered state matches the committed state exactly");
     Ok(())

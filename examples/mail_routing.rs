@@ -11,16 +11,25 @@ use domino::net::{LinkSpec, MailRouter, MailUser, Network, Topology};
 use domino::types::LogicalClock;
 
 fn main() -> domino::types::Result<()> {
-    println!("{:<12} {:>8} {:>10} {:>12} {:>12}", "topology", "hops", "mean lat", "max lat", "link bytes");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12}",
+        "topology", "hops", "mean lat", "max lat", "link bytes"
+    );
     for topology in [Topology::Mesh, Topology::HubSpoke, Topology::Chain] {
         let mut net = Network::new(
             6,
             topology,
-            LinkSpec { latency: 3, bytes_per_tick: 256 },
+            LinkSpec {
+                latency: 3,
+                bytes_per_tick: 256,
+            },
             LogicalClock::new(),
         );
         let users: Vec<MailUser> = (0..6)
-            .map(|i| MailUser { name: format!("user{i}"), home_server: i })
+            .map(|i| MailUser {
+                name: format!("user{i}"),
+                home_server: i,
+            })
             .collect();
         let mut router = MailRouter::setup(&mut net, &users)?;
 

@@ -52,7 +52,10 @@ fn main() -> domino::types::Result<()> {
     // Touch one field of one west account: field-level replication ships
     // only the changed item (plus digests), not the whole document.
     let acme = server
-        .search(&Formula::compile(r#"SELECT Name = "Acme""#)?, &Default::default())?
+        .search(
+            &Formula::compile(r#"SELECT Name = "Acme""#)?,
+            &Default::default(),
+        )?
         .remove(0);
     let mut acme_edit = server.open_note(acme.id)?;
     acme_edit.set("Phone", Value::text("+1-555-0100"));
@@ -67,7 +70,10 @@ fn main() -> domino::types::Result<()> {
 
     // Deletions travel as stubs...
     let doomed = server
-        .search(&Formula::compile(r#"SELECT Name = "Initech""#)?, &Default::default())?
+        .search(
+            &Formula::compile(r#"SELECT Name = "Initech""#)?,
+            &Default::default(),
+        )?
         .remove(0);
     server.delete(doomed.id)?;
     let (_, del) = repl.sync(&server, &laptop)?;

@@ -6,8 +6,8 @@
 use std::sync::Arc;
 
 use domino::core::{Database, DbConfig, Note, Session};
-use domino::ftindex::FtIndex;
 use domino::formula::Formula;
+use domino::ftindex::FtIndex;
 use domino::security::{AccessLevel, Acl, AclEntry, Directory};
 use domino::types::{LogicalClock, ReplicaId, Value};
 use domino::views::{ColumnSpec, SortDir, View, ViewDesign};
@@ -24,10 +24,13 @@ fn main() -> domino::types::Result<()> {
     // full-text index.
     let view = View::attach(
         &db,
-        ViewDesign::new("Open by priority", r#"SELECT Form = "Task" & Status != "done""#)?
-            .column(ColumnSpec::new("Priority", "Priority")?.sorted(SortDir::Descending))
-            .column(ColumnSpec::new("Subject", "Subject")?.sorted(SortDir::Ascending))
-            .column(ColumnSpec::new("Hours", "Hours")?.totaled()),
+        ViewDesign::new(
+            "Open by priority",
+            r#"SELECT Form = "Task" & Status != "done""#,
+        )?
+        .column(ColumnSpec::new("Priority", "Priority")?.sorted(SortDir::Descending))
+        .column(ColumnSpec::new("Subject", "Subject")?.sorted(SortDir::Ascending))
+        .column(ColumnSpec::new("Hours", "Hours")?.totaled()),
     )?;
     let ft = FtIndex::attach(&db)?;
 
@@ -69,7 +72,11 @@ fn main() -> domino::types::Result<()> {
     println!("\n== full-text: 'replication OR storage' ==");
     for hit in ft.search("replication OR storage")? {
         let n = db.open_by_unid(hit.unid)?;
-        println!("  {:.3}  {}", hit.score, n.get_text("Subject").unwrap_or_default());
+        println!(
+            "  {:.3}  {}",
+            hit.score,
+            n.get_text("Subject").unwrap_or_default()
+        );
     }
 
     // Security: a reader cannot create tasks.

@@ -8,8 +8,7 @@
 use std::sync::Arc;
 
 use domino::core::{
-    save_agent, save_form, AgentDesign, Database, DbConfig, FieldSpec, FormDesign, Note,
-    Session,
+    save_agent, save_form, AgentDesign, Database, DbConfig, FieldSpec, FormDesign, Note, Session,
 };
 use domino::security::Directory;
 use domino::types::{LogicalClock, ReplicaId, Value};
@@ -22,15 +21,17 @@ fn main() -> domino::types::Result<()> {
     )?);
 
     // The Expense form: defaults, a computed total, and validation.
-    let form = FormDesign::new("Expense")
-        .field(FieldSpec::editable("Status").with_default(r#""submitted""#)?)
-        .field(FieldSpec::computed("Total", "Quantity * UnitPrice")?)
-        .field(FieldSpec::computed_when_composed("SubmittedBy", "@UserName")?)
-        .field(
-            FieldSpec::editable("Quantity").validated(
+    let form =
+        FormDesign::new("Expense")
+            .field(FieldSpec::editable("Status").with_default(r#""submitted""#)?)
+            .field(FieldSpec::computed("Total", "Quantity * UnitPrice")?)
+            .field(FieldSpec::computed_when_composed(
+                "SubmittedBy",
+                "@UserName",
+            )?)
+            .field(FieldSpec::editable("Quantity").validated(
                 r#"@If(Quantity > 0; @Success; @Failure("quantity must be positive"))"#,
-            )?,
-        );
+            )?);
     save_form(&db, &form)?;
 
     // The approval agent: small expenses auto-approve, big ones escalate.

@@ -23,7 +23,11 @@ fn concurrent_writers_with_live_indexes() {
         &db,
         ViewDesign::new("all", r#"SELECT Form = "Memo""#)
             .unwrap()
-            .column(ColumnSpec::new("Subject", "Subject").unwrap().sorted(SortDir::Ascending)),
+            .column(
+                ColumnSpec::new("Subject", "Subject")
+                    .unwrap()
+                    .sorted(SortDir::Ascending),
+            ),
     )
     .unwrap();
     let ft = FtIndex::attach(&db).unwrap();
@@ -48,12 +52,7 @@ fn concurrent_writers_with_live_indexes() {
     let reader = thread::spawn(move || {
         let mut max_seen = 0;
         for _ in 0..200 {
-            max_seen = max_seen.max(
-                reader_db
-                    .note_ids(Some(NoteClass::Document))
-                    .unwrap()
-                    .len(),
-            );
+            max_seen = max_seen.max(reader_db.note_ids(Some(NoteClass::Document)).unwrap().len());
         }
         max_seen
     });

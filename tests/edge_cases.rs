@@ -40,7 +40,11 @@ fn selective_filter_does_not_block_deletions() {
         ..ReplicationOptions::default()
     });
     filtered.sync(&a, &b).unwrap();
-    assert_eq!(b.document_count().unwrap(), 0, "deletion crossed the filter");
+    assert_eq!(
+        b.document_count().unwrap(),
+        0,
+        "deletion crossed the filter"
+    );
 }
 
 /// Purged stubs disappear from changed_since, so they stop being
@@ -153,21 +157,31 @@ fn whole_application_replicates() {
     // Build an "application" on replica a.
     save_form(
         &a,
-        &FormDesign::new("Task")
-            .field(FieldSpec::editable("Status").with_default(r#""new""#).unwrap()),
+        &FormDesign::new("Task").field(
+            FieldSpec::editable("Status")
+                .with_default(r#""new""#)
+                .unwrap(),
+        ),
     )
     .unwrap();
     save_agent(
         &a,
-        &AgentDesign::new("close", r#"SELECT Status = "done"; FIELD Archived := "yes""#)
-            .unwrap(),
+        &AgentDesign::new(
+            "close",
+            r#"SELECT Status = "done"; FIELD Archived := "yes""#,
+        )
+        .unwrap(),
     )
     .unwrap();
     let view = View::attach(
         &a,
         ViewDesign::new("All", r#"SELECT Form = "Task""#)
             .unwrap()
-            .column(ColumnSpec::new("Status", "Status").unwrap().sorted(SortDir::Ascending)),
+            .column(
+                ColumnSpec::new("Status", "Status")
+                    .unwrap()
+                    .sorted(SortDir::Ascending),
+            ),
     )
     .unwrap();
     view.save_design().unwrap();
@@ -193,7 +207,10 @@ fn whole_application_replicates() {
     // And it runs: the agent archives the done task on replica b.
     agents[0].run(&b, "server-b").unwrap();
     assert_eq!(
-        b.open_by_unid(t.unid()).unwrap().get_text("Archived").unwrap(),
+        b.open_by_unid(t.unid())
+            .unwrap()
+            .get_text("Archived")
+            .unwrap(),
         "yes"
     );
     // note_ids by class sees all four design notes on b.

@@ -70,7 +70,10 @@ fn security_replicates_with_documents() {
 
     let mut acl = Acl::new(AccessLevel::NoAccess);
     acl.set("spy", AclEntry::new(AccessLevel::Reader));
-    acl.set("chief", AclEntry::new(AccessLevel::Manager).with_role("Clearance"));
+    acl.set(
+        "chief",
+        AclEntry::new(AccessLevel::Manager).with_role("Clearance"),
+    );
     a.set_acl(&acl).unwrap();
 
     let mut secret = Note::document("Dossier");
@@ -141,7 +144,10 @@ fn cluster_failover_with_crash_recovery() {
         )
         .unwrap(),
     );
-    assert!(revived.open_by_unid(order.unid()).is_ok(), "recovered its own copy");
+    assert!(
+        revived.open_by_unid(order.unid()).is_ok(),
+        "recovered its own copy"
+    );
     let mut r = Replicator::new(ReplicationOptions::default());
     r.sync(&revived, &mate).unwrap();
     assert_eq!(
@@ -180,13 +186,19 @@ fn formula_agent_workflow_replicates() {
         }
     }
     assert_eq!(
-        a.open_by_unid(req.unid()).unwrap().get_text("Status").unwrap(),
+        a.open_by_unid(req.unid())
+            .unwrap()
+            .get_text("Status")
+            .unwrap(),
         "approved"
     );
     let mut r = Replicator::new(ReplicationOptions::default());
     r.sync(&a, &b).unwrap();
     assert_eq!(
-        b.open_by_unid(req.unid()).unwrap().get_text("Status").unwrap(),
+        b.open_by_unid(req.unid())
+            .unwrap()
+            .get_text("Status")
+            .unwrap(),
         "approved"
     );
 }
@@ -204,7 +216,7 @@ fn ring_network_with_partition_heals() {
     }
     net.partition(0, 1);
     net.partition(0, 3); // server 0 fully isolated
-    // The rest still converge among themselves.
+                         // The rest still converge among themselves.
     for _ in 0..4 {
         net.replicate_all_links("d").unwrap();
     }

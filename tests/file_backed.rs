@@ -10,10 +10,7 @@ use domino::types::{LogicalClock, ReplicaId, Value};
 use domino::wal::FileLogStore;
 
 fn temp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "domino-file-test-{}-{tag}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("domino-file-test-{}-{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -104,11 +101,18 @@ fn file_compact_shrinks_store() {
         .compact_into(Box::new(disk2), Some(Box::new(log2)))
         .unwrap();
     assert_eq!(stats.notes_copied, 20);
-    println!("compact: {} -> {} bytes", stats.bytes_before, stats.bytes_after);
+    println!(
+        "compact: {} -> {} bytes",
+        stats.bytes_before, stats.bytes_after
+    );
     // Interleaved deletes let the source reuse freed pages, so the win
     // here is moderate; the churn-heavy core test shows the >2x case.
-    assert!(stats.bytes_after * 4 < stats.bytes_before * 3,
-        "{} -> {}", stats.bytes_before, stats.bytes_after);
+    assert!(
+        stats.bytes_after * 4 < stats.bytes_before * 3,
+        "{} -> {}",
+        stats.bytes_before,
+        stats.bytes_after
+    );
     assert_eq!(fresh.document_count().unwrap(), 20);
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&dir2);

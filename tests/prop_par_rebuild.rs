@@ -27,9 +27,18 @@ struct Spec {
 
 fn specs() -> impl Strategy<Value = Vec<Spec>> {
     prop::collection::vec(
-        (any::<bool>(), 0..4u8, any::<u8>(), prop::option::of(0..24usize)).prop_map(
-            |(task, cat, val, parent)| Spec { task, cat, val, parent },
-        ),
+        (
+            any::<bool>(),
+            0..4u8,
+            any::<u8>(),
+            prop::option::of(0..24usize),
+        )
+            .prop_map(|(task, cat, val, parent)| Spec {
+                task,
+                cat,
+                val,
+                parent,
+            }),
         1..48,
     )
 }
@@ -74,7 +83,11 @@ fn design(responses: bool) -> ViewDesign {
     ViewDesign::new("V", selection)
         .unwrap()
         .column(ColumnSpec::new("Cat", "Cat").unwrap().categorized())
-        .column(ColumnSpec::new("Val", "Val").unwrap().sorted(SortDir::Descending))
+        .column(
+            ColumnSpec::new("Val", "Val")
+                .unwrap()
+                .sorted(SortDir::Descending),
+        )
         .alternate(vec![(1, SortDir::Ascending), (0, SortDir::Ascending)])
 }
 
@@ -87,7 +100,11 @@ fn assert_equivalent(notes: &[Note], design: ViewDesign, src: &dyn NoteSource) {
 
     assert_eq!(par.len(), seq.len());
     for ci in 0..n_collations {
-        assert_eq!(par.order_keys(ci), seq.order_keys(ci), "collation {ci} keys");
+        assert_eq!(
+            par.order_keys(ci),
+            seq.order_keys(ci),
+            "collation {ci} keys"
+        );
         let pe: Vec<_> = par.entries(ci).into_iter().cloned().collect();
         let se: Vec<_> = seq.entries(ci).into_iter().cloned().collect();
         assert_eq!(pe, se, "collation {ci} entries");

@@ -28,8 +28,7 @@ fn op_strategy(replicas: usize) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..replicas, any::<u8>()).prop_map(|(r, p)| Op::Create { r, p }),
         (0..replicas, 0..64usize, any::<u8>()).prop_map(|(r, d, p)| Op::Edit { r, d, p }),
-        (0..replicas, 0..64usize, any::<u8>())
-            .prop_map(|(r, d, p)| Op::EditOther { r, d, p }),
+        (0..replicas, 0..64usize, any::<u8>()).prop_map(|(r, d, p)| Op::EditOther { r, d, p }),
         (0..replicas, 0..64usize).prop_map(|(r, d)| Op::Delete { r, d }),
         (0..replicas, 0..replicas).prop_map(|(a, b)| Op::Sync { a, b }),
     ]

@@ -10,27 +10,32 @@ use domino::wal::LogRecord;
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Number),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Number),
         prop::collection::vec(any::<i32>().prop_map(|i| i as f64), 0..6)
             .prop_map(Value::NumberList),
         ".{0,40}".prop_map(Value::Text),
         prop::collection::vec(".{0,12}", 0..5).prop_map(Value::TextList),
         any::<i64>().prop_map(|t| Value::DateTime(DateTime(t))),
-        prop::collection::vec(any::<i64>().prop_map(DateTime), 0..5)
-            .prop_map(Value::DateTimeList),
+        prop::collection::vec(any::<i64>().prop_map(DateTime), 0..5).prop_map(Value::DateTimeList),
         prop::collection::vec(any::<u8>(), 0..200).prop_map(Value::RichText),
     ]
 }
 
 fn arb_item() -> impl Strategy<Value = Item> {
-    ("[A-Za-z$][A-Za-z0-9_]{0,12}", arb_value(), 0u8..32, any::<u64>()).prop_map(
-        |(name, value, flags, revised)| {
+    (
+        "[A-Za-z$][A-Za-z0-9_]{0,12}",
+        arb_value(),
+        0u8..32,
+        any::<u64>(),
+    )
+        .prop_map(|(name, value, flags, revised)| {
             let mut it = Item::new(name, value);
             it.flags = ItemFlags(flags);
             it.revised = Timestamp(revised);
             it
-        },
-    )
+        })
 }
 
 proptest! {

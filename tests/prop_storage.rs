@@ -14,7 +14,10 @@ fn engine_with(cap: usize) -> (Engine, MemDisk, MemLogStore) {
     let e = Engine::open(
         Box::new(disk.clone()),
         Some(Box::new(log.clone())),
-        EngineConfig { buffer_capacity: cap, ..EngineConfig::default() },
+        EngineConfig {
+            buffer_capacity: cap,
+            ..EngineConfig::default()
+        },
     )
     .unwrap();
     (e, disk, log)

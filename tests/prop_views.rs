@@ -11,16 +11,39 @@ use domino::views::{ColumnSpec, SortDir, View, ViewDesign};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Create { form: bool, cat: u8, val: u8, parent: Option<usize> },
-    Edit { d: usize, cat: u8, val: u8 },
-    Retag { d: usize },
-    Delete { d: usize },
+    Create {
+        form: bool,
+        cat: u8,
+        val: u8,
+        parent: Option<usize>,
+    },
+    Edit {
+        d: usize,
+        cat: u8,
+        val: u8,
+    },
+    Retag {
+        d: usize,
+    },
+    Delete {
+        d: usize,
+    },
 }
 
 fn ops() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<bool>(), 0..4u8, any::<u8>(), prop::option::of(0..32usize))
-            .prop_map(|(form, cat, val, parent)| Op::Create { form, cat, val, parent }),
+        (
+            any::<bool>(),
+            0..4u8,
+            any::<u8>(),
+            prop::option::of(0..32usize)
+        )
+            .prop_map(|(form, cat, val, parent)| Op::Create {
+                form,
+                cat,
+                val,
+                parent
+            }),
         (0..32usize, 0..4u8, any::<u8>()).prop_map(|(d, cat, val)| Op::Edit { d, cat, val }),
         (0..32usize).prop_map(|d| Op::Retag { d }),
         (0..32usize).prop_map(|d| Op::Delete { d }),
@@ -31,7 +54,11 @@ fn design() -> ViewDesign {
     ViewDesign::new("V", r#"SELECT Form = "Task" | @AllDescendants"#)
         .unwrap()
         .column(ColumnSpec::new("Cat", "Cat").unwrap().categorized())
-        .column(ColumnSpec::new("Val", "Val").unwrap().sorted(SortDir::Descending))
+        .column(
+            ColumnSpec::new("Val", "Val")
+                .unwrap()
+                .sorted(SortDir::Descending),
+        )
         .column(ColumnSpec::new("Total", "Val * 2").unwrap().totaled())
 }
 

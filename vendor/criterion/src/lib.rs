@@ -28,7 +28,10 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(target_samples: usize) -> Bencher {
-        Bencher { samples: Vec::with_capacity(target_samples), target_samples }
+        Bencher {
+            samples: Vec::with_capacity(target_samples),
+            target_samples,
+        }
     }
 
     /// Time `routine` repeatedly (one warmup call, then the samples).
@@ -114,6 +117,13 @@ fn report(id: &str, samples: &[Duration]) {
     );
 }
 
+/// True when the bench binary was invoked with `--test` (the cargo-bench
+/// smoke convention, `cargo bench -- --test`): run each benchmark once to
+/// prove it executes, skipping the timed samples' cost.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Entry point mirroring criterion's: groups hang off one `Criterion`.
 #[derive(Default)]
 pub struct Criterion {
@@ -123,12 +133,18 @@ pub struct Criterion {
 impl Criterion {
     #[allow(clippy::should_implement_trait)]
     pub fn default() -> Criterion {
-        Criterion { default_sample_size: 20 }
+        Criterion {
+            default_sample_size: if quick_mode() { 1 } else { 20 },
+        }
     }
 
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
-        BenchmarkGroup { name: name.to_string(), sample_size, _criterion: self }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            _criterion: self,
+        }
     }
 
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self

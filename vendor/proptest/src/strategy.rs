@@ -32,7 +32,11 @@ pub trait Strategy {
         R: Into<String>,
         F: Fn(&Self::Value) -> bool,
     {
-        FilterStrategy { base: self, reason: reason.into(), pred }
+        FilterStrategy {
+            base: self,
+            reason: reason.into(),
+            pred,
+        }
     }
 }
 
@@ -74,7 +78,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter '{}' rejected {MAX_FILTER_RETRIES} candidates", self.reason);
+        panic!(
+            "prop_filter '{}' rejected {MAX_FILTER_RETRIES} candidates",
+            self.reason
+        );
     }
 }
 
@@ -102,7 +109,9 @@ pub struct AnyStrategy<T> {
 }
 
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-    AnyStrategy { _marker: std::marker::PhantomData }
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for AnyStrategy<T> {
@@ -243,19 +252,28 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.end > r.start, "empty size range {r:?}");
-        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> SizeRange {
-        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
     }
 }
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> SizeRange {
-        SizeRange { lo: n, hi_inclusive: n }
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
     }
 }
 
@@ -266,7 +284,10 @@ pub struct VecStrategy<S> {
 
 /// `prop::collection::vec(element, len_range)`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -398,7 +419,9 @@ mod tests {
     #[test]
     fn map_and_filter_compose() {
         let mut r = rng();
-        let s = (0..100i32).prop_map(|x| x * 2).prop_filter("nonzero", |x| *x != 0);
+        let s = (0..100i32)
+            .prop_map(|x| x * 2)
+            .prop_filter("nonzero", |x| *x != 0);
         for _ in 0..50 {
             let v = s.generate(&mut r);
             assert!(v % 2 == 0 && v != 0);
@@ -450,7 +473,8 @@ mod tests {
     #[test]
     fn tuples_generate_componentwise() {
         let mut r = rng();
-        let (a, b, c, d) = (0..5u8, 10..15i32, any::<bool>(), option_of(0..3usize)).generate(&mut r);
+        let (a, b, c, d) =
+            (0..5u8, 10..15i32, any::<bool>(), option_of(0..3usize)).generate(&mut r);
         assert!(a < 5);
         assert!((10..15).contains(&b));
         let _ = (c, d);

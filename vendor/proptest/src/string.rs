@@ -29,7 +29,10 @@ impl CharSet {
                 }
             }
             CharSet::Ranges(ranges) => {
-                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
                 let mut pick = rng.random_range(0..total);
                 for (lo, hi) in ranges {
                     let span = *hi as u32 - *lo as u32 + 1;
@@ -85,7 +88,10 @@ fn parse(pattern: &str) -> Vec<Atom> {
                         i += 1;
                     }
                 }
-                assert!(i < chars.len(), "unterminated [class] in pattern {pattern:?}");
+                assert!(
+                    i < chars.len(),
+                    "unterminated [class] in pattern {pattern:?}"
+                );
                 i += 1; // consume ']'
                 CharSet::Ranges(ranges)
             }

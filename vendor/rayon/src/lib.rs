@@ -116,9 +116,12 @@ pub trait ParallelIterator: Sized {
         F: Fn(Self::Item) + Sync,
         Self: Sync,
     {
-        par_map_indices(self.len_hint(), current_num_threads(), self.min_len(), |i| {
-            f(self.get(i))
-        });
+        par_map_indices(
+            self.len_hint(),
+            current_num_threads(),
+            self.min_len(),
+            |i| f(self.get(i)),
+        );
     }
 
     fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
@@ -136,18 +139,20 @@ pub trait FromParallelIterator<T: Send>: Sized {
 
 impl<T: Send> FromParallelIterator<T> for Vec<T> {
     fn from_par_iter<P: ParallelIterator<Item = T> + Sync>(par: P) -> Vec<T> {
-        par_map_indices(par.len_hint(), current_num_threads(), par.min_len(), |i| par.get(i))
+        par_map_indices(par.len_hint(), current_num_threads(), par.min_len(), |i| {
+            par.get(i)
+        })
     }
 }
 
 /// `collect::<Result<Vec<T>, E>>()` — first error wins (by index order).
 impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
-    fn from_par_iter<P: ParallelIterator<Item = Result<T, E>> + Sync>(
-        par: P,
-    ) -> Result<Vec<T>, E> {
-        par_map_indices(par.len_hint(), current_num_threads(), par.min_len(), |i| par.get(i))
-            .into_iter()
-            .collect()
+    fn from_par_iter<P: ParallelIterator<Item = Result<T, E>> + Sync>(par: P) -> Result<Vec<T>, E> {
+        par_map_indices(par.len_hint(), current_num_threads(), par.min_len(), |i| {
+            par.get(i)
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -288,7 +293,10 @@ impl IntoParallelIterator for std::ops::Range<usize> {
     type Item = usize;
 
     fn into_par_iter(self) -> RangeIter {
-        RangeIter { start: self.start, end: self.end }
+        RangeIter {
+            start: self.start,
+            end: self.end,
+        }
     }
 }
 
@@ -332,12 +340,17 @@ mod tests {
     #[test]
     fn result_collect_propagates_error() {
         let xs: Vec<usize> = (0..5000).collect();
-        let ok: Result<Vec<usize>, String> =
-            xs.par_iter().map(|x| Ok::<_, String>(*x)).collect();
+        let ok: Result<Vec<usize>, String> = xs.par_iter().map(|x| Ok::<_, String>(*x)).collect();
         assert_eq!(ok.unwrap().len(), 5000);
         let err: Result<Vec<usize>, String> = xs
             .par_iter()
-            .map(|x| if *x == 4321 { Err("boom".to_string()) } else { Ok(*x) })
+            .map(|x| {
+                if *x == 4321 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(*x)
+                }
+            })
             .collect();
         assert_eq!(err.unwrap_err(), "boom");
     }
