@@ -4,8 +4,13 @@
 //! report all            # every experiment, full scale
 //! report e3 e5          # selected experiments
 //! report all --quick    # small datasets (seconds, for CI)
-//! report all --json out.json
+//! report all --json experiments_results.json
 //! ```
+//!
+//! The JSON output pairs each experiment's table with the delta of the
+//! process-wide telemetry registry (`domino-obs`) across its run, so a
+//! result row can be correlated with what the engine actually did —
+//! pool hits, WAL flushes, notes pushed — not just what it measured.
 
 use std::io::Write;
 
@@ -27,23 +32,31 @@ fn main() {
         .collect();
     let run_all = wanted.is_empty() || wanted.iter().any(|w| w == "all");
 
-    let mut results: Vec<Table> = Vec::new();
+    let mut results: Vec<(Table, domino_obs::Snapshot)> = Vec::new();
     for (id, f) in all_experiments(scale) {
         if !run_all && !wanted.iter().any(|w| w == id) {
             continue;
         }
         eprintln!("running {id} ({:?})...", scale);
+        let before = domino_obs::snapshot();
         let t0 = std::time::Instant::now();
         let table = f(scale);
         eprintln!("  {id} done in {:.2}s", t0.elapsed().as_secs_f64());
         println!("{}", table.to_markdown());
-        results.push(table);
+        let delta = domino_obs::snapshot().diff(&before);
+        results.push((table, delta));
     }
 
     if let Some(path) = json_path {
         let items: Vec<String> = results
             .iter()
-            .map(|t| format!("  {}", t.to_json()))
+            .map(|(t, metrics)| {
+                format!(
+                    "  {{\"experiment\": {}, \"metrics\": {}}}",
+                    t.to_json(),
+                    metrics.to_json()
+                )
+            })
             .collect();
         let json = format!("[\n{}\n]\n", items.join(",\n"));
         let mut f = std::fs::File::create(&path).expect("create json file");

@@ -24,12 +24,13 @@
 //! thousand-save import as one parallel batch instead of a thousand
 //! single-document updates.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use domino_formula::{EvalEnv, Formula};
+use domino_obs as obs;
 use domino_security::{AccessLevel, Acl, AclEntry};
 use domino_storage::{Engine, EngineConfig, MemDisk, NoteStore, Segment};
 use domino_types::{
@@ -39,6 +40,31 @@ use domino_types::{
 use domino_wal::MemLogStore;
 
 use crate::note::{record_is_stub, DeletionStub, Note};
+
+/// Registry handles for note-CRUD and compaction telemetry, summed
+/// across every open database in the process.
+struct Metrics {
+    saved: &'static obs::Counter,
+    deleted: &'static obs::Counter,
+    opened: &'static obs::Counter,
+    save_micros: &'static obs::Histogram,
+    compact_runs: &'static obs::Counter,
+    compact_notes_copied: &'static obs::Counter,
+    compact_bytes_reclaimed: &'static obs::Counter,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        saved: obs::counter("Database.Notes.Saved"),
+        deleted: obs::counter("Database.Notes.Deleted"),
+        opened: obs::counter("Database.Notes.Opened"),
+        save_micros: obs::histogram("Database.Save.Micros"),
+        compact_runs: obs::counter("Database.Compact.Runs"),
+        compact_notes_copied: obs::counter("Database.Compact.NotesCopied"),
+        compact_bytes_reclaimed: obs::counter("Database.Compact.BytesReclaimed"),
+    })
+}
 
 /// Tree slot for the modified-time index: key `(seq_time << 32) | note_id`.
 const TREE_SEQ_INDEX: usize = 2;
@@ -388,6 +414,8 @@ impl Database {
     /// Save a note: create it if it is a draft, else update the stored
     /// copy. On return the note carries its assigned ids and stamps.
     pub fn save(&self, note: &mut Note) -> Result<()> {
+        let _span = obs::span!("Database.Save");
+        let _save_time = m().save_micros.time_micros();
         let event = {
             let mut g = self.inner.lock();
             #[allow(unused_variables)]
@@ -476,6 +504,7 @@ impl Database {
                 new: note.clone(),
             }
         };
+        m().saved.inc();
         self.notify(event);
         Ok(())
     }
@@ -513,12 +542,14 @@ impl Database {
             ChangeEvent::Saved { new, .. } => new.clone(),
             _ => unreachable!(),
         };
+        m().saved.inc();
         self.notify(event);
         Ok(note)
     }
 
     /// Fetch a note by local id. Deletion stubs read as `NotFound`.
     pub fn open_note(&self, id: NoteId) -> Result<Note> {
+        m().opened.inc();
         self.inner
             .lock()
             .load(id)?
@@ -598,6 +629,7 @@ impl Database {
             ChangeEvent::Deleted { stub, .. } => *stub,
             _ => unreachable!(),
         };
+        m().deleted.inc();
         self.notify(event);
         Ok(stub)
     }
@@ -1038,6 +1070,11 @@ impl Database {
         }
         fresh.checkpoint()?;
         stats.bytes_after = fresh.inner.lock().engine.logical_bytes()?;
+        let reg = m();
+        reg.compact_runs.inc();
+        reg.compact_notes_copied.add(stats.notes_copied);
+        reg.compact_bytes_reclaimed
+            .add(stats.bytes_before.saturating_sub(stats.bytes_after));
         Ok((fresh, stats))
     }
 

@@ -12,11 +12,18 @@
 //! [`stats`] exposes the process-wide totals. Failed parses are not
 //! cached: errors are rare, and callers treat them as hard failures
 //! anyway.
+//!
+//! The hit/miss counters are registry-backed (`Formula.Cache.Hits` /
+//! `Formula.Cache.Misses` in `domino-obs`), with `Formula.Cache.Entries`
+//! a gauge of the interned-program count. Both the process-wide counters
+//! here and the per-view counters in `ViewStats` derive from the *same*
+//! `compile_cached` outcome — one lookup, one verdict, counted once at
+//! each granularity — which is what keeps the two surfaces correlatable.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use domino_obs as obs;
 use domino_types::Result;
 
 use crate::ast::Program;
@@ -25,16 +32,18 @@ use crate::Formula;
 
 struct Cache {
     programs: Mutex<HashMap<String, Arc<Program>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: &'static obs::Counter,
+    misses: &'static obs::Counter,
+    entries: &'static obs::Gauge,
 }
 
 fn cache() -> &'static Cache {
     static CACHE: OnceLock<Cache> = OnceLock::new();
     CACHE.get_or_init(|| Cache {
         programs: Mutex::new(HashMap::new()),
-        hits: AtomicU64::new(0),
-        misses: AtomicU64::new(0),
+        hits: obs::counter("Formula.Cache.Hits"),
+        misses: obs::counter("Formula.Cache.Misses"),
+        entries: obs::gauge("Formula.Cache.Entries"),
     })
 }
 
@@ -51,7 +60,7 @@ pub struct CacheStats {
 pub fn compile_cached(source: &str) -> Result<(Formula, bool)> {
     let c = cache();
     if let Some(program) = c.programs.lock().expect("formula cache lock").get(source) {
-        c.hits.fetch_add(1, Ordering::Relaxed);
+        c.hits.inc();
         return Ok((
             Formula {
                 source: source.to_string(),
@@ -64,10 +73,12 @@ pub fn compile_cached(source: &str) -> Result<(Formula, bool)> {
     // should not queue behind it. Two racing threads may both parse; the
     // first insert wins and both results are equivalent.
     let program = Arc::new(parse(source)?);
-    c.misses.fetch_add(1, Ordering::Relaxed);
+    c.misses.inc();
     let program = {
         let mut map = c.programs.lock().expect("formula cache lock");
-        Arc::clone(map.entry(source.to_string()).or_insert(program))
+        let program = Arc::clone(map.entry(source.to_string()).or_insert(program));
+        c.entries.set(map.len() as i64);
+        program
     };
     Ok((
         Formula {
@@ -78,12 +89,13 @@ pub fn compile_cached(source: &str) -> Result<(Formula, bool)> {
     ))
 }
 
-/// Process-wide hit/miss/entry counts.
+/// Process-wide hit/miss/entry counts — a thin shim over the registry
+/// counters (`Formula.Cache.*`), kept so existing call sites stay green.
 pub fn stats() -> CacheStats {
     let c = cache();
     CacheStats {
-        hits: c.hits.load(Ordering::Relaxed),
-        misses: c.misses.load(Ordering::Relaxed),
+        hits: c.hits.get(),
+        misses: c.misses.get(),
         entries: c.programs.lock().expect("formula cache lock").len(),
     }
 }
@@ -91,7 +103,10 @@ pub fn stats() -> CacheStats {
 /// Drop all interned programs (counters keep running). Outstanding
 /// `Formula` clones stay valid — they own `Arc`s into the parse.
 pub fn clear() {
-    cache().programs.lock().expect("formula cache lock").clear();
+    let c = cache();
+    let mut map = c.programs.lock().expect("formula cache lock");
+    map.clear();
+    c.entries.set(0);
 }
 
 #[cfg(test)]

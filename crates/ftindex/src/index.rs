@@ -1,12 +1,35 @@
 //! The inverted index and query execution.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use domino_core::Note;
+use domino_obs as obs;
 use domino_types::{Unid, Value};
 
 use crate::query::QueryNode;
 use crate::tokenizer::tokenize;
+
+/// Registry handles for full-text telemetry. `Ft.Index.Documents` is a
+/// gauge summed across every index in the process.
+struct Metrics {
+    indexed: &'static obs::Counter,
+    removed: &'static obs::Counter,
+    documents: &'static obs::Gauge,
+    queries: &'static obs::Counter,
+    query_micros: &'static obs::Histogram,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        indexed: obs::counter("Ft.Notes.Indexed"),
+        removed: obs::counter("Ft.Notes.Removed"),
+        documents: obs::gauge("Ft.Index.Documents"),
+        queries: obs::counter("Ft.Queries"),
+        query_micros: obs::histogram("Ft.Query.Micros"),
+    })
+}
 
 /// One search result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,6 +103,8 @@ impl InvertedIndex {
             positions.push(pos);
         }
         self.docs.insert(unid, (total.max(1), terms_here));
+        m().indexed.inc();
+        m().documents.add(1);
     }
 
     /// Remove one document entirely.
@@ -87,6 +112,8 @@ impl InvertedIndex {
         let Some((_, terms)) = self.docs.remove(&unid) else {
             return;
         };
+        m().removed.inc();
+        m().documents.add(-1);
         for term in terms {
             if let Some(postings) = self.terms.get_mut(&term) {
                 postings.remove(&unid);
@@ -117,6 +144,9 @@ impl InvertedIndex {
 
     /// Run a parsed query; hits sorted by descending score.
     pub fn execute(&self, q: &QueryNode) -> Vec<SearchHit> {
+        let _span = obs::span!("Ft.Query");
+        let started = std::time::Instant::now();
+        m().queries.inc();
         let matches = self.eval(q);
         let mut hits: Vec<SearchHit> = matches
             .into_iter()
@@ -134,6 +164,7 @@ impl InvertedIndex {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.unid.0.cmp(&b.unid.0))
         });
+        m().query_micros.record_micros(started.elapsed());
         hits
     }
 

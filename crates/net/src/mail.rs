@@ -7,10 +7,34 @@
 //! link latency + transfer time, which is what E13 measures across
 //! topologies.
 
+use std::sync::OnceLock;
+
 use domino_core::Note;
+use domino_obs as obs;
 use domino_types::{Clock, DominoError, NoteId, ReplicaId, Result, Unid, Value};
 
 use crate::sim::Network;
+
+/// Registry handles for router telemetry. `Mail.Delivery.Ticks` records
+/// per-message end-to-end latency in simulated clock ticks.
+struct Metrics {
+    sent: &'static obs::Counter,
+    forwarded: &'static obs::Counter,
+    delivered: &'static obs::Counter,
+    dead_lettered: &'static obs::Counter,
+    delivery_ticks: &'static obs::Histogram,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        sent: obs::counter("Mail.Sent"),
+        forwarded: obs::counter("Mail.Forwarded"),
+        delivered: obs::counter("Mail.Delivered"),
+        dead_lettered: obs::counter("Mail.DeadLettered"),
+        delivery_ticks: obs::histogram("Mail.Delivery.Ticks"),
+    })
+}
 
 /// Database name of a server's router queue.
 pub const MAILBOX: &str = "mail.box";
@@ -107,6 +131,7 @@ impl MailRouter {
         memo.set("Hops", Value::Number(0.0));
         net.db(from_server, MAILBOX)?.save(&mut memo)?;
         self.stats.sent += 1;
+        m().sent.inc();
         Ok(memo.unid())
     }
 
@@ -146,6 +171,7 @@ impl MailRouter {
                     let Some(next) = next else {
                         // Unroutable: the destination does not exist.
                         self.stats.dead_lettered += 1;
+                        m().dead_lettered.inc();
                         mailbox.delete(id)?;
                         continue;
                     };
@@ -187,6 +213,7 @@ impl MailRouter {
         copy.set("ReadyAt", Value::Number((now + transfer) as f64));
         net.db(to, MAILBOX)?.save(&mut copy)?;
         self.stats.forwarded += 1;
+        m().forwarded.inc();
         Ok(())
     }
 
@@ -210,6 +237,9 @@ impl MailRouter {
         self.stats.delivered += 1;
         self.stats.total_latency += latency;
         self.stats.max_latency = self.stats.max_latency.max(latency);
+        let reg = m();
+        reg.delivered.inc();
+        reg.delivery_ticks.record(latency);
         Ok(())
     }
 

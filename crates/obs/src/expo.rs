@@ -1,0 +1,68 @@
+//! The exposition surface: Domino-console `show statistics` text.
+//!
+//! Domino administrators read the server through `show statistics` — an
+//! alphabetized list of `Name = value` lines with hierarchical dotted
+//! names (`Database.Database.BufferPool.PerCentReadsInBuffer`,
+//! `Mail.Delivered`, …). [`show_statistics`] reproduces that surface over
+//! the process-wide registry; histograms expand into `.Samples`, `.Avg`,
+//! `.Max`, `.P50`, `.P95`, `.P99` sub-lines so latency distributions read
+//! directly off the console.
+
+use crate::registry::{snapshot, MetricValue, Snapshot};
+use crate::span::slow_ops;
+
+/// Render one snapshot in Domino console format (no header line).
+pub fn render_statistics(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in snap.iter() {
+        match v {
+            MetricValue::Counter(c) => out.push_str(&format!("  {name} = {c}\n")),
+            MetricValue::Gauge(g) => out.push_str(&format!("  {name} = {g}\n")),
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("  {name}.Samples = {}\n", h.count));
+                out.push_str(&format!("  {name}.Avg = {}\n", h.mean()));
+                out.push_str(&format!("  {name}.Max = {}\n", h.max));
+                out.push_str(&format!("  {name}.P50 = {}\n", h.p50()));
+                out.push_str(&format!("  {name}.P95 = {}\n", h.p95()));
+                out.push_str(&format!("  {name}.P99 = {}\n", h.p99()));
+            }
+        }
+    }
+    out
+}
+
+/// The `show statistics` console dump: header, every registered metric in
+/// name order, and a trailing slow-operation section when the slow-op log
+/// is non-empty.
+pub fn show_statistics() -> String {
+    let mut out = String::from("> show statistics\n");
+    out.push_str(&render_statistics(&snapshot()));
+    let slow = slow_ops();
+    if !slow.is_empty() {
+        out.push_str("> show slowops\n");
+        for op in slow {
+            out.push_str(&format!("  [{:>12} ns]  {}\n", op.nanos, op.path));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{counter, histogram};
+
+    #[test]
+    fn console_format_lists_sorted_names() {
+        counter("Test.Expo.Beta").add(2);
+        counter("Test.Expo.Alpha").inc();
+        histogram("Test.Expo.Lat").record(100);
+        let text = show_statistics();
+        assert!(text.starts_with("> show statistics\n"));
+        let alpha = text.find("Test.Expo.Alpha = ").expect("alpha line");
+        let beta = text.find("Test.Expo.Beta = ").expect("beta line");
+        assert!(alpha < beta, "names must be alphabetized");
+        assert!(text.contains("Test.Expo.Lat.P99 = "));
+        assert!(text.contains("Test.Expo.Lat.Samples = "));
+    }
+}

@@ -10,12 +10,29 @@
 //! version: an incoming note identical to the stored copy (same OID) is
 //! skipped, so propagation terminates.
 
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, OnceLock, Weak};
 
 use parking_lot::Mutex;
 
 use domino_core::{same_revision, ChangeEvent, Database};
+use domino_obs as obs;
 use domino_types::Result;
+
+/// Registry handles for cluster push telemetry.
+struct Metrics {
+    pushed: &'static obs::Counter,
+    suppressed: &'static obs::Counter,
+    dropped: &'static obs::Counter,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        pushed: obs::counter("Cluster.Events.Pushed"),
+        suppressed: obs::counter("Cluster.Events.Suppressed"),
+        dropped: obs::counter("Cluster.Events.DroppedWhilePaused"),
+    })
+}
 
 /// Counters for cluster replication.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -90,6 +107,7 @@ fn push_to_peers(inner: &Arc<Mutex<ClusterInner>>, origin: usize, event: &Change
     };
     if paused {
         inner.lock().stats.dropped_while_paused += 1;
+        m().dropped.inc();
         return;
     }
     for (i, peer) in targets.iter().enumerate() {
@@ -101,8 +119,10 @@ fn push_to_peers(inner: &Arc<Mutex<ClusterInner>>, origin: usize, event: &Change
         let mut g = inner.lock();
         if applied {
             g.stats.pushed += 1;
+            m().pushed.inc();
         } else {
             g.stats.suppressed += 1;
+            m().suppressed.inc();
         }
     }
 }

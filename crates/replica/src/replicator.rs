@@ -17,12 +17,39 @@
 //! * bandwidth is accounted either whole-document (R3) or changed-fields
 //!   (R4), the comparison E5 measures.
 
+use std::sync::OnceLock;
+
 use domino_core::{same_revision, ChangedNote, Database, Note, ITEM_REVISIONS, MAX_REVISIONS};
 use domino_formula::{EvalEnv, Formula};
+use domino_obs as obs;
 use domino_types::{Clock, DominoError, Item, Result, Timestamp};
 
 use crate::conflict::make_conflict_document;
 use crate::history::ReplicationHistory;
+
+/// Registry handles for replication telemetry, recorded once per pull
+/// from the finished [`ReplicationReport`] (the pass itself accounts
+/// into the report; mirroring at the end keeps the inner loop clean).
+struct Metrics {
+    passes: &'static obs::Counter,
+    notes_pushed: &'static obs::Counter,
+    bytes_shipped: &'static obs::Counter,
+    conflicts: &'static obs::Counter,
+    deletions: &'static obs::Counter,
+    pass_candidates: &'static obs::Histogram,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        passes: obs::counter("Replica.Passes"),
+        notes_pushed: obs::counter("Replica.Pass.NotesPushed"),
+        bytes_shipped: obs::counter("Replica.Pass.BytesShipped"),
+        conflicts: obs::counter("Replica.Conflicts"),
+        deletions: obs::counter("Replica.Deletions"),
+        pass_candidates: obs::histogram("Replica.Pass.Candidates"),
+    })
+}
 
 /// Tuning knobs for a replication pass.
 #[derive(Debug, Clone)]
@@ -138,6 +165,7 @@ impl Replicator {
                 src.replica_id()
             )));
         }
+        let _span = obs::span!("Replica.Pull");
         let cutoff = if self.options.use_history {
             self.history.cutoff(dst.instance_id(), src.instance_id())
         } else {
@@ -158,6 +186,14 @@ impl Replicator {
         dst.clock().observe(start);
         self.history
             .record(dst.instance_id(), src.instance_id(), start);
+        let reg = m();
+        reg.passes.inc();
+        reg.notes_pushed
+            .add(report.added + report.updated + report.merged + report.conflicts);
+        reg.bytes_shipped.add(report.bytes_shipped);
+        reg.conflicts.add(report.conflicts);
+        reg.deletions.add(report.deletions);
+        reg.pass_candidates.record(report.candidates);
         Ok(report)
     }
 

@@ -36,13 +36,52 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Duration;
 
 use crate::disk::Disk;
 use crate::page::{PageBuf, PageId, PageType, PAGE_SIZE};
 use crate::pool::{BufferPool, Frame};
+use domino_obs as obs;
 use domino_types::{DominoError, Result};
 use domino_wal::{recover, LogManager, LogRecord, LogStore, Lsn, RecoveryStats, RedoTarget, TxId};
+
+/// Registry handles for the engine's process-wide telemetry. Per-instance
+/// [`EngineStats`] stay exact for tests; these mirror every event into the
+/// `show statistics` surface. Cached once — hot paths reach them with one
+/// atomic load and record with relaxed atomics only.
+struct Metrics {
+    pool_hits: &'static obs::Counter,
+    pool_misses: &'static obs::Counter,
+    evictions: &'static obs::Counter,
+    page_reads: &'static obs::Counter,
+    page_writes: &'static obs::Counter,
+    pages_allocated: &'static obs::Counter,
+    pages_freed: &'static obs::Counter,
+    commits: &'static obs::Counter,
+    aborts: &'static obs::Counter,
+    checkpoints: &'static obs::Counter,
+    checkpoint_pages: &'static obs::Counter,
+    commit_nanos: &'static obs::Histogram,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        pool_hits: obs::counter("Database.Pool.Hits"),
+        pool_misses: obs::counter("Database.Pool.Misses"),
+        evictions: obs::counter("Database.Pool.Evictions"),
+        page_reads: obs::counter("Database.Pages.Reads"),
+        page_writes: obs::counter("Database.Pages.Writes"),
+        pages_allocated: obs::counter("Database.Pages.Allocated"),
+        pages_freed: obs::counter("Database.Pages.Freed"),
+        commits: obs::counter("Database.Txn.Commits"),
+        aborts: obs::counter("Database.Txn.Aborts"),
+        checkpoints: obs::counter("Database.Checkpoint.Completed"),
+        checkpoint_pages: obs::counter("Database.Checkpoint.PagesWritten"),
+        commit_nanos: obs::histogram("Database.Txn.Commit.Nanos"),
+    })
+}
 
 /// The WAL type the engine uses (store chosen at runtime).
 pub type Wal = LogManager<Box<dyn LogStore>>;
@@ -250,9 +289,11 @@ impl Engine {
         } = self;
         if let Some(slot) = pool.lookup(id) {
             stats.pool_hits += 1;
+            m().pool_hits.inc();
             return Ok(pool.frame_mut(slot));
         }
         stats.pool_misses += 1;
+        m().pool_misses.inc();
         let slot = if pool.is_full() {
             let slot = pool.pick_victim();
             let f = pool.frame_mut(slot);
@@ -265,8 +306,10 @@ impl Engine {
                 dirty_table.remove(&f.page.id);
                 f.dirty = false;
                 stats.page_writes += 1;
+                m().page_writes.inc();
             }
             stats.evictions += 1;
+            m().evictions.inc();
             pool.rebind(slot, id);
             slot
         } else {
@@ -281,6 +324,7 @@ impl Engine {
     /// The preferred read path — `fetch` clones all 4 KiB.
     pub fn with_page<R>(&mut self, id: PageId, f: impl FnOnce(&PageBuf) -> R) -> Result<R> {
         self.stats.reads += 1;
+        m().page_reads.inc();
         let frame = self.frame(id)?;
         Ok(f(&frame.page))
     }
@@ -317,6 +361,7 @@ impl Engine {
                 disk.write_page(f.page.id, &f.page)?;
                 f.dirty = false;
                 stats.page_writes += 1;
+                m().page_writes.inc();
             }
         }
         dirty_table.clear();
@@ -421,12 +466,14 @@ impl Engine {
                 "commit of non-active tx".into(),
             ));
         }
+        let _commit_time = m().commit_nanos.time();
         if let Some(wal) = &self.wal {
             let lsn = wal.append(&LogRecord::Commit { tx: tx.id })?;
             self.force_commit_record(lsn)?;
         }
         self.active_tx = None;
         self.stats.txs_committed += 1;
+        m().commits.inc();
         Ok(())
     }
 
@@ -470,6 +517,7 @@ impl Engine {
         }
         self.active_tx = None;
         self.stats.txs_aborted += 1;
+        m().aborts.inc();
         Ok(())
     }
 
@@ -512,6 +560,7 @@ impl Engine {
             };
             if self.write_back(page)? {
                 self.stats.checkpoint_pages += 1;
+                m().checkpoint_pages.inc();
                 done += 1;
             }
         }
@@ -553,6 +602,7 @@ impl Engine {
         f.dirty = false;
         dirty_table.remove(&page);
         stats.page_writes += 1;
+        m().page_writes.inc();
         Ok(true)
     }
 
@@ -574,6 +624,7 @@ impl Engine {
         while self.checkpoint_step(64)? {}
         self.ckpt_queue = None;
         self.stats.checkpoints += 1;
+        m().checkpoints.inc();
         let Some(wal) = &self.wal else { return Ok(()) };
         // Pages dirtied since begin_checkpoint ride along fuzzily: their
         // recovery LSNs bound where redo must start.
@@ -644,6 +695,7 @@ impl Engine {
         self.write(tx, id, 8, &[ptype.code(), 0])?;
         self.write(tx, id, 10, &0u32.to_le_bytes())?;
         self.stats.pages_allocated += 1;
+        m().pages_allocated.inc();
         Ok(id)
     }
 
@@ -659,6 +711,7 @@ impl Engine {
         self.write(tx, id, 10, &old_head.to_le_bytes())?;
         self.write(tx, 0, OFF_FREE_HEAD as u16, &id.to_le_bytes())?;
         self.stats.pages_freed += 1;
+        m().pages_freed.inc();
         Ok(())
     }
 

@@ -36,12 +36,49 @@
 //! calls; per-view hit/miss counts land in [`ViewStats`].
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use rayon::prelude::*;
 
 use domino_core::{ChangeEvent, Note};
 use domino_formula::{EvalEnv, Formula};
+use domino_obs as obs;
 use domino_types::{NoteClass, NoteId, Result, Timestamp, Unid, Value};
+
+/// Process-wide registry mirrors of [`ViewStats`] (which stays per-view
+/// and exact). The selection-cache counters here aggregate *view-side*
+/// lookups across every view in the process; `Formula.Cache.*` counts the
+/// cache's own process-wide traffic — both derive from the same
+/// `compile_cached` verdict, so the two surfaces correlate.
+struct Metrics {
+    rebuilds: &'static obs::Counter,
+    rebuild_millis: &'static obs::Histogram,
+    evaluated: &'static obs::Counter,
+    placed: &'static obs::Counter,
+    removed: &'static obs::Counter,
+    batches: &'static obs::Counter,
+    batch_events: &'static obs::Counter,
+    batch_size: &'static obs::Histogram,
+    cache_hits: &'static obs::Counter,
+    cache_misses: &'static obs::Counter,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        rebuilds: obs::counter("View.Rebuilds"),
+        rebuild_millis: obs::histogram("View.Rebuild.Millis"),
+        evaluated: obs::counter("View.Documents.Evaluated"),
+        placed: obs::counter("View.Entries.Placed"),
+        removed: obs::counter("View.Entries.Removed"),
+        batches: obs::counter("View.Batches"),
+        batch_events: obs::counter("View.Batch.Events"),
+        batch_size: obs::histogram("View.Batch.Size"),
+        cache_hits: obs::counter("View.SelectionCache.Hits"),
+        cache_misses: obs::counter("View.SelectionCache.Misses"),
+    })
+}
 
 use crate::collate::{encode_key, encode_prefix, prefix_upper_bound, SortDir};
 use crate::design::{Collation, ViewDesign};
@@ -154,10 +191,15 @@ impl ViewIndex {
 
     fn cached_selection(design: &ViewDesign, stats: &mut ViewStats) -> Result<Formula> {
         let (f, hit) = Formula::compile_cached(design.selection.source())?;
+        // Per-view and registry counters both derive from this one
+        // verdict: hits and misses are accounted at the same place, at
+        // the same granularity (one count per view-side lookup).
         if hit {
             stats.selection_cache_hits += 1;
+            m().cache_hits.inc();
         } else {
             stats.selection_cache_misses += 1;
+            m().cache_misses.inc();
         }
         Ok(f)
     }
@@ -214,6 +256,10 @@ impl ViewIndex {
         self.stats.batches += 1;
         self.stats.batch_events += events.len() as u64;
         self.stats.max_batch = self.stats.max_batch.max(events.len() as u64);
+        m().batches.inc();
+        m().batch_events.add(events.len() as u64);
+        m().batch_size.record(events.len() as u64);
+        let _span = obs::span!("View.ApplyBatch");
         if events.is_empty() {
             return Ok(());
         }
@@ -278,8 +324,11 @@ impl ViewIndex {
         docs: impl IntoIterator<Item = &'a Note>,
         src: &dyn NoteSource,
     ) -> Result<()> {
+        let started = Instant::now();
+        let _span = obs::span!("View.Rebuild");
         self.clear_state();
         self.stats.rebuilds += 1;
+        m().rebuilds.inc();
         self.refresh_selection()?;
         let mut mains: Vec<&Note> = Vec::new();
         let mut responses: Vec<&Note> = Vec::new();
@@ -336,13 +385,15 @@ impl ViewIndex {
         // sort + linear build instead of n log n tree inserts).
         let mut per_coll: Vec<Vec<(Vec<u8>, Unid)>> =
             self.orders.iter().map(|_| Vec::new()).collect();
+        let mut evaluated = 0u64;
+        let mut placed = 0u64;
         for ev in evals? {
             match ev {
                 MainEval::Skip => {}
-                MainEval::Evaluated => self.stats.evaluated += 1,
+                MainEval::Evaluated => evaluated += 1,
                 MainEval::Placed(entry, keys) => {
-                    self.stats.evaluated += 1;
-                    self.stats.placed += 1;
+                    evaluated += 1;
+                    placed += 1;
                     for (ci, k) in keys.iter().enumerate() {
                         per_coll[ci].push((k.clone(), entry.unid));
                     }
@@ -351,12 +402,18 @@ impl ViewIndex {
                 }
             }
         }
+        self.stats.evaluated += evaluated;
+        self.stats.placed += placed;
+        m().evaluated.add(evaluated);
+        m().placed.add(placed);
         for (ci, mut pairs) in per_coll.into_iter().enumerate() {
             pairs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
             self.orders[ci] = BTreeMap::from_iter(pairs);
         }
 
-        self.place_responses(responses, src)
+        let result = self.place_responses(responses, src);
+        m().rebuild_millis.record_millis(started.elapsed());
+        result
     }
 
     /// Single-threaded rebuild, kept as the reference implementation: the
@@ -368,8 +425,11 @@ impl ViewIndex {
         docs: impl IntoIterator<Item = &'a Note>,
         src: &dyn NoteSource,
     ) -> Result<()> {
+        let started = Instant::now();
+        let _span = obs::span!("View.RebuildSequential");
         self.clear_state();
         self.stats.rebuilds += 1;
+        m().rebuilds.inc();
         self.refresh_selection()?;
         // Mains first, then responses shallow-to-deep so parents exist when
         // children key themselves.
@@ -381,7 +441,9 @@ impl ViewIndex {
                 pending.push(n);
             }
         }
-        self.place_responses(pending, src)
+        let result = self.place_responses(pending, src);
+        m().rebuild_millis.record_millis(started.elapsed());
+        result
     }
 
     fn clear_state(&mut self) {
@@ -449,6 +511,7 @@ impl ViewIndex {
             return Ok(());
         }
         self.stats.evaluated += 1;
+        m().evaluated.inc();
         let (selected, precomputed) = match pre {
             Some(p) => (p.selected, p.values),
             None => (self.selection.eval_full(note, &self.env)?.selected, None),
@@ -514,6 +577,7 @@ impl ViewIndex {
         self.keys.insert(unid, keys);
         self.entries.insert(unid, entry);
         self.stats.placed += 1;
+        m().placed.inc();
     }
 
     fn compute_keys(&self, entry: &ViewEntry) -> Vec<Vec<u8>> {
@@ -576,6 +640,7 @@ impl ViewIndex {
             // excluded alongside it. Stale links to deleted documents are
             // harmless (re-evaluation finds no note and drops them).
             self.stats.removed += 1;
+            m().removed.inc();
         }
     }
 

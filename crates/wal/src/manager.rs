@@ -15,12 +15,41 @@
 //! many commits. [`LogStats`] exposes a group-size histogram so E2 can
 //! measure the batching.
 
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 use crate::record::{LogRecord, Lsn};
 use crate::store::LogStore;
+use domino_obs as obs;
 use domino_types::{DominoError, Result};
+
+/// Process-wide registry mirrors of [`LogStats`] (which stays per-manager
+/// and exact). `Log.GroupCommit.GroupSize` is a histogram: its mean is the
+/// flushes-per-commit figure E2 tracks, its P99 the worst batching.
+struct Metrics {
+    records: &'static obs::Counter,
+    bytes: &'static obs::Counter,
+    flushes: &'static obs::Counter,
+    noop_flushes: &'static obs::Counter,
+    group_committers: &'static obs::Counter,
+    group_flushes: &'static obs::Counter,
+    group_size: &'static obs::Histogram,
+    flush_nanos: &'static obs::Histogram,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        records: obs::counter("Log.Records"),
+        bytes: obs::counter("Log.BytesAppended"),
+        flushes: obs::counter("Log.Flushes"),
+        noop_flushes: obs::counter("Log.NoopFlushes"),
+        group_committers: obs::counter("Log.GroupCommit.Committers"),
+        group_flushes: obs::counter("Log.GroupCommit.Flushes"),
+        group_size: obs::histogram("Log.GroupCommit.GroupSize"),
+        flush_nanos: obs::histogram("Log.Flush.Nanos"),
+    })
+}
 
 /// Upper bound on how long a group-commit follower parks per wait; purely
 /// a lost-wakeup backstop (the leader always notifies on completion).
@@ -65,6 +94,8 @@ impl LogStats {
         self.group_size_hist[bucket] += 1;
         self.group_flushes += 1;
         self.max_group_size = self.max_group_size.max(size);
+        m().group_flushes.inc();
+        m().group_size.record(size);
     }
 }
 
@@ -136,6 +167,8 @@ impl<S: LogStore> LogManager<S> {
         g.record_ends.push(end);
         g.stats.records += 1;
         g.stats.bytes += bytes.len() as u64;
+        m().records.inc();
+        m().bytes.add(bytes.len() as u64);
         Ok(lsn)
     }
 
@@ -163,12 +196,14 @@ impl<S: LogStore> LogManager<S> {
         g.record_ends.drain(..keep);
         drop(g);
 
+        let io_timer = m().flush_nanos.time();
         let io = (|| {
             if !chunk.is_empty() {
                 self.store.append(&chunk)?;
             }
             self.store.sync()
         })();
+        drop(io_timer);
 
         let mut g = self.lock();
         g.leader_active = false;
@@ -176,6 +211,7 @@ impl<S: LogStore> LogManager<S> {
             Ok(()) => {
                 g.flushed_lsn = g.flushed_lsn.max(target);
                 g.stats.flushes += 1;
+                m().flushes.inc();
                 self.flushed.notify_all();
                 Ok(g)
             }
@@ -213,6 +249,7 @@ impl<S: LogStore> LogManager<S> {
         loop {
             if g.flushed_lsn > upto {
                 g.stats.noop_flushes += 1;
+                m().noop_flushes.inc();
                 return Ok(());
             }
             if !g.leader_active {
@@ -252,8 +289,10 @@ impl<S: LogStore> LogManager<S> {
     pub fn commit_group(&self, upto: Lsn, max_wait: Duration, max_batch: usize) -> Result<()> {
         let mut g = self.lock();
         g.stats.group_committers += 1;
+        m().group_committers.inc();
         if g.flushed_lsn > upto {
             g.stats.noop_flushes += 1;
+            m().noop_flushes.inc();
             return Ok(());
         }
         g.group_waiters += 1;

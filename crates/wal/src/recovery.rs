@@ -206,6 +206,14 @@ pub fn recover<S: LogStore>(
     }
 
     log.flush_all()?;
+
+    // Mirror the restart cost into the process-wide registry so a
+    // `show statistics` after a crash shows what recovery replayed.
+    domino_obs::counter("Recovery.Runs").inc();
+    domino_obs::counter("Recovery.RecordsAnalyzed").add(stats.analyzed);
+    domino_obs::counter("Recovery.UpdatesRedone").add(stats.redone);
+    domino_obs::counter("Recovery.UpdatesUndone").add(stats.undone);
+    domino_obs::counter("Recovery.LoserTxns").add(stats.loser_txs);
     Ok(stats)
 }
 

@@ -45,6 +45,7 @@ pub use domino_core as core;
 pub use domino_formula as formula;
 pub use domino_ftindex as ftindex;
 pub use domino_net as net;
+pub use domino_obs as obs;
 pub use domino_replica as replica;
 pub use domino_security as security;
 pub use domino_storage as storage;
