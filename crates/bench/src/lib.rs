@@ -53,6 +53,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Experiment> {
         ("e11", experiments::e11_security::run),
         ("e12", experiments::e12_cluster::run),
         ("e13", experiments::e13_mail::run),
+        ("e14", experiments::e14_loss_convergence::run),
         ("a1", experiments::a1_buffer_pool::run),
         ("a2", experiments::a2_lineage::run),
         ("a3", experiments::a3_checkpoint::run),

@@ -46,19 +46,26 @@ fn mail_file(user: &str) -> String {
 /// A registered mail user.
 #[derive(Debug, Clone)]
 pub struct MailUser {
+    /// Short name the router addresses messages by.
     pub name: String,
+    /// Index of the server holding this user's mail file.
     pub home_server: usize,
 }
 
 /// Router statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MailStats {
+    /// Messages accepted into an originating mail.box.
     pub sent: u64,
+    /// Hop-by-hop forwards between mail.boxes.
     pub forwarded: u64,
+    /// Messages placed in a recipient's mail file.
     pub delivered: u64,
+    /// Messages discarded as unroutable.
     pub dead_lettered: u64,
     /// Sum of delivery latencies in ticks (divide by delivered for mean).
     pub total_latency: u64,
+    /// Slowest single delivery in ticks.
     pub max_latency: u64,
 }
 
@@ -96,6 +103,7 @@ impl MailRouter {
         })
     }
 
+    /// Cumulative router statistics.
     pub fn stats(&self) -> MailStats {
         self.stats
     }
@@ -179,6 +187,11 @@ impl MailRouter {
                         // The next hop is partitioned off: the message
                         // waits in mail.box and retries next pass (Domino
                         // holds undeliverable mail the same way).
+                        continue;
+                    }
+                    if !net.mail_hop_ready(server, next) {
+                        // Outage at either end or the message was dropped
+                        // in flight: same hold-and-retry treatment.
                         continue;
                     }
                     self.forward(net, server, next, memo, now)?;
@@ -310,6 +323,7 @@ mod tests {
             LinkSpec {
                 latency: 2,
                 bytes_per_tick: 0,
+                ..LinkSpec::default()
             },
             LogicalClock::new(),
         )

@@ -10,23 +10,59 @@
 //! This is the substitution for a real multi-server Domino deployment
 //! (DESIGN.md §2): topology, scheduling, message counts, and byte volumes
 //! are faithfully modelled; wire protocol framing is not.
+//!
+//! Links need not be reliable: a [`LinkSpec`] can declare a per-message
+//! drop rate and a flap rate, servers can have scheduled
+//! [`Outage`] windows, and a [`RetryPolicy`] tells the
+//! scheduler how hard to lean on a flaky link. All fault decisions come
+//! from one seeded [`FaultClock`], so a faulty run is
+//! exactly as reproducible as a clean one.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use domino_core::{Database, DbConfig};
-use domino_replica::{ReplicationOptions, ReplicationReport, Replicator};
+use domino_obs as obs;
+use domino_replica::{ReplicationOptions, ReplicationReport, Replicator, RetryPolicy, Transport};
 use domino_types::{Clock, DominoError, LogicalClock, ReplicaId, Result};
 
+use crate::fault::{FaultClock, LinkFaults, Outage};
 use crate::topology::{all_pairs_next_hop, Topology};
 
-/// A link's physical characteristics.
+/// Registry handles for network fault telemetry.
+struct Metrics {
+    dropped: &'static obs::Counter,
+    flaps: &'static obs::Counter,
+    outages: &'static obs::Counter,
+    aborted: &'static obs::Counter,
+    mail_drops: &'static obs::Counter,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        dropped: obs::counter("Net.Faults.Dropped"),
+        flaps: obs::counter("Net.Faults.Flaps"),
+        outages: obs::counter("Net.Faults.Outages"),
+        aborted: obs::counter("Net.Faults.AbortedPasses"),
+        mail_drops: obs::counter("Net.Faults.MailDrops"),
+    })
+}
+
+/// A link's physical characteristics — including how unreliable it is.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkSpec {
     /// Fixed per-transfer latency in ticks.
     pub latency: u64,
     /// Bytes transferred per tick (0 = infinite).
     pub bytes_per_tick: u64,
+    /// Probability each replication message (candidate batch) or mail hop
+    /// is lost in flight (0.0 = perfectly reliable).
+    pub drop_rate: f64,
+    /// Probability a scheduled replication pass finds the link flapped
+    /// down for its whole slot (transient carrier loss; the pass retries
+    /// at its next slot).
+    pub flap_rate: f64,
 }
 
 impl Default for LinkSpec {
@@ -34,6 +70,8 @@ impl Default for LinkSpec {
         LinkSpec {
             latency: 1,
             bytes_per_tick: 0,
+            drop_rate: 0.0,
+            flap_rate: 0.0,
         }
     }
 }
@@ -48,28 +86,69 @@ impl LinkSpec {
         };
         self.latency + bw
     }
+
+    /// This spec with a per-message drop rate (builder-style, for tests
+    /// and experiments).
+    pub fn with_drop_rate(mut self, p: f64) -> LinkSpec {
+        self.drop_rate = p;
+        self
+    }
+
+    /// This spec with a per-pass flap rate.
+    pub fn with_flap_rate(mut self, p: f64) -> LinkSpec {
+        self.flap_rate = p;
+        self
+    }
+}
+
+/// The simulator's [`Transport`]: drops each message with the link's
+/// `drop_rate`, drawing from the network's shared [`FaultClock`].
+struct SimTransport {
+    rng: FaultClock,
+    drop_rate: f64,
+    dropped: u64,
+}
+
+impl Transport for SimTransport {
+    fn deliver(&mut self, notes: u64) -> Result<()> {
+        if self.rng.chance(self.drop_rate) {
+            self.dropped += 1;
+            return Err(DominoError::Unavailable(format!(
+                "message carrying {notes} note(s) lost in flight"
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Per-link accounting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkTraffic {
+    /// Completed transfers (replication passes that shipped bytes, plus
+    /// mail hops).
     pub transfers: u64,
+    /// Total bytes shipped.
     pub bytes: u64,
+    /// Ticks the link was busy (latency + bandwidth-limited transfer time).
     pub busy_ticks: u64,
 }
 
 /// One simulated server.
 pub struct Server {
+    /// Display name (`server0`, `server1`, ...).
     pub name: String,
+    /// Seed for this server's per-database instance ids.
     pub instance_seed: ReplicaId,
     databases: HashMap<String, Arc<Database>>,
 }
 
 impl Server {
+    /// The replica of `name` hosted here, if any.
     pub fn database(&self, name: &str) -> Option<&Arc<Database>> {
         self.databases.get(name)
     }
 
+    /// Names of all databases hosted here, sorted.
     pub fn database_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.databases.keys().cloned().collect();
         v.sort();
@@ -108,6 +187,18 @@ pub struct Network {
     /// Links currently considered down (partition testing).
     down: Vec<(usize, usize)>,
     next_replica_lineage: u64,
+    /// The shared deterministic fault stream.
+    fault_rng: FaultClock,
+    /// Scheduled per-server outage windows.
+    outages: Vec<Outage>,
+    /// How hard replication passes lean on flaky links.
+    retry: RetryPolicy,
+    /// Per-link fault accounting.
+    faults: HashMap<(usize, usize), LinkFaults>,
+    /// Persistent replicators for ad-hoc (unscheduled) passes, so their
+    /// resume cursors survive interrupted rounds. Keyed by link + db;
+    /// full-compare semantics (no history) are preserved.
+    adhoc: HashMap<(usize, usize, String), Replicator>,
 }
 
 impl Network {
@@ -133,29 +224,40 @@ impl Network {
             traffic: HashMap::new(),
             down: Vec::new(),
             next_replica_lineage: 0xD0_0000,
+            fault_rng: FaultClock::default(),
+            outages: Vec::new(),
+            retry: RetryPolicy::none(),
+            faults: HashMap::new(),
+            adhoc: HashMap::new(),
         }
     }
 
+    /// Number of servers.
     pub fn len(&self) -> usize {
         self.servers.len()
     }
 
+    /// True when the network has no servers.
     pub fn is_empty(&self) -> bool {
         self.servers.is_empty()
     }
 
+    /// The shared simulated clock.
     pub fn clock(&self) -> &LogicalClock {
         &self.clock
     }
 
+    /// Current simulated time in ticks.
     pub fn now(&self) -> u64 {
         self.clock.peek().0
     }
 
+    /// The wiring diagram.
     pub fn topology(&self) -> Topology {
         self.topology
     }
 
+    /// Server `i` (panics out of range).
     pub fn server(&self, i: usize) -> &Server {
         &self.servers[i]
     }
@@ -199,6 +301,7 @@ impl Network {
         Ok(db)
     }
 
+    /// The replica of `name` on `server` (NotFound if absent).
     pub fn db(&self, server: usize, name: &str) -> Result<Arc<Database>> {
         self.servers[server]
             .databases
@@ -300,6 +403,126 @@ impl Network {
     }
 
     // ------------------------------------------------------------------
+    // faults
+    // ------------------------------------------------------------------
+
+    /// Reseed the deterministic fault stream (call before injecting any
+    /// fault to make a run reproducible from the seed alone).
+    pub fn set_fault_seed(&mut self, seed: u64) {
+        self.fault_rng = FaultClock::seeded(seed);
+    }
+
+    /// The retry policy scheduled replication passes use on flaky links.
+    /// Defaults to [`RetryPolicy::none`] — the pre-fault behaviour.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replace the spec of one link (e.g. to make just the WAN hop lossy).
+    pub fn set_link_spec(&mut self, a: usize, b: usize, spec: LinkSpec) {
+        self.link_specs.insert((a.min(b), a.max(b)), spec);
+    }
+
+    /// Replace every link's spec (e.g. a uniform drop rate for E14).
+    pub fn set_all_link_specs(&mut self, spec: LinkSpec) {
+        for l in &self.links {
+            self.link_specs.insert(*l, spec);
+        }
+    }
+
+    /// The spec of a link (default when the pair is not a topology link).
+    pub fn link_spec(&self, a: usize, b: usize) -> LinkSpec {
+        self.link_specs
+            .get(&(a.min(b), a.max(b)))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Schedule a server outage window: the server neither replicates nor
+    /// routes mail while `from <= now < until`.
+    pub fn schedule_outage(&mut self, server: usize, from: u64, until: u64) {
+        self.outages.push(Outage {
+            server,
+            from,
+            until,
+        });
+    }
+
+    /// Is `server` outside every scheduled outage window at `now`?
+    pub fn server_available(&self, server: usize, now: u64) -> bool {
+        !self
+            .outages
+            .iter()
+            .any(|o| o.server == server && o.active_at(now))
+    }
+
+    /// Fault counters for one link.
+    pub fn link_faults(&self, a: usize, b: usize) -> LinkFaults {
+        self.faults
+            .get(&(a.min(b), a.max(b)))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Fault counters summed over all links.
+    pub fn total_faults(&self) -> LinkFaults {
+        let mut sum = LinkFaults::default();
+        for f in self.faults.values() {
+            sum.merge_from(f);
+        }
+        sum
+    }
+
+    /// Sample whether a mail hop from `a` to `b` goes through right now:
+    /// false when either end is in an outage window or the message is
+    /// dropped by the link's `drop_rate` (the router keeps the message
+    /// queued and retries next pass either way).
+    pub fn mail_hop_ready(&mut self, a: usize, b: usize) -> bool {
+        let now = self.now();
+        if !self.server_available(a, now) || !self.server_available(b, now) {
+            self.faults.entry((a.min(b), a.max(b))).or_default().outages += 1;
+            m().outages.inc();
+            return false;
+        }
+        let spec = self.link_spec(a, b);
+        if spec.drop_rate > 0.0 && self.fault_rng.chance(spec.drop_rate) {
+            self.faults.entry((a.min(b), a.max(b))).or_default().dropped += 1;
+            m().mail_drops.inc();
+            return false;
+        }
+        true
+    }
+
+    /// Is a replication pass over `(a, b)` able to start right now?
+    /// Skipped passes (partition, outage, flap) are not errors: the
+    /// schedule simply fires again at its next slot. Outages and flaps are
+    /// accounted in [`link_faults`](Network::link_faults).
+    fn pass_can_start(&mut self, a: usize, b: usize) -> bool {
+        if !self.link_up(a, b) {
+            return false;
+        }
+        let key = (a.min(b), a.max(b));
+        let now = self.now();
+        if !self.server_available(a, now) || !self.server_available(b, now) {
+            self.faults.entry(key).or_default().outages += 1;
+            m().outages.inc();
+            return false;
+        }
+        let spec = self.link_spec(a, b);
+        if spec.flap_rate > 0.0 && self.fault_rng.chance(spec.flap_rate) {
+            self.faults.entry(key).or_default().flaps += 1;
+            m().flaps.inc();
+            return false;
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
     // time
     // ------------------------------------------------------------------
 
@@ -355,13 +578,28 @@ impl Network {
                     self.clock.advance(next_at - now);
                 }
                 self.schedules[i].next_at += self.schedules[i].interval;
-                if !self.link_up(a, b) {
+                if !self.pass_can_start(a, b) {
                     continue;
                 }
                 let (Ok(da), Ok(db_)) = (self.db(a, &db_name), self.db(b, &db_name)) else {
                     continue;
                 };
-                let (into_a, into_b) = self.schedules[i].replicator.sync(&da, &db_)?;
+                let mut transport = SimTransport {
+                    rng: self.fault_rng.clone(),
+                    drop_rate: self.link_spec(a, b).drop_rate,
+                    dropped: 0,
+                };
+                let policy = self.retry;
+                let result = self.schedules[i].replicator.sync_with_retry(
+                    &da,
+                    &db_,
+                    &mut transport,
+                    &policy,
+                );
+                let Some((into_a, into_b)) = self.settle_pass(a, b, transport.dropped, result)?
+                else {
+                    continue;
+                };
                 self.account(a, b, &into_a);
                 self.account(a, b, &into_b);
                 // Incoming changes fire OnUpdate agents on the receiver.
@@ -384,26 +622,51 @@ impl Network {
 
     /// Run one immediate replication pass over every link for `db`
     /// (ignores schedules). Returns per-pass reports.
+    ///
+    /// On a faulty link a pass may be skipped (flap, outage) or abandoned
+    /// with the retry policy exhausted — the ad-hoc replicator's resume
+    /// cursor survives, so the next round continues where this one
+    /// stopped instead of restarting.
     pub fn replicate_all_links(&mut self, db: &str) -> Result<Vec<ReplicationReport>> {
         let links = self.links.clone();
         let mut out = Vec::new();
         for (a, b) in links {
-            if !self.link_up(a, b) {
+            if !self.pass_can_start(a, b) {
                 continue;
             }
             // Use the scheduled replicator for this link when present so
-            // history accrues; otherwise a fresh full-compare.
+            // history accrues; otherwise a persistent full-compare
+            // replicator (no history, but its cursor survives faults).
             let idx = self
                 .schedules
                 .iter()
                 .position(|s| s.a == a && s.b == b && s.db == db);
             let (da, db_) = (self.db(a, db)?, self.db(b, db)?);
-            let (ra, rb) = match idx {
-                Some(i) => self.schedules[i].replicator.sync(&da, &db_)?,
-                None => {
-                    let mut r = Replicator::new(ReplicationOptions::default());
-                    r.sync(&da, &db_)?
+            let mut transport = SimTransport {
+                rng: self.fault_rng.clone(),
+                drop_rate: self.link_spec(a, b).drop_rate,
+                dropped: 0,
+            };
+            let policy = self.retry;
+            let result = match idx {
+                Some(i) => {
+                    self.schedules[i]
+                        .replicator
+                        .sync_with_retry(&da, &db_, &mut transport, &policy)
                 }
+                None => self
+                    .adhoc
+                    .entry((a, b, db.to_string()))
+                    .or_insert_with(|| {
+                        Replicator::new(ReplicationOptions {
+                            use_history: false,
+                            ..ReplicationOptions::default()
+                        })
+                    })
+                    .sync_with_retry(&da, &db_, &mut transport, &policy),
+            };
+            let Some((ra, rb)) = self.settle_pass(a, b, transport.dropped, result)? else {
+                continue;
             };
             self.account(a, b, &ra);
             self.account(a, b, &rb);
@@ -411,6 +674,37 @@ impl Network {
             out.push(rb);
         }
         Ok(out)
+    }
+
+    /// Shared epilogue for a possibly-faulty replication pass: account the
+    /// transport's drops, swallow a transient failure (the cursor is
+    /// parked; the pass resumes at its next slot), surface real errors.
+    #[allow(clippy::type_complexity)]
+    fn settle_pass(
+        &mut self,
+        a: usize,
+        b: usize,
+        dropped: u64,
+        result: Result<(
+            ReplicationReport,
+            ReplicationReport,
+            domino_replica::RetryStats,
+        )>,
+    ) -> Result<Option<(ReplicationReport, ReplicationReport)>> {
+        let key = (a.min(b), a.max(b));
+        if dropped > 0 {
+            self.faults.entry(key).or_default().dropped += dropped;
+            m().dropped.add(dropped);
+        }
+        match result {
+            Ok((ra, rb, _stats)) => Ok(Some((ra, rb))),
+            Err(e) if e.is_transient() => {
+                self.faults.entry(key).or_default().aborted_passes += 1;
+                m().aborted.inc();
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     fn account(&mut self, a: usize, b: usize, report: &ReplicationReport) {
@@ -447,6 +741,7 @@ impl Network {
         sum
     }
 
+    /// Traffic counters for one link.
     pub fn link_traffic(&self, a: usize, b: usize) -> LinkTraffic {
         self.traffic
             .get(&(a.min(b), a.max(b)))
@@ -528,11 +823,13 @@ mod tests {
         let inf = LinkSpec {
             latency: 3,
             bytes_per_tick: 0,
+            ..LinkSpec::default()
         };
         assert_eq!(inf.transfer_ticks(1_000_000), 3, "0 = infinite bandwidth");
         let slow = LinkSpec {
             latency: 2,
             bytes_per_tick: 100,
+            ..LinkSpec::default()
         };
         assert_eq!(slow.transfer_ticks(0), 2);
         assert_eq!(slow.transfer_ticks(1), 3);
@@ -636,6 +933,7 @@ mod tests {
             LinkSpec {
                 latency: 5,
                 bytes_per_tick: 10,
+                ..LinkSpec::default()
             },
             LogicalClock::new(),
         );
@@ -711,6 +1009,97 @@ mod tests {
             Some("yes"),
             "agent fired on arrival, no schedule needed"
         );
+    }
+
+    #[test]
+    fn lossy_link_converges_with_retry_but_not_without() {
+        use domino_replica::RetryPolicy;
+        let seed = 0xE14;
+        let drop = 0.30;
+        let budget = 2; // replication rounds each side gets
+
+        let run = |policy: RetryPolicy| {
+            let mut net = Network::new(
+                2,
+                Topology::Mesh,
+                LinkSpec::default().with_drop_rate(drop),
+                LogicalClock::new(),
+            );
+            net.set_fault_seed(seed);
+            net.set_retry_policy(policy);
+            net.create_replica_set("d").unwrap();
+            for i in 0..320 {
+                doc(&net.db(0, "d").unwrap(), &format!("memo {i}"));
+            }
+            for _ in 0..budget {
+                net.replicate_all_links("d").unwrap();
+            }
+            (net.converged("d").unwrap(), net.total_faults())
+        };
+
+        let (with_retry, faults) = run(RetryPolicy::standard());
+        assert!(with_retry, "retry rides out a 20% drop rate");
+        assert!(faults.dropped > 0, "faults really were injected");
+
+        let (without, faults) = run(RetryPolicy::none());
+        assert!(!without, "zero retry cannot finish within the same budget");
+        assert!(faults.aborted_passes > 0, "passes were abandoned");
+    }
+
+    #[test]
+    fn aborted_pass_resumes_instead_of_restarting() {
+        // Even with zero retry, the ad-hoc replicator's cursor survives
+        // the aborted pass: enough rounds always converge.
+        let mut net = Network::new(
+            2,
+            Topology::Mesh,
+            LinkSpec::default().with_drop_rate(0.5),
+            LogicalClock::new(),
+        );
+        net.set_fault_seed(99);
+        net.create_replica_set("d").unwrap();
+        for i in 0..80 {
+            doc(&net.db(0, "d").unwrap(), &format!("memo {i}"));
+        }
+        let rounds = net.run_until_converged("d", 200).unwrap();
+        assert!(rounds > 1, "a 50% drop rate forced resumption");
+        assert!(net.total_faults().dropped > 0);
+    }
+
+    #[test]
+    fn outage_window_blocks_scheduled_passes() {
+        let mut net = Network::new(2, Topology::Mesh, LinkSpec::default(), LogicalClock::new());
+        net.create_replica_set("d").unwrap();
+        net.schedule_replication("d", 100, ReplicationOptions::default());
+        net.schedule_outage(1, 0, 250);
+        doc(&net.db(0, "d").unwrap(), "patience");
+        // Passes at t=100 and t=200 hit the outage window.
+        net.step(220).unwrap();
+        assert!(!net.converged("d").unwrap());
+        assert_eq!(net.link_faults(0, 1).outages, 2);
+        // The pass at t=300 is past the window.
+        net.step(100).unwrap();
+        assert!(net.converged("d").unwrap());
+    }
+
+    #[test]
+    fn flapping_link_skips_passes_and_accounts_them() {
+        let mut net = Network::new(
+            2,
+            Topology::Mesh,
+            LinkSpec::default().with_flap_rate(1.0),
+            LogicalClock::new(),
+        );
+        net.create_replica_set("d").unwrap();
+        doc(&net.db(0, "d").unwrap(), "flappy");
+        net.replicate_all_links("d").unwrap();
+        net.replicate_all_links("d").unwrap();
+        assert!(!net.converged("d").unwrap(), "every pass flapped away");
+        assert_eq!(net.link_faults(0, 1).flaps, 2);
+        // Calm the link and the backlog drains.
+        net.set_all_link_specs(LinkSpec::default());
+        net.replicate_all_links("d").unwrap();
+        assert!(net.converged("d").unwrap());
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub enum Topology {
 }
 
 impl Topology {
+    /// Every topology, for experiments that sweep them.
     pub const ALL: [Topology; 4] = [
         Topology::HubSpoke,
         Topology::Ring,
@@ -27,6 +28,7 @@ impl Topology {
         Topology::Chain,
     ];
 
+    /// Stable lower-case label used in reports.
     pub fn name(self) -> &'static str {
         match self {
             Topology::HubSpoke => "hub-spoke",

@@ -9,7 +9,23 @@
 //! applies them to the other members immediately. Echo suppression is by
 //! version: an incoming note identical to the stored copy (same OID) is
 //! skipped, so propagation terminates.
+//!
+//! # The failover-window contract
+//!
+//! While a cluster is [paused](Cluster::pause) (a mate unreachable),
+//! events enter a **bounded catch-up queue** instead of being pushed, and
+//! [`Cluster::resume`] drains the queue in commit order — so a paused
+//! window shorter than the queue capacity loses *nothing*. Once the queue
+//! overflows, the oldest queued events are evicted and counted in
+//! [`ClusterStats::dropped_while_paused`]; from then on
+//! [`ClusterStats::lossy`] reports `true` and the cluster alone no longer
+//! guarantees convergence — a scheduled replication pass (the
+//! [`Replicator`](crate::Replicator)) must repair the gap, exactly as in
+//! Domino, where cluster replication is best-effort and the replicator is
+//! the backstop. Operators should treat `lossy() == true` after a failover
+//! as "run (or wait for) a scheduled pull before trusting this mate".
 
+use std::collections::VecDeque;
 use std::sync::{Arc, OnceLock, Weak};
 
 use parking_lot::Mutex;
@@ -23,6 +39,9 @@ struct Metrics {
     pushed: &'static obs::Counter,
     suppressed: &'static obs::Counter,
     dropped: &'static obs::Counter,
+    queued: &'static obs::Counter,
+    drained: &'static obs::Counter,
+    overflow: &'static obs::Counter,
 }
 
 fn m() -> &'static Metrics {
@@ -31,6 +50,9 @@ fn m() -> &'static Metrics {
         pushed: obs::counter("Cluster.Events.Pushed"),
         suppressed: obs::counter("Cluster.Events.Suppressed"),
         dropped: obs::counter("Cluster.Events.DroppedWhilePaused"),
+        queued: obs::counter("Cluster.CatchUp.Queued"),
+        drained: obs::counter("Cluster.CatchUp.Drained"),
+        overflow: obs::counter("Cluster.CatchUp.Overflow"),
     })
 }
 
@@ -41,13 +63,33 @@ pub struct ClusterStats {
     pub pushed: u64,
     /// Pushes skipped because the peer was already current (echoes).
     pub suppressed: u64,
-    /// Pushes dropped because the cluster was paused (failover window).
+    /// Events lost to catch-up queue overflow while paused. Nonzero means
+    /// the failover window exceeded the queue: see [`ClusterStats::lossy`].
     pub dropped_while_paused: u64,
+    /// Events parked in the catch-up queue while paused.
+    pub queued_while_paused: u64,
+    /// Queued events replayed to peers by [`Cluster::resume`].
+    pub drained: u64,
 }
+
+impl ClusterStats {
+    /// Has this cluster ever lost an event (catch-up queue overflow during
+    /// a pause)? When true, event push alone no longer guarantees the
+    /// mates converge — schedule a replication pass to repair before
+    /// trusting a failover member.
+    pub fn lossy(&self) -> bool {
+        self.dropped_while_paused > 0
+    }
+}
+
+/// Default bound on the catch-up queue (events held during a pause).
+pub const DEFAULT_CATCH_UP_CAPACITY: usize = 1024;
 
 struct ClusterInner {
     members: Vec<Weak<Database>>,
     paused: bool,
+    catch_up: VecDeque<(usize, ChangeEvent)>,
+    capacity: usize,
     stats: ClusterStats,
 }
 
@@ -57,8 +99,16 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Wire the members together. All must share a replica id.
+    /// Wire the members together with the default catch-up queue bound.
+    /// All members must share a replica id.
     pub fn join(members: &[Arc<Database>]) -> Result<Cluster> {
+        Cluster::join_with_capacity(members, DEFAULT_CATCH_UP_CAPACITY)
+    }
+
+    /// Wire the members together, holding at most `capacity` events in the
+    /// catch-up queue while paused (0 = queue nothing: every paused event
+    /// is dropped and the cluster turns lossy immediately).
+    pub fn join_with_capacity(members: &[Arc<Database>], capacity: usize) -> Result<Cluster> {
         if let Some(first) = members.first() {
             for m in members {
                 if m.replica_id() != first.replica_id() {
@@ -71,6 +121,8 @@ impl Cluster {
         let inner = Arc::new(Mutex::new(ClusterInner {
             members: members.iter().map(Arc::downgrade).collect(),
             paused: false,
+            catch_up: VecDeque::new(),
+            capacity,
             stats: ClusterStats::default(),
         }));
         for (i, member) in members.iter().enumerate() {
@@ -82,18 +134,40 @@ impl Cluster {
         Ok(Cluster { inner })
     }
 
-    /// Stop pushing (simulates a cluster mate going unreachable).
+    /// Stop pushing (simulates a cluster mate going unreachable). Events
+    /// made while paused queue up to the catch-up capacity.
     pub fn pause(&self) {
         self.inner.lock().paused = true;
     }
 
-    /// Resume pushing. Catch-up for changes made while paused is the
-    /// scheduled replicator's job, as in Domino (cluster replication is
-    /// best-effort; replication repairs).
-    pub fn resume(&self) {
-        self.inner.lock().paused = false;
+    /// Resume pushing and drain the catch-up queue in commit order.
+    /// Returns how many queued events were replayed. If the queue
+    /// overflowed during the pause ([`ClusterStats::lossy`]), the drained
+    /// tail is still applied but a scheduled replication pass is required
+    /// to repair the evicted head.
+    pub fn resume(&self) -> u64 {
+        let backlog: Vec<(usize, ChangeEvent)> = {
+            let mut g = self.inner.lock();
+            g.paused = false;
+            g.catch_up.drain(..).collect()
+        };
+        let n = backlog.len() as u64;
+        for (origin, event) in backlog {
+            push_to_peers(&self.inner, origin, &event);
+        }
+        if n > 0 {
+            self.inner.lock().stats.drained += n;
+            m().drained.add(n);
+        }
+        n
     }
 
+    /// Events currently parked in the catch-up queue.
+    pub fn backlog(&self) -> usize {
+        self.inner.lock().catch_up.len()
+    }
+
+    /// A snapshot of this cluster's counters.
     pub fn stats(&self) -> ClusterStats {
         self.inner.lock().stats
     }
@@ -101,15 +175,31 @@ impl Cluster {
 
 fn push_to_peers(inner: &Arc<Mutex<ClusterInner>>, origin: usize, event: &ChangeEvent) {
     // Snapshot under lock; apply outside so nested events can re-enter.
-    let (targets, paused) = {
-        let g = inner.lock();
-        (g.members.clone(), g.paused)
+    let targets = {
+        let mut g = inner.lock();
+        if g.paused {
+            // Unreachable mate: park the event for catch-up instead of
+            // losing it. A full queue evicts the oldest event (the tail
+            // is the freshest state) and the cluster becomes lossy.
+            if g.capacity == 0 {
+                g.stats.dropped_while_paused += 1;
+                m().dropped.inc();
+                m().overflow.inc();
+                return;
+            }
+            if g.catch_up.len() >= g.capacity {
+                g.catch_up.pop_front();
+                g.stats.dropped_while_paused += 1;
+                m().dropped.inc();
+                m().overflow.inc();
+            }
+            g.catch_up.push_back((origin, event.clone()));
+            g.stats.queued_while_paused += 1;
+            m().queued.inc();
+            return;
+        }
+        g.members.clone()
     };
-    if paused {
-        inner.lock().stats.dropped_while_paused += 1;
-        m().dropped.inc();
-        return;
-    }
     for (i, peer) in targets.iter().enumerate() {
         if i == origin {
             continue;
@@ -162,6 +252,10 @@ mod tests {
     use domino_types::{LogicalClock, ReplicaId, Timestamp, Value};
 
     fn trio() -> (Vec<Arc<Database>>, Cluster) {
+        trio_with_capacity(DEFAULT_CATCH_UP_CAPACITY)
+    }
+
+    fn trio_with_capacity(cap: usize) -> (Vec<Arc<Database>>, Cluster) {
         let members: Vec<Arc<Database>> = (0..3)
             .map(|i| {
                 Arc::new(
@@ -173,7 +267,7 @@ mod tests {
                 )
             })
             .collect();
-        let cluster = Cluster::join(&members).unwrap();
+        let cluster = Cluster::join_with_capacity(&members, cap).unwrap();
         (members, cluster)
     }
 
@@ -217,29 +311,73 @@ mod tests {
     }
 
     #[test]
-    fn pause_opens_a_staleness_window_resume_does_not_backfill() {
+    fn paused_events_queue_and_resume_drains_them() {
         let (members, cluster) = trio();
         let mut n = Note::document("Memo");
         members[0].save(&mut n).unwrap();
         cluster.pause();
-        n.set("Subject", Value::text("missed"));
+        n.set("Subject", Value::text("parked"));
         members[0].save(&mut n).unwrap();
-        cluster.resume();
-        // Peers still have the old version (cluster push is best-effort;
-        // scheduled replication repairs).
+        // While paused: peers are stale, the event is parked, not lost.
         let copy = members[1].open_by_unid(n.unid()).unwrap();
         assert!(copy.get_text("Subject").is_none());
-        assert!(cluster.stats().dropped_while_paused >= 1);
-        // Scheduled replication heals the gap.
-        let mut r = crate::Replicator::new(crate::ReplicationOptions::default());
-        r.sync(&members[0], &members[1]).unwrap();
+        assert_eq!(cluster.backlog(), 1);
+        assert!(!cluster.stats().lossy());
+        // Resume replays the backlog in order: no replication pass needed.
+        let drained = cluster.resume();
+        assert!(drained >= 1);
+        assert_eq!(cluster.backlog(), 0);
         assert_eq!(
             members[1]
                 .open_by_unid(n.unid())
                 .unwrap()
                 .get_text("Subject")
                 .unwrap(),
-            "missed"
+            "parked"
         );
+        let stats = cluster.stats();
+        assert_eq!(stats.queued_while_paused, 1);
+        assert_eq!(stats.drained, 1);
+        assert_eq!(stats.dropped_while_paused, 0);
+    }
+
+    #[test]
+    fn overflow_turns_lossy_and_scheduled_replication_repairs() {
+        let (members, cluster) = trio_with_capacity(2);
+        cluster.pause();
+        let mut notes = Vec::new();
+        for i in 0..5 {
+            let mut n = Note::document("Memo");
+            n.set("Subject", Value::text(format!("m{i}")));
+            members[0].save(&mut n).unwrap();
+            notes.push(n);
+        }
+        // Capacity 2: three oldest events evicted, flagged lossy.
+        assert_eq!(cluster.backlog(), 2);
+        assert!(cluster.stats().lossy());
+        assert_eq!(cluster.stats().dropped_while_paused, 3);
+        cluster.resume();
+        // The drained tail arrived...
+        assert!(members[1].open_by_unid(notes[4].unid()).is_ok());
+        // ...but the evicted head did not: the documented contract is that
+        // a scheduled replication pass repairs a lossy window.
+        assert!(members[1].open_by_unid(notes[0].unid()).is_err());
+        let mut r = crate::Replicator::new(crate::ReplicationOptions::default());
+        r.sync(&members[0], &members[1]).unwrap();
+        for n in &notes {
+            assert!(members[1].open_by_unid(n.unid()).is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything_while_paused() {
+        let (members, cluster) = trio_with_capacity(0);
+        cluster.pause();
+        let mut n = Note::document("Memo");
+        members[0].save(&mut n).unwrap();
+        assert_eq!(cluster.backlog(), 0);
+        assert!(cluster.stats().lossy());
+        assert_eq!(cluster.resume(), 0);
+        assert!(members[1].open_by_unid(n.unid()).is_err());
     }
 }

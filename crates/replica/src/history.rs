@@ -25,6 +25,7 @@ pub struct ReplicationHistory {
 }
 
 impl ReplicationHistory {
+    /// An empty history: every pair starts with a full compare.
     pub fn new() -> ReplicationHistory {
         ReplicationHistory::default()
     }

@@ -13,6 +13,44 @@
 //! [`cluster`] implements the R5 clustering variant: event-driven push
 //! replication that keeps failover replicas nearly current.
 //!
+//! Replication survives unreliable networks: passes stream candidates in
+//! bounded batches through a [`Transport`], an interrupted pull keeps a
+//! resumable cursor (the history cutoff never advances past what was
+//! durably applied), and [`Replicator::pull_with_retry`] rides out
+//! transient faults with bounded exponential backoff:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use domino_core::{Database, DbConfig, Note};
+//! use domino_replica::{
+//!     ReplicationOptions, Replicator, RetryPolicy, ScriptedTransport,
+//! };
+//! use domino_types::{LogicalClock, ReplicaId, Timestamp, Value};
+//!
+//! let office = Arc::new(Database::open_in_memory(
+//!     DbConfig::new("Disc", ReplicaId(7), ReplicaId(1)), LogicalClock::new()).unwrap());
+//! let laptop = Arc::new(Database::open_in_memory(
+//!     DbConfig::new("Disc", ReplicaId(7), ReplicaId(2)),
+//!     LogicalClock::starting_at(Timestamp(500))).unwrap());
+//! for i in 0..10 {
+//!     let mut memo = Note::document("Memo");
+//!     memo.set("Subject", Value::text(format!("memo {i}")));
+//!     office.save(&mut memo).unwrap();
+//! }
+//!
+//! // A dial-up link that loses the first two messages of the pass:
+//! let mut flaky = ScriptedTransport::failing_at(vec![0, 2]);
+//! let mut replicator = Replicator::new(ReplicationOptions { batch: 4, ..Default::default() });
+//! let (report, retries) = replicator
+//!     .pull_with_retry(&laptop, &office, &mut flaky, &RetryPolicy::standard())
+//!     .unwrap();
+//! assert_eq!(report.added, 10);          // everything arrived anyway
+//! assert_eq!(retries.attempts, 3);       // two interruptions, two resumes
+//! assert!(!replicator.has_pending());    // no cursor left behind
+//! ```
+//!
+//! A plain reliable sync stays one call:
+//!
 //! ```
 //! use std::sync::Arc;
 //! use domino_core::{Database, DbConfig, Note};
@@ -38,12 +76,20 @@
 //! );
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod cluster;
 pub mod conflict;
 pub mod history;
 pub mod replicator;
+pub mod transport;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, ClusterStats, DEFAULT_CATCH_UP_CAPACITY};
 pub use conflict::conflict_unid;
 pub use history::ReplicationHistory;
-pub use replicator::{replicate, PurgeSafety, ReplicationOptions, ReplicationReport, Replicator};
+pub use replicator::{
+    replicate, PullCursor, PurgeSafety, ReplicationOptions, ReplicationReport, Replicator,
+};
+pub use transport::{
+    splitmix64, CleanTransport, RetryPolicy, RetryStats, ScriptedTransport, Transport,
+};

@@ -16,16 +16,26 @@
 //! * a selective-replication formula restricts which documents travel,
 //! * bandwidth is accounted either whole-document (R3) or changed-fields
 //!   (R4), the comparison E5 measures.
+//!
+//! Passes are *resumable*: candidates stream in `(seq_time, unid)` order
+//! through a bounded batch cursor ([`PullCursor`]), one
+//! [`Transport`] message per batch. If the transport fails mid-pass the
+//! cursor survives with the position of the last durably applied
+//! candidate, and the history cutoff does **not** advance — a later
+//! attempt (or [`Replicator::pull_with_retry`]) resumes from the cursor
+//! instead of restarting, so progress over a flaky link is monotone.
 
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use domino_core::{same_revision, ChangedNote, Database, Note, ITEM_REVISIONS, MAX_REVISIONS};
 use domino_formula::{EvalEnv, Formula};
 use domino_obs as obs;
-use domino_types::{Clock, DominoError, Item, Result, Timestamp};
+use domino_types::{Clock, DominoError, Item, ReplicaId, Result, Timestamp};
 
 use crate::conflict::make_conflict_document;
 use crate::history::ReplicationHistory;
+use crate::transport::{CleanTransport, RetryPolicy, RetryStats, Transport};
 
 /// Registry handles for replication telemetry, recorded once per pull
 /// from the finished [`ReplicationReport`] (the pass itself accounts
@@ -37,6 +47,11 @@ struct Metrics {
     conflicts: &'static obs::Counter,
     deletions: &'static obs::Counter,
     pass_candidates: &'static obs::Histogram,
+    interrupted: &'static obs::Counter,
+    resumed: &'static obs::Counter,
+    retry_attempts: &'static obs::Counter,
+    retry_backoff_ticks: &'static obs::Counter,
+    retry_exhausted: &'static obs::Counter,
 }
 
 fn m() -> &'static Metrics {
@@ -48,6 +63,11 @@ fn m() -> &'static Metrics {
         conflicts: obs::counter("Replica.Conflicts"),
         deletions: obs::counter("Replica.Deletions"),
         pass_candidates: obs::histogram("Replica.Pass.Candidates"),
+        interrupted: obs::counter("Replica.Pass.Interrupted"),
+        resumed: obs::counter("Replica.Pass.Resumed"),
+        retry_attempts: obs::counter("Replica.Retry.Attempts"),
+        retry_backoff_ticks: obs::counter("Replica.Retry.BackoffTicks"),
+        retry_exhausted: obs::counter("Replica.Retry.Exhausted"),
     })
 }
 
@@ -68,6 +88,10 @@ pub struct ReplicationOptions {
     pub truncate_bodies: bool,
     /// Use the incremental history cutoff (off = full compare).
     pub use_history: bool,
+    /// Candidates per transport message. Smaller batches lose less work
+    /// per dropped message but pay more round-trips; the cursor resumes
+    /// at batch (in fact candidate) granularity either way.
+    pub batch: usize,
 }
 
 impl Default for ReplicationOptions {
@@ -78,6 +102,7 @@ impl Default for ReplicationOptions {
             selective: None,
             truncate_bodies: false,
             use_history: true,
+            batch: 16,
         }
     }
 }
@@ -115,6 +140,7 @@ impl ReplicationReport {
         self.added + self.updated + self.merged + self.conflicts + self.deletions > 0
     }
 
+    /// Accumulate another report's counters into this one.
     pub fn merge_from(&mut self, other: &ReplicationReport) {
         self.candidates += other.candidates;
         self.added += other.added;
@@ -135,6 +161,7 @@ impl ReplicationReport {
 pub struct PurgeSafety {
     /// Every known peer replicated within the purge interval.
     pub safe: bool,
+    /// The database's configured stub purge interval, in ticks.
     pub purge_interval: u64,
     /// The peer that replicated longest ago (None = no peers known).
     pub stalest_peer: Option<domino_types::ReplicaId>,
@@ -142,22 +169,88 @@ pub struct PurgeSafety {
     pub stalest_age: u64,
 }
 
-/// A replicator: options + per-peer incremental history.
+/// An in-flight (interrupted) pull's resumption state.
+///
+/// Candidates are processed in `(seq_time, unid)` order; the cursor
+/// remembers the pass's enumeration cutoff, the clock reading at pass
+/// start (the cutoff the history will advance to on completion), and the
+/// position of the last candidate durably applied. An interrupted pull
+/// leaves its cursor in the replicator; the next pull for the same pair
+/// resumes after that position instead of restarting.
+#[derive(Debug, Clone, Default)]
+pub struct PullCursor {
+    /// Source clock reading at pass start; becomes the new history cutoff
+    /// once the pass completes.
+    started_at: Timestamp,
+    /// Cutoff used to enumerate this pass's candidates (frozen across
+    /// resumptions so the candidate set stays stable).
+    cutoff: Timestamp,
+    /// `(seq_time, unid)` of the last durably applied candidate.
+    resume_after: Option<(Timestamp, u128)>,
+    /// Work accumulated across all attempts of this pass.
+    report: ReplicationReport,
+}
+
+impl PullCursor {
+    /// Candidates applied so far in this (interrupted) pass.
+    pub fn applied(&self) -> u64 {
+        self.report.candidates
+    }
+}
+
+/// A replicator: options + per-peer incremental history + any in-flight
+/// pass cursors awaiting resumption.
 pub struct Replicator {
+    /// Tuning knobs applied to every pass this replicator runs.
     pub options: ReplicationOptions,
+    /// Per-peer incremental cutoffs (advanced only by *completed* passes).
     pub history: ReplicationHistory,
+    /// Interrupted passes by `(dst instance, src instance)`.
+    cursors: HashMap<(ReplicaId, ReplicaId), PullCursor>,
 }
 
 impl Replicator {
+    /// A fresh replicator with empty history.
     pub fn new(options: ReplicationOptions) -> Replicator {
         Replicator {
             options,
             history: ReplicationHistory::new(),
+            cursors: HashMap::new(),
         }
     }
 
-    /// Pull changes from `src` into `dst`.
+    /// A replicator that adopts existing history (e.g. cloned from a peer
+    /// replicator serving the same pair under different options).
+    pub fn with_history(options: ReplicationOptions, history: ReplicationHistory) -> Replicator {
+        Replicator {
+            options,
+            history,
+            cursors: HashMap::new(),
+        }
+    }
+
+    /// Pull changes from `src` into `dst` over a perfectly reliable
+    /// in-process transport.
     pub fn pull(&mut self, dst: &Database, src: &Database) -> Result<ReplicationReport> {
+        self.pull_via(dst, src, &mut CleanTransport)
+    }
+
+    /// Pull changes from `src` into `dst`, shipping each candidate batch
+    /// as one message through `transport`.
+    ///
+    /// On a transport fault the pull returns the error but keeps a
+    /// [`PullCursor`] recording everything durably applied; calling this
+    /// again for the same pair resumes after that point. The history
+    /// cutoff advances only when the pass completes, so an interrupted
+    /// pass never hides unexamined changes. Re-applying a candidate after
+    /// a resume is idempotent (same-revision copies are skipped), so
+    /// interruption at any point is safe.
+    pub fn pull_via(
+        &mut self,
+        dst: &Database,
+        src: &Database,
+        transport: &mut dyn Transport,
+    ) -> Result<ReplicationReport> {
         if dst.replica_id() != src.replica_id() {
             return Err(DominoError::Replication(format!(
                 "replica ids differ: {} vs {}",
@@ -166,26 +259,58 @@ impl Replicator {
             )));
         }
         let _span = obs::span!("Replica.Pull");
-        let cutoff = if self.options.use_history {
-            self.history.cutoff(dst.instance_id(), src.instance_id())
-        } else {
-            Timestamp::ZERO
+        let key = (dst.instance_id(), src.instance_id());
+        let mut cursor = match self.cursors.remove(&key) {
+            Some(c) => {
+                m().resumed.inc();
+                c
+            }
+            None => PullCursor {
+                started_at: src.clock().peek(),
+                cutoff: if self.options.use_history {
+                    self.history.cutoff(dst.instance_id(), src.instance_id())
+                } else {
+                    Timestamp::ZERO
+                },
+                resume_after: None,
+                report: ReplicationReport::default(),
+            },
         };
-        let start = src.clock().peek();
-        let candidates = src.changed_since(cutoff)?;
-        let mut report = ReplicationReport::default();
-        for cand in &candidates {
-            report.candidates += 1;
-            if cand.is_stub {
-                self.pull_stub(dst, src, cand, &mut report)?;
-            } else {
-                self.pull_note(dst, src, cand, &mut report)?;
+        // Candidates stream in (seq_time, unid) order — a total order both
+        // sides agree on, which is what makes the cursor meaningful.
+        let mut candidates = src.changed_since(cursor.cutoff)?;
+        candidates.sort_unstable_by_key(|c| (c.oid.seq_time, c.oid.unid.0));
+        if let Some(after) = cursor.resume_after {
+            candidates.retain(|c| (c.oid.seq_time, c.oid.unid.0) > after);
+        }
+        let batch = self.options.batch.max(1);
+        for chunk in candidates.chunks(batch) {
+            if let Err(e) = transport.deliver(chunk.len() as u64) {
+                m().interrupted.inc();
+                self.cursors.insert(key, cursor);
+                return Err(e);
+            }
+            for cand in chunk {
+                cursor.report.candidates += 1;
+                let applied = if cand.is_stub {
+                    self.pull_stub(dst, src, cand, &mut cursor.report)
+                } else {
+                    self.pull_note(dst, src, cand, &mut cursor.report)
+                };
+                if let Err(e) = applied {
+                    // Apply-side failure: progress so far is durable; park
+                    // the cursor so a retry continues from here.
+                    self.cursors.insert(key, cursor);
+                    return Err(e);
+                }
+                cursor.resume_after = Some((cand.oid.seq_time, cand.oid.unid.0));
             }
         }
         // Success: next time, look only at newer changes.
-        dst.clock().observe(start);
+        dst.clock().observe(cursor.started_at);
         self.history
-            .record(dst.instance_id(), src.instance_id(), start);
+            .record(dst.instance_id(), src.instance_id(), cursor.started_at);
+        let report = cursor.report;
         let reg = m();
         reg.passes.inc();
         reg.notes_pushed
@@ -195,6 +320,48 @@ impl Replicator {
         reg.deletions.add(report.deletions);
         reg.pass_candidates.record(report.candidates);
         Ok(report)
+    }
+
+    /// Pull with retry: on a transient transport fault, back off per
+    /// `policy` (advancing `dst`'s logical clock — simulated elapsed
+    /// time), then resume from the cursor. Returns the cumulative report
+    /// and what retrying cost. When the policy is exhausted the last
+    /// transport error is returned and the cursor stays parked for a
+    /// later, externally scheduled attempt.
+    pub fn pull_with_retry(
+        &mut self,
+        dst: &Database,
+        src: &Database,
+        transport: &mut dyn Transport,
+        policy: &RetryPolicy,
+    ) -> Result<(ReplicationReport, RetryStats)> {
+        let mut stats = RetryStats::default();
+        loop {
+            stats.attempts += 1;
+            match self.pull_via(dst, src, transport) {
+                Ok(report) => return Ok((report, stats)),
+                Err(e) if e.is_transient() => {
+                    let reg = m();
+                    let budget_left =
+                        policy.pass_timeout == 0 || stats.backoff_ticks < policy.pass_timeout;
+                    if stats.attempts >= policy.max_attempts || !budget_left {
+                        // Exhausted: the cursor stays parked; callers see
+                        // the transport error (and Replica.Retry.Exhausted).
+                        reg.retry_exhausted.inc();
+                        return Err(e);
+                    }
+                    reg.retry_attempts.inc();
+                    // Jitter is seeded from the logical clock: determinism
+                    // for the simulator, decorrelation for the fleet.
+                    let seed = dst.clock().peek().0;
+                    let wait = policy.backoff(stats.attempts, seed);
+                    stats.backoff_ticks += wait;
+                    reg.retry_backoff_ticks.add(wait);
+                    dst.clock().advance(wait);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Administrative safety check for stub purging: purging is safe only
@@ -234,7 +401,7 @@ impl Replicator {
         }
     }
 
-    /// Pull in both directions.
+    /// Pull in both directions over a reliable transport.
     pub fn sync(
         &mut self,
         a: &Database,
@@ -243,6 +410,41 @@ impl Replicator {
         let into_a = self.pull(a, b)?;
         let into_b = self.pull(b, a)?;
         Ok((into_a, into_b))
+    }
+
+    /// Pull in both directions through `transport` with retry per
+    /// `policy`. Both directions share the transport (and hence its fault
+    /// stream); an exhausted direction aborts the sync with its cursor
+    /// parked, so the next sync resumes it.
+    pub fn sync_with_retry(
+        &mut self,
+        a: &Database,
+        b: &Database,
+        transport: &mut dyn Transport,
+        policy: &RetryPolicy,
+    ) -> Result<(ReplicationReport, ReplicationReport, RetryStats)> {
+        let mut stats = RetryStats::default();
+        let (into_a, sa) = self.pull_with_retry(a, b, transport, policy)?;
+        stats.merge_from(&sa);
+        let (into_b, sb) = self.pull_with_retry(b, a, transport, policy)?;
+        stats.merge_from(&sb);
+        Ok((into_a, into_b, stats))
+    }
+
+    /// The parked cursor of an interrupted `dst ← src` pull, if any.
+    pub fn cursor(&self, dst: &Database, src: &Database) -> Option<&PullCursor> {
+        self.cursors.get(&(dst.instance_id(), src.instance_id()))
+    }
+
+    /// Are any passes interrupted and awaiting resumption?
+    pub fn has_pending(&self) -> bool {
+        !self.cursors.is_empty()
+    }
+
+    /// Drop all parked cursors (the next pull of each pair restarts from
+    /// its history cutoff — safe, merely wasteful, like clearing history).
+    pub fn abandon_pending(&mut self) {
+        self.cursors.clear();
     }
 
     fn pull_stub(
@@ -838,13 +1040,13 @@ mod tests {
         let mut n3 = a.open_by_unid(n.unid()).unwrap();
         n3.set("F4", Value::text("z".repeat(200)));
         a.save(&mut n3).unwrap();
-        let mut r_doc = Replicator {
-            options: ReplicationOptions {
+        let mut r_doc = Replicator::with_history(
+            ReplicationOptions {
                 field_level: false,
                 ..Default::default()
             },
-            history: r_field.history.clone(),
-        };
+            r_field.history.clone(),
+        );
         let (_, doc_rep) = r_doc.sync(&a, &b).unwrap();
 
         assert!(field_rep.bytes_shipped * 3 < doc_rep.bytes_shipped);
@@ -989,6 +1191,133 @@ mod tests {
                 .unwrap(),
             "updated"
         );
+    }
+
+    #[test]
+    fn interrupted_pull_resumes_from_cursor() {
+        use crate::transport::ScriptedTransport;
+        let (a, b, _) = pair();
+        let mut r = Replicator::new(ReplicationOptions {
+            batch: 4,
+            ..ReplicationOptions::default()
+        });
+        for i in 0..20 {
+            doc(&a, &format!("d{i}"));
+        }
+        // 20 candidates / batch 4 = 5 messages; lose the third.
+        let mut t = ScriptedTransport::failing_at(vec![2]);
+        let err = r.pull_via(&b, &a, &mut t).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(r.has_pending());
+        let applied_so_far = r.cursor(&b, &a).unwrap().applied();
+        assert_eq!(applied_so_far, 8, "two full batches landed");
+        // The history cutoff must NOT have advanced past the wreckage.
+        assert_eq!(
+            r.history.cutoff(b.instance_id(), a.instance_id()),
+            Timestamp::ZERO
+        );
+        // Resume: only the remaining candidates ship, and the cumulative
+        // report covers the whole pass.
+        let report = r
+            .pull_via(&b, &a, &mut ScriptedTransport::default())
+            .unwrap();
+        assert!(!r.has_pending());
+        assert_eq!(report.candidates, 20);
+        assert_eq!(report.added, 20);
+        assert!(docs_equal(&a, &b));
+        // And the cutoff now advanced: the next pull is incremental (at
+        // most the boundary candidate re-examined, nothing re-applied).
+        let (_, into_b) = r.sync(&a, &b).unwrap();
+        assert!(into_b.candidates <= 1);
+        assert!(!into_b.changed_anything());
+    }
+
+    #[test]
+    fn interrupted_and_resumed_pull_matches_uninterrupted() {
+        use crate::transport::ScriptedTransport;
+        // Same source content pulled (a) cleanly and (b) with an
+        // interruption at every batch boundary in turn: destinations must
+        // come out identical.
+        for fail_at in 0..5u64 {
+            let (src, clean_dst, mut r_clean) = pair();
+            for i in 0..18 {
+                doc(&src, &format!("d{i}"));
+            }
+            src.delete(src.note_ids(None).unwrap()[0]).unwrap();
+            r_clean.pull(&clean_dst, &src).unwrap();
+
+            let faulty_dst = Arc::new(
+                Database::open_in_memory(
+                    DbConfig::new("Disc", ReplicaId(77), ReplicaId(3)),
+                    LogicalClock::starting_at(domino_types::Timestamp(900)),
+                )
+                .unwrap(),
+            );
+            let mut r = Replicator::new(ReplicationOptions {
+                batch: 4,
+                ..ReplicationOptions::default()
+            });
+            let mut t = ScriptedTransport::failing_at(vec![fail_at]);
+            let _ = r.pull_via(&faulty_dst, &src, &mut t);
+            r.pull_via(&faulty_dst, &src, &mut ScriptedTransport::default())
+                .unwrap();
+            assert!(
+                docs_equal(&clean_dst, &faulty_dst),
+                "divergence after interruption at message {fail_at}"
+            );
+            assert_eq!(
+                clean_dst.stubs().unwrap().len(),
+                faulty_dst.stubs().unwrap().len()
+            );
+        }
+    }
+
+    #[test]
+    fn pull_with_retry_rides_out_transient_faults() {
+        use crate::transport::ScriptedTransport;
+        let (a, b, _) = pair();
+        let mut r = Replicator::new(ReplicationOptions {
+            batch: 2,
+            ..ReplicationOptions::default()
+        });
+        for i in 0..10 {
+            doc(&a, &format!("d{i}"));
+        }
+        // Drop messages 0, 2 and 4: three interruptions, all retried.
+        let mut t = ScriptedTransport::failing_at(vec![0, 2, 4]);
+        let policy = RetryPolicy::standard();
+        let (report, stats) = r.pull_with_retry(&b, &a, &mut t, &policy).unwrap();
+        assert_eq!(report.added, 10);
+        assert_eq!(stats.attempts, 4, "first try + three retries");
+        assert!(stats.backoff_ticks > 0);
+        assert!(!stats.gave_up);
+        assert!(docs_equal(&a, &b));
+    }
+
+    #[test]
+    fn exhausted_retry_parks_the_cursor() {
+        use crate::transport::ScriptedTransport;
+        let (a, b, _) = pair();
+        let mut r = Replicator::new(ReplicationOptions {
+            batch: 1,
+            ..ReplicationOptions::default()
+        });
+        for i in 0..6 {
+            doc(&a, &format!("d{i}"));
+        }
+        // Every message fails; a 3-attempt policy gives up.
+        let mut t = ScriptedTransport::failing_at((0..100).collect());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::standard()
+        };
+        let err = r.pull_with_retry(&b, &a, &mut t, &policy).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(r.has_pending());
+        // The link heals; a plain pull finishes the pass.
+        let report = r.pull(&b, &a).unwrap();
+        assert_eq!(report.added, 6);
+        assert!(docs_equal(&a, &b));
     }
 
     #[test]

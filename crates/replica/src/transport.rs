@@ -1,0 +1,244 @@
+//! The replication transport abstraction and retry policy.
+//!
+//! A [`Replicator`](crate::Replicator) pulls candidates in bounded batches;
+//! each batch crosses the wire as one *message* delivered through a
+//! [`Transport`]. A transport may fail a delivery with
+//! [`DominoError::Unavailable`] — the pull then stops at the last durably
+//! applied candidate and its [cursor](crate::replicator::PullCursor)
+//! survives, so a later attempt resumes instead of restarting. This is the
+//! paper's defining scenario: epidemic replication that stays eventually
+//! consistent over flaky dial-up links.
+//!
+//! [`RetryPolicy`] bounds how hard a caller leans on a flaky transport:
+//! attempts, exponential backoff with deterministic jitter (seeded from the
+//! logical clock, so simulations stay reproducible), and a per-pass backoff
+//! budget.
+
+use domino_types::{DominoError, Result};
+
+/// Delivers replication messages between two replicas.
+///
+/// One `deliver` call is made per candidate batch, *before* the batch is
+/// applied (it models the request/response round-trip that ships the
+/// batch). Returning [`DominoError::Unavailable`] marks the message lost in
+/// flight; any other error is treated as non-transient and is not retried.
+pub trait Transport {
+    /// Attempt to deliver one message carrying `notes` candidates.
+    fn deliver(&mut self, notes: u64) -> Result<()>;
+}
+
+/// The always-reliable in-process transport (the pre-fault default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CleanTransport;
+
+impl Transport for CleanTransport {
+    fn deliver(&mut self, _notes: u64) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// A transport that fails scripted deliveries — the unit-test analogue of
+/// the storage layer's `FaultPlan`: arm it with the indices (0-based, over
+/// the transport's lifetime) of messages to lose.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedTransport {
+    /// Message indices to fail (sorted not required).
+    fail_at: Vec<u64>,
+    /// Messages attempted so far.
+    sent: u64,
+    /// Messages that were failed.
+    dropped: u64,
+}
+
+impl ScriptedTransport {
+    /// Fail the deliveries whose 0-based index appears in `fail_at`.
+    pub fn failing_at(fail_at: Vec<u64>) -> ScriptedTransport {
+        ScriptedTransport {
+            fail_at,
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Messages attempted so far (delivered + dropped).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages failed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Transport for ScriptedTransport {
+    fn deliver(&mut self, _notes: u64) -> Result<()> {
+        let idx = self.sent;
+        self.sent += 1;
+        if self.fail_at.contains(&idx) {
+            self.dropped += 1;
+            return Err(DominoError::Unavailable(format!(
+                "scripted message loss at delivery {idx}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// How hard to retry a replication pass over a flaky transport.
+///
+/// Backoff is exponential (`base_backoff * 2^(attempt-1)`, capped at
+/// `max_backoff`) with optional deterministic jitter drawn from a seed the
+/// caller derives from the logical clock — so retry schedules are
+/// reproducible tick-for-tick in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per pull, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in clock ticks.
+    pub base_backoff: u64,
+    /// Ceiling on a single backoff, in clock ticks.
+    pub max_backoff: u64,
+    /// Randomize each backoff to `[backoff/2, backoff]` (decorrelates
+    /// retry storms when many links fail together).
+    pub jitter: bool,
+    /// Give up once cumulative backoff for one pass exceeds this budget
+    /// (0 = unlimited).
+    pub pass_timeout: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::standard()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: fail the pass on the first transport fault (the
+    /// pre-fault behaviour, and the E14 baseline).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: 0,
+            max_backoff: 0,
+            jitter: false,
+            pass_timeout: 0,
+        }
+    }
+
+    /// A sensible default: 8 attempts, 4-tick base backoff doubling to a
+    /// 256-tick cap, jittered, no pass timeout.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: 4,
+            max_backoff: 256,
+            jitter: true,
+            pass_timeout: 0,
+        }
+    }
+
+    /// Does this policy retry at all?
+    pub fn retries(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Backoff in ticks before retry number `attempt` (1-based: the wait
+    /// after the first failure is `backoff(1, _)`). `seed` feeds the
+    /// deterministic jitter; pass something clock-derived.
+    pub fn backoff(&self, attempt: u32, seed: u64) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.max_backoff.max(self.base_backoff));
+        if !self.jitter || raw < 2 {
+            return raw;
+        }
+        let half = raw / 2;
+        half + splitmix64(seed ^ u64::from(attempt)) % (raw - half + 1)
+    }
+}
+
+/// What a retried pull did, beyond its
+/// [`ReplicationReport`](crate::ReplicationReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Pull attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total ticks spent backing off between attempts.
+    pub backoff_ticks: u64,
+    /// True if a pass was abandoned with the policy exhausted (set by
+    /// schedulers that swallow the error and leave the cursor parked —
+    /// e.g. the network simulator; a successful pull always reports
+    /// `false`).
+    pub gave_up: bool,
+}
+
+impl RetryStats {
+    /// Fold another direction's stats into this one (for `sync`).
+    pub fn merge_from(&mut self, other: &RetryStats) {
+        self.attempts += other.attempts;
+        self.backoff_ticks += other.backoff_ticks;
+        self.gave_up |= other.gave_up;
+    }
+}
+
+/// SplitMix64: the tiny deterministic mixer used for backoff jitter (and by
+/// the network fault clock). Public so `domino-net` shares one definition.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_transport_fails_listed_messages() {
+        let mut t = ScriptedTransport::failing_at(vec![1, 3]);
+        assert!(t.deliver(5).is_ok());
+        assert!(t.deliver(5).is_err());
+        assert!(t.deliver(5).is_ok());
+        assert!(t.deliver(5).is_err());
+        assert!(t.deliver(5).is_ok());
+        assert_eq!(t.sent(), 5);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            jitter: false,
+            ..RetryPolicy::standard()
+        };
+        assert_eq!(p.backoff(1, 0), 4);
+        assert_eq!(p.backoff(2, 0), 8);
+        assert_eq!(p.backoff(3, 0), 16);
+        assert_eq!(p.backoff(10, 0), 256, "capped at max_backoff");
+        assert_eq!(p.backoff(33, 0), 256, "huge attempts do not overflow");
+    }
+
+    #[test]
+    fn jitter_stays_in_range_and_is_deterministic() {
+        let p = RetryPolicy::standard();
+        for attempt in 1..6 {
+            let raw = RetryPolicy { jitter: false, ..p }.backoff(attempt, 0);
+            for seed in 0..50u64 {
+                let b = p.backoff(attempt, seed);
+                assert!(b >= raw / 2 && b <= raw, "{b} outside [{}, {raw}]", raw / 2);
+                assert_eq!(b, p.backoff(attempt, seed), "same seed, same jitter");
+            }
+        }
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let p = RetryPolicy::none();
+        assert!(!p.retries());
+        assert_eq!(p.backoff(1, 42), 0);
+    }
+}

@@ -127,7 +127,7 @@ impl Disk for FileDisk {
 
 /// A disk that injects a failure after a budgeted number of page writes —
 /// the storage-side half of crash-point testing (the log side is
-/// `domino_wal::FaultLogStore`). Sharing one [`FaultPlan`] across both
+/// `domino_wal::FaultLogStore`). Sharing one `FaultPlan` across both
 /// lets a test kill the *whole* I/O stack at an exact global operation
 /// count. Reads never fail: a crashed machine can still be read back.
 pub struct FaultDisk<D: Disk> {

@@ -37,6 +37,10 @@ pub enum DominoError {
     Wal(String),
     /// Replication protocol error (mismatched replica ids, bad cursor...).
     Replication(String),
+    /// A transient transport failure: the peer, link, or message was lost
+    /// in flight. Retryable — resumable replication passes keep their
+    /// cursor and continue where they left off.
+    Unavailable(String),
     /// A caller violated an API contract (bad argument, wrong state).
     InvalidArgument(String),
 }
@@ -56,8 +60,15 @@ impl DominoError {
             DominoError::UpdateConflict(_) => "update_conflict",
             DominoError::Wal(_) => "wal",
             DominoError::Replication(_) => "replication",
+            DominoError::Unavailable(_) => "unavailable",
             DominoError::InvalidArgument(_) => "invalid_argument",
         }
+    }
+
+    /// Is this a transient fault worth retrying (with backoff), as opposed
+    /// to a deterministic failure that will recur on every attempt?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DominoError::Unavailable(_))
     }
 }
 
@@ -75,6 +86,7 @@ impl fmt::Display for DominoError {
             DominoError::UpdateConflict(m) => ("update conflict", m),
             DominoError::Wal(m) => ("log/recovery error", m),
             DominoError::Replication(m) => ("replication error", m),
+            DominoError::Unavailable(m) => ("temporarily unavailable", m),
             DominoError::InvalidArgument(m) => ("invalid argument", m),
         };
         write!(f, "{kind}: {msg}")
@@ -122,6 +134,7 @@ mod tests {
             DominoError::UpdateConflict(String::new()),
             DominoError::Wal(String::new()),
             DominoError::Replication(String::new()),
+            DominoError::Unavailable(String::new()),
             DominoError::InvalidArgument(String::new()),
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();

@@ -318,7 +318,7 @@ impl ViewIndex {
     /// parallel; the per-collation `BTreeMap`s are then bulk-built from
     /// pre-sorted `(key, unid)` vectors. Responses key under their parent
     /// and are placed sequentially, shallow-to-deep (see
-    /// [`ViewIndex::place_responses`]).
+    /// `ViewIndex::place_responses`).
     pub fn rebuild<'a>(
         &mut self,
         docs: impl IntoIterator<Item = &'a Note>,

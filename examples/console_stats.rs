@@ -86,6 +86,7 @@ fn main() -> domino::types::Result<()> {
         LinkSpec {
             latency: 2,
             bytes_per_tick: 0,
+            ..LinkSpec::default()
         },
         LogicalClock::new(),
     );

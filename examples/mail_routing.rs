@@ -22,6 +22,7 @@ fn main() -> domino::types::Result<()> {
             LinkSpec {
                 latency: 3,
                 bytes_per_tick: 256,
+                ..LinkSpec::default()
             },
             LogicalClock::new(),
         );

@@ -242,7 +242,7 @@ impl Strategy for &'static str {
 
 // ------------------------------------------------- collection / option
 
-/// Accepted length specifications for [`vec`].
+/// Accepted length specifications for [`vec()`].
 #[derive(Clone, Debug)]
 pub struct SizeRange {
     lo: usize,
