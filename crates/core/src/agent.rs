@@ -144,6 +144,96 @@ impl AgentDesign {
     }
 }
 
+/// What one [`AgentScheduler::tick`] did: every agent that fired, with its
+/// run report, in storage order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AgentTickReport {
+    /// `(agent name, what the run did)` for each agent that ran this tick.
+    pub runs: Vec<(String, AgentRunReport)>,
+}
+
+impl AgentTickReport {
+    /// Whether any agent fired.
+    pub fn fired(&self) -> bool {
+        !self.runs.is_empty()
+    }
+}
+
+/// The agent manager ("amgr" in Domino): decides *when* stored agents run.
+///
+/// [`AgentTrigger::Scheduled`] agents fire when their tick interval has
+/// elapsed since their last run; [`AgentTrigger::OnUpdate`] agents fire
+/// when the [database change sequence](Database::change_seq) has advanced
+/// since the previous tick — i.e. after new or updated documents arrived
+/// (saves, replication). `Manual` agents never fire from the scheduler.
+///
+/// The scheduler reloads [`stored_agents`] on every tick, so agents saved
+/// (or replicated in) after construction are picked up automatically. The
+/// change sequence is re-sampled *after* the tick's runs complete, so an
+/// agent's own `FIELD` writes do not re-trigger `OnUpdate` agents on the
+/// next tick (agent runs are idempotent, so even a pathological re-trigger
+/// converges — it just wastes a pass).
+pub struct AgentScheduler {
+    db: std::sync::Arc<Database>,
+    /// Identity agent formulas evaluate under (`@UserName`).
+    runner: String,
+    /// Tick at which each scheduled agent last ran, by name.
+    last_run: std::collections::HashMap<String, u64>,
+    /// Change sequence as of the end of the previous tick.
+    seen_seq: u64,
+}
+
+impl AgentScheduler {
+    /// A scheduler for `db`, running agents as `runner`. The current
+    /// change sequence is captured now: pre-existing documents do not
+    /// count as an "update" for `OnUpdate` agents.
+    pub fn new(db: std::sync::Arc<Database>, runner: &str) -> AgentScheduler {
+        let seen_seq = db.change_seq();
+        AgentScheduler {
+            db,
+            runner: runner.to_string(),
+            last_run: std::collections::HashMap::new(),
+            seen_seq,
+        }
+    }
+
+    /// Run every agent that is due at tick `now` and report what fired.
+    ///
+    /// A `Scheduled(every)` agent is due when `now` is at least `every`
+    /// ticks past its last run (a never-run agent is due immediately —
+    /// the catch-up semantics an operator expects after a restart).
+    pub fn tick(&mut self, now: u64) -> Result<AgentTickReport> {
+        let updated = self.db.change_seq() != self.seen_seq;
+        let mut report = AgentTickReport::default();
+        for agent in stored_agents(&self.db)? {
+            let due = match agent.trigger {
+                AgentTrigger::Manual => false,
+                AgentTrigger::Scheduled(every) => {
+                    if every == 0 {
+                        false
+                    } else {
+                        match self.last_run.get(&agent.name) {
+                            Some(&last) => now.saturating_sub(last) >= every,
+                            None => true,
+                        }
+                    }
+                }
+                AgentTrigger::OnUpdate => updated,
+            };
+            if !due {
+                continue;
+            }
+            let run = agent.run(&self.db, &self.runner)?;
+            if let AgentTrigger::Scheduled(_) = agent.trigger {
+                self.last_run.insert(agent.name.clone(), now);
+            }
+            report.runs.push((agent.name, run));
+        }
+        self.seen_seq = self.db.change_seq();
+        Ok(report)
+    }
+}
+
 /// Store an agent design (replacing any with the same name).
 pub fn save_agent(db: &Database, agent: &AgentDesign) -> Result<()> {
     for id in db.note_ids(Some(NoteClass::Agent))? {
@@ -240,6 +330,75 @@ mod tests {
         let agents = stored_agents(&db).unwrap();
         assert_eq!(agents.len(), 1);
         assert_eq!(agents[0].trigger, AgentTrigger::OnUpdate);
+    }
+
+    #[test]
+    fn scheduler_runs_scheduled_agents_at_interval() {
+        let db = std::sync::Arc::new(db());
+        let mut n = Note::document("Ticket");
+        n.set("Age", Value::Number(99.0));
+        n.set("Status", Value::text("open"));
+        db.save(&mut n).unwrap();
+        save_agent(&db, &escalator().scheduled(10)).unwrap();
+
+        let mut amgr = AgentScheduler::new(db.clone(), "amgr");
+        // Never-run agent is due immediately (catch-up semantics).
+        let first = amgr.tick(5).unwrap();
+        assert_eq!(first.runs.len(), 1);
+        assert_eq!(first.runs[0].0, "escalate");
+        assert_eq!(
+            first.runs[0].1,
+            AgentRunReport {
+                examined: 1,
+                selected: 1,
+                modified: 1
+            }
+        );
+        // Not due again until 10 ticks have elapsed.
+        assert!(!amgr.tick(9).unwrap().fired());
+        let again = amgr.tick(15).unwrap();
+        assert_eq!(again.runs.len(), 1);
+        // Second run is idempotent: selected nothing, wrote nothing.
+        assert_eq!(again.runs[0].1.modified, 0);
+    }
+
+    #[test]
+    fn scheduler_fires_on_update_agents_off_the_change_seq() {
+        let db = std::sync::Arc::new(db());
+        save_agent(&db, &escalator().on_update()).unwrap();
+        let mut amgr = AgentScheduler::new(db.clone(), "amgr");
+        // No changes since the scheduler was created: nothing fires.
+        assert!(!amgr.tick(1).unwrap().fired());
+        let mut n = Note::document("Ticket");
+        n.set("Age", Value::Number(40.0));
+        n.set("Status", Value::text("open"));
+        db.save(&mut n).unwrap();
+        let report = amgr.tick(2).unwrap();
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.runs[0].1.modified, 1);
+        // The agent's own write must not re-trigger it next tick.
+        assert!(!amgr.tick(3).unwrap().fired());
+    }
+
+    #[test]
+    fn change_seq_advances_per_commit() {
+        let db = db();
+        let before = db.change_seq();
+        let mut n = Note::document("Ticket");
+        n.set("Status", Value::text("open"));
+        db.save(&mut n).unwrap();
+        assert_eq!(db.change_seq(), before + 1);
+        {
+            let _guard = db.begin_batch();
+            let mut a = Note::document("Ticket");
+            a.set("Status", Value::text("a"));
+            db.save(&mut a).unwrap();
+            let mut b = Note::document("Ticket");
+            b.set("Status", Value::text("b"));
+            db.save(&mut b).unwrap();
+            // Commits count even while dispatch is buffered.
+            assert_eq!(db.change_seq(), before + 3);
+        }
     }
 
     #[test]

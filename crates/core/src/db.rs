@@ -256,6 +256,7 @@ pub struct Database {
     batch_observers: Mutex<Vec<BatchObserver>>,
     batch_state: Mutex<BatchState>,
     clock: LogicalClock,
+    change_seq: std::sync::atomic::AtomicU64,
 }
 
 impl Database {
@@ -307,6 +308,7 @@ impl Database {
             batch_observers: Mutex::new(Vec::new()),
             batch_state: Mutex::new(BatchState::default()),
             clock,
+            change_seq: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -371,7 +373,20 @@ impl Database {
         BatchGuard { db: self }
     }
 
+    /// The database *change sequence*: a process-local counter bumped once
+    /// per committed save/delete (batched or not). Pollers that need a
+    /// cheap "has anything changed since I last looked?" answer — the HTTP
+    /// task's command cache, `OnUpdate` agent scheduling — compare the
+    /// value they captured against the current one instead of subscribing.
+    /// Counts commits, not dispatches: it advances even while events are
+    /// buffered under [`Database::begin_batch`].
+    pub fn change_seq(&self) -> u64 {
+        self.change_seq.load(std::sync::atomic::Ordering::Acquire)
+    }
+
     fn notify(&self, event: ChangeEvent) {
+        self.change_seq
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         {
             let mut b = self.batch_state.lock();
             if b.depth > 0 {

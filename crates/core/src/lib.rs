@@ -37,7 +37,10 @@ pub mod form;
 pub mod note;
 pub mod session;
 
-pub use agent::{save_agent, stored_agents, AgentDesign, AgentRunReport, AgentTrigger};
+pub use agent::{
+    save_agent, stored_agents, AgentDesign, AgentRunReport, AgentScheduler, AgentTickReport,
+    AgentTrigger,
+};
 pub use db::{
     ChangeEvent, ChangedNote, CheckpointerHandle, CompactStats, Database, DbConfig, DbInfo,
     DEFAULT_PURGE_INTERVAL,

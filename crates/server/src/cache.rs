@@ -1,0 +1,224 @@
+//! The Domino command cache.
+//!
+//! Domino keeps rendered `?OpenView`/`?ReadViewEntries` pages in a
+//! server-wide *command cache* so hot view pages are served without
+//! touching the view index at all. A cached page is keyed by everything
+//! that can change its bytes: database, view, window (`start`, `count`),
+//! output flavor, and the requesting user's *access class* — a digest of
+//! their ACL level, roles, and full alias set. Because the alias set
+//! includes the user's own name (the same inputs the `$Readers` check
+//! consumes), two users share a class only when the reader-field check
+//! could never tell them apart; a cached page can therefore never leak a
+//! document across an access boundary.
+//!
+//! Invalidation is by *change sequence*
+//! ([`Database::change_seq`](domino_core::Database::change_seq)): each
+//! page records the sequence it was rendered at and a lookup only hits
+//! when the database's current sequence still matches — any committed
+//! save or delete silently expires every page of that database. Eviction
+//! beyond that is FIFO within a fixed capacity.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
+
+use domino_obs as obs;
+use parking_lot::Mutex;
+
+struct Metrics {
+    hits: &'static obs::Counter,
+    misses: &'static obs::Counter,
+    evictions: &'static obs::Counter,
+    invalidations: &'static obs::Counter,
+    entries: &'static obs::Gauge,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        hits: obs::counter("Http.Cache.Hits"),
+        misses: obs::counter("Http.Cache.Misses"),
+        evictions: obs::counter("Http.Cache.Evictions"),
+        invalidations: obs::counter("Http.Cache.Invalidations"),
+        entries: obs::gauge("Http.Cache.Entries"),
+    })
+}
+
+/// Which rendered flavor of a view page a key addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// `?OpenView` HTML.
+    Html,
+    /// `?ReadViewEntries` JSON.
+    Json,
+}
+
+/// Everything that can change the bytes of a cacheable page.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Database path element.
+    pub db: String,
+    /// View name (lowercased).
+    pub view: String,
+    /// 1-based first row of the window.
+    pub start: usize,
+    /// Window size.
+    pub count: usize,
+    /// HTML or JSON.
+    pub kind: PageKind,
+    /// Digest of the user's ACL level, roles, and alias set.
+    pub access_class: u64,
+}
+
+/// One cached rendered page.
+#[derive(Debug, Clone)]
+pub struct CachedPage {
+    /// The database change sequence the page was rendered at.
+    pub seq: u64,
+    /// Rendered bytes.
+    pub body: String,
+    /// MIME type of `body`.
+    pub content_type: &'static str,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, CachedPage>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<CacheKey>,
+}
+
+/// A fixed-capacity command cache. Capacity 0 disables caching entirely
+/// (every lookup misses, nothing is stored).
+pub struct CommandCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl CommandCache {
+    /// A cache holding at most `capacity` rendered pages.
+    pub fn new(capacity: usize) -> CommandCache {
+        CommandCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+        }
+    }
+
+    /// Look up a page, hitting only if it was rendered at `current_seq`.
+    /// A present-but-stale page counts as an invalidation and is dropped.
+    pub fn lookup(&self, key: &CacheKey, current_seq: u64) -> Option<CachedPage> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut g = self.inner.lock();
+        match g.map.get(key) {
+            Some(page) if page.seq == current_seq => {
+                m().hits.inc();
+                Some(page.clone())
+            }
+            Some(_) => {
+                g.map.remove(key);
+                g.order.retain(|k| k != key);
+                m().invalidations.inc();
+                m().misses.inc();
+                m().entries.set(g.map.len() as i64);
+                None
+            }
+            None => {
+                m().misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Store a rendered page (replacing any entry under the same key),
+    /// evicting the oldest entry when at capacity.
+    pub fn insert(&self, key: CacheKey, page: CachedPage) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut g = self.inner.lock();
+        if g.map.insert(key.clone(), page).is_none() {
+            g.order.push_back(key);
+            while g.map.len() > self.capacity {
+                if let Some(old) = g.order.pop_front() {
+                    g.map.remove(&old);
+                    m().evictions.inc();
+                } else {
+                    break;
+                }
+            }
+        }
+        m().entries.set(g.map.len() as i64);
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(start: usize, class: u64) -> CacheKey {
+        CacheKey {
+            db: "d".into(),
+            view: "v".into(),
+            start,
+            count: 10,
+            kind: PageKind::Html,
+            access_class: class,
+        }
+    }
+
+    fn page(seq: u64, body: &str) -> CachedPage {
+        CachedPage {
+            seq,
+            body: body.into(),
+            content_type: "text/html",
+        }
+    }
+
+    #[test]
+    fn hits_only_at_matching_change_seq() {
+        let c = CommandCache::new(8);
+        c.insert(key(1, 0), page(5, "v5"));
+        assert_eq!(c.lookup(&key(1, 0), 5).unwrap().body, "v5");
+        // Any database change expires the page.
+        assert!(c.lookup(&key(1, 0), 6).is_none());
+        // The stale entry was dropped, not resurrected.
+        assert!(c.lookup(&key(1, 0), 5).is_none());
+    }
+
+    #[test]
+    fn access_class_partitions_the_cache() {
+        let c = CommandCache::new(8);
+        c.insert(key(1, 0xA), page(1, "alice's page"));
+        assert!(c.lookup(&key(1, 0xB), 1).is_none());
+        assert_eq!(c.lookup(&key(1, 0xA), 1).unwrap().body, "alice's page");
+    }
+
+    #[test]
+    fn fifo_eviction_and_zero_capacity() {
+        let c = CommandCache::new(2);
+        c.insert(key(1, 0), page(1, "a"));
+        c.insert(key(2, 0), page(1, "b"));
+        c.insert(key(3, 0), page(1, "c"));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&key(1, 0), 1).is_none(), "oldest evicted");
+        assert!(c.lookup(&key(3, 0), 1).is_some());
+
+        let off = CommandCache::new(0);
+        off.insert(key(1, 0), page(1, "a"));
+        assert!(off.lookup(&key(1, 0), 1).is_none());
+        assert!(off.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Typed requests and responses.
+//!
+//! There is no socket here (the repo is transport-free by design — see
+//! DESIGN.md): a [`Request`] is what a front door would produce after
+//! reading the request line, `Authorization` header, and body, and a
+//! [`Response`] is what it would serialize back. Keeping the types pure
+//! makes the whole task deterministic and testable in-process.
+
+/// The HTTP methods the Domino task answers. Like Domino, commands are
+/// not method-strict: a `?SaveDocument` works as GET-with-body too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Read a page.
+    Get,
+    /// Submit a form body.
+    Post,
+}
+
+/// Who the request claims to be.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Credentials {
+    /// No `Authorization` header: the Notes "Anonymous" identity.
+    Anonymous,
+    /// HTTP basic authentication.
+    Basic {
+        /// User name as registered with the server.
+        user: String,
+        /// Password checked against the server's user registry.
+        password: String,
+    },
+}
+
+/// One parsed HTTP request aimed at the Domino task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// GET or POST.
+    pub method: Method,
+    /// Request target, e.g. `/disc.nsf/topics?OpenView&Count=10`.
+    pub target: String,
+    /// Claimed identity (verified by the executor).
+    pub credentials: Credentials,
+    /// Form body (`key=value&...`) for save/create commands.
+    pub body: String,
+}
+
+impl Request {
+    /// An anonymous GET.
+    pub fn get(target: &str) -> Request {
+        Request {
+            method: Method::Get,
+            target: target.to_string(),
+            credentials: Credentials::Anonymous,
+            body: String::new(),
+        }
+    }
+
+    /// An anonymous POST with a form body.
+    pub fn post(target: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            target: target.to_string(),
+            credentials: Credentials::Basic {
+                user: String::new(),
+                password: String::new(),
+            },
+            body: body.to_string(),
+        }
+        .anonymous()
+    }
+
+    /// Attach basic-auth credentials.
+    pub fn as_user(mut self, user: &str, password: &str) -> Request {
+        self.credentials = Credentials::Basic {
+            user: user.to_string(),
+            password: password.to_string(),
+        };
+        self
+    }
+
+    /// Strip credentials (back to the Anonymous identity).
+    pub fn anonymous(mut self) -> Request {
+        self.credentials = Credentials::Anonymous;
+        self
+    }
+}
+
+/// The status codes the task emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// 200 — page rendered.
+    Ok,
+    /// 400 — malformed URL command or body.
+    BadRequest,
+    /// 401 — anonymous (or wrongly-authenticated) access to something
+    /// that needs an identity: the browser should ask for credentials.
+    Unauthorized,
+    /// 403 — an authenticated identity the ACL or `$Readers` rejects.
+    Forbidden,
+    /// 404 — no such database, view, or document.
+    NotFound,
+    /// 409 — the save raced another update.
+    Conflict,
+    /// 500 — internal failure.
+    ServerError,
+    /// 503 — request queue full (load shed) or backend unavailable.
+    Unavailable,
+}
+
+impl Status {
+    /// Numeric status code.
+    pub fn code(self) -> u16 {
+        match self {
+            Status::Ok => 200,
+            Status::BadRequest => 400,
+            Status::Unauthorized => 401,
+            Status::Forbidden => 403,
+            Status::NotFound => 404,
+            Status::Conflict => 409,
+            Status::ServerError => 500,
+            Status::Unavailable => 503,
+        }
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::BadRequest => "Bad Request",
+            Status::Unauthorized => "Unauthorized",
+            Status::Forbidden => "Forbidden",
+            Status::NotFound => "Not Found",
+            Status::Conflict => "Conflict",
+            Status::ServerError => "Internal Server Error",
+            Status::Unavailable => "Service Unavailable",
+        }
+    }
+}
+
+/// What the task sends back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Response status.
+    pub status: Status,
+    /// MIME type of `body`.
+    pub content_type: &'static str,
+    /// Rendered page.
+    pub body: String,
+    /// Whether the body came out of the command cache (diagnostic; a
+    /// real front door would not serialize this).
+    pub from_cache: bool,
+}
+
+impl Response {
+    /// A 200 HTML page.
+    pub fn html(body: String) -> Response {
+        Response {
+            status: Status::Ok,
+            content_type: "text/html",
+            body,
+            from_cache: false,
+        }
+    }
+
+    /// A 200 JSON payload.
+    pub fn json(body: String) -> Response {
+        Response {
+            status: Status::Ok,
+            content_type: "application/json",
+            body,
+            from_cache: false,
+        }
+    }
+
+    /// An error page (any non-200 status) with a small HTML body.
+    pub fn error(status: Status, detail: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/html",
+            body: crate::render::message_page(
+                &format!("{} {}", status.code(), status.reason()),
+                detail,
+            ),
+            from_cache: false,
+        }
+    }
+
+    /// Did the request succeed?
+    pub fn is_ok(&self) -> bool {
+        self.status == Status::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_and_reasons() {
+        assert_eq!(Status::Ok.code(), 200);
+        assert_eq!(Status::Unauthorized.code(), 401);
+        assert_eq!(Status::Forbidden.code(), 403);
+        assert_eq!(Status::Unavailable.code(), 503);
+        assert_eq!(Status::Unavailable.reason(), "Service Unavailable");
+    }
+
+    #[test]
+    fn request_builders() {
+        let r = Request::get("/d.nsf/v?OpenView").as_user("alice", "pw");
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(
+            r.credentials,
+            Credentials::Basic {
+                user: "alice".into(),
+                password: "pw".into()
+            }
+        );
+        let p = Request::post("/d.nsf/Topic?CreateDocument", "Subject=hi");
+        assert_eq!(p.method, Method::Post);
+        assert_eq!(p.credentials, Credentials::Anonymous);
+    }
+}

@@ -1,0 +1,69 @@
+//! `domino-server`: the Domino HTTP task — a concurrent web front-end
+//! over the note store.
+//!
+//! The day Lotus Notes grew a web server it was renamed Domino: the HTTP
+//! task turns every database into a live web application by mapping *URL
+//! commands* straight onto the note store — `?OpenView` renders a view
+//! page, `?OpenDocument` a document, `?ReadViewEntries` the same view
+//! window as JSON (see [`url`] for the grammar). This crate reproduces
+//! that task, dependency-free and transport-free: typed
+//! [`Request`]/[`Response`] values stand in for the socket.
+//!
+//! The moving parts:
+//!
+//! * [`url`] — the URL-command parser.
+//! * [`DominoServer`] — the executor: per-request authentication, then a
+//!   `domino-core` [`Session`](domino_core::Session) so ACL levels,
+//!   `$Readers` fields, and protected items are enforced exactly as for
+//!   native clients; denials become `401`/`403`.
+//! * [`WorkerPool`] — a fixed set of worker threads behind a bounded
+//!   queue; overload answers `503` instead of queueing unboundedly.
+//! * [`CommandCache`] — rendered view pages keyed by
+//!   `(db, view, window, access class)` and expired by the database
+//!   [change sequence](domino_core::Database::change_seq), so hot pages
+//!   are served without touching the view index.
+//! * An "amgr" driver ([`DominoServer::amgr_tick`] /
+//!   [`DominoServer::start_amgr`]) running stored agents on schedule and
+//!   on database change.
+//!
+//! Everything reports under `Http.*` in `domino-obs` (`show statistics`).
+//!
+//! ```
+//! use std::sync::Arc;
+//! use domino_core::{Database, DbConfig, Note};
+//! use domino_server::{DominoServer, Request, ServerConfig};
+//! use domino_types::{LogicalClock, ReplicaId, Value};
+//! use domino_views::{ColumnSpec, ViewDesign};
+//!
+//! let db = Arc::new(Database::open_in_memory(
+//!     DbConfig::new("Discussion", ReplicaId(1), ReplicaId(2)),
+//!     LogicalClock::new()).unwrap());
+//! let mut topic = Note::document("Topic");
+//! topic.set("Subject", Value::text("welcome"));
+//! db.save(&mut topic).unwrap();
+//!
+//! let server = DominoServer::new(ServerConfig::default());
+//! server.register_database("disc", &db).unwrap();
+//! let mut design = ViewDesign::new("topics", r#"SELECT Form = "Topic""#).unwrap();
+//! design.columns = vec![ColumnSpec::new("Subject", "Subject").unwrap()];
+//! server.add_view("disc", design).unwrap();
+//!
+//! let page = server.serve(Request::get("/disc.nsf/topics?OpenView"));
+//! assert_eq!(page.status.code(), 200);
+//! assert!(page.body.contains("welcome"));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod pool;
+pub mod render;
+mod server;
+pub mod url;
+
+pub use cache::{CacheKey, CachedPage, CommandCache, PageKind};
+pub use http::{Credentials, Method, Request, Response, Status};
+pub use pool::WorkerPool;
+pub use server::{AmgrHandle, DominoServer, ServerConfig, ANONYMOUS};
+pub use url::{parse, UrlCommand, DEFAULT_COUNT};

@@ -1,0 +1,192 @@
+//! The fixed worker pool behind the HTTP task.
+//!
+//! Domino runs a configurable number of HTTP worker threads pulling from
+//! a bounded request queue; when the queue is full the server sheds load
+//! with `503 Service Unavailable` rather than queueing unboundedly. The
+//! pool here reproduces that: [`WorkerPool::try_execute`] either enqueues
+//! a job or hands it back immediately, and `Http.Worker.*` gauges expose
+//! queue depth and busy workers for the operator.
+//!
+//! (Uses `std::sync::Condvar` — the vendored `parking_lot` shim has no
+//! condition variables.)
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use domino_obs as obs;
+
+struct Metrics {
+    executed: &'static obs::Counter,
+    shed: &'static obs::Counter,
+    queue_depth: &'static obs::Gauge,
+    busy: &'static obs::Gauge,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        executed: obs::counter("Http.Worker.Executed"),
+        shed: obs::counter("Http.Worker.Shed"),
+        queue_depth: obs::gauge("Http.Worker.QueueDepth"),
+        busy: obs::gauge("Http.Worker.Busy"),
+    })
+}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+/// A fixed set of worker threads draining a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    queue_bound: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Start `workers` threads (at least one) behind a queue holding at
+    /// most `queue_bound` waiting jobs (at least one).
+    pub fn new(workers: usize, queue_bound: usize) -> WorkerPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("http-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn http worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            queue_bound: queue_bound.max(1),
+            workers: handles,
+        }
+    }
+
+    /// Enqueue a job, or refuse it when the queue is full (the caller
+    /// answers 503). Refusals count into `Http.Worker.Shed`.
+    pub fn try_execute(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        {
+            let mut g = self.shared.state.lock().expect("pool lock");
+            if g.queue.len() >= self.queue_bound {
+                m().shed.inc();
+                return false;
+            }
+            g.queue.push_back(Box::new(job));
+            m().queue_depth.set(g.queue.len() as i64);
+        }
+        self.shared.work_ready.notify_one();
+        true
+    }
+
+    /// Jobs currently waiting (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("pool lock").queue.len()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut g = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(job) = g.queue.pop_front() {
+                    m().queue_depth.set(g.queue.len() as i64);
+                    break job;
+                }
+                if g.shutdown {
+                    return;
+                }
+                g = shared.work_ready.wait(g).expect("pool wait");
+            }
+        };
+        m().busy.add(1);
+        job();
+        m().busy.add(-1);
+        m().executed.inc();
+    }
+}
+
+impl Drop for WorkerPool {
+    /// Drain the queue, then stop: workers finish everything already
+    /// accepted before exiting (accepted work is never dropped).
+    fn drop(&mut self) {
+        self.shared.state.lock().expect("pool lock").shutdown = true;
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn executes_accepted_jobs() {
+        let pool = WorkerPool::new(2, 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let done = done.clone();
+            assert!(pool.try_execute(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        drop(pool); // join: all accepted jobs ran
+        assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn sheds_when_queue_is_full() {
+        let pool = WorkerPool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Park the single worker...
+        let g = gate.clone();
+        assert!(pool.try_execute(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        }));
+        // Give the worker a moment to claim the parked job, leaving the
+        // queue empty for the next two.
+        while pool.queue_depth() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // ...fill the queue...
+        assert!(pool.try_execute(|| {}));
+        assert!(pool.try_execute(|| {}));
+        // ...and the next submission is shed.
+        let before = obs::snapshot().counter("Http.Worker.Shed");
+        assert!(!pool.try_execute(|| {}));
+        assert_eq!(obs::snapshot().counter("Http.Worker.Shed"), before + 1);
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+    }
+}

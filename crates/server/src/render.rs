@@ -1,0 +1,322 @@
+//! HTML and JSON page rendering.
+//!
+//! Domino renders web pages straight from the note store: a view page is
+//! the view's column values in a table, a document page is its items, an
+//! edit form is `<input>` fields that post back to `?SaveDocument`. The
+//! functions here are pure — the executor assembles the data (already
+//! access-filtered) and the renderer only formats it, so every byte that
+//! can reach a cache or a wire goes through the escapers below.
+
+use domino_core::Note;
+use domino_types::Unid;
+
+/// One renderable view row: absolute position, identity, and the cell
+/// text for each design column.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// 1-based absolute position in the collation order.
+    pub position: usize,
+    /// Document UNID (used to link to `?OpenDocument`).
+    pub unid: Unid,
+    /// Response-hierarchy depth (0 = main document), indented like the
+    /// Notes client renders discussion threads.
+    pub response_level: u32,
+    /// One formatted cell per view column.
+    pub cells: Vec<String>,
+}
+
+/// Escape text for HTML element/attribute content.
+pub fn html_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape text for a JSON string literal (quotes not included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A minimal page shell shared by every HTML response.
+fn shell(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html><html><head><title>{}</title></head><body>{}</body></html>",
+        html_escape(title),
+        body
+    )
+}
+
+/// A one-line message page (save confirmations, error bodies).
+pub fn message_page(title: &str, detail: &str) -> String {
+    shell(
+        title,
+        &format!(
+            "<h1>{}</h1><p>{}</p>",
+            html_escape(title),
+            html_escape(detail)
+        ),
+    )
+}
+
+/// An `?OpenView` page: the column titles and one table row per entry,
+/// with next/previous paging links and each row linked to its document.
+pub fn view_page(
+    db: &str,
+    view: &str,
+    columns: &[String],
+    rows: &[Row],
+    start: usize,
+    count: usize,
+    total: usize,
+) -> String {
+    let mut b = String::new();
+    b.push_str(&format!(
+        "<h1>{} — {}</h1><p>{} documents, showing from {}</p>",
+        html_escape(db),
+        html_escape(view),
+        total,
+        start
+    ));
+    b.push_str("<table border=\"1\"><tr>");
+    for c in columns {
+        b.push_str(&format!("<th>{}</th>", html_escape(c)));
+    }
+    b.push_str("</tr>");
+    for row in rows {
+        b.push_str("<tr>");
+        for (i, cell) in row.cells.iter().enumerate() {
+            let indent = if i == 0 {
+                "&nbsp;&nbsp;".repeat(row.response_level as usize)
+            } else {
+                String::new()
+            };
+            if i == 0 {
+                b.push_str(&format!(
+                    "<td>{}<a href=\"/{}.nsf/{}/{}?OpenDocument\">{}</a></td>",
+                    indent,
+                    html_escape(db),
+                    html_escape(view),
+                    row.unid,
+                    html_escape(cell)
+                ));
+            } else {
+                b.push_str(&format!("<td>{}</td>", html_escape(cell)));
+            }
+        }
+        b.push_str("</tr>");
+    }
+    b.push_str("</table>");
+    let next = start + count;
+    if next <= total {
+        b.push_str(&format!(
+            "<p><a href=\"/{}.nsf/{}?OpenView&amp;Start={}&amp;Count={}\">Next</a></p>",
+            html_escape(db),
+            html_escape(view),
+            next,
+            count
+        ));
+    }
+    shell(&format!("{view} - {db}"), &b)
+}
+
+/// A `?ReadViewEntries` payload: the Domino JSON shape
+/// (`@toplevelentries`, then one `viewentry` per row with its
+/// `@position`, `@unid`, and named `entrydata` cells).
+pub fn view_entries_json(
+    columns: &[String],
+    rows: &[Row],
+    start: usize,
+    count: usize,
+    total: usize,
+) -> String {
+    let mut b = String::new();
+    b.push_str(&format!(
+        "{{\"@toplevelentries\":{total},\"@start\":{start},\"@count\":{count},\"viewentry\":["
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            b.push(',');
+        }
+        b.push_str(&format!(
+            "{{\"@position\":\"{}\",\"@unid\":\"{}\",\"@responselevel\":{},\"entrydata\":[",
+            row.position, row.unid, row.response_level
+        ));
+        for (j, cell) in row.cells.iter().enumerate() {
+            if j > 0 {
+                b.push(',');
+            }
+            let name = columns.get(j).map(String::as_str).unwrap_or("");
+            b.push_str(&format!(
+                "{{\"@name\":\"{}\",\"text\":\"{}\"}}",
+                json_escape(name),
+                json_escape(cell)
+            ));
+        }
+        b.push_str("]}");
+    }
+    b.push_str("]}");
+    b
+}
+
+/// Items hidden from rendered documents (system/internal fields).
+fn hidden_item(name: &str) -> bool {
+    name.starts_with('$')
+}
+
+/// An `?OpenDocument` page: every visible item as a definition list.
+pub fn document_page(db: &str, note: &Note) -> String {
+    let mut b = String::new();
+    let title = note
+        .get_text("Subject")
+        .unwrap_or_else(|| note.unid().to_string());
+    b.push_str(&format!("<h1>{}</h1><dl>", html_escape(&title)));
+    for item in note.items() {
+        if hidden_item(&item.name) {
+            continue;
+        }
+        b.push_str(&format!(
+            "<dt>{}</dt><dd>{}</dd>",
+            html_escape(&item.name),
+            html_escape(&item.value.to_text())
+        ));
+    }
+    b.push_str("</dl>");
+    b.push_str(&format!(
+        "<p><a href=\"/{}.nsf/{}?EditDocument\">Edit</a></p>",
+        html_escape(db),
+        note.unid()
+    ));
+    shell(&title, &b)
+}
+
+/// An `?EditDocument` page: a form whose inputs post the document's
+/// visible items back to `?SaveDocument`.
+pub fn edit_page(db: &str, note: &Note) -> String {
+    let mut b = String::new();
+    b.push_str(&format!(
+        "<form method=\"post\" action=\"/{}.nsf/{}?SaveDocument\">",
+        html_escape(db),
+        note.unid()
+    ));
+    for item in note.items() {
+        if hidden_item(&item.name) {
+            continue;
+        }
+        b.push_str(&format!(
+            "<label>{}<input name=\"{}\" value=\"{}\"></label><br>",
+            html_escape(&item.name),
+            html_escape(&item.name),
+            html_escape(&item.value.to_text())
+        ));
+    }
+    b.push_str("<input type=\"submit\" value=\"Save\"></form>");
+    shell("Edit", &b)
+}
+
+/// A `?SearchView` result page: scored hits linked to their documents.
+pub fn search_page(db: &str, view: &str, query: &str, hits: &[(Unid, f32, String)]) -> String {
+    let mut b = String::new();
+    b.push_str(&format!(
+        "<h1>Search {} for \u{201c}{}\u{201d}</h1><p>{} hits</p><ol>",
+        html_escape(view),
+        html_escape(query),
+        hits.len()
+    ));
+    for (unid, score, title) in hits {
+        b.push_str(&format!(
+            "<li><a href=\"/{}.nsf/{}?OpenDocument\">{}</a> ({score:.3})</li>",
+            html_escape(db),
+            unid,
+            html_escape(title)
+        ));
+    }
+    b.push_str("</ol>");
+    shell("Search", &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_types::Value;
+
+    #[test]
+    fn escaping_neutralizes_markup_and_quotes() {
+        assert_eq!(
+            html_escape("<b a=\"x\">&'"),
+            "&lt;b a=&quot;x&quot;&gt;&amp;&#39;"
+        );
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn view_page_links_rows_and_pages() {
+        let rows = vec![Row {
+            position: 1,
+            unid: Unid(0xFEED),
+            response_level: 0,
+            cells: vec!["hello <script>".into(), "ann".into()],
+        }];
+        let html = view_page(
+            "disc",
+            "topics",
+            &["Subject".into(), "From".into()],
+            &rows,
+            1,
+            1,
+            2,
+        );
+        assert!(html.contains("hello &lt;script&gt;"));
+        assert!(html.contains(&format!("{}?OpenDocument", Unid(0xFEED))));
+        // More rows remain: a Next link to Start=2.
+        assert!(html.contains("Start=2"));
+    }
+
+    #[test]
+    fn json_payload_is_shaped_like_domino() {
+        let rows = vec![Row {
+            position: 3,
+            unid: Unid(7),
+            response_level: 1,
+            cells: vec!["x \"y\"".into()],
+        }];
+        let json = view_entries_json(&["Subject".into()], &rows, 3, 1, 9);
+        assert!(json.starts_with("{\"@toplevelentries\":9,"));
+        assert!(json.contains("\"@position\":\"3\""));
+        assert!(json.contains("\"@responselevel\":1"));
+        assert!(json.contains("\"text\":\"x \\\"y\\\"\""));
+    }
+
+    #[test]
+    fn document_pages_hide_system_items() {
+        let mut n = Note::document("Topic");
+        n.set("Subject", Value::text("plan"));
+        n.set("$Secret", Value::text("internal"));
+        let html = document_page("d", &n);
+        assert!(html.contains("plan"));
+        assert!(!html.contains("internal"));
+        let form = edit_page("d", &n);
+        assert!(form.contains("?SaveDocument"));
+        assert!(form.contains("name=\"Subject\""));
+    }
+}

@@ -748,10 +748,19 @@ impl ViewIndex {
     /// One page of entries: `offset` rows into the collation, up to
     /// `limit` rows (scrolling a view window).
     pub fn entries_page(&self, collation: usize, offset: usize, limit: usize) -> Vec<&ViewEntry> {
+        self.entries_range(collation, offset, limit)
+    }
+
+    /// The paged read primitive: up to `count` entries starting `start`
+    /// rows (zero-based) into the collation order. This is what the HTTP
+    /// task's `?OpenView`/`?ReadViewEntries` handlers walk — cost is
+    /// O(start + count) iterator steps over the collation B-tree, never a
+    /// clone of the full entry set.
+    pub fn entries_range(&self, collation: usize, start: usize, count: usize) -> Vec<&ViewEntry> {
         self.orders[collation]
             .values()
-            .skip(offset)
-            .take(limit)
+            .skip(start)
+            .take(count)
             .map(|u| &self.entries[u])
             .collect()
     }

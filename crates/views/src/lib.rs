@@ -154,6 +154,11 @@ impl View {
         self.state.lock().stats()
     }
 
+    /// A copy of the view's design (name, selection, columns).
+    pub fn design(&self) -> ViewDesign {
+        self.state.lock().design().clone()
+    }
+
     /// Rows in primary collation order.
     pub fn rows(&self) -> Vec<ViewEntry> {
         self.rows_in(0)
@@ -182,9 +187,17 @@ impl View {
 
     /// One page of rows (`offset`, `limit`) in a collation's order.
     pub fn rows_page(&self, collation: usize, offset: usize, limit: usize) -> Vec<ViewEntry> {
+        self.rows_range(collation, offset, limit)
+    }
+
+    /// Up to `count` rows starting `start` rows (zero-based) into a
+    /// collation's order — the paged read the HTTP task serves
+    /// `?OpenView`/`?ReadViewEntries` from (see
+    /// [`ViewIndex::entries_range`]).
+    pub fn rows_range(&self, collation: usize, start: usize, count: usize) -> Vec<ViewEntry> {
         self.state
             .lock()
-            .entries_page(collation, offset, limit)
+            .entries_range(collation, start, count)
             .into_iter()
             .cloned()
             .collect()
@@ -553,6 +566,22 @@ mod tests {
         // Past-the-end paging is empty, partial tail works.
         assert!(view.rows_page(0, 25, 5).is_empty());
         assert_eq!(view.rows_page(0, 18, 5).len(), 2);
+        // rows_range is the same primitive: collation order, zero-based.
+        let range = view.rows_range(0, 5, 3);
+        assert_eq!(
+            range
+                .iter()
+                .map(|e| e.values[1].clone())
+                .collect::<Vec<_>>(),
+            page.iter().map(|e| e.values[1].clone()).collect::<Vec<_>>()
+        );
+        // A range over everything matches full row order.
+        let all = view.rows_range(0, 0, usize::MAX);
+        assert_eq!(all.len(), view.len());
+        assert_eq!(
+            all.iter().map(|e| e.unid).collect::<Vec<_>>(),
+            view.rows().iter().map(|e| e.unid).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //!   ([`replica`]),
 //! * per-database full-text search ([`ftindex`]),
 //! * ACL + reader/author-field security ([`security`]),
-//! * and a deterministic multi-server simulator with mail routing
-//!   ([`net`]).
+//! * a deterministic multi-server simulator with mail routing ([`net`]),
+//! * and the Domino HTTP task serving databases over URL commands
+//!   ([`server`]).
 //!
 //! ## Quick start
 //!
@@ -48,6 +49,7 @@ pub use domino_net as net;
 pub use domino_obs as obs;
 pub use domino_replica as replica;
 pub use domino_security as security;
+pub use domino_server as server;
 pub use domino_storage as storage;
 pub use domino_types as types;
 pub use domino_views as views;

@@ -1,0 +1,242 @@
+//! Security integration tests for the Domino HTTP task: ACL and
+//! `$Readers` denials must surface as the right status codes (401 for
+//! anonymous callers, 403 for named ones), restricted documents must
+//! vanish from rendered views and search results, and — the property at
+//! the bottom — the command cache must never serve one user's page to a
+//! user with different access.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use domino::core::{Database, DbConfig, Note};
+use domino::security::{AccessLevel, Acl, AclEntry};
+use domino::server::{DominoServer, Request, ServerConfig};
+use domino::types::{ItemFlags, LogicalClock, ReplicaId, Unid, Value};
+use domino::views::{ColumnSpec, SortDir, ViewDesign};
+
+/// A discussion db where Anonymous may read, alice edits with the
+/// [Board] role, bob authors, rita only reads — plus one public topic
+/// and one `$Readers`-restricted topic visible only to [Board].
+fn board_site() -> (DominoServer, Arc<Database>, Unid, Unid) {
+    let db = Arc::new(
+        Database::open_in_memory(
+            DbConfig::new("Board", ReplicaId(0xB0A2), ReplicaId(0x5EC)),
+            LogicalClock::new(),
+        )
+        .unwrap(),
+    );
+    let mut acl = Acl::new(AccessLevel::Reader);
+    acl.set(
+        "alice",
+        AclEntry::new(AccessLevel::Editor).with_role("Board"),
+    );
+    acl.set("bob", AclEntry::new(AccessLevel::Author));
+    acl.set("rita", AclEntry::new(AccessLevel::Reader));
+    db.set_acl(&acl).unwrap();
+
+    let mut public = Note::document("Topic");
+    public.set("Subject", Value::text("minutes (public)"));
+    public.set("Body", Value::text("nothing to hide here"));
+    db.save(&mut public).unwrap();
+
+    let mut secret = Note::document("Topic");
+    secret.set("Subject", Value::text("acquisition plan"));
+    secret.set("Body", Value::text("the secret acquisition details"));
+    secret.set_with_flags(
+        "DocReaders",
+        Value::text("[Board]"),
+        ItemFlags::SUMMARY | ItemFlags::READERS,
+    );
+    db.save(&mut secret).unwrap();
+
+    let server = DominoServer::new(ServerConfig {
+        workers: 2,
+        queue_bound: 16,
+        cache_capacity: 64,
+    });
+    server.register_database("board", &db).unwrap();
+    let mut design = ViewDesign::new("all", r#"SELECT Form = "Topic""#).unwrap();
+    design.columns = vec![ColumnSpec::new("Subject", "Subject")
+        .unwrap()
+        .sorted(SortDir::Ascending)];
+    server.add_view("board", design).unwrap();
+    server.register_user("alice", "pw-a");
+    server.register_user("bob", "pw-b");
+    server.register_user("rita", "pw-r");
+    (server, db, public.unid(), secret.unid())
+}
+
+#[test]
+fn readers_note_is_401_anonymous_403_named_200_member() {
+    let (server, _db, _public, secret) = board_site();
+    let target = format!("/board.nsf/{secret}?OpenDocument");
+
+    // Anonymous: the browser should be asked to authenticate.
+    let anon = server.handle(&Request::get(&target));
+    assert_eq!(anon.status.code(), 401);
+
+    // A named user off the reader list is refused outright...
+    let bob = server.handle(&Request::get(&target).as_user("bob", "pw-b"));
+    assert_eq!(bob.status.code(), 403);
+    assert!(!bob.body.contains("acquisition"));
+
+    // ...and a [Board] role holder reads it.
+    let alice = server.handle(&Request::get(&target).as_user("alice", "pw-a"));
+    assert_eq!(alice.status.code(), 200);
+    assert!(alice.body.contains("acquisition plan"));
+}
+
+#[test]
+fn save_at_reader_acl_is_403_anonymous_401() {
+    let (server, _db, public, _secret) = board_site();
+    let target = format!("/board.nsf/{public}?SaveDocument");
+
+    let anon = server.handle(&Request::post(&target, "Subject=defaced"));
+    assert_eq!(anon.status.code(), 401);
+
+    let rita = server.handle(&Request::post(&target, "Subject=defaced").as_user("rita", "pw-r"));
+    assert_eq!(rita.status.code(), 403);
+
+    // Reader-level deletes are refused the same way.
+    let del = server.handle(
+        &Request::get(&format!("/board.nsf/{public}?DeleteDocument")).as_user("rita", "pw-r"),
+    );
+    assert_eq!(del.status.code(), 403);
+
+    // The document is untouched and an Editor still can write it.
+    let alice = server.handle(&Request::post(&target, "Subject=amended").as_user("alice", "pw-a"));
+    assert_eq!(alice.status.code(), 200);
+    let shown = server.handle(&Request::get(&format!("/board.nsf/{public}?OpenDocument")));
+    assert!(shown.body.contains("amended"));
+    assert!(!shown.body.contains("defaced"));
+}
+
+#[test]
+fn restricted_rows_vanish_from_views_and_search_for_outsiders() {
+    let (server, _db, _public, _secret) = board_site();
+
+    let bob_view = server.handle(&Request::get("/board.nsf/all?OpenView").as_user("bob", "pw-b"));
+    assert_eq!(bob_view.status.code(), 200);
+    assert!(bob_view.body.contains("minutes (public)"));
+    assert!(!bob_view.body.contains("acquisition"));
+
+    let alice_view =
+        server.handle(&Request::get("/board.nsf/all?OpenView").as_user("alice", "pw-a"));
+    assert!(alice_view.body.contains("acquisition plan"));
+
+    // Full-text search is reader-filtered the same way.
+    let bob_search = server.handle(
+        &Request::get("/board.nsf/all?SearchView&Query=acquisition").as_user("bob", "pw-b"),
+    );
+    assert_eq!(bob_search.status.code(), 200);
+    assert!(!bob_search.body.contains("acquisition plan"));
+    let alice_search = server.handle(
+        &Request::get("/board.nsf/all?SearchView&Query=acquisition").as_user("alice", "pw-a"),
+    );
+    assert!(alice_search.body.contains("acquisition plan"));
+}
+
+/// Who may read a generated document, by reader-list code:
+/// 0 = public, 1 = alice only, 2 = bob only, 3 = alice and bob.
+fn may_read(user: usize, readers_code: usize) -> bool {
+    match readers_code {
+        0 => true,
+        1 => user == 0,
+        2 => user == 1,
+        _ => user < 2,
+    }
+}
+
+const USERS: [&str; 3] = ["alice", "bob", ""]; // "" = anonymous
+const PASSWORDS: [&str; 2] = ["pw-a", "pw-b"];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// The command cache partitions pages by access class: however the
+    /// requests interleave — every page requested twice, so the second
+    /// round is served from cache — a view page handed to user U never
+    /// contains the subject of a document U may not read, and always
+    /// contains every in-window document U may read.
+    #[test]
+    fn cached_pages_never_leak_across_users(
+        docs in prop::collection::vec(0..4usize, 4..12),
+        reqs in prop::collection::vec((0..3usize, 0..3usize), 10..30),
+    ) {
+        let db = Arc::new(Database::open_in_memory(
+            DbConfig::new("Leak", ReplicaId(7), ReplicaId(8)),
+            LogicalClock::new(),
+        ).unwrap());
+        let mut acl = Acl::new(AccessLevel::Reader); // Anonymous reads public docs
+        acl.set("alice", AclEntry::new(AccessLevel::Editor));
+        acl.set("bob", AclEntry::new(AccessLevel::Reader));
+        db.set_acl(&acl).unwrap();
+        for (i, code) in docs.iter().enumerate() {
+            let mut n = Note::document("Doc");
+            n.set("Subject", Value::text(format!("doc-{i:02}-code{code}")));
+            let readers = match code {
+                0 => "",
+                1 => "alice",
+                2 => "bob",
+                _ => "alice;bob",
+            };
+            if !readers.is_empty() {
+                n.set_with_flags(
+                    "DocReaders",
+                    Value::TextList(readers.split(';').map(String::from).collect()),
+                    ItemFlags::SUMMARY | ItemFlags::READERS,
+                );
+            }
+            db.save(&mut n).unwrap();
+        }
+
+        let server = DominoServer::new(ServerConfig {
+            workers: 1,
+            queue_bound: 8,
+            cache_capacity: 64,
+        });
+        server.register_database("leak", &db).unwrap();
+        let mut design = ViewDesign::new("all", r#"SELECT Form = "Doc""#).unwrap();
+        design.columns = vec![ColumnSpec::new("Subject", "Subject")
+            .unwrap()
+            .sorted(SortDir::Ascending)];
+        server.add_view("leak", design).unwrap();
+        server.register_user("alice", "pw-a");
+        server.register_user("bob", "pw-b");
+
+        // Every request twice: the first render populates the cache, the
+        // second must come back from it for the *same* user only.
+        for &(user, page) in &reqs {
+            let start = 1 + page * 4;
+            let target = format!("/leak.nsf/all?OpenView&Start={start}&Count=4");
+            let req = if user < 2 {
+                Request::get(&target).as_user(USERS[user], PASSWORDS[user])
+            } else {
+                Request::get(&target)
+            };
+            for round in 0..2 {
+                let resp = server.handle(&req);
+                prop_assert_eq!(resp.status.code(), 200);
+                for (i, code) in docs.iter().enumerate() {
+                    let subject = format!("doc-{i:02}-code{code}");
+                    let in_window = i + 1 >= start && i + 1 < start + 4;
+                    let readable = may_read(user, *code);
+                    if resp.body.contains(&subject) {
+                        prop_assert!(
+                            readable,
+                            "round {}: {:?} leaked to user {} ({})",
+                            round, subject, user, USERS[user],
+                        );
+                    } else {
+                        prop_assert!(
+                            !(in_window && readable),
+                            "round {}: {:?} missing for user {} ({})",
+                            round, subject, user, USERS[user],
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
