@@ -61,6 +61,13 @@ impl AgentDesign {
     /// Run over every document: selected documents receive the formula's
     /// `FIELD` writes and are saved (skipping documents the writes leave
     /// unchanged, so runs are idempotent).
+    ///
+    /// The sweep iterates a pinned snapshot, so it sees one consistent
+    /// state and never blocks concurrent writers. A document updated
+    /// mid-run surfaces as an optimistic-concurrency conflict on save;
+    /// the agent then re-evaluates the *current* copy once, which is the
+    /// right answer under both outcomes (still selected → apply there;
+    /// no longer selected → skip).
     pub fn run(&self, db: &Database, user: &str) -> Result<AgentRunReport> {
         let env = EvalEnv {
             username: user.to_string(),
@@ -69,10 +76,10 @@ impl AgentDesign {
             ..EvalEnv::default()
         };
         let mut report = AgentRunReport::default();
-        for id in db.note_ids(Some(NoteClass::Document))? {
+        let snap = db.snapshot();
+        for note in snap.documents() {
             report.examined += 1;
-            let note = db.open_note(id)?;
-            let out = self.formula.eval_full(&note, &env)?;
+            let out = self.formula.eval_full(note.as_ref(), &env)?;
             if !out.selected {
                 continue;
             }
@@ -80,7 +87,7 @@ impl AgentDesign {
             if out.field_writes.is_empty() {
                 continue;
             }
-            let mut doc = note;
+            let mut doc = (*note).clone();
             let mut changed = false;
             for (field, value) in out.field_writes {
                 if doc.get(&field) != Some(&value) {
@@ -88,9 +95,33 @@ impl AgentDesign {
                     changed = true;
                 }
             }
-            if changed {
-                db.save(&mut doc)?;
-                report.modified += 1;
+            if !changed {
+                continue;
+            }
+            match db.save(&mut doc) {
+                Ok(()) => report.modified += 1,
+                Err(e) if e.kind() == "update_conflict" => {
+                    let Ok(current) = db.open_by_unid(note.unid()) else {
+                        continue; // deleted mid-run
+                    };
+                    let out = self.formula.eval_full(&current, &env)?;
+                    if !out.selected {
+                        continue;
+                    }
+                    let mut doc = current;
+                    let mut changed = false;
+                    for (field, value) in out.field_writes {
+                        if doc.get(&field) != Some(&value) {
+                            doc.set(&field, value);
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        db.save(&mut doc)?;
+                        report.modified += 1;
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
         Ok(report)

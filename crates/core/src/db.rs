@@ -25,13 +25,14 @@
 //! single-document updates.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
 use domino_formula::{EvalEnv, Formula};
 use domino_obs as obs;
-use domino_security::{AccessLevel, Acl, AclEntry};
+use domino_security::Acl;
 use domino_storage::{Engine, EngineConfig, MemDisk, NoteStore, Segment};
 use domino_types::{
     Clock, DominoError, ItemFlags, LogicalClock, NoteClass, NoteId, Oid, ReplicaId, Result,
@@ -39,6 +40,8 @@ use domino_types::{
 };
 use domino_wal::MemLogStore;
 
+use crate::lock::{ExclusiveGuard, LockStats, LockTable};
+use crate::mvcc::{Snapshot, SnapshotStats, VersionStore};
 use crate::note::{record_is_stub, DeletionStub, Note};
 
 /// Registry handles for note-CRUD and compaction telemetry, summed
@@ -78,6 +81,15 @@ const SLOT_ACL_NOTE: usize = 4;
 /// Default purge interval (ticks). Domino defaults to 90 days of its
 /// replication-cutoff setting; any value works with the logical clock.
 pub const DEFAULT_PURGE_INTERVAL: u64 = 1_000_000;
+
+/// Default per-note lock acquisition timeout (the deadlock backstop).
+pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Sentinel lock key used when the per-note lock table is disabled:
+/// every writer queues on this one key, reproducing the single-writer
+/// database semaphore (the E16 baseline). Generated UNIDs embed a
+/// timestamp and replica id, so no real note ever collides with it.
+const GLOBAL_WRITE_KEY: Unid = Unid(0);
 
 /// A change applied to the database.
 #[derive(Debug, Clone)]
@@ -187,6 +199,13 @@ pub struct DbConfig {
     pub instance_id: ReplicaId,
     pub purge_interval: u64,
     pub engine: EngineConfig,
+    /// How long a writer waits for a contended note lock before giving
+    /// up with [`DominoError::Unavailable`].
+    pub lock_timeout: Duration,
+    /// Per-note write locks (default). When `false`, every writer
+    /// serializes on one global lock — the pre-concurrency behavior,
+    /// kept for comparison (experiment E16).
+    pub use_lock_table: bool,
 }
 
 impl DbConfig {
@@ -197,6 +216,8 @@ impl DbConfig {
             instance_id,
             purge_interval: DEFAULT_PURGE_INTERVAL,
             engine: EngineConfig::default(),
+            lock_timeout: DEFAULT_LOCK_TIMEOUT,
+            use_lock_table: true,
         }
     }
 
@@ -207,6 +228,16 @@ impl DbConfig {
 
     pub fn with_engine(mut self, engine: EngineConfig) -> DbConfig {
         self.engine = engine;
+        self
+    }
+
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> DbConfig {
+        self.lock_timeout = timeout;
+        self
+    }
+
+    pub fn with_lock_table(mut self, enabled: bool) -> DbConfig {
+        self.use_lock_table = enabled;
         self
     }
 }
@@ -250,13 +281,21 @@ impl Drop for CheckpointerHandle {
 }
 
 /// A Notes database. Thread-safe; share via `Arc<Database>`.
+///
+/// Concurrency model (DESIGN.md §concurrency): writers take a per-note
+/// lock from `locks`, then the `inner` engine mutex for the actual
+/// transaction, and publish every committed state into `versions`.
+/// Readers pin a [`Snapshot`] from `versions` and never touch either
+/// writer lock. Lock order is note lock → `inner` → version map.
 pub struct Database {
     inner: Mutex<DbInner>,
     observers: Mutex<Vec<Observer>>,
     batch_observers: Mutex<Vec<BatchObserver>>,
     batch_state: Mutex<BatchState>,
     clock: LogicalClock,
-    change_seq: std::sync::atomic::AtomicU64,
+    versions: Arc<VersionStore>,
+    locks: LockTable,
+    lock_enabled: bool,
 }
 
 impl Database {
@@ -293,22 +332,42 @@ impl Database {
         domino_storage::BTree::open(&mut engine, &mut tx, TREE_SEQ_INDEX)?;
         engine.commit(tx)?;
 
+        let mut inner = DbInner {
+            engine,
+            store,
+            title: config.title,
+            replica_id,
+            instance_id,
+            purge_interval,
+            unid_counter: 0,
+            unread: Default::default(),
+        };
+
+        // Seed the version map with pre-existing engine state at seq 0,
+        // so snapshots of a reopened (or crash-recovered) database see
+        // everything that survived.
+        let versions = Arc::new(VersionStore::new());
+        let mut ids = Vec::new();
+        inner.store.for_each_note(&mut inner.engine, |id| {
+            ids.push(id);
+            true
+        })?;
+        for id in ids {
+            if let Some(note) = inner.load(id)? {
+                versions.seed(note.unid(), id, Arc::new(note));
+            }
+        }
+        versions.set_acl_note(inner.engine.user_slot(SLOT_ACL_NOTE)?);
+
         Ok(Database {
-            inner: Mutex::new(DbInner {
-                engine,
-                store,
-                title: config.title,
-                replica_id,
-                instance_id,
-                purge_interval,
-                unid_counter: 0,
-                unread: Default::default(),
-            }),
+            inner: Mutex::new(inner),
             observers: Mutex::new(Vec::new()),
             batch_observers: Mutex::new(Vec::new()),
             batch_state: Mutex::new(BatchState::default()),
             clock,
-            change_seq: std::sync::atomic::AtomicU64::new(0),
+            versions,
+            locks: LockTable::new(config.lock_timeout),
+            lock_enabled: config.use_lock_table,
         })
     }
 
@@ -381,12 +440,49 @@ impl Database {
     /// Counts commits, not dispatches: it advances even while events are
     /// buffered under [`Database::begin_batch`].
     pub fn change_seq(&self) -> u64 {
-        self.change_seq.load(std::sync::atomic::Ordering::Acquire)
+        self.versions.seq()
+    }
+
+    /// Pin a read [`Snapshot`] at the current change sequence. Snapshot
+    /// reads resolve against the versioned note map and never take the
+    /// writer lock; drop the snapshot to release its GC pin.
+    pub fn snapshot(&self) -> Snapshot {
+        self.versions.pin()
+    }
+
+    /// `Db.Snapshot.*` counters plus this database's retained-version
+    /// count.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.versions.stats()
+    }
+
+    /// Snapshots of *this* database currently pinned.
+    pub fn active_snapshots(&self) -> usize {
+        self.versions.active_pins()
+    }
+
+    /// Process-wide `Db.Lock.*` counters.
+    pub fn lock_stats(&self) -> LockStats {
+        LockTable::stats()
+    }
+
+    /// Take the write lock for a note-mutating operation. With the lock
+    /// table enabled, existing notes lock on their UNID (independent
+    /// writers proceed in parallel) and drafts lock nothing — a fresh
+    /// UNID is unreachable by any other writer. With it disabled, every
+    /// writer queues on one global key.
+    fn write_lock(&self, unid: Option<Unid>) -> Result<Option<ExclusiveGuard<'_>>> {
+        if self.lock_enabled {
+            match unid {
+                Some(u) => Ok(Some(self.locks.exclusive(u)?)),
+                None => Ok(None),
+            }
+        } else {
+            Ok(Some(self.locks.exclusive(GLOBAL_WRITE_KEY)?))
+        }
     }
 
     fn notify(&self, event: ChangeEvent) {
-        self.change_seq
-            .fetch_add(1, std::sync::atomic::Ordering::AcqRel);
         {
             let mut b = self.batch_state.lock();
             if b.depth > 0 {
@@ -431,20 +527,25 @@ impl Database {
     pub fn save(&self, note: &mut Note) -> Result<()> {
         let _span = obs::span!("Database.Save");
         let _save_time = m().save_micros.time_micros();
+        // Truncated copies (bodies stripped by partial replication)
+        // are read-only: saving one would replicate the body loss back
+        // to full replicas.
+        if note.is_truncated() {
+            return Err(DominoError::InvalidArgument(format!(
+                "note {} is a truncated copy; fetch it in full before editing",
+                note.unid()
+            )));
+        }
+        let lock = self.write_lock(if note.is_draft() {
+            None
+        } else {
+            Some(note.unid())
+        })?;
         let event = {
             let mut g = self.inner.lock();
             #[allow(unused_variables)]
             let store = g.store;
             let now = self.clock.now();
-            // Truncated copies (bodies stripped by partial replication)
-            // are read-only: saving one would replicate the body loss back
-            // to full replicas.
-            if note.is_truncated() {
-                return Err(DominoError::InvalidArgument(format!(
-                    "note {} is a truncated copy; fetch it in full before editing",
-                    note.unid()
-                )));
-            }
             let old = if note.is_draft() {
                 // Assign identity.
                 let counter = g.unid_counter;
@@ -514,11 +615,17 @@ impl Database {
                 Some(old)
             };
             g.persist(note, old.is_none())?;
+            // Publish while still holding the engine lock: commit order
+            // equals change-sequence order, which is what makes snapshot
+            // reads linearizable.
+            self.versions
+                .publish(note.unid(), note.id, Some(Arc::new(note.clone())));
             ChangeEvent::Saved {
                 old,
                 new: note.clone(),
             }
         };
+        drop(lock);
         m().saved.inc();
         self.notify(event);
         Ok(())
@@ -528,6 +635,7 @@ impl Database {
     /// stamps, and item revisions are preserved. Replaces any existing
     /// note *or stub* with the same UNID.
     pub fn save_replicated(&self, mut note: Note) -> Result<Note> {
+        let lock = self.write_lock(Some(note.unid()))?;
         let event = {
             let mut g = self.inner.lock();
             #[allow(unused_variables)]
@@ -548,11 +656,14 @@ impl Database {
                 }
             };
             g.persist(&mut note, existing.is_none())?;
+            self.versions
+                .publish(note.unid(), note.id, Some(Arc::new(note.clone())));
             ChangeEvent::Saved {
                 old,
                 new: note.clone(),
             }
         };
+        drop(lock);
         let note = match &event {
             ChangeEvent::Saved { new, .. } => new.clone(),
             _ => unreachable!(),
@@ -622,6 +733,14 @@ impl Database {
 
     /// Delete a note, leaving a deletion stub.
     pub fn delete(&self, id: NoteId) -> Result<DeletionStub> {
+        // Resolve the lock key (the UNID) from the version map — without
+        // touching the engine lock. The authoritative load happens again
+        // under the lock; a racing delete surfaces as NotFound there.
+        let unid = self
+            .versions
+            .current_unid(id)
+            .ok_or_else(|| DominoError::NotFound(format!("note {id}")))?;
+        let lock = self.write_lock(Some(unid))?;
         let event = {
             let mut g = self.inner.lock();
             #[allow(unused_variables)]
@@ -638,8 +757,10 @@ impl Database {
                 deleted_at: now,
             };
             g.write_stub(&stub, Some(old.modified))?;
+            self.versions.publish(old.unid(), id, None);
             ChangeEvent::Deleted { old, stub }
         };
+        drop(lock);
         let stub = match &event {
             ChangeEvent::Deleted { stub, .. } => *stub,
             _ => unreachable!(),
@@ -654,6 +775,7 @@ impl Database {
     /// local copy is *newer* than the deletion (the caller should treat
     /// that as a conflict).
     pub fn apply_remote_deletion(&self, remote: &DeletionStub) -> Result<Option<DeletionStub>> {
+        let lock = self.write_lock(Some(remote.oid.unid))?;
         let event = {
             let mut g = self.inner.lock();
             #[allow(unused_variables)]
@@ -671,6 +793,11 @@ impl Database {
                     let stub = DeletionStub { id, ..*remote };
                     let old_modified = old.as_ref().map(|n| n.modified);
                     g.write_stub(&stub, old_modified)?;
+                    if old.is_some() {
+                        // Retract the live note from snapshot visibility;
+                        // re-stubbing a stub changes nothing readers see.
+                        self.versions.publish(remote.oid.unid, id, None);
+                    }
                     old.map(|old| ChangeEvent::Deleted { old, stub })
                 }
                 None => {
@@ -685,6 +812,7 @@ impl Database {
                 }
             }
         };
+        drop(lock);
         let stub = event.as_ref().map(|e| match e {
             ChangeEvent::Deleted { stub, .. } => *stub,
             _ => unreachable!(),
@@ -803,21 +931,34 @@ impl Database {
         let now = self.clock.peek();
         let horizon = Timestamp(now.0.saturating_sub(self.purge_interval()));
         let stubs = self.stubs()?;
-        let mut g = self.inner.lock();
-        #[allow(unused_variables)]
-        let store = g.store;
         let mut purged = 0;
         for stub in stubs {
-            if stub.deleted_at < horizon {
-                let mut tx = g.engine.begin()?;
-                store.remove(&mut g.engine, &mut tx, stub.id)?;
-                store.unbind_unid(&mut g.engine, &mut tx, stub.oid.unid)?;
-                let seq = domino_storage::BTree::open_existing(&mut g.engine, TREE_SEQ_INDEX)?;
-                seq.delete(&mut g.engine, &mut tx, seq_key(stub.oid.seq_time, stub.id))?;
-                g.engine.commit(tx)?;
-                purged += 1;
+            if stub.deleted_at >= horizon {
+                continue;
             }
+            let lock = self.write_lock(Some(stub.oid.unid))?;
+            let mut g = self.inner.lock();
+            #[allow(unused_variables)]
+            let store = g.store;
+            // Re-verify under the lock: the stub may have been purged or
+            // resurrected (save_replicated) since it was listed.
+            match store.get(&mut g.engine, stub.id, Segment::Summary)? {
+                Some(bytes) if record_is_stub(&bytes) => {}
+                _ => continue,
+            }
+            let mut tx = g.engine.begin()?;
+            store.remove(&mut g.engine, &mut tx, stub.id)?;
+            store.unbind_unid(&mut g.engine, &mut tx, stub.oid.unid)?;
+            let seq = domino_storage::BTree::open_existing(&mut g.engine, TREE_SEQ_INDEX)?;
+            seq.delete(&mut g.engine, &mut tx, seq_key(stub.oid.seq_time, stub.id))?;
+            g.engine.commit(tx)?;
+            purged += 1;
+            drop(g);
+            drop(lock);
         }
+        // Purged deletions also free their version-map tombstones (once
+        // no snapshot pins them).
+        self.versions.sweep();
         Ok(purged)
     }
 
@@ -838,25 +979,10 @@ impl Database {
     // ACL
     // ------------------------------------------------------------------
 
-    /// The database ACL (wide open until one is stored).
+    /// The database ACL (wide open until one is stored). Served from a
+    /// snapshot, so access checks never wait on writers.
     pub fn acl(&self) -> Result<Acl> {
-        let acl_id = {
-            let mut g = self.inner.lock();
-            #[allow(unused_variables)]
-            let store = g.store;
-            g.engine.user_slot(SLOT_ACL_NOTE)?
-        };
-        if acl_id == 0 {
-            let mut acl = Acl::new(AccessLevel::NoAccess);
-            acl.set_default(AclEntry::new(AccessLevel::Manager));
-            return Ok(acl);
-        }
-        let note = self.open_note(NoteId(acl_id as u32))?;
-        let lines: Vec<String> = match note.get("Entries") {
-            Some(v) => v.iter_scalars().iter().map(|s| s.to_text()).collect(),
-            None => Vec::new(),
-        };
-        Acl::from_lines(&lines).ok_or_else(|| DominoError::Corrupt("unparseable ACL note".into()))
+        self.snapshot().acl()
     }
 
     /// Store the ACL (as an ACL-class note, so it replicates).
@@ -880,7 +1006,9 @@ impl Database {
         let mut tx = g.engine.begin()?;
         g.engine
             .set_user_slot(&mut tx, SLOT_ACL_NOTE, note.id.0 as u64)?;
-        g.engine.commit(tx)
+        g.engine.commit(tx)?;
+        self.versions.set_acl_note(note.id.0 as u64);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1062,6 +1190,8 @@ impl Database {
             instance_id: self.instance_id(),
             purge_interval: self.purge_interval(),
             engine: self.inner.lock().engine.config().clone(),
+            lock_timeout: self.locks.timeout(),
+            use_lock_table: self.lock_enabled,
         };
         let fresh = Database::open(disk, log, config, self.clock.clone())?;
         // Copy notes in note-id order, preserving identity and lineage

@@ -34,6 +34,8 @@
 pub mod agent;
 pub mod db;
 pub mod form;
+pub mod lock;
+pub mod mvcc;
 pub mod note;
 pub mod session;
 
@@ -43,9 +45,11 @@ pub use agent::{
 };
 pub use db::{
     ChangeEvent, ChangedNote, CheckpointerHandle, CompactStats, Database, DbConfig, DbInfo,
-    DEFAULT_PURGE_INTERVAL,
+    DEFAULT_LOCK_TIMEOUT, DEFAULT_PURGE_INTERVAL,
 };
 pub use form::{form_for, save_form, stored_forms, FieldKind, FieldSpec, FormDesign};
+pub use lock::{ExclusiveGuard, LockMode, LockStats, LockTable, SharedGuard};
+pub use mvcc::{Snapshot, SnapshotStats};
 pub use note::{
     revision_fingerprint, same_revision, DeletionStub, Note, ITEM_AUTHORS, ITEM_CONFLICT,
     ITEM_FORM, ITEM_READERS, ITEM_REF, ITEM_REVISIONS, ITEM_TRUNCATED, MAX_REVISIONS,

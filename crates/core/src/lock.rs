@@ -1,0 +1,382 @@
+//! Per-note lock table: shared/exclusive record locks with wait queues
+//! and timeout-based deadlock resolution.
+//!
+//! Domino serializes NOTEUPDATE against a per-note lock rather than a
+//! database-wide latch, so independent editors proceed in parallel and
+//! only same-note writers queue. This table reproduces that discipline:
+//!
+//! * **Shared** mode admits any number of holders as long as no writer
+//!   holds or *waits for* the note (writer priority prevents a stream of
+//!   readers from starving an update).
+//! * **Exclusive** mode admits one holder once every reader drains.
+//! * **Deadlock handling is by timeout**: a request that cannot be
+//!   granted within the table's `timeout` gives up with
+//!   [`DominoError::Unavailable`] — the transient "database is in use"
+//!   error Domino surfaces to clients — rather than waiting forever.
+//!   With one lock taken per save there is no lock-ordering cycle to
+//!   detect; the timeout is the backstop for accidental re-entry and for
+//!   writers stalled behind a wedged holder.
+//!
+//! Locks are **not reentrant**: a thread that already holds a note
+//! exclusively and requests it again deadlocks against itself until the
+//! timeout rescues it. [`Database`](crate::Database) takes at most one
+//! note lock per operation, so this never happens on internal paths.
+//!
+//! Guards are RAII: dropping a [`SharedGuard`]/[`ExclusiveGuard`]
+//! releases the lock and wakes waiters. A note with no holders and no
+//! waiters is removed from the table, so memory tracks the *hot* set,
+//! not the database size.
+
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use domino_obs as obs;
+use domino_types::{DominoError, Result, Unid};
+
+/// `Db.Lock.*` statistics, summed across every lock table in the process.
+struct Metrics {
+    shared_acquired: &'static obs::Counter,
+    exclusive_acquired: &'static obs::Counter,
+    waits: &'static obs::Counter,
+    wait_micros: &'static obs::Histogram,
+    timeouts: &'static obs::Counter,
+    held: &'static obs::Gauge,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        shared_acquired: obs::counter("Db.Lock.Shared.Acquired"),
+        exclusive_acquired: obs::counter("Db.Lock.Exclusive.Acquired"),
+        waits: obs::counter("Db.Lock.Waits"),
+        wait_micros: obs::histogram("Db.Lock.Wait.Micros"),
+        timeouts: obs::counter("Db.Lock.Timeouts"),
+        held: obs::gauge("Db.Lock.Held"),
+    })
+}
+
+/// Lock mode requested on a note.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Many concurrent holders; excludes writers.
+    Shared,
+    /// One holder; excludes everyone.
+    Exclusive,
+}
+
+/// Per-note lock state. Removed from the table when idle.
+#[derive(Debug, Default)]
+struct Entry {
+    /// Current shared holders.
+    shared: usize,
+    /// Whether an exclusive holder owns the note.
+    exclusive: bool,
+    /// Writers queued on the note; blocks *new* readers (writer priority).
+    waiting_exclusive: usize,
+}
+
+impl Entry {
+    fn idle(&self) -> bool {
+        self.shared == 0 && !self.exclusive && self.waiting_exclusive == 0
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<Unid, Entry>,
+}
+
+/// Counters snapshot for a lock table (process-wide, via the metrics
+/// registry — see OPERATIONS.md `Db.Lock.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    pub shared_acquired: u64,
+    pub exclusive_acquired: u64,
+    pub waits: u64,
+    pub timeouts: u64,
+    /// Locks currently held across the process.
+    pub held: i64,
+}
+
+/// The lock table. One per [`Database`](crate::Database); keys are note
+/// UNIDs (stable across the note's lifetime, unlike local note ids).
+#[derive(Debug)]
+pub struct LockTable {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    timeout: Duration,
+}
+
+impl LockTable {
+    /// Create a table whose requests give up (with
+    /// [`DominoError::Unavailable`]) after `timeout`.
+    pub fn new(timeout: Duration) -> LockTable {
+        LockTable {
+            inner: Mutex::new(Inner::default()),
+            cond: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// The configured acquisition timeout.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Acquire `key` in shared mode. Blocks while a writer holds or waits
+    /// for the note; errs with `Unavailable` after the table timeout.
+    pub fn shared(&self, key: Unid) -> Result<SharedGuard<'_>> {
+        let mut g = self.inner.lock().expect("lock table poisoned");
+        let entry = g.entries.entry(key).or_default();
+        if entry.exclusive || entry.waiting_exclusive > 0 {
+            let _span = obs::span!("Db.Lock.Wait");
+            m().waits.inc();
+            let start = Instant::now();
+            let deadline = start + self.timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    m().timeouts.inc();
+                    Self::drop_if_idle(&mut g, key);
+                    return Err(lock_timeout(key, LockMode::Shared, self.timeout));
+                }
+                g = self
+                    .cond
+                    .wait_timeout(g, deadline - now)
+                    .expect("lock table poisoned")
+                    .0;
+                let entry = g.entries.entry(key).or_default();
+                if !entry.exclusive && entry.waiting_exclusive == 0 {
+                    break;
+                }
+            }
+            m().wait_micros.record_micros(start.elapsed());
+        }
+        g.entries.entry(key).or_default().shared += 1;
+        m().shared_acquired.inc();
+        m().held.add(1);
+        Ok(SharedGuard { table: self, key })
+    }
+
+    /// Acquire `key` in exclusive mode. Blocks while anyone holds the
+    /// note; errs with `Unavailable` after the table timeout.
+    pub fn exclusive(&self, key: Unid) -> Result<ExclusiveGuard<'_>> {
+        let mut g = self.inner.lock().expect("lock table poisoned");
+        let entry = g.entries.entry(key).or_default();
+        if entry.exclusive || entry.shared > 0 {
+            let _span = obs::span!("Db.Lock.Wait");
+            m().waits.inc();
+            entry.waiting_exclusive += 1;
+            let start = Instant::now();
+            let deadline = start + self.timeout;
+            loop {
+                let now = Instant::now();
+                if now >= deadline {
+                    m().timeouts.inc();
+                    let entry = g.entries.entry(key).or_default();
+                    entry.waiting_exclusive -= 1;
+                    Self::drop_if_idle(&mut g, key);
+                    // Readers admitted only while no writer waits may be
+                    // blocked behind this abandoned claim.
+                    self.cond.notify_all();
+                    return Err(lock_timeout(key, LockMode::Exclusive, self.timeout));
+                }
+                g = self
+                    .cond
+                    .wait_timeout(g, deadline - now)
+                    .expect("lock table poisoned")
+                    .0;
+                let entry = g.entries.entry(key).or_default();
+                if !entry.exclusive && entry.shared == 0 {
+                    entry.waiting_exclusive -= 1;
+                    break;
+                }
+            }
+            m().wait_micros.record_micros(start.elapsed());
+        }
+        g.entries.entry(key).or_default().exclusive = true;
+        m().exclusive_acquired.inc();
+        m().held.add(1);
+        Ok(ExclusiveGuard { table: self, key })
+    }
+
+    fn drop_if_idle(g: &mut Inner, key: Unid) {
+        if g.entries.get(&key).is_some_and(Entry::idle) {
+            g.entries.remove(&key);
+        }
+    }
+
+    fn release_shared(&self, key: Unid) {
+        let mut g = self.inner.lock().expect("lock table poisoned");
+        let entry = g.entries.get_mut(&key).expect("released unheld lock");
+        entry.shared -= 1;
+        Self::drop_if_idle(&mut g, key);
+        drop(g);
+        m().held.add(-1);
+        self.cond.notify_all();
+    }
+
+    fn release_exclusive(&self, key: Unid) {
+        let mut g = self.inner.lock().expect("lock table poisoned");
+        let entry = g.entries.get_mut(&key).expect("released unheld lock");
+        entry.exclusive = false;
+        Self::drop_if_idle(&mut g, key);
+        drop(g);
+        m().held.add(-1);
+        self.cond.notify_all();
+    }
+
+    /// Notes with at least one holder or waiter right now.
+    pub fn active_entries(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("lock table poisoned")
+            .entries
+            .len()
+    }
+
+    /// Process-wide `Db.Lock.*` counters.
+    pub fn stats() -> LockStats {
+        let reg = m();
+        LockStats {
+            shared_acquired: reg.shared_acquired.get(),
+            exclusive_acquired: reg.exclusive_acquired.get(),
+            waits: reg.waits.get(),
+            timeouts: reg.timeouts.get(),
+            held: reg.held.get(),
+        }
+    }
+}
+
+fn lock_timeout(key: Unid, mode: LockMode, timeout: Duration) -> DominoError {
+    DominoError::Unavailable(format!(
+        "{mode:?} lock on note {key} not granted within {timeout:?} (database in use)"
+    ))
+}
+
+/// RAII shared lock on one note.
+#[derive(Debug)]
+pub struct SharedGuard<'a> {
+    table: &'a LockTable,
+    key: Unid,
+}
+
+impl Drop for SharedGuard<'_> {
+    fn drop(&mut self) {
+        self.table.release_shared(self.key);
+    }
+}
+
+/// RAII exclusive lock on one note.
+#[derive(Debug)]
+pub struct ExclusiveGuard<'a> {
+    table: &'a LockTable,
+    key: Unid,
+}
+
+impl Drop for ExclusiveGuard<'_> {
+    fn drop(&mut self) {
+        self.table.release_exclusive(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    const KEY: Unid = Unid(7);
+    const OTHER: Unid = Unid(8);
+
+    #[test]
+    fn shared_locks_coexist_and_exclusive_waits() {
+        let table = Arc::new(LockTable::new(Duration::from_secs(5)));
+        let s1 = table.shared(KEY).unwrap();
+        let s2 = table.shared(KEY).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let t2 = table.clone();
+        let writer = std::thread::spawn(move || {
+            let _x = t2.exclusive(KEY).unwrap();
+            tx.send(()).unwrap();
+        });
+        assert!(
+            rx.recv_timeout(Duration::from_millis(50)).is_err(),
+            "exclusive must wait for shared holders"
+        );
+        drop(s1);
+        drop(s2);
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("exclusive granted after readers release");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn independent_keys_do_not_block() {
+        let table = LockTable::new(Duration::from_secs(5));
+        let _a = table.exclusive(KEY).unwrap();
+        let _b = table.exclusive(OTHER).unwrap();
+        assert_eq!(table.active_entries(), 2);
+    }
+
+    #[test]
+    fn waiting_writer_blocks_new_readers() {
+        let table = Arc::new(LockTable::new(Duration::from_secs(5)));
+        let held = table.shared(KEY).unwrap();
+        let admitted = Arc::new(AtomicUsize::new(0));
+
+        let t2 = table.clone();
+        let a2 = admitted.clone();
+        let writer = std::thread::spawn(move || {
+            let _x = t2.exclusive(KEY).unwrap();
+            // The writer must get in before any post-queue reader.
+            assert_eq!(a2.load(Ordering::SeqCst), 0, "reader jumped the writer");
+        });
+        // Let the writer queue up.
+        while LockTable::stats().waits == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+
+        let t3 = table.clone();
+        let a3 = admitted.clone();
+        let reader = std::thread::spawn(move || {
+            let _s = t3.shared(KEY).unwrap();
+            a3.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            admitted.load(Ordering::SeqCst),
+            0,
+            "new reader admitted past a waiting writer"
+        );
+        drop(held);
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(admitted.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn timeout_yields_unavailable_and_recovers() {
+        let table = LockTable::new(Duration::from_millis(30));
+        let held = table.exclusive(KEY).unwrap();
+        let err = table.exclusive(KEY).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(err.is_transient());
+        let err = table.shared(KEY).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        drop(held);
+        // The abandoned claims must not wedge the entry.
+        let _again = table.exclusive(KEY).unwrap();
+    }
+
+    #[test]
+    fn idle_entries_are_reclaimed() {
+        let table = LockTable::new(Duration::from_secs(1));
+        for i in 0..64u128 {
+            let _g = table.exclusive(Unid(i)).unwrap();
+        }
+        assert_eq!(table.active_entries(), 0, "idle entries must be removed");
+    }
+}

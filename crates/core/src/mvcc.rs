@@ -1,0 +1,530 @@
+//! Multi-version note map: `change_seq`-stamped snapshots so readers
+//! never take the writer lock.
+//!
+//! Every committed save/delete *publishes* the new note state (or a
+//! deletion tombstone) into a per-UNID version chain, stamped with the
+//! database change sequence assigned to that commit. A reader *pins* a
+//! snapshot — the current sequence number — and resolves every lookup
+//! against the newest version at-or-below its pin, entirely under a
+//! shared lock: `?OpenView` pagination, `?OpenDocument`, full-text
+//! search, and agent sweeps run against a frozen, consistent state while
+//! writers keep committing.
+//!
+//! Version chains are pruned incrementally on each publish: versions
+//! superseded at or below the oldest pinned sequence are dropped, and a
+//! chain reduced to an unpinnable tombstone disappears entirely (to a
+//! snapshot reader a tombstone and an absent chain are the same answer).
+//! With no pins outstanding, each chain holds exactly the newest version
+//! of each live note.
+//!
+//! Locking protocol (the order is load-bearing):
+//!
+//! * `publish` holds the map **write lock** across sequence bump +
+//!   version insert + pruning, computing the pin horizon under the pins
+//!   mutex while it does.
+//! * `pin` takes the map **read lock**, then the pins mutex, then reads
+//!   the sequence. Because pinning excludes publishers, a pin can never
+//!   land between a publisher's sequence bump and its prune — the
+//!   classic register-vs-reclaim race is closed by lock order, not by a
+//!   retry loop.
+//! * Unpinning (snapshot drop) touches only the pins mutex; reclamation
+//!   is deferred to the next publish or `VersionStore::sweep`.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+
+use parking_lot::RwLock;
+
+use domino_formula::{EvalEnv, Formula};
+use domino_obs as obs;
+use domino_security::{AccessLevel, Acl, AclEntry};
+use domino_types::{DominoError, NoteClass, NoteId, Result, Unid};
+
+use crate::note::Note;
+
+/// `Db.Snapshot.*` statistics, summed across every open database.
+struct Metrics {
+    pinned: &'static obs::Counter,
+    active: &'static obs::Gauge,
+    reads: &'static obs::Counter,
+    versions: &'static obs::Gauge,
+    pruned: &'static obs::Counter,
+}
+
+fn m() -> &'static Metrics {
+    static M: OnceLock<Metrics> = OnceLock::new();
+    M.get_or_init(|| Metrics {
+        pinned: obs::counter("Db.Snapshot.Pinned"),
+        active: obs::gauge("Db.Snapshot.Active"),
+        reads: obs::counter("Db.Snapshot.Reads"),
+        versions: obs::gauge("Db.Snapshot.Versions"),
+        pruned: obs::counter("Db.Snapshot.Pruned"),
+    })
+}
+
+/// How many dirty chains one publish will try to prune. Bounds the work
+/// done while holding the write lock; the queue drains because every
+/// publish adds at most one entry.
+const PRUNE_QUOTA: usize = 16;
+
+/// One note's version history: `(change_seq, state)` pairs ascending by
+/// sequence; `None` is a deletion tombstone.
+struct Chain {
+    /// Local note id currently bound to this UNID (for `by_id` cleanup
+    /// when the chain is reclaimed — a tombstone carries no note).
+    id: NoteId,
+    versions: Vec<(u64, Option<Arc<Note>>)>,
+}
+
+#[derive(Default)]
+struct VersionsInner {
+    chains: HashMap<Unid, Chain>,
+    /// Current local-id binding (ids are never reused by the store).
+    by_id: HashMap<NoteId, Unid>,
+    /// Chains that may have prunable versions, oldest first.
+    dirty: VecDeque<Unid>,
+}
+
+/// Point-in-time counters for the version map (see OPERATIONS.md
+/// `Db.Snapshot.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Snapshots pinned since process start (process-wide).
+    pub pinned_total: u64,
+    /// Snapshots alive right now (process-wide).
+    pub active: i64,
+    /// Lookups served from snapshots (process-wide).
+    pub reads: u64,
+    /// Versions retained by *this* database's map right now.
+    pub retained_versions: usize,
+    /// Versions reclaimed since process start (process-wide).
+    pub pruned: u64,
+}
+
+/// The versioned note map behind [`crate::Database`]. Shared with every
+/// outstanding [`Snapshot`].
+pub struct VersionStore {
+    state: RwLock<VersionsInner>,
+    /// Pinned sequence → pin count. `BTreeMap` so the horizon (smallest
+    /// pinned seq) is the first key.
+    pins: StdMutex<BTreeMap<u64, usize>>,
+    seq: AtomicU64,
+    /// Note id of the stored ACL note (0 = none), mirrored from the
+    /// engine user slot so snapshots resolve the ACL without the engine.
+    acl_note: AtomicU64,
+}
+
+impl VersionStore {
+    pub(crate) fn new() -> VersionStore {
+        VersionStore {
+            state: RwLock::new(VersionsInner::default()),
+            pins: StdMutex::new(BTreeMap::new()),
+            seq: AtomicU64::new(0),
+            acl_note: AtomicU64::new(0),
+        }
+    }
+
+    /// Current change sequence (lock-free; safe for pollers).
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_acl_note(&self, id: u64) {
+        self.acl_note.store(id, Ordering::Release);
+    }
+
+    /// Install pre-existing engine state at sequence 0 (database open).
+    pub(crate) fn seed(&self, unid: Unid, id: NoteId, note: Arc<Note>) {
+        let mut st = self.state.write();
+        st.by_id.insert(id, unid);
+        st.chains.insert(
+            unid,
+            Chain {
+                id,
+                versions: vec![(0, Some(note))],
+            },
+        );
+        m().versions.add(1);
+    }
+
+    /// Record one committed write and return the change sequence assigned
+    /// to it. Called with the database's inner lock held, so commit order
+    /// equals sequence order (the linearizability anchor). `None`
+    /// publishes a deletion tombstone.
+    pub(crate) fn publish(&self, unid: Unid, id: NoteId, note: Option<Arc<Note>>) -> u64 {
+        let mut st = self.state.write();
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) + 1;
+        if note.is_some() {
+            st.by_id.insert(id, unid);
+        }
+        let chain = st.chains.entry(unid).or_insert_with(|| Chain {
+            id,
+            versions: Vec::new(),
+        });
+        chain.id = id;
+        chain.versions.push((seq, note));
+        m().versions.add(1);
+        st.dirty.push_back(unid);
+        let min_pin = self.min_pin(seq);
+        Self::prune_some(&mut st, min_pin, PRUNE_QUOTA);
+        seq
+    }
+
+    /// Pin the current state. The read lock excludes publishers, so the
+    /// observed sequence is fully published and cannot be pruned before
+    /// the pin registers.
+    pub(crate) fn pin(self: &Arc<Self>) -> Snapshot {
+        let seq = {
+            let _st = self.state.read();
+            let seq = self.seq.load(Ordering::Acquire);
+            let mut pins = self.pins.lock().expect("pin registry poisoned");
+            *pins.entry(seq).or_insert(0) += 1;
+            seq
+        };
+        m().pinned.inc();
+        m().active.add(1);
+        Snapshot {
+            store: Arc::clone(self),
+            seq,
+            acl_id: self.acl_note.load(Ordering::Acquire),
+        }
+    }
+
+    fn unpin(&self, seq: u64) {
+        let mut pins = self.pins.lock().expect("pin registry poisoned");
+        if let Some(n) = pins.get_mut(&seq) {
+            *n -= 1;
+            if *n == 0 {
+                pins.remove(&seq);
+            }
+        }
+        drop(pins);
+        m().active.add(-1);
+    }
+
+    /// Oldest sequence any snapshot may still read; `current` if none.
+    fn min_pin(&self, current: u64) -> u64 {
+        let pins = self.pins.lock().expect("pin registry poisoned");
+        pins.keys().next().copied().unwrap_or(current)
+    }
+
+    fn prune_some(st: &mut VersionsInner, min_pin: u64, quota: usize) {
+        for _ in 0..quota {
+            let Some(unid) = st.dirty.pop_front() else {
+                break;
+            };
+            let (reclaim_id, requeue) = {
+                let Some(chain) = st.chains.get_mut(&unid) else {
+                    continue;
+                };
+                // Keep the newest version at-or-below the horizon plus
+                // everything above it; older versions are unreachable.
+                if let Some(idx) = chain.versions.iter().rposition(|(s, _)| *s <= min_pin) {
+                    if idx > 0 {
+                        chain.versions.drain(..idx);
+                        m().versions.add(-(idx as i64));
+                        m().pruned.add(idx as u64);
+                    }
+                }
+                let fully_dead = chain.versions.len() == 1
+                    && chain.versions[0].1.is_none()
+                    && chain.versions[0].0 <= min_pin;
+                if fully_dead {
+                    (Some(chain.id), false)
+                } else {
+                    // Still multi-version or tombstone-tipped: revisit.
+                    let dirty = chain.versions.len() > 1
+                        || chain.versions.last().is_some_and(|(_, n)| n.is_none());
+                    (None, dirty)
+                }
+            };
+            if let Some(id) = reclaim_id {
+                // A tombstone no snapshot can see equals absence: drop the
+                // chain and its id binding entirely.
+                st.chains.remove(&unid);
+                m().versions.add(-1);
+                m().pruned.inc();
+                if st.by_id.get(&id) == Some(&unid) {
+                    st.by_id.remove(&id);
+                }
+            } else if requeue {
+                st.dirty.push_back(unid);
+            }
+        }
+    }
+
+    /// Full prune pass over every chain (stub purge, maintenance).
+    pub(crate) fn sweep(&self) {
+        let mut st = self.state.write();
+        let min_pin = self.min_pin(self.seq.load(Ordering::Acquire));
+        st.dirty.clear();
+        let all: Vec<Unid> = st.chains.keys().copied().collect();
+        st.dirty.extend(all.iter().copied());
+        let n = all.len();
+        Self::prune_some(&mut st, min_pin, n);
+    }
+
+    /// UNID currently bound to a live note at `id` (not a tombstone).
+    pub(crate) fn current_unid(&self, id: NoteId) -> Option<Unid> {
+        let st = self.state.read();
+        let unid = *st.by_id.get(&id)?;
+        let chain = st.chains.get(&unid)?;
+        match chain.versions.last() {
+            Some((_, Some(_))) => Some(unid),
+            _ => None,
+        }
+    }
+
+    /// Versions currently retained by this map.
+    pub(crate) fn retained_versions(&self) -> usize {
+        let st = self.state.read();
+        st.chains.values().map(|c| c.versions.len()).sum()
+    }
+
+    /// Snapshots of this map currently pinned.
+    pub(crate) fn active_pins(&self) -> usize {
+        self.pins
+            .lock()
+            .expect("pin registry poisoned")
+            .values()
+            .sum()
+    }
+
+    pub(crate) fn stats(&self) -> SnapshotStats {
+        let reg = m();
+        SnapshotStats {
+            pinned_total: reg.pinned.get(),
+            active: reg.active.get(),
+            reads: reg.reads.get(),
+            retained_versions: self.retained_versions(),
+            pruned: reg.pruned.get(),
+        }
+    }
+}
+
+fn wide_open_acl() -> Acl {
+    let mut acl = Acl::new(AccessLevel::NoAccess);
+    acl.set_default(AclEntry::new(AccessLevel::Manager));
+    acl
+}
+
+/// A pinned, immutable view of the database at one change sequence.
+/// Every lookup resolves against the version chains under a shared lock;
+/// no reader ever touches the writer path. Dropping the snapshot
+/// releases the pin (and with it, the GC horizon).
+pub struct Snapshot {
+    store: Arc<VersionStore>,
+    seq: u64,
+    acl_id: u64,
+}
+
+impl Snapshot {
+    /// The change sequence this snapshot is pinned at: it sees exactly
+    /// the commits with sequence `<=` this value.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn visible(chain: &Chain, seq: u64) -> Option<&Arc<Note>> {
+        chain
+            .versions
+            .iter()
+            .rev()
+            .find(|(s, _)| *s <= seq)
+            .and_then(|(_, n)| n.as_ref())
+    }
+
+    /// Fetch a note by local id without cloning the note body (the hot
+    /// server path). Deleted or not-yet-created notes read as `NotFound`.
+    pub fn open_arc(&self, id: NoteId) -> Result<Arc<Note>> {
+        m().reads.inc();
+        let st = self.store.state.read();
+        st.by_id
+            .get(&id)
+            .and_then(|unid| st.chains.get(unid))
+            .and_then(|c| Self::visible(c, self.seq))
+            .cloned()
+            .ok_or_else(|| DominoError::NotFound(format!("note {id}")))
+    }
+
+    /// Fetch a note by local id (owned copy).
+    pub fn open_note(&self, id: NoteId) -> Result<Note> {
+        self.open_arc(id).map(|n| (*n).clone())
+    }
+
+    /// Fetch a note by UNID.
+    pub fn open_by_unid(&self, unid: Unid) -> Result<Note> {
+        m().reads.inc();
+        let st = self.store.state.read();
+        st.chains
+            .get(&unid)
+            .and_then(|c| Self::visible(c, self.seq))
+            .map(|n| (**n).clone())
+            .ok_or_else(|| DominoError::NotFound(format!("unid {unid}")))
+    }
+
+    /// Whether a live note with this UNID is visible.
+    pub fn contains(&self, unid: Unid) -> bool {
+        let st = self.store.state.read();
+        st.chains
+            .get(&unid)
+            .and_then(|c| Self::visible(c, self.seq))
+            .is_some()
+    }
+
+    /// Ids of all visible notes of a class (ascending). `None` = all.
+    pub fn note_ids(&self, class: Option<NoteClass>) -> Vec<NoteId> {
+        m().reads.inc();
+        let st = self.store.state.read();
+        let mut out: Vec<NoteId> = st
+            .chains
+            .values()
+            .filter_map(|c| Self::visible(c, self.seq))
+            .filter(|n| class.is_none() || Some(n.class) == class)
+            .map(|n| n.id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All visible documents, ascending by note id.
+    pub fn documents(&self) -> Vec<Arc<Note>> {
+        m().reads.inc();
+        let st = self.store.state.read();
+        let mut out: Vec<Arc<Note>> = st
+            .chains
+            .values()
+            .filter_map(|c| Self::visible(c, self.seq))
+            .filter(|n| n.class == NoteClass::Document)
+            .cloned()
+            .collect();
+        out.sort_unstable_by_key(|n| n.id);
+        out
+    }
+
+    /// Count of visible documents.
+    pub fn document_count(&self) -> usize {
+        self.documents().len()
+    }
+
+    /// Documents matching a selection formula at this snapshot.
+    pub fn search(&self, formula: &Formula, env: &EvalEnv) -> Result<Vec<Note>> {
+        let mut out = Vec::new();
+        for note in self.documents() {
+            if formula.selects(note.as_ref(), env)? {
+                out.push((*note).clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The ACL as of this snapshot. Wide open (default Manager) when no
+    /// ACL note existed yet — the pre-ACL database admits everyone, as
+    /// [`crate::Database::acl`] always has.
+    pub fn acl(&self) -> Result<Acl> {
+        if self.acl_id == 0 {
+            return Ok(wide_open_acl());
+        }
+        let note = match self.open_arc(NoteId(self.acl_id as u32)) {
+            Ok(n) => n,
+            // The ACL note postdates this snapshot.
+            Err(_) => return Ok(wide_open_acl()),
+        };
+        let lines: Vec<String> = match note.get("Entries") {
+            Some(v) => v.iter_scalars().iter().map(|s| s.to_text()).collect(),
+            None => Vec::new(),
+        };
+        Acl::from_lines(&lines).ok_or_else(|| DominoError::Corrupt("unparseable ACL note".into()))
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.store.unpin(self.seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domino_types::{Oid, Timestamp};
+
+    fn note(id: u32, unid: u128, subject: &str) -> Arc<Note> {
+        let mut n = Note::document("Memo");
+        n.id = NoteId(id);
+        n.oid = Oid::new(Unid(unid), Timestamp(id as u64));
+        n.set("Subject", domino_types::Value::text(subject));
+        Arc::new(n)
+    }
+
+    #[test]
+    fn snapshots_see_only_their_prefix() {
+        let store = Arc::new(VersionStore::new());
+        store.publish(Unid(1), NoteId(1), Some(note(1, 1, "v1")));
+        let snap1 = store.pin();
+        store.publish(Unid(1), NoteId(1), Some(note(1, 1, "v2")));
+        let snap2 = store.pin();
+        assert_eq!(
+            snap1.open_note(NoteId(1)).unwrap().get_text("Subject"),
+            Some("v1".into())
+        );
+        assert_eq!(
+            snap2.open_note(NoteId(1)).unwrap().get_text("Subject"),
+            Some("v2".into())
+        );
+        assert_eq!(snap1.seq(), 1);
+        assert_eq!(snap2.seq(), 2);
+    }
+
+    #[test]
+    fn deletion_is_a_tombstone_then_absence() {
+        let store = Arc::new(VersionStore::new());
+        store.publish(Unid(1), NoteId(1), Some(note(1, 1, "x")));
+        let before = store.pin();
+        store.publish(Unid(1), NoteId(1), None);
+        let after = store.pin();
+        assert!(before.open_note(NoteId(1)).is_ok());
+        assert!(after.open_note(NoteId(1)).is_err());
+        assert!(!after.contains(Unid(1)));
+        drop(before);
+        drop(after);
+        // With no pins, the next publish reclaims the dead chain.
+        store.publish(Unid(2), NoteId(2), Some(note(2, 2, "y")));
+        store.sweep();
+        assert_eq!(store.retained_versions(), 1, "tombstone chain reclaimed");
+        assert!(store.pin().open_note(NoteId(1)).is_err());
+    }
+
+    #[test]
+    fn pins_hold_back_pruning() {
+        let store = Arc::new(VersionStore::new());
+        store.publish(Unid(1), NoteId(1), Some(note(1, 1, "v1")));
+        let pinned = store.pin();
+        for i in 2..10 {
+            store.publish(Unid(1), NoteId(1), Some(note(1, 1, &format!("v{i}"))));
+        }
+        assert!(
+            store.retained_versions() >= 2,
+            "pinned version must survive pruning"
+        );
+        assert_eq!(
+            pinned.open_note(NoteId(1)).unwrap().get_text("Subject"),
+            Some("v1".into())
+        );
+        drop(pinned);
+        store.sweep();
+        assert_eq!(store.retained_versions(), 1, "unpinned history reclaimed");
+    }
+
+    #[test]
+    fn note_ids_and_documents_are_snapshot_scoped() {
+        let store = Arc::new(VersionStore::new());
+        store.publish(Unid(1), NoteId(1), Some(note(1, 1, "a")));
+        let snap = store.pin();
+        store.publish(Unid(2), NoteId(2), Some(note(2, 2, "b")));
+        assert_eq!(snap.note_ids(Some(NoteClass::Document)), vec![NoteId(1)]);
+        assert_eq!(store.pin().document_count(), 2);
+        assert_eq!(snap.documents().len(), 1);
+    }
+}

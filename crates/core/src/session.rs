@@ -80,15 +80,16 @@ impl Session {
         self.directory.names_of(&self.user)
     }
 
-    /// Open a note, enforcing reader access.
+    /// Open a note, enforcing reader access. Reads come from a pinned
+    /// snapshot and never wait on writers.
     pub fn open_note(&self, id: NoteId) -> Result<Note> {
-        let note = self.db.open_note(id)?;
+        let note = self.db.snapshot().open_note(id)?;
         self.check_readable(&note)?;
         Ok(note)
     }
 
     pub fn open_by_unid(&self, unid: Unid) -> Result<Note> {
-        let note = self.db.open_by_unid(unid)?;
+        let note = self.db.snapshot().open_by_unid(unid)?;
         self.check_readable(&note)?;
         Ok(note)
     }
@@ -192,9 +193,10 @@ impl Session {
         Ok(())
     }
 
-    /// Search, returning only documents the user may read.
+    /// Search, returning only documents the user may read. Runs against
+    /// one snapshot, so results are a consistent point-in-time answer.
     pub fn search(&self, formula: &Formula) -> Result<Vec<Note>> {
-        let all = self.db.search(formula, &self.env())?;
+        let all = self.db.snapshot().search(formula, &self.env())?;
         let access = self.access()?;
         if !access.level.can_read() {
             return Err(DominoError::AccessDenied(format!(
@@ -215,9 +217,10 @@ impl Session {
         let unids = self.db.unread_unids(&self.user)?;
         let access = self.access()?;
         let names = self.names();
+        let snap = self.db.snapshot();
         let mut out = Vec::new();
         for unid in unids {
-            let note = self.db.open_by_unid(unid)?;
+            let note = snap.open_by_unid(unid)?;
             if can_read_document(&access, &names, &note.readers()) {
                 out.push(unid);
             }

@@ -35,26 +35,26 @@ pub use tokenizer::{tokenize, STOPWORDS};
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use domino_core::{ChangeEvent, Database, Note};
-use domino_types::{NoteClass, Result};
+use domino_types::Result;
 
 /// A live full-text index bound to a database.
 pub struct FtIndex {
-    state: Arc<Mutex<InvertedIndex>>,
+    state: Arc<RwLock<InvertedIndex>>,
 }
 
 impl FtIndex {
     /// Index the current contents and stay current via change events.
     pub fn attach(db: &Arc<Database>) -> Result<FtIndex> {
         let ft = FtIndex {
-            state: Arc::new(Mutex::new(InvertedIndex::new())),
+            state: Arc::new(RwLock::new(InvertedIndex::new())),
         };
         ft.rebuild(db)?;
         let state = ft.state.clone();
         db.subscribe(Arc::new(move |event: &ChangeEvent| {
-            let mut g = state.lock();
+            let mut g = state.write();
             match event {
                 ChangeEvent::Saved { new, .. } => g.index_note(new),
                 ChangeEvent::Deleted { old, .. } => g.remove(old.unid()),
@@ -66,34 +66,37 @@ impl FtIndex {
     /// An empty, manually-maintained index.
     pub fn detached() -> FtIndex {
         FtIndex {
-            state: Arc::new(Mutex::new(InvertedIndex::new())),
+            state: Arc::new(RwLock::new(InvertedIndex::new())),
         }
     }
 
-    /// Re-index everything.
+    /// Re-index everything from one pinned snapshot: the result is the
+    /// database exactly as of the snapshot's change sequence, with no
+    /// writer lock held while tokenizing.
     pub fn rebuild(&self, db: &Database) -> Result<()> {
-        let mut g = self.state.lock();
+        let snap = db.snapshot();
+        let mut g = self.state.write();
         *g = InvertedIndex::new();
-        for id in db.note_ids(Some(NoteClass::Document))? {
-            g.index_note(&db.open_note(id)?);
+        for note in snap.documents() {
+            g.index_note(note.as_ref());
         }
         Ok(())
     }
 
     /// Index one note manually.
     pub fn index_note(&self, note: &Note) {
-        self.state.lock().index_note(note);
+        self.state.write().index_note(note);
     }
 
     /// Search with the query language: bare words (implicit AND), `AND`,
     /// `OR`, `NOT`, parentheses, and `"quoted phrases"`.
     pub fn search(&self, query: &str) -> Result<Vec<SearchHit>> {
         let ast = parse_query(query)?;
-        Ok(self.state.lock().execute(&ast))
+        Ok(self.state.read().execute(&ast))
     }
 
     pub fn stats(&self) -> FtStats {
-        self.state.lock().stats()
+        self.state.read().stats()
     }
 }
 

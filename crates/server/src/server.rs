@@ -433,10 +433,16 @@ impl Inner {
 
     /// Effective ACL access plus the alias set used by reader-field
     /// checks (the session's own-author rule included: the user's plain
-    /// name is always present).
-    fn access_of(&self, site: &Site, user: &str) -> Result<(EffectiveAccess, Vec<String>)> {
+    /// name is always present). The ACL is read from the caller's pinned
+    /// snapshot so the access decision and the page rows describe the
+    /// same database state.
+    fn access_of(
+        &self,
+        snap: &domino_core::Snapshot,
+        user: &str,
+    ) -> Result<(EffectiveAccess, Vec<String>)> {
         let dir = self.directory.lock().clone();
-        let access = site.db.acl()?.effective(&dir, user);
+        let access = snap.acl()?.effective(&dir, user);
         let mut names = dir.names_of(user);
         names.push(user.to_lowercase());
         names.sort_unstable();
@@ -519,11 +525,12 @@ impl Inner {
     }
 
     /// Render (or serve from cache) one `?OpenView`/`?ReadViewEntries`
-    /// window. The page is built from `entries_range` and each row is
-    /// reader-field filtered before rendering; the finished page is
-    /// cached under the requester's access class at the change sequence
-    /// captured *before* the index was read, so any concurrent commit
-    /// expires it immediately.
+    /// window. The whole read runs against a pinned snapshot and a single
+    /// consistent view page ([`domino_views::ViewPage`]) — no writer lock
+    /// is ever taken. The finished page is cached under the requester's
+    /// access class, keyed by the `(view version, snapshot seq)` pair it
+    /// was rendered from, so a hit is byte-identical by construction and
+    /// any concurrent commit or index mutation expires it.
     fn view_page(
         &self,
         site: &Site,
@@ -533,7 +540,8 @@ impl Inner {
         count: usize,
         kind: PageKind,
     ) -> Result<Response> {
-        let (access, names) = self.access_of(site, user)?;
+        let snap = site.db.snapshot();
+        let (access, names) = self.access_of(&snap, user)?;
         if !access.level.can_read() {
             return Err(DominoError::AccessDenied(format!(
                 "{user} may not open database {}",
@@ -548,32 +556,31 @@ impl Inner {
             kind,
             access_class: access_class(&access, &names),
         };
-        let seq = site.db.change_seq();
-        if let Some(page) = self.cache.lookup(&key, seq) {
-            return Ok(Response {
-                status: Status::Ok,
-                content_type: page.content_type,
-                body: page.body,
-                from_cache: true,
-            });
-        }
         let sv = site
             .view(view_name)
             .ok_or_else(|| DominoError::NotFound(format!("no view {view_name:?}")))?;
+        // One shared-access read: rows, total, and version from the same
+        // guard, so they are mutually consistent (satellite: no writer
+        // lock, shared view access only).
+        let page = sv.view.page(0, start - 1, count);
+        if let Some(hit) = self.cache.lookup(&key, page.version, snap.seq()) {
+            return Ok(Response {
+                status: Status::Ok,
+                content_type: hit.content_type,
+                body: hit.body,
+                from_cache: true,
+            });
+        }
         let _span = obs::span!("Http.View.Render");
-        let total = sv.view.len();
+        let total = page.total;
         let mut rows = Vec::new();
-        for (i, entry) in sv
-            .view
-            .rows_range(0, start - 1, count)
-            .into_iter()
-            .enumerate()
-        {
+        for (i, entry) in page.rows.iter().enumerate() {
             // Reader fields are enforced per row: the view index itself is
-            // not access-partitioned.
-            let note = match site.db.open_summary(entry.note_id) {
+            // not access-partitioned. Rows read from the snapshot, so a
+            // commit between the index read and here cannot tear the page.
+            let note = match snap.open_arc(entry.note_id) {
                 Ok(n) => n,
-                Err(_) => continue, // deleted since the index was read
+                Err(_) => continue, // not visible at this snapshot
             };
             if !can_read_document(&access, &names, &note.readers()) {
                 continue;
@@ -606,7 +613,8 @@ impl Inner {
         self.cache.insert(
             key,
             CachedPage {
-                seq,
+                view_version: page.version,
+                snapshot_seq: snap.seq(),
                 body: body.clone(),
                 content_type,
             },
@@ -630,7 +638,8 @@ impl Inner {
         query: &str,
         count: usize,
     ) -> Result<Response> {
-        let (access, names) = self.access_of(site, user)?;
+        let snap = site.db.snapshot();
+        let (access, names) = self.access_of(&snap, user)?;
         if !access.level.can_read() {
             return Err(DominoError::AccessDenied(format!(
                 "{user} may not search database {}",
@@ -649,7 +658,7 @@ impl Inner {
             if sv.view.position_of(hit.unid).is_none() {
                 continue;
             }
-            let note = match site.db.open_by_unid(hit.unid) {
+            let note = match snap.open_by_unid(hit.unid) {
                 Ok(n) => n,
                 Err(_) => continue,
             };

@@ -169,6 +169,10 @@ pub struct ViewIndex {
     /// parent unid -> response unids present in the view.
     children: HashMap<Unid, HashSet<Unid>>,
     stats: ViewStats,
+    /// Bumped on every mutation (apply, non-empty batch, rebuild). Pages
+    /// read at equal versions saw byte-identical index state, which is
+    /// what lets the HTTP command cache key on it.
+    version: u64,
 }
 
 impl ViewIndex {
@@ -186,6 +190,7 @@ impl ViewIndex {
             keys: HashMap::new(),
             children: HashMap::new(),
             stats,
+            version: 0,
         })
     }
 
@@ -228,12 +233,17 @@ impl ViewIndex {
         self.entries.is_empty()
     }
 
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     // ------------------------------------------------------------------
     // maintenance
     // ------------------------------------------------------------------
 
     /// Apply one database change.
     pub fn apply(&mut self, event: &ChangeEvent, src: &dyn NoteSource) -> Result<()> {
+        self.version += 1;
         match event {
             ChangeEvent::Saved { new, .. } => self.consider(new, src),
             ChangeEvent::Deleted { old, .. } => {
@@ -263,6 +273,7 @@ impl ViewIndex {
         if events.is_empty() {
             return Ok(());
         }
+        self.version += 1;
         self.refresh_selection()?;
         let selection = &self.selection;
         let env = &self.env;
@@ -447,6 +458,7 @@ impl ViewIndex {
     }
 
     fn clear_state(&mut self) {
+        self.version += 1;
         self.entries.clear();
         for o in &mut self.orders {
             o.clear();

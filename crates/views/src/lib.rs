@@ -40,7 +40,7 @@ pub use index::{CategoryRow, NoteSource, ViewEntry, ViewIndex, ViewStats};
 
 use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use domino_core::{ChangeEvent, Database, Note};
 use domino_formula::EvalEnv;
@@ -64,7 +64,18 @@ impl NoteSource for DbSource {
 /// used by the experiments to compare incremental vs rebuild costs).
 pub struct View {
     db: Weak<Database>,
-    state: Arc<Mutex<ViewIndex>>,
+    state: Arc<RwLock<ViewIndex>>,
+}
+
+/// One consistent paged read of a view: the rows, the total row count,
+/// and the index [version](View::version) they were taken at — all under
+/// a single shared guard, so the three agree with each other (the HTTP
+/// command cache keys pages on `(version, snapshot seq)`).
+#[derive(Debug, Clone)]
+pub struct ViewPage {
+    pub rows: Vec<ViewEntry>,
+    pub total: usize,
+    pub version: u64,
 }
 
 impl View {
@@ -85,7 +96,7 @@ impl View {
             // Observer callbacks cannot surface errors; a failed formula
             // leaves the entry out (matching Notes, where a broken column
             // formula blanks the row rather than wedging the database).
-            let _ = state.lock().apply_batch(events, &src);
+            let _ = state.write().apply_batch(events, &src);
         }));
         Ok(view)
     }
@@ -101,7 +112,7 @@ impl View {
         };
         Ok(View {
             db: Arc::downgrade(db),
-            state: Arc::new(Mutex::new(ViewIndex::new(design, env)?)),
+            state: Arc::new(RwLock::new(ViewIndex::new(design, env)?)),
         })
     }
 
@@ -122,7 +133,7 @@ impl View {
         let src = DbSource {
             db: self.db.clone(),
         };
-        self.state.lock().rebuild(docs.iter(), &src)
+        self.state.write().rebuild(docs.iter(), &src)
     }
 
     /// Apply one change event manually (detached views).
@@ -130,7 +141,7 @@ impl View {
         let src = DbSource {
             db: self.db.clone(),
         };
-        self.state.lock().apply(event, &src)
+        self.state.write().apply(event, &src)
     }
 
     /// Apply a coalesced batch of change events manually (detached
@@ -139,24 +150,30 @@ impl View {
         let src = DbSource {
             db: self.db.clone(),
         };
-        self.state.lock().apply_batch(events, &src)
+        self.state.write().apply_batch(events, &src)
     }
 
     pub fn len(&self) -> usize {
-        self.state.lock().len()
+        self.state.read().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.state.lock().is_empty()
+        self.state.read().is_empty()
+    }
+
+    /// Index version: bumped on every mutation (apply, batch, rebuild).
+    /// Two reads at the same version saw byte-identical index state.
+    pub fn version(&self) -> u64 {
+        self.state.read().version()
     }
 
     pub fn stats(&self) -> ViewStats {
-        self.state.lock().stats()
+        self.state.read().stats()
     }
 
     /// A copy of the view's design (name, selection, columns).
     pub fn design(&self) -> ViewDesign {
-        self.state.lock().design().clone()
+        self.state.read().design().clone()
     }
 
     /// Rows in primary collation order.
@@ -167,7 +184,7 @@ impl View {
     /// Rows in the given collation's order (0 = primary).
     pub fn rows_in(&self, collation: usize) -> Vec<ViewEntry> {
         self.state
-            .lock()
+            .read()
             .entries(collation)
             .into_iter()
             .cloned()
@@ -178,7 +195,7 @@ impl View {
     /// navigation.
     pub fn rows_by_prefix(&self, collation: usize, prefix: &[Value]) -> Vec<ViewEntry> {
         self.state
-            .lock()
+            .read()
             .entries_by_prefix(collation, prefix)
             .into_iter()
             .cloned()
@@ -196,33 +213,48 @@ impl View {
     /// [`ViewIndex::entries_range`]).
     pub fn rows_range(&self, collation: usize, start: usize, count: usize) -> Vec<ViewEntry> {
         self.state
-            .lock()
+            .read()
             .entries_range(collation, start, count)
             .into_iter()
             .cloned()
             .collect()
     }
 
+    /// One page plus the total row count and index version, read under a
+    /// single shared guard so all three are mutually consistent.
+    pub fn page(&self, collation: usize, start: usize, count: usize) -> ViewPage {
+        let g = self.state.read();
+        ViewPage {
+            rows: g
+                .entries_range(collation, start, count)
+                .into_iter()
+                .cloned()
+                .collect(),
+            total: g.len(),
+            version: g.version(),
+        }
+    }
+
     /// Zero-based position of a document in the primary collation.
     pub fn position_of(&self, unid: Unid) -> Option<usize> {
-        self.state.lock().position_of(0, unid)
+        self.state.read().position_of(0, unid)
     }
 
     /// Category rollups in collation order.
     pub fn categories(&self) -> Vec<CategoryRow> {
-        self.state.lock().categories(0)
+        self.state.read().categories(0)
     }
 
     /// Whole-view total of a column.
     pub fn column_total(&self, col: usize) -> f64 {
-        self.state.lock().column_total(col)
+        self.state.read().column_total(col)
     }
 
     /// Store the design as a `View`-class design note in the database (so
     /// it replicates); returns the note's unid.
     pub fn save_design(&self) -> Result<Unid> {
         let db = self.db()?;
-        let mut note = self.state.lock().design().to_note();
+        let mut note = self.state.read().design().to_note();
         db.save(&mut note)?;
         Ok(note.unid())
     }
@@ -536,7 +568,7 @@ mod tests {
             .iter()
             .map(|e| (e.values[0].to_text(), e.values[1].to_text()))
             .collect();
-        let fresh = View::detached(&db, view.state.lock().design().clone()).unwrap();
+        let fresh = View::detached(&db, view.state.read().design().clone()).unwrap();
         fresh.rebuild().unwrap();
         let rebuilt: Vec<(String, String)> = fresh
             .rows()
