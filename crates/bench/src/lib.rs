@@ -56,6 +56,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Experiment> {
         ("e14", experiments::e14_loss_convergence::run),
         ("e15", experiments::e15_http::run),
         ("e16", experiments::e16_concurrency::run),
+        ("e17", experiments::e17_negotiation::run),
         ("a1", experiments::a1_buffer_pool::run),
         ("a2", experiments::a2_lineage::run),
         ("a3", experiments::a3_checkpoint::run),

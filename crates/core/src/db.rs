@@ -41,8 +41,12 @@ use domino_types::{
 use domino_wal::MemLogStore;
 
 use crate::lock::{ExclusiveGuard, LockStats, LockTable};
+use crate::merkle::MerkleSummary;
 use crate::mvcc::{Snapshot, SnapshotStats, VersionStore};
 use crate::note::{record_is_stub, DeletionStub, Note};
+use crate::revision;
+
+use domino_types::ContentHash;
 
 /// Registry handles for note-CRUD and compaction telemetry, summed
 /// across every open database in the process.
@@ -294,6 +298,11 @@ pub struct Database {
     batch_state: Mutex<BatchState>,
     clock: LogicalClock,
     versions: Arc<VersionStore>,
+    /// Merkle summary over UNID space (`root → buckets → (unid, head)`),
+    /// updated in the same critical section that publishes each commit
+    /// into `versions` — so the digests always describe a committed
+    /// prefix of the change sequence.
+    merkle: Mutex<MerkleSummary>,
     locks: LockTable,
     lock_enabled: bool,
 }
@@ -345,8 +354,10 @@ impl Database {
 
         // Seed the version map with pre-existing engine state at seq 0,
         // so snapshots of a reopened (or crash-recovered) database see
-        // everything that survived.
+        // everything that survived — and the Merkle summary with every
+        // surviving head (live notes *and* deletion stubs).
         let versions = Arc::new(VersionStore::new());
+        let mut merkle = MerkleSummary::new();
         let mut ids = Vec::new();
         inner.store.for_each_note(&mut inner.engine, |id| {
             ids.push(id);
@@ -354,7 +365,13 @@ impl Database {
         })?;
         for id in ids {
             if let Some(note) = inner.load(id)? {
+                merkle.set_head(note.unid(), Some(revision::merkle_head(&note)));
                 versions.seed(note.unid(), id, Arc::new(note));
+            } else if let Some(bytes) = inner.store.get(&mut inner.engine, id, Segment::Summary)? {
+                if record_is_stub(&bytes) {
+                    let stub = DeletionStub::decode(id, &bytes)?;
+                    merkle.set_head(stub.oid.unid, Some(revision::stub_head(&stub.oid)));
+                }
             }
         }
         versions.set_acl_note(inner.engine.user_slot(SLOT_ACL_NOTE)?);
@@ -366,6 +383,7 @@ impl Database {
             batch_state: Mutex::new(BatchState::default()),
             clock,
             versions,
+            merkle: Mutex::new(merkle),
             locks: LockTable::new(config.lock_timeout),
             lock_enabled: config.use_lock_table,
         })
@@ -614,12 +632,22 @@ impl Database {
                 }
                 Some(old)
             };
+            // Content-address this revision: hash the stamped items with
+            // the previous head as parent and append to the unbounded
+            // chain (drafts start a fresh chain).
+            let parents: Vec<ContentHash> = revision::head_hash(note).into_iter().collect();
+            let rev_hash = revision::content_hash_of(note, &parents);
+            revision::push_head(note, rev_hash, note.oid.seq_time);
             g.persist(note, old.is_none())?;
             // Publish while still holding the engine lock: commit order
             // equals change-sequence order, which is what makes snapshot
-            // reads linearizable.
+            // reads linearizable. The Merkle summary updates in the same
+            // critical section for the same reason.
             self.versions
                 .publish(note.unid(), note.id, Some(Arc::new(note.clone())));
+            self.merkle
+                .lock()
+                .set_head(note.unid(), Some(revision::merkle_head(note)));
             ChangeEvent::Saved {
                 old,
                 new: note.clone(),
@@ -658,6 +686,9 @@ impl Database {
             g.persist(&mut note, existing.is_none())?;
             self.versions
                 .publish(note.unid(), note.id, Some(Arc::new(note.clone())));
+            self.merkle
+                .lock()
+                .set_head(note.unid(), Some(revision::merkle_head(&note)));
             ChangeEvent::Saved {
                 old,
                 new: note.clone(),
@@ -758,6 +789,9 @@ impl Database {
             };
             g.write_stub(&stub, Some(old.modified))?;
             self.versions.publish(old.unid(), id, None);
+            self.merkle
+                .lock()
+                .set_head(old.unid(), Some(revision::stub_head(&stub.oid)));
             ChangeEvent::Deleted { old, stub }
         };
         drop(lock);
@@ -798,6 +832,9 @@ impl Database {
                         // re-stubbing a stub changes nothing readers see.
                         self.versions.publish(remote.oid.unid, id, None);
                     }
+                    self.merkle
+                        .lock()
+                        .set_head(remote.oid.unid, Some(revision::stub_head(&stub.oid)));
                     old.map(|old| ChangeEvent::Deleted { old, stub })
                 }
                 None => {
@@ -808,6 +845,9 @@ impl Database {
                     g.engine.commit(tx)?;
                     let stub = DeletionStub { id, ..*remote };
                     g.write_stub(&stub, None)?;
+                    self.merkle
+                        .lock()
+                        .set_head(remote.oid.unid, Some(revision::stub_head(&stub.oid)));
                     None
                 }
             }
@@ -899,6 +939,55 @@ impl Database {
         Ok(out)
     }
 
+    /// Replication-candidate entries for an explicit UNID set (the
+    /// digest-negotiated path): only the named notes/stubs are touched,
+    /// so a negotiated pull costs O(differing) engine reads instead of a
+    /// cutoff scan. Unknown UNIDs are skipped. Entries come back in
+    /// `(seq_time, unid)` order — the same order `changed_since`-based
+    /// cursors batch in.
+    pub fn changed_entries_for(&self, unids: &[Unid]) -> Result<Vec<ChangedNote>> {
+        let mut g = self.inner.lock();
+        let store = g.store;
+        let mut out = Vec::with_capacity(unids.len());
+        for unid in unids {
+            let Some(id) = store.lookup_unid(&mut g.engine, *unid)? else {
+                continue;
+            };
+            if let Some(entry) = g.changed_entry(id)? {
+                out.push(entry);
+            }
+        }
+        out.sort_by_key(|c| (c.oid.seq_time, c.oid.unid.0));
+        Ok(out)
+    }
+
+    /// Root digest of the Merkle summary: equal on two replicas iff they
+    /// hold identical `(unid, head hash)` sets.
+    pub fn merkle_root(&self) -> ContentHash {
+        self.merkle.lock().root()
+    }
+
+    /// Digests of the non-empty Merkle buckets, ascending by index.
+    pub fn merkle_bucket_digests(&self) -> Vec<(u32, ContentHash)> {
+        self.merkle.lock().bucket_digests()
+    }
+
+    /// `(unid, head hash)` entries of one Merkle bucket.
+    pub fn merkle_bucket_entries(&self, bucket: u32) -> Vec<(Unid, ContentHash)> {
+        self.merkle.lock().bucket_entries(bucket)
+    }
+
+    /// Entries currently in the Merkle summary (live notes + stubs).
+    pub fn merkle_len(&self) -> usize {
+        self.merkle.lock().len()
+    }
+
+    /// The head hash currently recorded for a UNID (note or stub), if
+    /// any.
+    pub fn head_hash(&self, unid: Unid) -> Option<ContentHash> {
+        self.merkle.lock().head(unid)
+    }
+
     /// All deletion stubs.
     pub fn stubs(&self) -> Result<Vec<DeletionStub>> {
         let mut g = self.inner.lock();
@@ -952,6 +1041,9 @@ impl Database {
             let seq = domino_storage::BTree::open_existing(&mut g.engine, TREE_SEQ_INDEX)?;
             seq.delete(&mut g.engine, &mut tx, seq_key(stub.oid.seq_time, stub.id))?;
             g.engine.commit(tx)?;
+            // The purged UNID leaves the Merkle summary entirely: two
+            // replicas that both purged it converge to equal digests.
+            self.merkle.lock().set_head(stub.oid.unid, None);
             purged += 1;
             drop(g);
             drop(lock);

@@ -35,8 +35,10 @@ pub mod agent;
 pub mod db;
 pub mod form;
 pub mod lock;
+pub mod merkle;
 pub mod mvcc;
 pub mod note;
+pub mod revision;
 pub mod session;
 
 pub use agent::{
@@ -49,10 +51,15 @@ pub use db::{
 };
 pub use form::{form_for, save_form, stored_forms, FieldKind, FieldSpec, FormDesign};
 pub use lock::{ExclusiveGuard, LockMode, LockStats, LockTable, SharedGuard};
+pub use merkle::{bucket_of, MerkleSummary, MERKLE_BUCKETS};
 pub use mvcc::{Snapshot, SnapshotStats};
 pub use note::{
     revision_fingerprint, same_revision, DeletionStub, Note, ITEM_AUTHORS, ITEM_CONFLICT,
     ITEM_FORM, ITEM_READERS, ITEM_REF, ITEM_REVISIONS, ITEM_TRUNCATED, MAX_REVISIONS,
+};
+pub use revision::{
+    chain_contains, content_hash_of, head_hash as revision_head, latest_common, merged_chain,
+    merkle_head, push_head, revision_chain, set_chain, stub_head, ITEM_REVISION_HASHES,
 };
 pub use session::{Session, ITEM_FROM, ITEM_UPDATED_BY};
 

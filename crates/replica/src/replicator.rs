@@ -24,14 +24,31 @@
 //! candidate, and the history cutoff does **not** advance — a later
 //! attempt (or [`Replicator::pull_with_retry`]) resumes from the cursor
 //! instead of restarting, so progress over a flaky link is monotone.
+//!
+//! With [`ReplicationOptions::negotiate`] on (the default), candidate
+//! enumeration is *digest-negotiated* instead of cutoff-scanned: the
+//! destination ships its Merkle root (16 bytes); on mismatch its bucket
+//! digests; the source descends only into differing buckets and
+//! enumerates only notes whose content-addressed head hash actually
+//! differs. Two converged replicas exchange one root and stop — no
+//! shared history needed — so a cold-start pair (cleared history, or an
+//! ad-hoc pass that never kept any) diffs in O(buckets + changed) rather
+//! than re-examining every note. Ancestry itself is decided from the
+//! unbounded `$RevisionHashes` chain when present, so a replica any
+//! number of revisions behind still proves clean descent (the bounded
+//! `$Revisions` fingerprints remain as a fallback for chainless notes).
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use domino_core::{same_revision, ChangedNote, Database, Note, ITEM_REVISIONS, MAX_REVISIONS};
+use domino_core::{
+    chain_contains, content_hash_of, latest_common, merged_chain, push_head, revision_chain,
+    revision_head, same_revision, set_chain, ChangedNote, Database, Note, ITEM_REVISIONS,
+    ITEM_REVISION_HASHES, MAX_REVISIONS,
+};
 use domino_formula::{EvalEnv, Formula};
 use domino_obs as obs;
-use domino_types::{Clock, DominoError, Item, ReplicaId, Result, Timestamp};
+use domino_types::{Clock, ContentHash, DominoError, Item, ReplicaId, Result, Timestamp, Unid};
 
 use crate::conflict::make_conflict_document;
 use crate::history::ReplicationHistory;
@@ -52,6 +69,11 @@ struct Metrics {
     retry_attempts: &'static obs::Counter,
     retry_backoff_ticks: &'static obs::Counter,
     retry_exhausted: &'static obs::Counter,
+    negotiations: &'static obs::Counter,
+    root_matches: &'static obs::Counter,
+    buckets_differing: &'static obs::Counter,
+    negotiation_bytes: &'static obs::Counter,
+    negotiated_candidates: &'static obs::Counter,
 }
 
 fn m() -> &'static Metrics {
@@ -68,8 +90,25 @@ fn m() -> &'static Metrics {
         retry_attempts: obs::counter("Replica.Retry.Attempts"),
         retry_backoff_ticks: obs::counter("Replica.Retry.BackoffTicks"),
         retry_exhausted: obs::counter("Replica.Retry.Exhausted"),
+        negotiations: obs::counter("Replica.Negotiate.Passes"),
+        root_matches: obs::counter("Replica.Negotiate.RootMatches"),
+        buckets_differing: obs::counter("Replica.Negotiate.BucketsDiffering"),
+        negotiation_bytes: obs::counter("Replica.Negotiate.Bytes"),
+        negotiated_candidates: obs::counter("Replica.Negotiate.Candidates"),
     })
 }
+
+/// Wire cost of the destination's Merkle root in a negotiation exchange.
+const ROOT_BYTES: u64 = 16;
+/// Wire cost per bucket digest (2-byte index + 16-byte digest).
+const BUCKET_DIGEST_BYTES: u64 = 18;
+/// Wire cost per `(unid, head)` Merkle entry (16 + 16 bytes).
+const MERKLE_ENTRY_BYTES: u64 = 32;
+/// Wire cost of announcing one candidate's OID during the pull loop
+/// (16-byte UNID + 4-byte sequence + 8-byte sequence time). Full
+/// enumeration pays this for every candidate it re-examines; negotiation
+/// pays it only for notes whose heads actually differ.
+const CANDIDATE_HEADER_BYTES: u64 = 28;
 
 /// Tuning knobs for a replication pass.
 #[derive(Debug, Clone)]
@@ -88,6 +127,11 @@ pub struct ReplicationOptions {
     pub truncate_bodies: bool,
     /// Use the incremental history cutoff (off = full compare).
     pub use_history: bool,
+    /// Negotiate the candidate set from the destination's Merkle summary
+    /// (root → bucket digests → differing entries) instead of enumerating
+    /// every note past the history cutoff. Off = the old full-enumeration
+    /// path, kept as a measurable baseline (E17).
+    pub negotiate: bool,
     /// Candidates per transport message. Smaller batches lose less work
     /// per dropped message but pay more round-trips; the cursor resumes
     /// at batch (in fact candidate) granularity either way.
@@ -102,6 +146,7 @@ impl Default for ReplicationOptions {
             selective: None,
             truncate_bodies: false,
             use_history: true,
+            negotiate: true,
             batch: 16,
         }
     }
@@ -132,6 +177,15 @@ pub struct ReplicationReport {
     pub bytes_shipped: u64,
     /// Items that would cross the wire.
     pub items_shipped: u64,
+    /// Digest-negotiation rounds run (one per negotiated pull attempt).
+    pub negotiated: u64,
+    /// Negotiations that ended at the root exchange (replicas identical).
+    pub root_matched: u64,
+    /// Merkle buckets whose digests differed and were descended into.
+    pub buckets_differing: u64,
+    /// Bytes of the negotiation exchange itself (root + bucket digests +
+    /// differing-bucket entries); included in `bytes_shipped`.
+    pub negotiation_bytes: u64,
 }
 
 impl ReplicationReport {
@@ -153,6 +207,10 @@ impl ReplicationReport {
         self.skipped_selective += other.skipped_selective;
         self.bytes_shipped += other.bytes_shipped;
         self.items_shipped += other.items_shipped;
+        self.negotiated += other.negotiated;
+        self.root_matched += other.root_matched;
+        self.buckets_differing += other.buckets_differing;
+        self.negotiation_bytes += other.negotiation_bytes;
     }
 }
 
@@ -185,6 +243,11 @@ pub struct PullCursor {
     /// Cutoff used to enumerate this pass's candidates (frozen across
     /// resumptions so the candidate set stays stable).
     cutoff: Timestamp,
+    /// The digest-negotiated UNID set, once negotiation completed. Frozen
+    /// across resumptions — like the cutoff — so an interrupted pass
+    /// resumes straight into its batches without re-paying the
+    /// negotiation round-trips.
+    negotiated: Option<Vec<Unid>>,
     /// `(seq_time, unid)` of the last durably applied candidate.
     resume_after: Option<(Timestamp, u128)>,
     /// Work accumulated across all attempts of this pass.
@@ -272,13 +335,35 @@ impl Replicator {
                 } else {
                     Timestamp::ZERO
                 },
+                negotiated: None,
                 resume_after: None,
                 report: ReplicationReport::default(),
             },
         };
+        // Negotiate the candidate UNID set from the destination's Merkle
+        // summary, unless this pass already did (the set is frozen in the
+        // cursor, like the cutoff, so a resumption goes straight to its
+        // batches instead of re-paying the negotiation round-trips).
+        if self.options.negotiate && cursor.negotiated.is_none() {
+            match self.negotiate_unids(dst, src, transport, &mut cursor.report) {
+                Ok(unids) => cursor.negotiated = Some(unids),
+                Err(e) => {
+                    if e.is_transient() {
+                        // A negotiation message was lost in flight; park the
+                        // cursor so the retry resumes this pass.
+                        m().interrupted.inc();
+                        self.cursors.insert(key, cursor);
+                    }
+                    return Err(e);
+                }
+            }
+        }
         // Candidates stream in (seq_time, unid) order — a total order both
         // sides agree on, which is what makes the cursor meaningful.
-        let mut candidates = src.changed_since(cursor.cutoff)?;
+        let mut candidates = match &cursor.negotiated {
+            Some(unids) => src.changed_entries_for(unids)?,
+            None => src.changed_since(cursor.cutoff)?,
+        };
         candidates.sort_unstable_by_key(|c| (c.oid.seq_time, c.oid.unid.0));
         if let Some(after) = cursor.resume_after {
             candidates.retain(|c| (c.oid.seq_time, c.oid.unid.0) > after);
@@ -292,6 +377,7 @@ impl Replicator {
             }
             for cand in chunk {
                 cursor.report.candidates += 1;
+                cursor.report.bytes_shipped += CANDIDATE_HEADER_BYTES;
                 let applied = if cand.is_stub {
                     self.pull_stub(dst, src, cand, &mut cursor.report)
                 } else {
@@ -319,7 +405,80 @@ impl Replicator {
         reg.conflicts.add(report.conflicts);
         reg.deletions.add(report.deletions);
         reg.pass_candidates.record(report.candidates);
+        if report.negotiated > 0 {
+            reg.negotiations.add(report.negotiated);
+            reg.root_matches.add(report.root_matched);
+            reg.buckets_differing.add(report.buckets_differing);
+            reg.negotiation_bytes.add(report.negotiation_bytes);
+            reg.negotiated_candidates.add(report.candidates);
+        }
         Ok(report)
+    }
+
+    /// Negotiate this pass's candidate UNID set: a digest exchange of up
+    /// to three rounds — the destination's Merkle root, then (on
+    /// mismatch) its bucket digests, then (when the source holds a
+    /// differing bucket) its entries for those buckets — after which the
+    /// source knows exactly the notes whose head hashes differ. Every
+    /// round crosses the transport, so fault injection applies to
+    /// negotiation messages just as to candidate batches.
+    fn negotiate_unids(
+        &self,
+        dst: &Database,
+        src: &Database,
+        transport: &mut dyn Transport,
+        report: &mut ReplicationReport,
+    ) -> Result<Vec<Unid>> {
+        let _span = obs::span!("Replica.Negotiate");
+        report.negotiated += 1;
+        // Round 1: the destination ships its root.
+        transport.deliver(1)?;
+        report.bytes_shipped += ROOT_BYTES;
+        report.negotiation_bytes += ROOT_BYTES;
+        if dst.merkle_root() == src.merkle_root() {
+            // Equal roots ⟺ identical (unid, head) sets: nothing to
+            // examine, at the cost of 16 bytes.
+            report.root_matched += 1;
+            return Ok(Vec::new());
+        }
+        // Round 2: the destination's bucket digests; the source keeps the
+        // buckets it holds whose digests disagree (buckets only the
+        // destination populates have nothing the source could ship).
+        transport.deliver(1)?;
+        let dst_digests: HashMap<u32, ContentHash> =
+            dst.merkle_bucket_digests().into_iter().collect();
+        let digest_bytes = dst_digests.len() as u64 * BUCKET_DIGEST_BYTES;
+        report.bytes_shipped += digest_bytes;
+        report.negotiation_bytes += digest_bytes;
+        let differing: Vec<u32> = src
+            .merkle_bucket_digests()
+            .into_iter()
+            .filter(|(b, d)| dst_digests.get(b) != Some(d))
+            .map(|(b, _)| b)
+            .collect();
+        report.buckets_differing += differing.len() as u64;
+        if differing.is_empty() {
+            // Everything that differs lives only on the destination —
+            // the source has nothing to ship, so skip round 3.
+            return Ok(Vec::new());
+        }
+        // Round 3: the destination's entries for the differing buckets;
+        // the source descends and keeps only notes whose heads differ.
+        transport.deliver(1)?;
+        let mut unids: Vec<Unid> = Vec::new();
+        for b in &differing {
+            let dst_entries: HashMap<Unid, ContentHash> =
+                dst.merkle_bucket_entries(*b).into_iter().collect();
+            let entry_bytes = dst_entries.len() as u64 * MERKLE_ENTRY_BYTES;
+            report.bytes_shipped += entry_bytes;
+            report.negotiation_bytes += entry_bytes;
+            for (unid, head) in src.merkle_bucket_entries(*b) {
+                if dst_entries.get(&unid) != Some(&head) {
+                    unids.push(unid);
+                }
+            }
+        }
+        Ok(unids)
     }
 
     /// Pull with retry: on a transient transport fault, back off per
@@ -445,6 +604,24 @@ impl Replicator {
     /// its history cutoff — safe, merely wasteful, like clearing history).
     pub fn abandon_pending(&mut self) {
         self.cursors.clear();
+    }
+
+    /// Parked cursors awaiting resumption.
+    pub fn pending_count(&self) -> usize {
+        self.cursors.len()
+    }
+
+    /// Forget everything about a decommissioned replica instance: its
+    /// history cutoffs and any parked cursors for passes involving it.
+    /// Long-lived replicators otherwise grow one history entry and
+    /// potentially one cursor per peer forever; pruning dropped instances
+    /// keeps both maps bounded by the live peer set. Safe at any time —
+    /// if the instance reappears, its first pull is a full compare (or,
+    /// negotiated, an O(buckets + changed) Merkle diff).
+    pub fn forget_instance(&mut self, instance: ReplicaId) {
+        self.history.forget(instance);
+        self.cursors
+            .retain(|(dst, src), _| *dst != instance && *src != instance);
     }
 
     fn pull_stub(
@@ -590,16 +767,22 @@ impl Replicator {
         }
         let local = local.expect("checked");
         // Field level: ship only items whose (value, flags, revised)
-        // differ, plus a small per-item digest-exchange overhead.
+        // differ, plus a small per-item digest-exchange overhead. Local
+        // items are indexed by name once, so the comparison is
+        // O(items), not O(items²).
+        let local_by_name: HashMap<String, &Item> = local
+            .items_raw()
+            .iter()
+            .map(|l| (l.name.to_ascii_lowercase(), l))
+            .collect();
         let mut bytes = HEADER;
         for it in remote.items_raw() {
             bytes += 10; // digest exchange per item
-            let same = local.items_raw().iter().any(|l| {
-                l.name.eq_ignore_ascii_case(&it.name)
-                    && l.value == it.value
-                    && l.flags == it.flags
-                    && l.revised == it.revised
-            });
+            let same = local_by_name
+                .get(&it.name.to_ascii_lowercase())
+                .is_some_and(|l| {
+                    l.value == it.value && l.flags == it.flags && l.revised == it.revised
+                });
             if !same {
                 bytes += it.byte_size() as u64;
                 report.items_shipped += 1;
@@ -620,7 +803,18 @@ fn note_winner_key(n: &Note) -> (u32, Timestamp, u64) {
 
 /// Does `a` descend from `b` (i.e. `b`'s current revision appears in `a`'s
 /// lineage)?
+///
+/// When both copies carry a `$RevisionHashes` chain the answer is exact
+/// at **any** edit depth: `a` descends from `b` iff `b`'s head hash is in
+/// `a`'s ancestor set. Chainless (pre-upgrade, hand-built) notes fall
+/// back to the bounded `$Revisions` fingerprints, which can only prove
+/// descent within [`MAX_REVISIONS`] edits.
 fn descends_from(a: &Note, b: &Note) -> bool {
+    if let Some(bh) = revision_head(b) {
+        if !revision_chain(a).is_empty() {
+            return chain_contains(a, bh);
+        }
+    }
     if a.oid.seq < b.oid.seq {
         return false;
     }
@@ -631,8 +825,13 @@ fn descends_from(a: &Note, b: &Note) -> bool {
 }
 
 /// Latest common ancestor revision time of two divergent copies, if their
-/// retained lineages still overlap.
+/// retained lineages still overlap. Hash chains give the exact lowest
+/// common ancestor; chainless notes fall back to the bounded fingerprint
+/// scan.
 fn common_ancestor_time(a: &Note, b: &Note) -> Option<Timestamp> {
+    if let Some((_, t)) = latest_common(a, b) {
+        return Some(t);
+    }
     let top = a.oid.seq.min(b.oid.seq);
     for seq in (1..=top).rev() {
         if let (Some(ra), Some(rb)) = (a.revision_at(seq), b.revision_at(seq)) {
@@ -659,7 +858,9 @@ fn merge_field_wise(local: &Note, remote: &Note) -> Option<Note> {
     let mut took_any = false;
     for it in other.items_raw() {
         // Lineage bookkeeping is rebuilt below, never merged field-wise.
-        if it.name.eq_ignore_ascii_case(ITEM_REVISIONS) {
+        if it.name.eq_ignore_ascii_case(ITEM_REVISIONS)
+            || it.name.eq_ignore_ascii_case(ITEM_REVISION_HASHES)
+        {
             continue;
         }
         let ours: Option<&Item> = winner
@@ -730,6 +931,19 @@ fn merge_field_wise(local: &Note, remote: &Note) -> Option<Note> {
     let mut rev_item = Item::new(ITEM_REVISIONS, domino_types::Value::TextList(entries));
     rev_item.revised = new_time;
     merged.set_item(rev_item);
+    // The merge's hash chain: the deterministic union of both parents'
+    // ancestor sets, then the merge revision's own head (hashed over the
+    // merged items plus both parent heads). Both replicas resolve
+    // winner/other identically, so they mint the identical chain — and the
+    // identical Merkle head.
+    let union = merged_chain(winner, other);
+    set_chain(&mut merged, &union);
+    let parents: Vec<ContentHash> = [revision_head(winner), revision_head(other)]
+        .into_iter()
+        .flatten()
+        .collect();
+    let head = content_hash_of(&merged, &parents);
+    push_head(&mut merged, head, new_time);
     Some(merged)
 }
 
@@ -918,7 +1132,12 @@ mod tests {
         b.save(&mut nb).unwrap();
 
         let (into_a, into_b) = r.sync(&a, &b).unwrap();
-        assert_eq!(into_a.merged + into_b.merged, 2);
+        // One direction performs the field-wise merge; the hash chain then
+        // proves the merged revision descends from the other side's copy,
+        // so the reverse direction applies it as a clean update instead of
+        // re-deriving the merge.
+        assert_eq!(into_a.merged, 1);
+        assert_eq!(into_b.updated, 1);
         assert_eq!(into_a.conflicts + into_b.conflicts, 0);
         r.sync(&a, &b).unwrap();
         for db in [&a, &b] {
@@ -1204,8 +1423,10 @@ mod tests {
         for i in 0..20 {
             doc(&a, &format!("d{i}"));
         }
-        // 20 candidates / batch 4 = 5 messages; lose the third.
-        let mut t = ScriptedTransport::failing_at(vec![2]);
+        // Messages 0-2 are the negotiation exchange (root, digests,
+        // entries); 20 candidates / batch 4 = 5 batch messages after
+        // that. Lose the third batch (message 5).
+        let mut t = ScriptedTransport::failing_at(vec![5]);
         let err = r.pull_via(&b, &a, &mut t).unwrap_err();
         assert_eq!(err.kind(), "unavailable");
         assert!(r.has_pending());
@@ -1322,7 +1543,11 @@ mod tests {
 
     #[test]
     fn full_compare_after_cleared_history_is_stable() {
-        let (a, b, mut r) = pair();
+        let (a, b, _) = pair();
+        let mut r = Replicator::new(ReplicationOptions {
+            negotiate: false,
+            ..ReplicationOptions::default()
+        });
         doc(&a, "one");
         doc(&b, "two");
         r.sync(&a, &b).unwrap();
@@ -1332,6 +1557,134 @@ mod tests {
         assert!(into_a.candidates >= 2);
         assert_eq!(into_a.added + into_a.updated + into_a.conflicts, 0);
         assert_eq!(into_b.added + into_b.updated + into_b.conflicts, 0);
+        assert!(docs_equal(&a, &b));
+    }
+
+    #[test]
+    fn negotiated_cleared_history_examines_nothing_when_converged() {
+        // The negotiation headline: losing the history costs 16 bytes, not
+        // a full re-enumeration — converged roots match and the pass ends
+        // at round one.
+        let (a, b, mut r) = pair();
+        for i in 0..25 {
+            doc(&a, &format!("d{i}"));
+        }
+        r.sync(&a, &b).unwrap();
+        r.history.clear();
+        let (into_a, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_a.candidates, 0, "{into_a:?}");
+        assert_eq!(into_b.candidates, 0);
+        assert_eq!(into_a.root_matched, 1);
+        assert_eq!(into_a.negotiation_bytes, 16);
+        assert!(docs_equal(&a, &b));
+    }
+
+    #[test]
+    fn negotiation_enumerates_only_differing_notes() {
+        let (a, b, mut r) = pair();
+        for i in 0..40 {
+            doc(&a, &format!("d{i}"));
+        }
+        r.sync(&a, &b).unwrap();
+        // Touch 3 of 40 documents, then throw the history away: the
+        // negotiated pull must still examine exactly the 3.
+        let ids = a.note_ids(Some(NoteClass::Document)).unwrap();
+        for id in ids.iter().take(3) {
+            let mut n = a.open_note(*id).unwrap();
+            n.set("Subject", Value::text("touched"));
+            a.save(&mut n).unwrap();
+        }
+        r.history.clear();
+        let report = r.pull(&b, &a).unwrap();
+        assert_eq!(report.candidates, 3, "{report:?}");
+        assert_eq!(report.updated, 3);
+        assert!(report.buckets_differing >= 1);
+        assert!(report.negotiation_bytes > 16, "descended past the root");
+        assert!(docs_equal(&a, &b));
+    }
+
+    #[test]
+    fn cleared_history_convergence_matches_with_history() {
+        // Satellite check: a replica that lost its history converges to
+        // the byte-identical state a with-history replica reaches.
+        let (src, with_history, mut r1) = pair();
+        for i in 0..15 {
+            doc(&src, &format!("d{i}"));
+        }
+        src.delete(src.note_ids(Some(NoteClass::Document)).unwrap()[0])
+            .unwrap();
+        r1.pull(&with_history, &src).unwrap();
+        // More churn, then a second incremental pull.
+        for i in 0..5 {
+            doc(&src, &format!("late{i}"));
+        }
+        r1.pull(&with_history, &src).unwrap();
+
+        let amnesiac = Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("Disc", ReplicaId(77), ReplicaId(3)),
+                LogicalClock::starting_at(domino_types::Timestamp(900)),
+            )
+            .unwrap(),
+        );
+        let mut r2 = Replicator::new(ReplicationOptions::default());
+        r2.pull(&amnesiac, &src).unwrap();
+        r2.history.clear();
+        r2.abandon_pending();
+        let after_clear = r2.pull(&amnesiac, &src).unwrap();
+        assert!(!after_clear.changed_anything(), "{after_clear:?}");
+        assert!(docs_equal(&with_history, &amnesiac));
+        assert_eq!(
+            with_history.stubs().unwrap().len(),
+            amnesiac.stubs().unwrap().len()
+        );
+    }
+
+    #[test]
+    fn deep_edit_runs_apply_cleanly_beyond_fingerprint_depth() {
+        // The A2 anomaly, eliminated: with the unbounded hash chain a
+        // replica any number of edits behind still proves clean descent.
+        let (a, b, mut r) = pair();
+        let n = doc(&a, "v0");
+        r.sync(&a, &b).unwrap();
+        for i in 0..(MAX_REVISIONS * 4) {
+            let mut d = a.open_by_unid(n.unid()).unwrap();
+            d.set("Subject", Value::text(format!("v{}", i + 1)));
+            a.save(&mut d).unwrap();
+        }
+        let (_, into_b) = r.sync(&a, &b).unwrap();
+        assert_eq!(into_b.conflicts, 0, "{into_b:?}");
+        assert_eq!(into_b.updated, 1);
+        assert_eq!(
+            b.open_by_unid(n.unid())
+                .unwrap()
+                .get_text("Subject")
+                .unwrap(),
+            format!("v{}", MAX_REVISIONS * 4)
+        );
+        assert_eq!(a.document_count().unwrap(), 1, "no conflict documents");
+    }
+
+    #[test]
+    fn forget_instance_prunes_history_and_cursors() {
+        use crate::transport::ScriptedTransport;
+        let (a, b, mut r) = pair();
+        doc(&a, "x");
+        r.sync(&a, &b).unwrap();
+        assert_eq!(r.history.len(), 2, "one cutoff per direction");
+        // Park a cursor for the pair.
+        for i in 0..10 {
+            doc(&a, &format!("more{i}"));
+        }
+        let mut t = ScriptedTransport::failing_at((0..100).collect());
+        let _ = r.pull_via(&b, &a, &mut t);
+        assert_eq!(r.pending_count(), 1);
+        r.forget_instance(a.instance_id());
+        assert_eq!(r.history.len(), 0);
+        assert_eq!(r.pending_count(), 0);
+        assert!(!r.has_pending());
+        // The pair still converges from scratch afterwards.
+        r.sync(&a, &b).unwrap();
         assert!(docs_equal(&a, &b));
     }
 }

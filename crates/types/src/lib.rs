@@ -19,6 +19,7 @@
 
 pub mod datetime;
 pub mod error;
+pub mod hash;
 pub mod id;
 pub mod item;
 pub mod time;
@@ -26,6 +27,7 @@ pub mod value;
 
 pub use datetime::{days_in_month, Civil, SECONDS_PER_DAY};
 pub use error::{DominoError, Result};
+pub use hash::{content_hash, mix128, ContentHash, ContentHasher};
 pub use id::{NoteClass, NoteId, Oid, ReplicaId, Unid};
 pub use item::{Item, ItemFlags};
 pub use time::{Clock, LogicalClock, Timestamp};

@@ -1,8 +1,10 @@
 //! Property tests for replication over an unreliable transport: a pull
 //! interrupted at any batch boundary and then resumed must produce a
-//! database byte-identical to an uninterrupted pull, and retry-with-backoff
-//! must converge through a lossy link that defeats the zero-retry policy
-//! within the same budget.
+//! database byte-identical to an uninterrupted pull (whether the pass is
+//! digest-negotiated or a full enumeration), revision hashes must be
+//! deterministic across replicas that apply the same edit schedule, and
+//! retry-with-backoff must converge through a lossy link that defeats
+//! the zero-retry policy within the same budget.
 
 use std::sync::Arc;
 
@@ -13,7 +15,7 @@ use domino::net::{LinkSpec, Network, Topology};
 use domino::replica::{
     CleanTransport, ReplicationOptions, Replicator, RetryPolicy, ScriptedTransport,
 };
-use domino::types::{LogicalClock, NoteClass, NoteId, ReplicaId, Timestamp, Value};
+use domino::types::{ContentHash, LogicalClock, NoteClass, NoteId, ReplicaId, Timestamp, Value};
 
 fn make_db(instance: u64, skew: u64) -> Arc<Database> {
     Arc::new(
@@ -107,6 +109,80 @@ proptest! {
         clean.pull_via(&clean_dst, &src, &mut CleanTransport).unwrap();
 
         prop_assert_eq!(dump(&faulty_dst), dump(&clean_dst));
+    }
+
+    /// A digest-negotiated pull interrupted at arbitrary message indices
+    /// (negotiation rounds included) and resumed until complete lands the
+    /// same bytes as an uninterrupted full-enumeration pull — the Merkle
+    /// diff may *skip* converged notes but must never change what ships.
+    #[test]
+    fn negotiated_interrupted_matches_full_enumeration(
+        docs in 1..40usize,
+        deletes in 0..5usize,
+        batch in 1..9usize,
+        fail_at in prop::collection::vec(0..40u64, 0..8),
+    ) {
+        let src = make_db(1, 0);
+        populate(&src, docs, deletes.min(docs));
+
+        // Negotiated path, losses injected anywhere in the exchange.
+        let faulty_dst = make_db(2, 100);
+        let mut faulty = Replicator::new(ReplicationOptions {
+            batch,
+            negotiate: true,
+            ..ReplicationOptions::default()
+        });
+        let mut transport = ScriptedTransport::failing_at(fail_at);
+        let mut guard = 0;
+        while faulty.pull_via(&faulty_dst, &src, &mut transport).is_err() {
+            guard += 1;
+            prop_assert!(guard <= 64, "pull never completed");
+        }
+        prop_assert!(!faulty.has_pending(), "cursor must clear on completion");
+
+        // Uninterrupted full-enumeration baseline.
+        let clean_dst = make_db(3, 200);
+        let mut clean = Replicator::new(ReplicationOptions {
+            batch,
+            negotiate: false,
+            ..ReplicationOptions::default()
+        });
+        clean.pull_via(&clean_dst, &src, &mut CleanTransport).unwrap();
+
+        prop_assert_eq!(dump(&faulty_dst), dump(&clean_dst));
+    }
+
+    /// Two replicas with the same instance identity that apply an
+    /// identical edit schedule derive identical revision hashes — and so
+    /// identical Merkle roots. This is what lets negotiation compare
+    /// digests computed independently on each side.
+    #[test]
+    fn revision_hashes_are_deterministic_across_replicas(
+        docs in 1..20usize,
+        edits in prop::collection::vec((0..20usize, 0..50u32), 0..30),
+    ) {
+        let run = || {
+            let db = make_db(9, 0);
+            let mut ids: Vec<NoteId> = Vec::new();
+            for i in 0..docs {
+                let mut n = Note::document("Memo");
+                n.set("Subject", Value::text(format!("memo {i}")));
+                db.save(&mut n).unwrap();
+                ids.push(n.id);
+            }
+            for (idx, payload) in &edits {
+                let id = ids[idx % ids.len()];
+                let mut n = db.open_note(id).unwrap();
+                n.set("Body", Value::text(format!("edit {payload}")));
+                db.save(&mut n).unwrap();
+            }
+            db
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.merkle_root(), b.merkle_root());
+        prop_assert_ne!(a.merkle_root(), ContentHash::NONE, "root must summarize content");
+        prop_assert_eq!(a.merkle_len(), docs);
     }
 
 }
