@@ -258,6 +258,19 @@ impl AgentScheduler {
             if let AgentTrigger::Scheduled(_) = agent.trigger {
                 self.last_run.insert(agent.name.clone(), now);
             }
+            domino_obs::emit(
+                domino_obs::Event::new(
+                    domino_obs::EventKind::Agent,
+                    domino_obs::Severity::Info,
+                    "Agent.Run",
+                )
+                .at(now)
+                .with("agent", agent.name.clone())
+                .with("db", self.db.title())
+                .with("examined", run.examined)
+                .with("selected", run.selected)
+                .with("modified", run.modified),
+            );
             report.runs.push((agent.name, run));
         }
         self.seen_seq = self.db.change_seq();

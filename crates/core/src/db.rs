@@ -1191,7 +1191,9 @@ impl Database {
         let weak = Arc::downgrade(self);
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
+        let task_name = format!("checkpointer:{}", self.title());
         let handle = std::thread::spawn(move || {
+            let task = domino_obs::register_task(&task_name, "Fuzzy checkpoint");
             // Sleep in short slices so stop() never waits a full interval.
             let slice = std::time::Duration::from_millis(5)
                 .min(interval)
@@ -1208,6 +1210,7 @@ impl Database {
                 // Best-effort: a failed cycle (e.g. I/O error) is retried
                 // at the next interval.
                 let _ = db.checkpoint_incremental(pages_per_step);
+                task.beat();
             }
         });
         CheckpointerHandle {

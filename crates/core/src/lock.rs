@@ -139,6 +139,7 @@ impl LockTable {
                 if now >= deadline {
                     m().timeouts.inc();
                     Self::drop_if_idle(&mut g, key);
+                    emit_timeout_event(key, LockMode::Shared, self.timeout);
                     return Err(lock_timeout(key, LockMode::Shared, self.timeout));
                 }
                 g = self
@@ -180,6 +181,7 @@ impl LockTable {
                     // Readers admitted only while no writer waits may be
                     // blocked behind this abandoned claim.
                     self.cond.notify_all();
+                    emit_timeout_event(key, LockMode::Exclusive, self.timeout);
                     return Err(lock_timeout(key, LockMode::Exclusive, self.timeout));
                 }
                 g = self
@@ -253,6 +255,27 @@ fn lock_timeout(key: Unid, mode: LockMode, timeout: Duration) -> DominoError {
     DominoError::Unavailable(format!(
         "{mode:?} lock on note {key} not granted within {timeout:?} (database in use)"
     ))
+}
+
+/// A lock-timeout victim is how this system surfaces deadlocks (timeout-
+/// based detection — DESIGN.md §concurrency); worth a structured event,
+/// not just a counter.
+fn emit_timeout_event(key: Unid, mode: LockMode, timeout: Duration) {
+    obs::emit(
+        obs::Event::new(obs::EventKind::Misc, obs::Severity::Warning, "Lock.Timeout")
+            .with("note", key.to_string())
+            .with(
+                "mode",
+                match mode {
+                    LockMode::Shared => "shared",
+                    LockMode::Exclusive => "exclusive",
+                },
+            )
+            .with(
+                "waited_micros",
+                timeout.as_micros().min(u64::MAX as u128) as u64,
+            ),
+    );
 }
 
 /// RAII shared lock on one note.

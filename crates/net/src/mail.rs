@@ -180,6 +180,17 @@ impl MailRouter {
                         // Unroutable: the destination does not exist.
                         self.stats.dead_lettered += 1;
                         m().dead_lettered.inc();
+                        obs::emit(
+                            obs::Event::new(
+                                obs::EventKind::Misc,
+                                obs::Severity::Warning,
+                                "Mail.DeadLettered",
+                            )
+                            .at(now)
+                            .with("to", memo.get_text("SendTo").unwrap_or_default())
+                            .with("dest_server", dest)
+                            .with("at_server", server),
+                        );
                         mailbox.delete(id)?;
                         continue;
                     };
@@ -253,6 +264,18 @@ impl MailRouter {
         let reg = m();
         reg.delivered.inc();
         reg.delivery_ticks.record(latency);
+        obs::emit(
+            obs::Event::new(obs::EventKind::Misc, obs::Severity::Info, "Mail.Delivered")
+                .at(now)
+                .with("to", recipient)
+                .with(
+                    "hops",
+                    memo.get("Hops")
+                        .and_then(|v| v.as_number().ok())
+                        .unwrap_or(0.0) as u64,
+                )
+                .with("latency_ticks", latency),
+        );
         Ok(())
     }
 

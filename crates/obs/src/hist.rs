@@ -391,6 +391,64 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_histogram_quantiles_all_equal_the_sample() {
+        // p99 (and every other quantile) of a one-sample histogram is
+        // that sample: rank = max(ceil(q*1), 1) = 1 lands in its bucket,
+        // and the bucket's upper bound is clamped to the observed max.
+        for v in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            let h = Histogram::new();
+            h.record(v);
+            let s = h.snapshot();
+            assert_eq!(s.p50(), v, "p50 of single sample {v}");
+            assert_eq!(s.p99(), v, "p99 of single sample {v}");
+            assert_eq!(s.quantile(0.0), v, "q0 of single sample {v}");
+            assert_eq!(s.quantile(1.0), v, "q1 of single sample {v}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 0, "quantile({q}) of empty histogram");
+        }
+        assert_eq!(s.mean(), 0);
+        // Diffing two empties stays empty.
+        let d = s.diff(&HistogramSnapshot::default());
+        assert_eq!(d.count, 0);
+        assert_eq!(d.p99(), 0);
+    }
+
+    #[test]
+    fn quantiles_at_bucket_boundaries() {
+        // Samples sitting exactly on power-of-two bucket edges: 2^k goes
+        // to bucket k+1 (lower bound), 2^k - 1 to bucket k (upper bound).
+        // The reported quantile is the containing bucket's upper bound
+        // clamped to the max, so boundary values round-trip exactly.
+        let h = Histogram::new();
+        h.record(1024); // bucket 11, upper 2047
+        let s = h.snapshot();
+        assert_eq!(s.p99(), 1024, "clamped to observed max");
+        let h = Histogram::new();
+        h.record(1023); // bucket 10, upper 1023
+        assert_eq!(h.snapshot().p99(), 1023);
+        // Mixed: half at a boundary, half just below it — p50 must not
+        // exceed the upper bound of the lower bucket.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(1023);
+        }
+        for _ in 0..50 {
+            h.record(1024);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 1023);
+        assert_eq!(s.p99(), 1024, "p99 reaches the upper mode, max-clamped");
+        assert_eq!(s.quantile(0.501), 1024);
+    }
+
+    #[test]
     fn timer_records_a_sample() {
         let h = Histogram::new();
         {

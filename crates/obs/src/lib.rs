@@ -5,7 +5,7 @@
 //! `show statistics` console, per-database activity counters, and the
 //! slow-transaction log.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! * **Metrics registry** ([`counter`], [`gauge`], [`histogram`]) —
 //!   process-wide metrics interned once under hierarchical Domino-style
@@ -22,6 +22,14 @@
 //!   [`Snapshot::diff`]) — the Domino console text dump plus a
 //!   machine-readable snapshot/diff API so the bench harness records
 //!   metric deltas per experiment.
+//! * **Event bus** ([`emit`], [`drain`], [`Event`]) — a bounded
+//!   lock-free ring of structured events (kind, severity, code, typed
+//!   fields) that the `log.nsf` logger task drains; emission never
+//!   blocks a hot path (overflow counts into `Obs.Event.Dropped`), and
+//!   the drainer's [`suppress`] guard keeps the log from logging itself.
+//! * **Task roster** ([`register_task`], [`show_tasks`]) — every
+//!   background thread (checkpointer, amgr, logger, probes) registers
+//!   and heart-beats here, reproducing the Domino `show tasks` console.
 //!
 //! ## Naming convention
 //!
@@ -65,12 +73,18 @@
 
 #![deny(missing_docs)]
 
+pub mod event;
 mod expo;
 mod hist;
 mod registry;
 mod span;
+pub mod task;
 
-pub use expo::{render_statistics, show_statistics};
+pub use event::{
+    drain, emit, is_suppressed, pending, process_nanos, suppress, Event, EventKind, FieldValue,
+    Severity, SuppressGuard, EVENT_RING_CAPACITY,
+};
+pub use expo::{render_statistics, show_statistics, touch_server_gauges};
 pub use hist::{HistTimer, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{
     counter, gauge, histogram, snapshot, Counter, Gauge, Metric, MetricValue, Snapshot,
@@ -79,3 +93,4 @@ pub use span::{
     current_path, enter, enter_timed, set_slow_threshold, slow_ops, slow_threshold, take_slow_ops,
     SlowOp, SpanGuard, SLOW_LOG_CAPACITY,
 };
+pub use task::{register_task, show_tasks, tasks, TaskHandle, TaskInfo};

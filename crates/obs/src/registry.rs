@@ -346,4 +346,73 @@ mod tests {
         assert!(json.contains("\"Test.Snapshot.Work\": 42"));
         assert!(json.contains("\"p99\""));
     }
+
+    #[test]
+    fn diff_when_counter_appears_to_reset_saturates_to_zero() {
+        // A "reset" can't happen on a live counter (they only grow), but
+        // it *does* happen when diffing snapshots from different runs or
+        // against a hand-built baseline. The contract: saturate, never
+        // wrap to a huge bogus delta.
+        let mut newer = BTreeMap::new();
+        newer.insert("Test.Reset.Work".to_string(), MetricValue::Counter(5));
+        let newer = Snapshot { values: newer };
+        let mut older = BTreeMap::new();
+        older.insert("Test.Reset.Work".to_string(), MetricValue::Counter(50));
+        let older = Snapshot { values: older };
+        let d = newer.diff(&older);
+        assert_eq!(d.counter("Test.Reset.Work"), 0, "must saturate, not wrap");
+        // Histogram counts saturate the same way.
+        let h_old = {
+            let h = Histogram::new();
+            for _ in 0..10 {
+                h.record(100);
+            }
+            h.snapshot()
+        };
+        let h_new = {
+            let h = Histogram::new();
+            h.record(100);
+            h.snapshot()
+        };
+        let mut newer = BTreeMap::new();
+        newer.insert("Test.Reset.Lat".to_string(), MetricValue::Histogram(h_new));
+        let mut older = BTreeMap::new();
+        older.insert("Test.Reset.Lat".to_string(), MetricValue::Histogram(h_old));
+        let d = (Snapshot { values: newer }).diff(&Snapshot { values: older });
+        assert_eq!(d.histogram("Test.Reset.Lat").count, 0);
+        assert_eq!(d.histogram("Test.Reset.Lat").p99(), 0, "no phantom samples");
+    }
+
+    #[test]
+    fn diff_metric_registered_after_baseline_appears_in_full() {
+        // Re-registration semantics: `counter()` on an existing name
+        // returns the same handle (no reset), and a metric that did not
+        // exist at the earlier snapshot diffs as its full value.
+        let c1 = counter("Test.Rereg.Existing");
+        c1.add(3);
+        let s0 = snapshot();
+        // "Re-register" under the same name: the same handle comes back,
+        // with its value intact.
+        let c2 = counter("Test.Rereg.Existing");
+        assert!(std::ptr::eq(c1, c2), "re-registration returns the handle");
+        assert_eq!(c2.get(), c1.get());
+        c2.add(4);
+        // A genuinely new metric, born after the baseline.
+        counter("Test.Rereg.Fresh").add(9);
+        let d = snapshot().diff(&s0);
+        assert_eq!(d.counter("Test.Rereg.Existing"), 4);
+        assert_eq!(
+            d.counter("Test.Rereg.Fresh"),
+            9,
+            "a metric absent from the baseline diffs as its full value"
+        );
+        // A kind change under a name the baseline held as a counter also
+        // passes through as the full later value (the `_ => *v` arm).
+        let mut older = BTreeMap::new();
+        older.insert("Test.Rereg.Kind".to_string(), MetricValue::Counter(7));
+        let mut newer = BTreeMap::new();
+        newer.insert("Test.Rereg.Kind".to_string(), MetricValue::Gauge(-2));
+        let d = (Snapshot { values: newer }).diff(&Snapshot { values: older });
+        assert_eq!(d.gauge("Test.Rereg.Kind"), -2);
+    }
 }

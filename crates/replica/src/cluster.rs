@@ -137,7 +137,17 @@ impl Cluster {
     /// Stop pushing (simulates a cluster mate going unreachable). Events
     /// made while paused queue up to the catch-up capacity.
     pub fn pause(&self) {
-        self.inner.lock().paused = true;
+        let mut g = self.inner.lock();
+        g.paused = true;
+        obs::emit(
+            obs::Event::new(
+                obs::EventKind::Replica,
+                obs::Severity::Warning,
+                "Cluster.Paused",
+            )
+            .with("members", g.members.len())
+            .with("capacity", g.capacity),
+        );
     }
 
     /// Resume pushing and drain the catch-up queue in commit order.
@@ -159,6 +169,20 @@ impl Cluster {
             self.inner.lock().stats.drained += n;
             m().drained.add(n);
         }
+        let lossy = self.inner.lock().stats.lossy();
+        obs::emit(
+            obs::Event::new(
+                obs::EventKind::Replica,
+                if lossy {
+                    obs::Severity::Warning
+                } else {
+                    obs::Severity::Info
+                },
+                "Cluster.Resumed",
+            )
+            .with("drained", n)
+            .with("lossy", u64::from(lossy)),
+        );
         n
     }
 
@@ -170,6 +194,22 @@ impl Cluster {
     /// A snapshot of this cluster's counters.
     pub fn stats(&self) -> ClusterStats {
         self.inner.lock().stats
+    }
+}
+
+/// Announce the catch-up queue going lossy. Only the *first* eviction gets
+/// an event — a long outage evicts once per commit, and a thousand copies
+/// of "still overflowing" would bury the one that matters.
+fn emit_overflow(stats: &ClusterStats, capacity: usize) {
+    if stats.dropped_while_paused == 1 {
+        obs::emit(
+            obs::Event::new(
+                obs::EventKind::Replica,
+                obs::Severity::Warning,
+                "Cluster.CatchUp.Overflow",
+            )
+            .with("capacity", capacity),
+        );
     }
 }
 
@@ -185,6 +225,7 @@ fn push_to_peers(inner: &Arc<Mutex<ClusterInner>>, origin: usize, event: &Change
                 g.stats.dropped_while_paused += 1;
                 m().dropped.inc();
                 m().overflow.inc();
+                emit_overflow(&g.stats, g.capacity);
                 return;
             }
             if g.catch_up.len() >= g.capacity {
@@ -192,6 +233,7 @@ fn push_to_peers(inner: &Arc<Mutex<ClusterInner>>, origin: usize, event: &Change
                 g.stats.dropped_while_paused += 1;
                 m().dropped.inc();
                 m().overflow.inc();
+                emit_overflow(&g.stats, g.capacity);
             }
             g.catch_up.push_back((origin, event.clone()));
             g.stats.queued_while_paused += 1;

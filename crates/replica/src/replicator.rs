@@ -110,6 +110,23 @@ const MERKLE_ENTRY_BYTES: u64 = 32;
 /// pays it only for notes whose heads actually differ.
 const CANDIDATE_HEADER_BYTES: u64 = 28;
 
+/// Announce a pass parked mid-flight on the event bus. The cursor keeps
+/// every durably applied note, so the event only needs to say which pair
+/// stalled and at which stage (`negotiation`, `deliver`, or `apply`).
+fn emit_interrupted(dst: &Database, src: &Database, stage: &'static str) {
+    obs::emit(
+        obs::Event::new(
+            obs::EventKind::Replica,
+            obs::Severity::Warning,
+            "Replica.Pass.Interrupted",
+        )
+        .at(dst.clock().peek().0)
+        .with("src", src.title())
+        .with("dst", dst.title())
+        .with("stage", stage),
+    );
+}
+
 /// Tuning knobs for a replication pass.
 #[derive(Debug, Clone)]
 pub struct ReplicationOptions {
@@ -352,6 +369,7 @@ impl Replicator {
                         // A negotiation message was lost in flight; park the
                         // cursor so the retry resumes this pass.
                         m().interrupted.inc();
+                        emit_interrupted(dst, src, "negotiation");
                         self.cursors.insert(key, cursor);
                     }
                     return Err(e);
@@ -372,6 +390,7 @@ impl Replicator {
         for chunk in candidates.chunks(batch) {
             if let Err(e) = transport.deliver(chunk.len() as u64) {
                 m().interrupted.inc();
+                emit_interrupted(dst, src, "deliver");
                 self.cursors.insert(key, cursor);
                 return Err(e);
             }
@@ -386,6 +405,7 @@ impl Replicator {
                 if let Err(e) = applied {
                     // Apply-side failure: progress so far is durable; park
                     // the cursor so a retry continues from here.
+                    emit_interrupted(dst, src, "apply");
                     self.cursors.insert(key, cursor);
                     return Err(e);
                 }
@@ -412,6 +432,18 @@ impl Replicator {
             reg.negotiation_bytes.add(report.negotiation_bytes);
             reg.negotiated_candidates.add(report.candidates);
         }
+        obs::emit(
+            obs::Event::new(obs::EventKind::Replica, obs::Severity::Info, "Replica.Pass")
+                .at(dst.clock().peek().0)
+                .with("src", src.title())
+                .with("dst", dst.title())
+                .with("candidates", report.candidates)
+                .with("added", report.added)
+                .with("updated", report.updated)
+                .with("conflicts", report.conflicts)
+                .with("deletions", report.deletions)
+                .with("bytes", report.bytes_shipped),
+        );
         Ok(report)
     }
 
@@ -507,6 +539,18 @@ impl Replicator {
                         // Exhausted: the cursor stays parked; callers see
                         // the transport error (and Replica.Retry.Exhausted).
                         reg.retry_exhausted.inc();
+                        obs::emit(
+                            obs::Event::new(
+                                obs::EventKind::Replica,
+                                obs::Severity::Failure,
+                                "Replica.Retry.Exhausted",
+                            )
+                            .at(dst.clock().peek().0)
+                            .with("src", src.title())
+                            .with("dst", dst.title())
+                            .with("attempts", stats.attempts)
+                            .with("backoff_ticks", stats.backoff_ticks),
+                        );
                         return Err(e);
                     }
                     reg.retry_attempts.inc();
@@ -514,6 +558,18 @@ impl Replicator {
                     // for the simulator, decorrelation for the fleet.
                     let seed = dst.clock().peek().0;
                     let wait = policy.backoff(stats.attempts, seed);
+                    obs::emit(
+                        obs::Event::new(
+                            obs::EventKind::Replica,
+                            obs::Severity::Warning,
+                            "Replica.Retry",
+                        )
+                        .at(dst.clock().peek().0)
+                        .with("src", src.title())
+                        .with("dst", dst.title())
+                        .with("attempt", stats.attempts)
+                        .with("wait_ticks", wait),
+                    );
                     stats.backoff_ticks += wait;
                     reg.retry_backoff_ticks.add(wait);
                     dst.clock().advance(wait);

@@ -1,0 +1,75 @@
+//! The server console: `show` and `tell` commands over the observability
+//! stack.
+//!
+//! Domino administrators drive the server from a console prompt — `show
+//! statistics`, `show tasks`, `tell router quit`. This module is that
+//! prompt as a library: [`Console::exec`] takes one command line and
+//! returns the text a console would print, wiring the commands onto
+//! [`domino_obs`] (statistics, task roster, event tail) and the
+//! [`ServerLog`] (rotation).
+
+use std::sync::Arc;
+
+use domino_obs as obs;
+
+use crate::logger::ServerLog;
+
+/// A console bound to a server log.
+pub struct Console {
+    log: Arc<ServerLog>,
+}
+
+impl Console {
+    /// A console over `log`.
+    pub fn new(log: Arc<ServerLog>) -> Console {
+        Console { log }
+    }
+
+    /// Execute one command line and return what the console prints.
+    ///
+    /// Commands (case-insensitive, Domino spelling):
+    ///
+    /// * `show statistics` — every registered metric.
+    /// * `show tasks` — the background task roster with heartbeats.
+    /// * `show events [severity]` — the recent event tail, optionally
+    ///   filtered to `severity` or worse (`fatal`, `failure`, `warning`,
+    ///   `normal`, `info`).
+    /// * `tell logger drain` — file pending bus events now.
+    /// * `tell logger rotate` — force a log rotation now.
+    pub fn exec(&self, line: &str) -> String {
+        let words: Vec<String> = line.split_whitespace().map(str::to_lowercase).collect();
+        let words: Vec<&str> = words.iter().map(String::as_str).collect();
+        match words.as_slice() {
+            ["show", "statistics"] | ["show", "stat"] => obs::show_statistics(),
+            ["show", "tasks"] => obs::show_tasks(),
+            ["show", "events"] => self.log.show_events(None),
+            ["show", "events", sev] => match obs::Severity::parse(sev) {
+                Some(floor) => self.log.show_events(Some(floor)),
+                None => format!(
+                    "> show events {sev}\n  unknown severity {sev:?} (try fatal, failure, warning, normal, info)\n"
+                ),
+            },
+            ["tell", "logger", "drain"] => {
+                let report = self.log.drain();
+                format!(
+                    "> tell logger drain\n  drained {} events, wrote {} documents ({} in log)\n",
+                    report.drained,
+                    report.written,
+                    self.log.document_count()
+                )
+            }
+            ["tell", "logger", "rotate"] => {
+                let deleted = self.log.rotate();
+                format!(
+                    "> tell logger rotate\n  deleted {} documents, {} remain\n",
+                    deleted,
+                    self.log.document_count()
+                )
+            }
+            [] => String::from("> \n"),
+            _ => format!(
+                "> {line}\n  unknown command (try: show statistics | show tasks | show events [severity] | tell logger drain | tell logger rotate)\n"
+            ),
+        }
+    }
+}

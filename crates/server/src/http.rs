@@ -16,6 +16,16 @@ pub enum Method {
     Post,
 }
 
+impl Method {
+    /// The request-line verb, as a front door would have read it.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
 /// Who the request claims to be.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Credentials {

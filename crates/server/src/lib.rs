@@ -25,8 +25,20 @@
 //! * An "amgr" driver ([`DominoServer::amgr_tick`] /
 //!   [`DominoServer::start_amgr`]) running stored agents on schedule and
 //!   on database change.
+//! * [`ServerLog`] (the `logger` module) — the Domino logger task: a
+//!   background drainer filing every structured event from the
+//!   `domino-obs` bus as a document in a real `log.nsf` database, with
+//!   domlog-style `HttpRequest` documents, stock views, size-bounded
+//!   rotation, and its own ACL — browsable through this very server.
+//! * [`ProbeEngine`] (the `ddm` module) — DDM-style health probes over
+//!   registry snapshot deltas, escalating and clearing as verdict
+//!   events.
+//! * [`Console`] — the admin surface: `show statistics`, `show tasks`,
+//!   `show events [severity]`, `tell logger drain|rotate`.
 //!
-//! Everything reports under `Http.*` in `domino-obs` (`show statistics`).
+//! Everything reports under `Http.*` in `domino-obs` (`show statistics`),
+//! and every request lands on the event bus as an `Http.Request` event
+//! (denials additionally as `Security`-kind `Http.Denied`).
 //!
 //! ```
 //! use std::sync::Arc;
@@ -56,14 +68,20 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod console;
+pub mod ddm;
 pub mod http;
+pub mod logger;
 pub mod pool;
 pub mod render;
 mod server;
 pub mod url;
 
 pub use cache::{CacheKey, CachedPage, CommandCache, PageKind};
+pub use console::Console;
+pub use ddm::{default_rules, ProbeCondition, ProbeEngine, ProbeOutcome, ProbeRule};
 pub use http::{Credentials, Method, Request, Response, Status};
+pub use logger::{DrainReport, LoggerConfig, LoggerHandle, ServerLog};
 pub use pool::WorkerPool;
 pub use server::{AmgrHandle, DominoServer, ServerConfig, ANONYMOUS};
 pub use url::{parse, UrlCommand, DEFAULT_COUNT};

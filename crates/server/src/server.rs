@@ -310,6 +310,7 @@ impl DominoServer {
         let join = std::thread::Builder::new()
             .name("http-amgr".into())
             .spawn(move || {
+                let task = obs::register_task("http-amgr", "Agent manager");
                 while !flag.load(Ordering::Relaxed) {
                     std::thread::sleep(every);
                     if flag.load(Ordering::Relaxed) {
@@ -318,6 +319,7 @@ impl DominoServer {
                     match weak.upgrade() {
                         Some(inner) => {
                             let _ = inner.amgr_tick();
+                            task.beat();
                         }
                         None => break,
                     }
@@ -380,12 +382,39 @@ impl Inner {
         let started = Instant::now();
         m().served.inc();
         let resp = self.dispatch(req);
+        let micros = started.elapsed().as_micros() as u64;
         m().micros.record_micros(started.elapsed());
         match resp.status {
             Status::Ok => m().ok.inc(),
             Status::Unauthorized | Status::Forbidden => m().denied.inc(),
             Status::BadRequest | Status::NotFound | Status::Conflict => m().client_err.inc(),
             Status::ServerError | Status::Unavailable => m().server_err.inc(),
+        }
+        let user = match &req.credentials {
+            Credentials::Anonymous => "Anonymous".to_string(),
+            Credentials::Basic { user, .. } => user.clone(),
+        };
+        // The domlog.nsf record: one event per request, whatever the
+        // outcome. The logger task turns these into HttpRequest documents.
+        obs::emit(
+            obs::Event::new(obs::EventKind::Http, obs::Severity::Info, "Http.Request")
+                .with("method", req.method.as_str())
+                .with("command", req.target.clone())
+                .with("status", u64::from(resp.status.code()))
+                .with("micros", micros)
+                .with("user", user.clone()),
+        );
+        if matches!(resp.status, Status::Unauthorized | Status::Forbidden) {
+            obs::emit(
+                obs::Event::new(
+                    obs::EventKind::Security,
+                    obs::Severity::Warning,
+                    "Http.Denied",
+                )
+                .with("status", u64::from(resp.status.code()))
+                .with("command", req.target.clone())
+                .with("user", user),
+            );
         }
         resp
     }

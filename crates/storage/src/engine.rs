@@ -310,6 +310,21 @@ impl Engine {
             }
             stats.evictions += 1;
             m().evictions.inc();
+            // Sustained eviction churn means the working set no longer
+            // fits the pool. Sample the condition (every 1024th eviction)
+            // so the event is rare even when the pressure is constant —
+            // emission here sits on the page-fault path.
+            if stats.evictions % 1024 == 0 {
+                obs::emit(
+                    obs::Event::new(
+                        obs::EventKind::Checkpoint,
+                        obs::Severity::Warning,
+                        "Pool.Pressure",
+                    )
+                    .with("evictions", stats.evictions)
+                    .with("capacity", pool.capacity()),
+                );
+            }
             pool.rebind(slot, id);
             slot
         } else {
@@ -625,6 +640,16 @@ impl Engine {
         self.ckpt_queue = None;
         self.stats.checkpoints += 1;
         m().checkpoints.inc();
+        obs::emit(
+            obs::Event::new(
+                obs::EventKind::Checkpoint,
+                obs::Severity::Info,
+                "Checkpoint.Completed",
+            )
+            .with("checkpoints", self.stats.checkpoints)
+            .with("pages_written", self.stats.page_writes)
+            .with("dirty_remaining", self.dirty_table.len()),
+        );
         let Some(wal) = &self.wal else { return Ok(()) };
         // Pages dirtied since begin_checkpoint ride along fuzzily: their
         // recovery LSNs bound where redo must start.

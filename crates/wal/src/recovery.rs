@@ -214,6 +214,24 @@ pub fn recover<S: LogStore>(
     domino_obs::counter("Recovery.UpdatesRedone").add(stats.redone);
     domino_obs::counter("Recovery.UpdatesUndone").add(stats.undone);
     domino_obs::counter("Recovery.LoserTxns").add(stats.loser_txs);
+    // A restart recovery is a server event: losers rolled back make it a
+    // Warning (the crash interrupted in-flight work), a clean redo-only
+    // pass is informational.
+    domino_obs::emit(
+        domino_obs::Event::new(
+            domino_obs::EventKind::Server,
+            if stats.loser_txs > 0 {
+                domino_obs::Severity::Warning
+            } else {
+                domino_obs::Severity::Info
+            },
+            "Recovery.Completed",
+        )
+        .with("analyzed", stats.analyzed)
+        .with("redone", stats.redone)
+        .with("undone", stats.undone)
+        .with("losers", stats.loser_txs),
+    );
     Ok(stats)
 }
 
