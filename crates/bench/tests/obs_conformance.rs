@@ -23,7 +23,7 @@ use domino_views::{ColumnSpec, ViewDesign};
 /// registers; `Example` for the runnable examples.
 const SUBSYSTEMS: &[&str] = &[
     "Bench", "Cluster", "Database", "Db", "Ddm", "Example", "Formula", "Ft", "Http", "Log",
-    "Logger", "Mail", "Net", "Obs", "Recovery", "Replica", "Server", "Test", "View",
+    "Logger", "Mail", "Net", "Nsf", "Obs", "Recovery", "Replica", "Server", "Test", "View",
 ];
 
 /// A histogram's last segment names what it measures.
@@ -71,6 +71,23 @@ fn mixed_workload() {
         }
     }
     a.checkpoint().unwrap();
+
+    // The file device: a real on-disk NSF registers `Nsf.File.*`.
+    let dir = std::env::temp_dir().join(format!("domino-obs-conformance-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let disk = Database::open_path(
+            &dir.join("data.nsf"),
+            DbConfig::new("d", ReplicaId(1), ReplicaId(4)),
+            clock.clone(),
+        )
+        .unwrap();
+        let mut doc = Note::document("Topic");
+        doc.set("Subject", Value::text("on disk"));
+        disk.save(&mut doc).unwrap();
+        disk.shutdown().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 
     // Replication (clean pass) and clustering.
     let mut repl = Replicator::new(ReplicationOptions::default());
@@ -179,6 +196,7 @@ fn every_registered_metric_name_conforms() {
         "View.Rebuilds",
         "Mail.Delivered",
         "Logger.Drains",
+        "Nsf.File.Opens",
         "Obs.Event.Emitted",
         "Server.Uptime",
     ] {

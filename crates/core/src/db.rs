@@ -193,6 +193,20 @@ pub struct ChangedNote {
     pub is_stub: bool,
 }
 
+/// How `Database::open` seeds the snapshot map and Merkle summary from
+/// pre-existing engine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SeedMode {
+    /// Read only each note's summary segment at open; bodies load on
+    /// first read (and writers backfill pre-images before overwriting).
+    /// Opening a body-heavy database touches no body pages at all.
+    #[default]
+    Lazy,
+    /// Load every note in full at open (the pre-lazy behavior, kept for
+    /// comparison — experiment E2 measures the difference).
+    Eager,
+}
+
 /// Configuration for opening a database.
 #[derive(Clone)]
 pub struct DbConfig {
@@ -210,6 +224,8 @@ pub struct DbConfig {
     /// serializes on one global lock — the pre-concurrency behavior,
     /// kept for comparison (experiment E16).
     pub use_lock_table: bool,
+    /// Snapshot/Merkle seeding strategy at open (default: lazy).
+    pub seed_mode: SeedMode,
 }
 
 impl DbConfig {
@@ -222,6 +238,7 @@ impl DbConfig {
             engine: EngineConfig::default(),
             lock_timeout: DEFAULT_LOCK_TIMEOUT,
             use_lock_table: true,
+            seed_mode: SeedMode::default(),
         }
     }
 
@@ -242,6 +259,11 @@ impl DbConfig {
 
     pub fn with_lock_table(mut self, enabled: bool) -> DbConfig {
         self.use_lock_table = enabled;
+        self
+    }
+
+    pub fn with_seed_mode(mut self, mode: SeedMode) -> DbConfig {
+        self.seed_mode = mode;
         self
     }
 }
@@ -292,7 +314,7 @@ impl Drop for CheckpointerHandle {
 /// Readers pin a [`Snapshot`] from `versions` and never touch either
 /// writer lock. Lock order is note lock → `inner` → version map.
 pub struct Database {
-    inner: Mutex<DbInner>,
+    inner: Arc<Mutex<DbInner>>,
     observers: Mutex<Vec<Observer>>,
     batch_observers: Mutex<Vec<BatchObserver>>,
     batch_state: Mutex<BatchState>,
@@ -316,6 +338,21 @@ impl Database {
             config,
             clock,
         )
+    }
+
+    /// Open a real on-disk database: the single NSF file at `path` plus
+    /// its transaction log as a sibling file with a `.txn` extension
+    /// (Domino keeps its log outside the NSF too; the superblock carries
+    /// the recovery-start LSN). If the database crashed, the on-disk log
+    /// tail is replayed here and exactly the committed prefix survives.
+    pub fn open_path(
+        path: &std::path::Path,
+        config: DbConfig,
+        clock: LogicalClock,
+    ) -> Result<Database> {
+        let disk = domino_storage::NsfFile::open(path)?;
+        let log = domino_wal::FileLogStore::open(&path.with_extension("txn"))?;
+        Database::open(Box::new(disk), Some(Box::new(log)), config, clock)
     }
 
     /// Open over explicit disk/log stores (used for crash/reopen tests and
@@ -355,7 +392,13 @@ impl Database {
         // Seed the version map with pre-existing engine state at seq 0,
         // so snapshots of a reopened (or crash-recovered) database see
         // everything that survived — and the Merkle summary with every
-        // surviving head (live notes *and* deletion stubs).
+        // surviving head (live notes *and* deletion stubs). Both the
+        // Merkle head and the snapshot identity of a note derive entirely
+        // from its summary items (revision chain, OID, truncation marker
+        // are all summary), so lazy mode reads *only* the summary segment
+        // here — a body-heavy database opens without touching one body
+        // page — and marks notes with a stored body segment as elided
+        // for read-time hydration.
         let versions = Arc::new(VersionStore::new());
         let mut merkle = MerkleSummary::new();
         let mut ids = Vec::new();
@@ -364,20 +407,39 @@ impl Database {
             true
         })?;
         for id in ids {
-            if let Some(note) = inner.load(id)? {
-                merkle.set_head(note.unid(), Some(revision::merkle_head(&note)));
-                versions.seed(note.unid(), id, Arc::new(note));
-            } else if let Some(bytes) = inner.store.get(&mut inner.engine, id, Segment::Summary)? {
-                if record_is_stub(&bytes) {
-                    let stub = DeletionStub::decode(id, &bytes)?;
-                    merkle.set_head(stub.oid.unid, Some(revision::stub_head(&stub.oid)));
+            let Some(bytes) = inner.store.get(&mut inner.engine, id, Segment::Summary)? else {
+                continue;
+            };
+            if record_is_stub(&bytes) {
+                let stub = DeletionStub::decode(id, &bytes)?;
+                merkle.set_head(stub.oid.unid, Some(revision::stub_head(&stub.oid)));
+                continue;
+            }
+            match config.seed_mode {
+                SeedMode::Lazy => {
+                    let note = Note::decode(id, &bytes, None)?;
+                    let elided = inner
+                        .store
+                        .has_segment(&mut inner.engine, id, Segment::Body)?;
+                    merkle.set_head(note.unid(), Some(revision::merkle_head(&note)));
+                    versions.seed(note.unid(), id, Arc::new(note), elided);
+                }
+                SeedMode::Eager => {
+                    let body = inner.store.get(&mut inner.engine, id, Segment::Body)?;
+                    let note = Note::decode(id, &bytes, body.as_deref())?;
+                    merkle.set_head(note.unid(), Some(revision::merkle_head(&note)));
+                    versions.seed(note.unid(), id, Arc::new(note), false);
                 }
             }
         }
         versions.set_acl_note(inner.engine.user_slot(SLOT_ACL_NOTE)?);
 
+        let inner = Arc::new(Mutex::new(inner));
+        let loader_inner = Arc::clone(&inner);
+        versions.set_body_loader(Arc::new(move |id| loader_inner.lock().load(id)));
+
         Ok(Database {
-            inner: Mutex::new(inner),
+            inner,
             observers: Mutex::new(Vec::new()),
             batch_observers: Mutex::new(Vec::new()),
             batch_state: Mutex::new(BatchState::default()),
@@ -639,6 +701,12 @@ impl Database {
             let rev_hash = revision::content_hash_of(note, &parents);
             revision::push_head(note, rev_hash, note.oid.seq_time);
             g.persist(note, old.is_none())?;
+            // A lazily seeded version about to be superseded gets its
+            // full pre-image first, so pinned snapshots can still read
+            // the old body after the engine record is overwritten.
+            if let Some(o) = &old {
+                self.versions.backfill(o.unid(), o);
+            }
             // Publish while still holding the engine lock: commit order
             // equals change-sequence order, which is what makes snapshot
             // reads linearizable. The Merkle summary updates in the same
@@ -683,6 +751,9 @@ impl Database {
                     None
                 }
             };
+            if let Some(o) = &old {
+                self.versions.backfill(o.unid(), o);
+            }
             g.persist(&mut note, existing.is_none())?;
             self.versions
                 .publish(note.unid(), note.id, Some(Arc::new(note.clone())));
@@ -787,6 +858,7 @@ impl Database {
                 oid,
                 deleted_at: now,
             };
+            self.versions.backfill(old.unid(), &old);
             g.write_stub(&stub, Some(old.modified))?;
             self.versions.publish(old.unid(), id, None);
             self.merkle
@@ -826,6 +898,9 @@ impl Database {
                     }
                     let stub = DeletionStub { id, ..*remote };
                     let old_modified = old.as_ref().map(|n| n.modified);
+                    if let Some(o) = &old {
+                        self.versions.backfill(o.unid(), o);
+                    }
                     g.write_stub(&stub, old_modified)?;
                     if old.is_some() {
                         // Retract the live note from snapshot visibility;
@@ -1287,6 +1362,7 @@ impl Database {
             engine: self.inner.lock().engine.config().clone(),
             lock_timeout: self.locks.timeout(),
             use_lock_table: self.lock_enabled,
+            seed_mode: SeedMode::default(),
         };
         let fresh = Database::open(disk, log, config, self.clock.clone())?;
         // Copy notes in note-id order, preserving identity and lineage

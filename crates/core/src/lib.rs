@@ -47,7 +47,7 @@ pub use agent::{
 };
 pub use db::{
     ChangeEvent, ChangedNote, CheckpointerHandle, CompactStats, Database, DbConfig, DbInfo,
-    DEFAULT_LOCK_TIMEOUT, DEFAULT_PURGE_INTERVAL,
+    SeedMode, DEFAULT_LOCK_TIMEOUT, DEFAULT_PURGE_INTERVAL,
 };
 pub use form::{form_for, save_form, stored_forms, FieldKind, FieldSpec, FormDesign};
 pub use lock::{ExclusiveGuard, LockMode, LockStats, LockTable, SharedGuard};

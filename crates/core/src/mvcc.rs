@@ -29,6 +29,12 @@
 //!   retry loop.
 //! * Unpinning (snapshot drop) touches only the pins mutex; reclamation
 //!   is deferred to the next publish or `VersionStore::sweep`.
+//! * Lazy seeding: `Database::open` may seed chains from the summary
+//!   segment only (`body_elided`). Reader hydration loads the full note
+//!   through the body loader — which takes the database inner lock —
+//!   strictly *before* taking the map write lock, and writers backfill
+//!   elided pre-images (already under the inner lock) before superseding
+//!   them, so the inner lock always precedes the map write lock.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +56,7 @@ struct Metrics {
     reads: &'static obs::Counter,
     versions: &'static obs::Gauge,
     pruned: &'static obs::Counter,
+    hydrated: &'static obs::Counter,
 }
 
 fn m() -> &'static Metrics {
@@ -60,13 +67,30 @@ fn m() -> &'static Metrics {
         reads: obs::counter("Db.Snapshot.Reads"),
         versions: obs::gauge("Db.Snapshot.Versions"),
         pruned: obs::counter("Db.Snapshot.Pruned"),
+        hydrated: obs::counter("Db.Snapshot.Hydrated"),
     })
 }
+
+/// Loads a full note from the engine for hydration of a lazily seeded
+/// (summary-only) version. Takes the database's inner lock internally, so
+/// it must never be invoked while a version-map lock is held.
+pub(crate) type BodyLoader = Arc<dyn Fn(NoteId) -> Result<Option<Note>> + Send + Sync>;
 
 /// How many dirty chains one publish will try to prune. Bounds the work
 /// done while holding the write lock; the queue drains because every
 /// publish adds at most one entry.
 const PRUNE_QUOTA: usize = 16;
+
+/// One committed note state in a version chain.
+#[derive(Clone)]
+struct Version {
+    note: Arc<Note>,
+    /// Seeded from the summary segment only (lazy database open): the
+    /// body items are absent and are loaded through the body loader on
+    /// first full read. Only seed-time versions are ever elided; writers
+    /// backfill the full pre-image before superseding one.
+    body_elided: bool,
+}
 
 /// One note's version history: `(change_seq, state)` pairs ascending by
 /// sequence; `None` is a deletion tombstone.
@@ -74,7 +98,7 @@ struct Chain {
     /// Local note id currently bound to this UNID (for `by_id` cleanup
     /// when the chain is reclaimed — a tombstone carries no note).
     id: NoteId,
-    versions: Vec<(u64, Option<Arc<Note>>)>,
+    versions: Vec<(u64, Option<Version>)>,
 }
 
 #[derive(Default)]
@@ -113,6 +137,9 @@ pub struct VersionStore {
     /// Note id of the stored ACL note (0 = none), mirrored from the
     /// engine user slot so snapshots resolve the ACL without the engine.
     acl_note: AtomicU64,
+    /// Hydrates body-elided seed versions on first full read (set once by
+    /// `Database::open` when seeding lazily).
+    body_loader: OnceLock<BodyLoader>,
 }
 
 impl VersionStore {
@@ -122,7 +149,12 @@ impl VersionStore {
             pins: StdMutex::new(BTreeMap::new()),
             seq: AtomicU64::new(0),
             acl_note: AtomicU64::new(0),
+            body_loader: OnceLock::new(),
         }
+    }
+
+    pub(crate) fn set_body_loader(&self, loader: BodyLoader) {
+        let _ = self.body_loader.set(loader);
     }
 
     /// Current change sequence (lock-free; safe for pollers).
@@ -135,17 +167,74 @@ impl VersionStore {
     }
 
     /// Install pre-existing engine state at sequence 0 (database open).
-    pub(crate) fn seed(&self, unid: Unid, id: NoteId, note: Arc<Note>) {
+    /// With `body_elided`, `note` carries only the summary items; the
+    /// body is loaded through the body loader on first full read.
+    pub(crate) fn seed(&self, unid: Unid, id: NoteId, note: Arc<Note>, body_elided: bool) {
         let mut st = self.state.write();
         st.by_id.insert(id, unid);
         st.chains.insert(
             unid,
             Chain {
                 id,
-                versions: vec![(0, Some(note))],
+                versions: vec![(0, Some(Version { note, body_elided }))],
             },
         );
         m().versions.add(1);
+    }
+
+    /// Writer-side hydration: called (with the database inner lock held)
+    /// just before a new version supersedes this UNID, so any still-elided
+    /// seed version gets its full pre-image while the engine still holds
+    /// it. Without this, a snapshot pinned before the overwrite could only
+    /// hydrate to the *new* content.
+    pub(crate) fn backfill(&self, unid: Unid, full: &Note) {
+        let mut st = self.state.write();
+        if let Some(chain) = st.chains.get_mut(&unid) {
+            for (_, v) in chain.versions.iter_mut() {
+                if let Some(v) = v {
+                    if v.body_elided {
+                        v.note = Arc::new(full.clone());
+                        v.body_elided = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reader-side hydration of the version visible at `seq`: load the
+    /// full note from the engine (no version-map lock held), then install
+    /// it if the slot is still elided. A still-elided slot proves no
+    /// writer has superseded this UNID (writers backfill first), so the
+    /// engine content *is* the seed-time content.
+    fn hydrate(&self, unid: Unid, id: NoteId, seq: u64) -> Result<Arc<Note>> {
+        let loader =
+            self.body_loader.get().cloned().ok_or_else(|| {
+                DominoError::Corrupt("elided version without a body loader".into())
+            })?;
+        let loaded = loader(id)?;
+        let mut st = self.state.write();
+        let ver = st
+            .chains
+            .get_mut(&unid)
+            .and_then(|c| {
+                c.versions
+                    .iter_mut()
+                    .rev()
+                    .find(|(s, _)| *s <= seq)
+                    .and_then(|(_, v)| v.as_mut())
+            })
+            .ok_or_else(|| DominoError::NotFound(format!("note {id}")))?;
+        if ver.body_elided {
+            let full = Arc::new(loaded.ok_or_else(|| DominoError::NotFound(format!("note {id}")))?);
+            ver.note = Arc::clone(&full);
+            ver.body_elided = false;
+            m().hydrated.inc();
+            Ok(full)
+        } else {
+            // Raced with a writer's backfill (or another reader): the
+            // installed value is authoritative for this version.
+            Ok(Arc::clone(&ver.note))
+        }
     }
 
     /// Record one committed write and return the change sequence assigned
@@ -163,7 +252,13 @@ impl VersionStore {
             versions: Vec::new(),
         });
         chain.id = id;
-        chain.versions.push((seq, note));
+        chain.versions.push((
+            seq,
+            note.map(|note| Version {
+                note,
+                body_elided: false,
+            }),
+        ));
         m().versions.add(1);
         st.dirty.push_back(unid);
         let min_pin = self.min_pin(seq);
@@ -326,7 +421,7 @@ impl Snapshot {
         self.seq
     }
 
-    fn visible(chain: &Chain, seq: u64) -> Option<&Arc<Note>> {
+    fn visible(chain: &Chain, seq: u64) -> Option<&Version> {
         chain
             .versions
             .iter()
@@ -337,15 +432,23 @@ impl Snapshot {
 
     /// Fetch a note by local id without cloning the note body (the hot
     /// server path). Deleted or not-yet-created notes read as `NotFound`.
+    /// A body-elided seed version hydrates here (one engine read, cached
+    /// in the version slot for every later reader).
     pub fn open_arc(&self, id: NoteId) -> Result<Arc<Note>> {
         m().reads.inc();
-        let st = self.store.state.read();
-        st.by_id
-            .get(&id)
-            .and_then(|unid| st.chains.get(unid))
-            .and_then(|c| Self::visible(c, self.seq))
-            .cloned()
-            .ok_or_else(|| DominoError::NotFound(format!("note {id}")))
+        let found = {
+            let st = self.store.state.read();
+            st.by_id
+                .get(&id)
+                .and_then(|unid| st.chains.get(unid).map(|c| (*unid, c)))
+                .and_then(|(unid, c)| Self::visible(c, self.seq).map(|v| (unid, v.clone())))
+        };
+        let (unid, ver) = found.ok_or_else(|| DominoError::NotFound(format!("note {id}")))?;
+        if ver.body_elided {
+            self.store.hydrate(unid, id, self.seq)
+        } else {
+            Ok(ver.note)
+        }
     }
 
     /// Fetch a note by local id (owned copy).
@@ -356,15 +459,22 @@ impl Snapshot {
     /// Fetch a note by UNID.
     pub fn open_by_unid(&self, unid: Unid) -> Result<Note> {
         m().reads.inc();
-        let st = self.store.state.read();
-        st.chains
-            .get(&unid)
-            .and_then(|c| Self::visible(c, self.seq))
-            .map(|n| (**n).clone())
-            .ok_or_else(|| DominoError::NotFound(format!("unid {unid}")))
+        let found = {
+            let st = self.store.state.read();
+            st.chains
+                .get(&unid)
+                .and_then(|c| Self::visible(c, self.seq).map(|v| (c.id, v.clone())))
+        };
+        let (id, ver) = found.ok_or_else(|| DominoError::NotFound(format!("unid {unid}")))?;
+        if ver.body_elided {
+            self.store.hydrate(unid, id, self.seq).map(|n| (*n).clone())
+        } else {
+            Ok((*ver.note).clone())
+        }
     }
 
-    /// Whether a live note with this UNID is visible.
+    /// Whether a live note with this UNID is visible. (Summary-only: an
+    /// elided version answers without hydration.)
     pub fn contains(&self, unid: Unid) -> bool {
         let st = self.store.state.read();
         st.chains
@@ -374,6 +484,8 @@ impl Snapshot {
     }
 
     /// Ids of all visible notes of a class (ascending). `None` = all.
+    /// Classes live in the summary items, so elided versions never
+    /// hydrate here.
     pub fn note_ids(&self, class: Option<NoteClass>) -> Vec<NoteId> {
         m().reads.inc();
         let st = self.store.state.read();
@@ -381,39 +493,67 @@ impl Snapshot {
             .chains
             .values()
             .filter_map(|c| Self::visible(c, self.seq))
-            .filter(|n| class.is_none() || Some(n.class) == class)
-            .map(|n| n.id)
+            .filter(|v| class.is_none() || Some(v.note.class) == class)
+            .map(|v| v.note.id)
             .collect();
         out.sort_unstable();
         out
     }
 
-    /// All visible documents, ascending by note id.
-    pub fn documents(&self) -> Vec<Arc<Note>> {
-        m().reads.inc();
+    /// Visible documents with their UNIDs and elision flags, ascending by
+    /// note id — the shared backbone of the full-document reads below.
+    fn documents_raw(&self) -> Vec<(Unid, Version)> {
         let st = self.store.state.read();
-        let mut out: Vec<Arc<Note>> = st
+        let mut out: Vec<(Unid, Version)> = st
             .chains
-            .values()
-            .filter_map(|c| Self::visible(c, self.seq))
-            .filter(|n| n.class == NoteClass::Document)
-            .cloned()
+            .iter()
+            .filter_map(|(unid, c)| Self::visible(c, self.seq).map(|v| (*unid, v.clone())))
+            .filter(|(_, v)| v.note.class == NoteClass::Document)
             .collect();
-        out.sort_unstable_by_key(|n| n.id);
+        out.sort_unstable_by_key(|(_, v)| v.note.id);
         out
     }
 
-    /// Count of visible documents.
-    pub fn document_count(&self) -> usize {
-        self.documents().len()
+    /// All visible documents, ascending by note id. Elided versions
+    /// hydrate (full-text indexing and view rebuilds read bodies).
+    pub fn documents(&self) -> Vec<Arc<Note>> {
+        m().reads.inc();
+        self.documents_raw()
+            .into_iter()
+            .map(|(unid, v)| {
+                if v.body_elided {
+                    // Hydration can only fail if the note vanished from
+                    // the engine mid-read; fall back to the summary copy.
+                    self.store
+                        .hydrate(unid, v.note.id, self.seq)
+                        .unwrap_or(v.note)
+                } else {
+                    v.note
+                }
+            })
+            .collect()
     }
 
-    /// Documents matching a selection formula at this snapshot.
+    /// Count of visible documents (no hydration).
+    pub fn document_count(&self) -> usize {
+        m().reads.inc();
+        self.documents_raw().len()
+    }
+
+    /// Documents matching a selection formula at this snapshot. Selection
+    /// evaluates against summary items (like a view refresh), so only the
+    /// *matching* documents hydrate their bodies.
     pub fn search(&self, formula: &Formula, env: &EvalEnv) -> Result<Vec<Note>> {
+        m().reads.inc();
         let mut out = Vec::new();
-        for note in self.documents() {
-            if formula.selects(note.as_ref(), env)? {
-                out.push((*note).clone());
+        for (unid, v) in self.documents_raw() {
+            if formula.selects(v.note.as_ref(), env)? {
+                let full = if v.body_elided {
+                    self.store.hydrate(unid, v.note.id, self.seq)?
+                } else {
+                    v.note
+                };
+                out.push((*full).clone());
             }
         }
         Ok(out)

@@ -1,28 +1,59 @@
 //! The page device.
 //!
-//! [`Disk`] writes are durable when they return (the buffer pool above it
-//! decides *when* to write; the WAL protocol decides *what must be logged
-//! first*). [`MemDisk`] is shareable so a crashed engine can be reopened
-//! over the same "disk" contents; [`FileDisk`] stores pages in a real file.
+//! A [`Disk`] write makes a page *visible* to subsequent reads; it becomes
+//! *durable* only at the next [`Disk::sync`] barrier (real files buffer
+//! writes in the OS page cache). The buffer pool above decides *when* to
+//! write; the WAL protocol decides *what must be logged first*; the engine
+//! places the sync barriers (before log truncation, at clean shutdown) so
+//! that any page write lost to a crash is always above the retained redo
+//! point.
+//!
+//! [`MemDisk`] is shareable so a crashed engine can be reopened over the
+//! same "disk" contents; the real single-file device is
+//! [`crate::file::NsfFile`].
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
-use domino_types::{DominoError, Result};
+use domino_types::Result;
 
-/// A durable array of pages.
+/// An array of pages with an explicit durability barrier.
 pub trait Disk: Send {
     /// Read page `id` into `buf`. Reading past the end yields zeroes (the
     /// page has never been written).
     fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<()>;
 
-    /// Durably write page `id`.
+    /// Write page `id`. Visible to reads immediately; durable after the
+    /// next [`Disk::sync`].
     fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<()>;
+
+    /// Write page `id` bypassing any integrity stamping the device does
+    /// (checksums). Fault-injection escape hatch: this is how a test
+    /// plants a torn page that the device's own reads must then detect.
+    fn write_page_raw(&self, id: PageId, buf: &PageBuf) -> Result<()> {
+        self.write_page(id, buf)
+    }
+
+    /// Durability barrier: all writes accepted so far survive a crash once
+    /// this returns. In-memory devices are a no-op.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Persist the recovery-start LSN in the device header (the NSF
+    /// superblock mirror of the log's master record; 0 = cleanly closed).
+    /// Durable when it returns. Devices without a header ignore it.
+    fn set_recovery_lsn(&self, _lsn: u64) -> Result<()> {
+        Ok(())
+    }
+
+    /// The recovery-start LSN last persisted via
+    /// [`Disk::set_recovery_lsn`] (0 for devices without a header).
+    fn recovery_lsn(&self) -> Result<u64> {
+        Ok(0)
+    }
 
     /// Number of pages ever written + 1 (i.e. one past the highest id).
     fn page_count(&self) -> Result<u32>;
@@ -30,6 +61,43 @@ pub trait Disk: Send {
     /// Bytes of backing storage in use (experiment accounting).
     fn size_bytes(&self) -> Result<u64> {
         Ok(self.page_count()? as u64 * PAGE_SIZE as u64)
+    }
+}
+
+/// Every method takes `&self`, so a shared handle is itself a disk — this
+/// is how a crash test keeps a `CrashDisk` reachable after handing the
+/// engine its boxed copy.
+impl<D: Disk + Sync + ?Sized> Disk for Arc<D> {
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<()> {
+        (**self).read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<()> {
+        (**self).write_page(id, buf)
+    }
+
+    fn write_page_raw(&self, id: PageId, buf: &PageBuf) -> Result<()> {
+        (**self).write_page_raw(id, buf)
+    }
+
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+
+    fn set_recovery_lsn(&self, lsn: u64) -> Result<()> {
+        (**self).set_recovery_lsn(lsn)
+    }
+
+    fn recovery_lsn(&self) -> Result<u64> {
+        (**self).recovery_lsn()
+    }
+
+    fn page_count(&self) -> Result<u32> {
+        (**self).page_count()
+    }
+
+    fn size_bytes(&self) -> Result<u64> {
+        (**self).size_bytes()
     }
 }
 
@@ -71,60 +139,6 @@ impl Disk for MemDisk {
     }
 }
 
-/// File-backed disk.
-pub struct FileDisk {
-    file: Mutex<File>,
-}
-
-impl FileDisk {
-    pub fn open(path: &Path) -> Result<FileDisk> {
-        // Intentionally no truncate: opening an existing store keeps it.
-        #[allow(clippy::suspicious_open_options)]
-        let file = OpenOptions::new()
-            .create(true)
-            .read(true)
-            .write(true)
-            .open(path)?;
-        let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(DominoError::Corrupt(format!(
-                "store file length {len} is not a multiple of the page size"
-            )));
-        }
-        Ok(FileDisk {
-            file: Mutex::new(file),
-        })
-    }
-}
-
-impl Disk for FileDisk {
-    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<()> {
-        let mut f = self.file.lock();
-        let off = id as u64 * PAGE_SIZE as u64;
-        if off >= f.metadata()?.len() {
-            buf.data.fill(0);
-        } else {
-            f.seek(SeekFrom::Start(off))?;
-            f.read_exact(&mut buf.data[..])?;
-        }
-        buf.id = id;
-        Ok(())
-    }
-
-    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<()> {
-        let mut f = self.file.lock();
-        f.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        f.write_all(&buf.data[..])?;
-        f.sync_data()?;
-        Ok(())
-    }
-
-    fn page_count(&self) -> Result<u32> {
-        let len = self.file.lock().metadata()?.len();
-        Ok((len / PAGE_SIZE as u64) as u32)
-    }
-}
-
 /// A disk that injects a failure after a budgeted number of page writes —
 /// the storage-side half of crash-point testing (the log side is
 /// `domino_wal::FaultLogStore`). Sharing one `FaultPlan` across both
@@ -155,6 +169,25 @@ impl<D: Disk> Disk for FaultDisk<D> {
         self.disk.write_page(id, buf)
     }
 
+    fn write_page_raw(&self, id: PageId, buf: &PageBuf) -> Result<()> {
+        self.plan.tick("disk write_page_raw")?;
+        self.disk.write_page_raw(id, buf)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.plan.tick("disk sync")?;
+        self.disk.sync()
+    }
+
+    fn set_recovery_lsn(&self, lsn: u64) -> Result<()> {
+        self.plan.tick("disk set_recovery_lsn")?;
+        self.disk.set_recovery_lsn(lsn)
+    }
+
+    fn recovery_lsn(&self) -> Result<u64> {
+        self.disk.recovery_lsn()
+    }
+
     fn page_count(&self) -> Result<u32> {
         self.disk.page_count()
     }
@@ -180,6 +213,7 @@ mod tests {
 
         assert_eq!(disk.page_count().unwrap(), 4);
         assert_eq!(disk.size_bytes().unwrap(), 4 * PAGE_SIZE as u64);
+        disk.sync().unwrap();
     }
 
     #[test]
@@ -197,22 +231,5 @@ mod tests {
         let mut r = PageBuf::zeroed(0);
         b.read_page(0, &mut r).unwrap();
         assert_eq!(r.bytes(0, 1), b"x");
-    }
-
-    #[test]
-    fn file_disk_basics() {
-        let dir = std::env::temp_dir().join(format!("domino-disk-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("pages.nsf");
-        let _ = std::fs::remove_file(&path);
-        let disk = FileDisk::open(&path).unwrap();
-        exercise(&disk);
-        drop(disk);
-        // Reopen: contents persist.
-        let disk2 = FileDisk::open(&path).unwrap();
-        let mut r = PageBuf::zeroed(0);
-        disk2.read_page(3, &mut r).unwrap();
-        assert_eq!(r.bytes(100, 10), b"page three");
-        let _ = std::fs::remove_dir_all(&dir);
     }
 }

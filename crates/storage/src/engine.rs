@@ -22,25 +22,41 @@
 //! The engine is single-writer: `domino_core::Database` serializes
 //! transactions, which is what makes physical before-image undo sound.
 //!
-//! Page 0 is the store header:
+//! Durability barriers: page writes (evictions, checkpoint writeback) land
+//! in the device's cache and are *not* individually synced. The engine
+//! calls [`Disk::sync`] at exactly the points where losing an unsynced
+//! page write would otherwise lose data — before the log prefix is
+//! truncated at checkpoint completion, after restart recovery's writeback,
+//! and at clean shutdown. Between barriers, any lost page write is
+//! re-created by redo because its updates sit above the retained redo
+//! point. After each barrier the on-disk recovery-start LSN mirror
+//! ([`Disk::set_recovery_lsn`]) is updated (0 = cleanly closed).
+//!
+//! Page 0 is the store header (the engine *catalog* page — the file-level
+//! superblock is `crate::file`'s concern; byte spec in FORMAT.md):
 //!
 //! ```text
 //! 16..20  magic "DNSF"
 //! 20..22  format version
 //! 22..26  next never-allocated page id
-//! 26..30  head of the free-page chain
-//! 30..34  reserved
+//! 26..30  free-map root page (head of the FreeMap page chain)
+//! 30..34  count of free (reusable) pages tracked by the map
 //! 34..98  eight u64 slots for the layers above (replica id, counters...)
 //! 98..130 eight u32 B-tree root slots
 //! 130..134 heap free-space chain head
 //! ```
+//!
+//! Free pages are tracked by a bitmap, not a chain: each [`PageType::FreeMap`]
+//! page covers 32640 pages (one bit per page, set = in use), chained via
+//! the header link field. All map mutations go through [`Engine::write`],
+//! so allocation state is logged, undoable, and crash-consistent.
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
 use std::time::Duration;
 
 use crate::disk::Disk;
-use crate::page::{PageBuf, PageId, PageType, PAGE_SIZE};
+use crate::page::{PageBuf, PageId, PageType, PAGE_HEADER, PAGE_SIZE};
 use crate::pool::{BufferPool, Frame};
 use domino_obs as obs;
 use domino_types::{DominoError, Result};
@@ -86,15 +102,19 @@ fn m() -> &'static Metrics {
 /// The WAL type the engine uses (store chosen at runtime).
 pub type Wal = LogManager<Box<dyn LogStore>>;
 
-const MAGIC: u32 = 0x444E_5346; // "DNSF"
-const VERSION: u16 = 1;
-const OFF_MAGIC: usize = 16;
-const OFF_VERSION: usize = 20;
-const OFF_NEXT_PAGE: usize = 22;
-const OFF_FREE_HEAD: usize = 26;
-const OFF_USER_SLOTS: usize = 34; // 8 x u64
-const OFF_TREE_ROOTS: usize = 98; // 8 x u32
-const OFF_HEAP_AVAIL: usize = 130;
+pub(crate) const MAGIC: u32 = 0x444E_5346; // "DNSF"
+pub(crate) const VERSION: u16 = 1;
+pub(crate) const OFF_MAGIC: usize = 16;
+pub(crate) const OFF_VERSION: usize = 20;
+pub(crate) const OFF_NEXT_PAGE: usize = 22;
+pub(crate) const OFF_FREE_MAP: usize = 26;
+pub(crate) const OFF_FREE_COUNT: usize = 30;
+pub(crate) const OFF_USER_SLOTS: usize = 34; // 8 x u64
+pub(crate) const OFF_TREE_ROOTS: usize = 98; // 8 x u32
+pub(crate) const OFF_HEAP_AVAIL: usize = 130;
+
+/// Pages covered by one free-map page: one bit per page in the payload.
+pub(crate) const BITS_PER_MAP: u32 = ((PAGE_SIZE - PAGE_HEADER) * 8) as u32;
 
 /// Number of u64 slots reserved for layers above the engine.
 pub const USER_SLOTS: usize = 8;
@@ -230,9 +250,13 @@ impl Engine {
                 };
                 let stats = recover(&wal, &mut target)?;
                 engine.recovery = Some(stats);
-                // Recovery rewrote frames; persist them and restart the log.
+                // Recovery rewrote frames; persist them (through the sync
+                // barrier — the log restarts below, so nothing would replay
+                // a lost write after this point) and restart the log.
                 engine.flush_all_pages_internal()?;
+                engine.disk.sync()?;
                 wal.truncate_all()?;
+                engine.disk.set_recovery_lsn(0)?;
             }
             engine.wal = Some(wal);
         }
@@ -263,6 +287,9 @@ impl Engine {
         init[6..10].copy_from_slice(&1u32.to_le_bytes()); // next_page
         self.write(&mut tx, 0, OFF_MAGIC as u16, &init)?;
         self.write(&mut tx, 0, 8, &[PageType::Header.code()])?;
+        // Create the free map eagerly and account the header page in it
+        // (the map root's own bit is set when the chain grows).
+        self.write_map_bit(&mut tx, 0, true)?;
         self.commit(tx)?;
         Ok(())
     }
@@ -360,7 +387,8 @@ impl Engine {
         if let Some(wal) = &self.wal {
             wal.flush_all()?;
         }
-        self.flush_all_pages_internal()
+        self.flush_all_pages_internal()?;
+        self.disk.sync()
     }
 
     fn flush_all_pages_internal(&mut self) -> Result<()> {
@@ -637,6 +665,11 @@ impl Engine {
             ));
         }
         while self.checkpoint_step(64)? {}
+        // Durability barrier *before* the redo point moves: everything the
+        // checkpoint wrote back — and any earlier eviction write still in
+        // the device cache — must be on the platter before the log below
+        // their updates is allowed to disappear.
+        self.disk.sync()?;
         self.ckpt_queue = None;
         self.stats.checkpoints += 1;
         m().checkpoints.inc();
@@ -665,6 +698,9 @@ impl Engine {
         // the checkpoint (none is active).
         let redo_point = dirty.iter().map(|(_, l)| *l).min().unwrap_or(lsn).min(lsn);
         wal.truncate_prefix(redo_point)?;
+        // Mirror the redo point into the device header (the NSF
+        // superblock): where replay starts if we crash from here.
+        self.disk.set_recovery_lsn(redo_point.0)?;
         Ok(())
     }
 
@@ -687,32 +723,33 @@ impl Engine {
         self.ckpt_queue.is_some()
     }
 
-    /// Clean shutdown: flush pages, then truncate the log.
+    /// Clean shutdown: flush pages (through the sync barrier), truncate
+    /// the log, and mark the device header cleanly closed.
     pub fn shutdown(&mut self) -> Result<()> {
         self.ckpt_queue = None;
         self.flush_all_pages()?;
         if let Some(wal) = &self.wal {
             wal.truncate_all()?;
         }
+        self.disk.set_recovery_lsn(0)?;
         Ok(())
     }
 
     // ------------------------------------------------------------------
-    // page allocation (header-page bookkeeping, all logged)
+    // page allocation (free-page bitmap, all logged)
     // ------------------------------------------------------------------
 
-    /// Allocate a page: pop the free chain or extend the file.
+    /// Allocate a page: take the lowest free bit from the map (first-fit,
+    /// keeps files dense after churn) or extend the file.
     pub fn alloc_page(&mut self, tx: &mut Tx, ptype: PageType) -> Result<PageId> {
-        let (free_head, next_page) =
-            self.with_page(0, |h| (h.get_u32(OFF_FREE_HEAD), h.get_u32(OFF_NEXT_PAGE)))?;
-        let id = if free_head != 0 {
-            let next = self.with_page(free_head, |p| p.link())?;
-            self.write(tx, 0, OFF_FREE_HEAD as u16, &next.to_le_bytes())?;
-            free_head
-        } else {
-            let next = next_page.max(1);
-            self.write(tx, 0, OFF_NEXT_PAGE as u16, &(next + 1).to_le_bytes())?;
-            next
+        let id = match self.take_free_bit(tx)? {
+            Some(id) => id,
+            None => {
+                let next = self.with_page(0, |h| h.get_u32(OFF_NEXT_PAGE))?.max(1);
+                self.write(tx, 0, OFF_NEXT_PAGE as u16, &(next + 1).to_le_bytes())?;
+                self.write_map_bit(tx, next, true)?;
+                next
+            }
         };
         // Re-initialize the page header (type + cleared link). Structures
         // initialize their own fields; stale bytes beyond logged ranges are
@@ -724,20 +761,123 @@ impl Engine {
         Ok(id)
     }
 
-    /// Return a page to the free chain.
+    /// Return a page to the free map.
     pub fn free_page(&mut self, tx: &mut Tx, id: PageId) -> Result<()> {
         if id == 0 {
             return Err(DominoError::InvalidArgument(
                 "cannot free the header page".into(),
             ));
         }
-        let old_head = self.with_page(0, |h| h.get_u32(OFF_FREE_HEAD))?;
+        if self.with_page(id, |p| p.page_type())? == PageType::FreeMap {
+            return Err(DominoError::InvalidArgument(
+                "cannot free a free-map page".into(),
+            ));
+        }
         self.write(tx, id, 8, &[PageType::Free.code(), 0])?;
-        self.write(tx, id, 10, &old_head.to_le_bytes())?;
-        self.write(tx, 0, OFF_FREE_HEAD as u16, &id.to_le_bytes())?;
+        self.write(tx, id, 10, &0u32.to_le_bytes())?;
+        self.write_map_bit(tx, id, false)?;
+        let count = self.with_page(0, |h| h.get_u32(OFF_FREE_COUNT))?;
+        self.write(tx, 0, OFF_FREE_COUNT as u16, &(count + 1).to_le_bytes())?;
         self.stats.pages_freed += 1;
         m().pages_freed.inc();
         Ok(())
+    }
+
+    /// The map page whose bits cover `range` (pages `range * BITS_PER_MAP`
+    /// up), growing the chain with fresh map pages as needed.
+    fn map_page_for(&mut self, tx: &mut Tx, range: u32) -> Result<PageId> {
+        let mut created: Vec<PageId> = Vec::new();
+        let mut cur = self.with_page(0, |h| h.get_u32(OFF_FREE_MAP))?;
+        if cur == 0 {
+            cur = self.grow_map(tx, 0, &mut created)?;
+        }
+        for _ in 0..range {
+            let next = self.with_page(cur, |p| p.link())?;
+            cur = if next == 0 {
+                self.grow_map(tx, cur, &mut created)?
+            } else {
+                next
+            };
+        }
+        // Mark the new map pages' own bits. Their ranges are already
+        // covered by the chain we just grew, so this cannot recurse into
+        // another grow.
+        for id in created {
+            self.write_map_bit(tx, id, true)?;
+        }
+        Ok(cur)
+    }
+
+    /// Append one fresh map page after `prev` (0 = install as root).
+    fn grow_map(&mut self, tx: &mut Tx, prev: PageId, created: &mut Vec<PageId>) -> Result<PageId> {
+        let next = self.with_page(0, |h| h.get_u32(OFF_NEXT_PAGE))?.max(1);
+        self.write(tx, 0, OFF_NEXT_PAGE as u16, &(next + 1).to_le_bytes())?;
+        self.write(tx, next, 8, &[PageType::FreeMap.code(), 0])?;
+        self.write(tx, next, 10, &0u32.to_le_bytes())?;
+        if prev == 0 {
+            self.write(tx, 0, OFF_FREE_MAP as u16, &next.to_le_bytes())?;
+        } else {
+            self.write(tx, prev, 10, &next.to_le_bytes())?;
+        }
+        created.push(next);
+        Ok(next)
+    }
+
+    /// Set or clear page `id`'s bit in the map.
+    fn write_map_bit(&mut self, tx: &mut Tx, id: PageId, used: bool) -> Result<()> {
+        let map = self.map_page_for(tx, id / BITS_PER_MAP)?;
+        let bit = (id % BITS_PER_MAP) as usize;
+        let off = PAGE_HEADER + bit / 8;
+        let mask = 1u8 << (bit % 8);
+        let byte = self.with_page(map, |p| p.data[off])?;
+        let new = if used { byte | mask } else { byte & !mask };
+        if new != byte {
+            self.write(tx, map, off as u16, &[new])?;
+        }
+        Ok(())
+    }
+
+    /// Find, claim, and return the lowest free page, or `None` if the map
+    /// tracks no free page (O(1) via the header count).
+    fn take_free_bit(&mut self, tx: &mut Tx) -> Result<Option<PageId>> {
+        let (root, count, next_page) = self.with_page(0, |h| {
+            (
+                h.get_u32(OFF_FREE_MAP),
+                h.get_u32(OFF_FREE_COUNT),
+                h.get_u32(OFF_NEXT_PAGE),
+            )
+        })?;
+        if count == 0 || root == 0 {
+            return Ok(None);
+        }
+        let mut map = root;
+        let mut base = 0u32;
+        while map != 0 && base < next_page {
+            // Bits at or past next_page are clear but cover pages that
+            // were never allocated — not free pages. Bound the scan.
+            let limit = (next_page - base).min(BITS_PER_MAP);
+            let found = self.with_page(map, |p| {
+                for i in 0..(limit as usize).div_ceil(8) {
+                    let b = p.data[PAGE_HEADER + i];
+                    if b != 0xFF {
+                        let idx = i * 8 + (!b).trailing_zeros() as usize;
+                        if (idx as u32) < limit {
+                            return Some(idx as u32);
+                        }
+                    }
+                }
+                None
+            })?;
+            if let Some(idx) = found {
+                let id = base + idx;
+                self.write_map_bit(tx, id, true)?;
+                self.write(tx, 0, OFF_FREE_COUNT as u16, &(count - 1).to_le_bytes())?;
+                return Ok(Some(id));
+            }
+            base += BITS_PER_MAP;
+            map = self.with_page(map, |p| p.link())?;
+        }
+        Ok(None)
     }
 
     // ------------------------------------------------------------------
@@ -891,9 +1031,10 @@ mod tests {
         assert_eq!(stats.loser_txs, 1);
         let p = e2.fetch(page).unwrap();
         assert_eq!(p.bytes(100, 5), &[0u8; 5]);
-        // The allocation was undone too: next_page counter restored.
+        // The allocation was undone too: next_page counter restored to the
+        // post-format value (header page 0 + free-map root page 1).
         let header = e2.fetch(0).unwrap();
-        assert_eq!(header.get_u32(OFF_NEXT_PAGE), 1);
+        assert_eq!(header.get_u32(OFF_NEXT_PAGE), 2);
     }
 
     #[test]
@@ -946,18 +1087,20 @@ mod tests {
         // clock-sweep accounting so read/write stat drift is caught.
         let mut e = open(MemDisk::new(), MemLogStore::new(), 2);
         let s0 = e.stats();
-        // Pool holds page 0 (from formatting). Touch never-seen pages; the
-        // engine reads zeroes for them, which is fine for stats purposes.
-        e.fetch(5).unwrap(); // miss; pool [0,5], now full
+        // Pool holds pages 0 and 1 (header + free-map root, both
+        // referenced by formatting) — already full. Touch never-seen
+        // pages; the engine reads zeroes for them, which is fine for
+        // stats purposes.
+        e.fetch(5).unwrap(); // miss; sweep clears 0,1 then evicts 0
         e.fetch(5).unwrap(); // hit
-        e.fetch(6).unwrap(); // miss; sweep clears 0,5 then evicts 0
+        e.fetch(6).unwrap(); // miss; slot 1 unreferenced, evicts 1
         e.fetch(5).unwrap(); // hit
         e.fetch(6).unwrap(); // hit
         e.fetch(0).unwrap(); // miss; sweep clears 5,6 then evicts 5
         let s = e.stats();
         assert_eq!(s.pool_hits - s0.pool_hits, 3);
         assert_eq!(s.pool_misses - s0.pool_misses, 3);
-        assert_eq!(s.evictions - s0.evictions, 2);
+        assert_eq!(s.evictions - s0.evictions, 3);
         assert_eq!(s.reads - s0.reads, 6);
     }
 
@@ -1028,7 +1171,8 @@ mod tests {
         e.crash();
         log.crash();
         let mut e2 = open(disk, log, 64);
-        assert_eq!(e2.fetch(10).unwrap().bytes(128, 4), &[9u8; 4][..]);
+        // Round 9 allocated page 11 (pages 0/1 are header + map root).
+        assert_eq!(e2.fetch(11).unwrap().bytes(128, 4), &[9u8; 4][..]);
     }
 
     #[test]
@@ -1087,6 +1231,29 @@ mod tests {
         let d = e.alloc_page(&mut tx, PageType::Heap).unwrap();
         assert!(d > b, "fresh page extends the file");
         e.commit(tx).unwrap();
+    }
+
+    #[test]
+    fn free_map_survives_reopen() {
+        let disk = MemDisk::new();
+        let log = MemLogStore::new();
+        let mut e = open(disk.clone(), log.clone(), 64);
+        let mut tx = e.begin().unwrap();
+        let _a = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        let b = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        let c = e.alloc_page(&mut tx, PageType::Heap).unwrap();
+        e.free_page(&mut tx, b).unwrap();
+        e.commit(tx).unwrap();
+        e.shutdown().unwrap();
+        drop(e);
+
+        let mut e2 = open(disk, log, 64);
+        let mut tx = e2.begin().unwrap();
+        let d = e2.alloc_page(&mut tx, PageType::Heap).unwrap();
+        assert_eq!(d, b, "free bit survived the reopen");
+        let fresh = e2.alloc_page(&mut tx, PageType::Heap).unwrap();
+        assert!(fresh > c, "no double-allocation of live pages");
+        e2.commit(tx).unwrap();
     }
 
     #[test]

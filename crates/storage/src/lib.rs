@@ -5,8 +5,11 @@
 //! substrate with a modern database architecture (the byte layout is our
 //! own; see DESIGN.md §2 for why that preserves the paper's semantics):
 //!
-//! * [`disk`] — the page device: a real file or a crash-simulating
-//!   in-memory disk,
+//! * [`disk`] — the page device trait and the crash-simulating in-memory
+//!   disk,
+//! * [`mod@file`] — the real device: a single NSF file with a checksummed
+//!   superblock, positioned I/O, per-page torn-write detection, and the
+//!   `CrashDisk` OS-cache model for crash tests (byte layout: FORMAT.md),
 //! * [`page`] — 4 KiB pages with an LSN-stamped header,
 //! * [`engine`] — the transactional pager: buffer pool with WAL-coupled
 //!   logged writes, steal/no-force eviction, fuzzy checkpoints, and restart
@@ -25,14 +28,16 @@
 pub mod btree;
 pub mod disk;
 pub mod engine;
+pub mod file;
 pub mod heap;
 pub mod nsf;
 pub mod page;
 pub mod pool;
 
 pub use btree::BTree;
-pub use disk::{Disk, FaultDisk, FileDisk, MemDisk};
+pub use disk::{Disk, FaultDisk, MemDisk};
 pub use engine::{CommitMode, Engine, EngineConfig, EngineStats, Tx};
+pub use file::{CrashDisk, CrashMode, NsfFile, SuperBlock, VerifyReport};
 pub use heap::{Heap, RecordPtr};
 pub use nsf::{NoteStore, Segment};
 pub use page::{PageBuf, PageId, PageType, PAGE_SIZE};

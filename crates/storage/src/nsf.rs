@@ -137,10 +137,14 @@ impl NoteStore {
 
     /// Does the note exist (has a summary segment)?
     pub fn exists(&self, engine: &mut Engine, id: NoteId) -> Result<bool> {
-        Ok(self
-            .records
-            .get(engine, record_key(id, Segment::Summary))?
-            .is_some())
+        self.has_segment(engine, id, Segment::Summary)
+    }
+
+    /// Does the note store this segment? A record-index probe only — no
+    /// heap pages are read, which is what keeps summary-only database
+    /// open cheap even for body-heavy notes.
+    pub fn has_segment(&self, engine: &mut Engine, id: NoteId, seg: Segment) -> Result<bool> {
+        Ok(self.records.get(engine, record_key(id, seg))?.is_some())
     }
 
     /// Number of distinct pages reading this segment would touch.

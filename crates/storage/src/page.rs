@@ -7,8 +7,10 @@
 //! offset 8      page type tag
 //! offset 9      flags (unused, reserved)
 //! offset 10..14 next-available link (heap pages: free-space chain;
-//!               free pages: free-list chain; B-tree leaves: right sibling)
-//! offset 14..16 reserved
+//!               free-map pages: next map page; B-tree leaves: right sibling)
+//! offset 14..16 on-disk page checksum (stamped by `NsfFile` at write time;
+//!               0 = never stamped, i.e. a page that has not been through a
+//!               file write — in-memory disks leave it 0)
 //! ```
 //!
 //! The rest of the page belongs to the structure named by the type tag.
@@ -20,6 +22,9 @@ pub const PAGE_SIZE: usize = 4096;
 
 /// Size of the common page header.
 pub const PAGE_HEADER: usize = 16;
+
+/// Offset of the 2-byte on-disk page checksum within the header.
+pub const PAGE_CHECKSUM_OFFSET: usize = 14;
 
 /// Page number within a store file.
 pub type PageId = u32;
@@ -37,6 +42,9 @@ pub enum PageType {
     BTreeLeaf,
     /// Slotted record page.
     Heap,
+    /// Free-page bitmap page (one bit per page, chained via the link
+    /// field).
+    FreeMap,
 }
 
 impl PageType {
@@ -47,6 +55,7 @@ impl PageType {
             PageType::BTreeInternal => 2,
             PageType::BTreeLeaf => 3,
             PageType::Heap => 4,
+            PageType::FreeMap => 5,
         }
     }
 
@@ -56,6 +65,7 @@ impl PageType {
             2 => PageType::BTreeInternal,
             3 => PageType::BTreeLeaf,
             4 => PageType::Heap,
+            5 => PageType::FreeMap,
             _ => PageType::Free,
         }
     }
@@ -196,6 +206,7 @@ mod tests {
             PageType::BTreeInternal,
             PageType::BTreeLeaf,
             PageType::Heap,
+            PageType::FreeMap,
         ] {
             assert_eq!(PageType::from_code(t.code()), t);
         }

@@ -258,7 +258,13 @@ impl FileLogStore {
 
     fn write_sidecar(path: &Path, value: u64) -> Result<()> {
         let tmp = path.with_extension("sidecar.tmp");
-        std::fs::write(&tmp, value.to_le_bytes())?;
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&value.to_le_bytes())?;
+            // The rename is the commit point; the content must be durable
+            // before it, or a crash can publish an empty sidecar.
+            f.sync_data()?;
+        }
         std::fs::rename(&tmp, path)?;
         Ok(())
     }

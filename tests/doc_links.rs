@@ -1,0 +1,88 @@
+//! Documentation link checker: every relative markdown link in the
+//! repo's `*.md` files must point at a file that exists. Dead links fail
+//! here (and in CI) instead of rotting silently.
+
+use std::path::{Path, PathBuf};
+
+/// Collect every `.md` file under `root`, skipping build output and VCS
+/// internals.
+fn markdown_files(root: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(root).unwrap() {
+        let entry = entry.unwrap();
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type().unwrap().is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            markdown_files(&path, out);
+        } else if name.ends_with(".md") {
+            // SNIPPETS.md / PAPERS.md quote external material verbatim;
+            // links inside those quotes aren't ours to keep alive.
+            if name == "SNIPPETS.md" || name == "PAPERS.md" {
+                continue;
+            }
+            out.push(path);
+        }
+    }
+}
+
+/// Extract `](target)` link targets from markdown text, with enough
+/// context to report line numbers.
+fn links(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let mut rest = line;
+        let mut consumed = 0;
+        while let Some(i) = rest.find("](") {
+            let after = &rest[i + 2..];
+            let Some(end) = after.find(')') else { break };
+            out.push((lineno + 1, after[..end].to_string()));
+            consumed += i + 2 + end + 1;
+            rest = &line[consumed..];
+        }
+    }
+    out
+}
+
+#[test]
+fn no_dead_relative_links_in_markdown() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    markdown_files(root, &mut files);
+    assert!(
+        files.iter().any(|f| f.ends_with("FORMAT.md")),
+        "expected to find FORMAT.md among {} markdown files",
+        files.len()
+    );
+
+    let mut dead = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).unwrap();
+        for (line, target) in links(&text) {
+            // External schemes and in-page anchors are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            let path_part = target.split('#').next().unwrap();
+            let resolved = file.parent().unwrap().join(path_part);
+            if !resolved.exists() {
+                dead.push(format!(
+                    "{}:{line}: dead link `{target}`",
+                    file.strip_prefix(root).unwrap().display()
+                ));
+            }
+        }
+    }
+    assert!(
+        dead.is_empty(),
+        "dead relative links:\n  {}",
+        dead.join("\n  ")
+    );
+}

@@ -1,11 +1,14 @@
-//! Durability on real files: a database over `FileDisk` + `FileLogStore`
-//! survives process-style close/reopen and crash/reopen cycles.
+//! Durability on real files: a database opened with `Database::open_path`
+//! lives in one NSF file (plus a `.txn` log sibling) and survives
+//! process-style close/reopen and crash/reopen cycles. Also the file
+//! lifecycle: byte-identical reads across reopen, header-corruption
+//! rejection, and tempfile cleanup on drop.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use domino::core::{Database, DbConfig, Note};
-use domino::storage::FileDisk;
+use domino::storage::{Disk, NsfFile, PageBuf};
 use domino::types::{LogicalClock, ReplicaId, Value};
 use domino::wal::FileLogStore;
 
@@ -17,12 +20,9 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn open_file_db(dir: &Path, clock: LogicalClock) -> Arc<Database> {
-    let disk = FileDisk::open(&dir.join("data.nsf")).unwrap();
-    let log = FileLogStore::open(&dir.join("data.log")).unwrap();
     Arc::new(
-        Database::open(
-            Box::new(disk),
-            Some(Box::new(log)),
+        Database::open_path(
+            &dir.join("data.nsf"),
             DbConfig::new("FileDb", ReplicaId(1), ReplicaId(9)),
             clock,
         )
@@ -95,8 +95,8 @@ fn file_compact_shrinks_store() {
         }
     }
     let dir2 = temp_dir("compact-out");
-    let disk2 = FileDisk::open(&dir2.join("data.nsf")).unwrap();
-    let log2 = FileLogStore::open(&dir2.join("data.log")).unwrap();
+    let disk2 = NsfFile::open(&dir2.join("data.nsf")).unwrap();
+    let log2 = FileLogStore::open(&dir2.join("data.txn")).unwrap();
     let (fresh, stats) = db
         .compact_into(Box::new(disk2), Some(Box::new(log2)))
         .unwrap();
@@ -116,4 +116,81 @@ fn file_compact_shrinks_store() {
     assert_eq!(fresh.document_count().unwrap(), 20);
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&dir2);
+}
+
+#[test]
+fn reopen_round_trip_reads_identical_bytes() {
+    // write → close → open → byte-identical reads, at the device level:
+    // every page the first handle wrote reads back identically through a
+    // second handle (checksums verified on the way).
+    let dir = temp_dir("roundtrip");
+    let path = dir.join("pages.nsf");
+    let mut images = Vec::new();
+    {
+        let disk = NsfFile::open(&path).unwrap();
+        for id in 0..16u32 {
+            let mut p = PageBuf::zeroed(id);
+            p.put_bytes(0, &(id as u64 + 1).to_le_bytes()); // fake LSN
+            p.put_bytes(64, format!("page {id} payload").as_bytes());
+            p.put_bytes(2048, &[id as u8; 512]);
+            disk.write_page(id, &p).unwrap();
+        }
+        disk.sync().unwrap();
+        for id in 0..16u32 {
+            let mut r = PageBuf::zeroed(0);
+            disk.read_page(id, &mut r).unwrap();
+            images.push(r);
+        }
+    }
+    let disk = NsfFile::open(&path).unwrap();
+    for (id, want) in images.iter().enumerate() {
+        let mut got = PageBuf::zeroed(0);
+        disk.read_page(id as u32, &mut got).unwrap();
+        assert_eq!(&got.data[..], &want.data[..], "page {id} byte-identical");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_header_rejected_at_open() {
+    let dir = temp_dir("badheader");
+    let path = dir.join("data.nsf");
+    let clock = LogicalClock::new();
+    {
+        let db = open_file_db(&dir, clock.clone());
+        let mut n = Note::document("Memo");
+        db.save(&mut n).unwrap();
+        db.shutdown().unwrap();
+    }
+    // Scribble over the superblock magic.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let err = Database::open_path(
+        &path,
+        DbConfig::new("FileDb", ReplicaId(1), ReplicaId(9)),
+        clock,
+    );
+    assert!(err.is_err(), "corrupt header must not open");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn temp_store_cleaned_up_on_drop() {
+    let dir = temp_dir("cleanup");
+    let path = dir.join("scratch.nsf");
+    {
+        let disk = NsfFile::open(&path).unwrap();
+        disk.set_delete_on_drop(true);
+        let mut p = PageBuf::zeroed(0);
+        p.put_bytes(32, b"scratch");
+        disk.write_page(0, &p).unwrap();
+        disk.sync().unwrap();
+        assert!(path.exists());
+    }
+    assert!(
+        !path.exists(),
+        "scratch NSF removed when the handle dropped"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,133 @@
+//! Lazy snapshot/Merkle seeding: `Database::open` in `SeedMode::Lazy`
+//! reads only summary segments — body pages stay untouched until a reader
+//! actually needs them — yet every observable surface (Merkle digests,
+//! snapshot reads, pinned-snapshot isolation across overwrites) matches
+//! the eager-seeded database exactly.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use domino::core::{Database, DbConfig, Note, SeedMode};
+use domino::types::{LogicalClock, ReplicaId, Value};
+
+const DOCS: usize = 40;
+const BODY_BYTES: usize = 8000;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("domino-lazy-seed-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(mode: SeedMode) -> DbConfig {
+    DbConfig::new("LazySeed", ReplicaId(1), ReplicaId(9)).with_seed_mode(mode)
+}
+
+/// Build a body-heavy database on disk and return the file path plus the
+/// saved UNIDs (in save order).
+fn build(dir: &Path, clock: &LogicalClock) -> (PathBuf, Vec<domino::types::Unid>) {
+    let path = dir.join("data.nsf");
+    let db = Database::open_path(&path, config(SeedMode::Eager), clock.clone()).unwrap();
+    let mut unids = Vec::new();
+    for i in 0..DOCS {
+        let mut n = Note::document("Memo");
+        n.set("I", Value::Number(i as f64));
+        n.set_body("Body", Value::RichText(vec![i as u8; BODY_BYTES]));
+        db.save(&mut n).unwrap();
+        unids.push(n.unid());
+    }
+    db.shutdown().unwrap();
+    (path, unids)
+}
+
+fn reopen(path: &Path, clock: &LogicalClock, mode: SeedMode) -> Arc<Database> {
+    Arc::new(Database::open_path(path, config(mode), clock.clone()).unwrap())
+}
+
+#[test]
+fn lazy_open_reads_fewer_pages_but_matches_eager_merkle() {
+    let dir = temp_dir("merkle");
+    let clock = LogicalClock::new();
+    let (path, _) = build(&dir, &clock);
+
+    let eager = reopen(&path, &clock, SeedMode::Eager);
+    let eager_reads = eager.engine_stats().reads;
+    let eager_root = eager.merkle_root();
+    let eager_len = eager.merkle_len();
+    drop(eager);
+
+    let lazy = reopen(&path, &clock, SeedMode::Lazy);
+    let lazy_reads = lazy.engine_stats().reads;
+    // Identical digests: Merkle heads derive from summary items only.
+    assert_eq!(lazy.merkle_root(), eager_root);
+    assert_eq!(lazy.merkle_len(), eager_len);
+    // And the lazy open never touched the bodies: each note's ~8 KB body
+    // spans at least 2 heap pages, all skipped.
+    assert!(
+        lazy_reads + 2 * DOCS as u64 <= eager_reads,
+        "lazy open must skip every body page: lazy {lazy_reads}, eager {eager_reads}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lazy_seeded_snapshot_hydrates_full_bodies_on_read() {
+    let dir = temp_dir("hydrate");
+    let clock = LogicalClock::new();
+    let (path, unids) = build(&dir, &clock);
+    let db = reopen(&path, &clock, SeedMode::Lazy);
+
+    // Point read by UNID: the body must hydrate transparently.
+    let snap = db.snapshot();
+    let n = snap.open_by_unid(unids[3]).unwrap();
+    assert_eq!(n.get("Body"), Some(&Value::RichText(vec![3u8; BODY_BYTES])));
+
+    // Full-document scan (the full-text indexer's path): every body
+    // present and correct.
+    for (i, doc) in snap.documents().iter().enumerate() {
+        assert_eq!(
+            doc.get("Body"),
+            Some(&Value::RichText(vec![i as u8; BODY_BYTES])),
+            "document {i} body after hydration"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pinned_snapshot_survives_overwrite_of_elided_note() {
+    let dir = temp_dir("backfill");
+    let clock = LogicalClock::new();
+    let (path, unids) = build(&dir, &clock);
+    let db = reopen(&path, &clock, SeedMode::Lazy);
+
+    // Pin BEFORE touching note 7, then overwrite its body. The writer
+    // must backfill the elided seed version, so the pinned snapshot
+    // still reads the original body afterwards.
+    let pinned = db.snapshot();
+    let mut n = db.open_by_unid(unids[7]).unwrap();
+    n.set_body("Body", Value::RichText(vec![0xEE; 100]));
+    db.save(&mut n).unwrap();
+
+    let old = pinned.open_by_unid(unids[7]).unwrap();
+    assert_eq!(
+        old.get("Body"),
+        Some(&Value::RichText(vec![7u8; BODY_BYTES])),
+        "pinned snapshot must see the pre-overwrite body"
+    );
+    let new = db.snapshot().open_by_unid(unids[7]).unwrap();
+    assert_eq!(new.get("Body"), Some(&Value::RichText(vec![0xEE; 100])));
+
+    // Deletion of an elided note backfills too.
+    let pinned2 = db.snapshot();
+    let id = db.id_of_unid(unids[11]).unwrap().unwrap();
+    db.delete(id).unwrap();
+    let old = pinned2.open_by_unid(unids[11]).unwrap();
+    assert_eq!(
+        old.get("Body"),
+        Some(&Value::RichText(vec![11u8; BODY_BYTES]))
+    );
+    assert!(db.snapshot().open_by_unid(unids[11]).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
