@@ -1,0 +1,289 @@
+//! E18 — real sockets: requests/second and tail latency as keep-alive
+//! connection count grows from tens to thousands on loopback, the
+//! per-request overhead a TCP round-trip adds over the in-process front
+//! door, and the wire cost of one replication `Deliver`/`Ack` exchange.
+//!
+//! The listener is thread-per-connection with a fixed in-flight degree
+//! (8 driver threads multiplex the open connections round-robin), so
+//! what this sweep isolates is the cost of *open but mostly idle*
+//! keep-alive connections — the population a Domino server carries all
+//! day — not raw parallelism. The `inproc` row calls
+//! `DominoServer::serve` directly from the same 8 drivers; the
+//! difference against the socket rows is the full network-stack tax:
+//! syscalls, HTTP parse, response serialization, and loopback TCP.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+use domino_core::{Database, DbConfig, Note};
+use domino_netio::{base64_encode, HttpConfig, HttpListener, ReplicaListener, SocketTransport};
+use domino_replica::{CleanTransport, Transport};
+use domino_security::{AccessLevel, Acl, AclEntry};
+use domino_server::{DominoServer, Request, ServerConfig};
+use domino_types::{LogicalClock, ReplicaId, Value};
+use domino_views::{ColumnSpec, SortDir, ViewDesign};
+
+use crate::table::{fmt, Table};
+use crate::Scale;
+
+/// Driver threads (the in-flight request degree, every mode).
+const DRIVERS: usize = 8;
+
+fn site(docs: usize) -> DominoServer {
+    let db = Arc::new(
+        Database::open_in_memory(
+            DbConfig::new("E18", ReplicaId(0xE18), ReplicaId(1)),
+            LogicalClock::new(),
+        )
+        .expect("open db"),
+    );
+    let mut acl = Acl::new(AccessLevel::NoAccess);
+    acl.set("alice", AclEntry::new(AccessLevel::Editor));
+    db.set_acl(&acl).expect("acl");
+    for i in 0..docs {
+        let mut n = Note::document("Topic");
+        n.set("Subject", Value::text(format!("topic {i:04}")));
+        db.save(&mut n).expect("save");
+    }
+    let server = DominoServer::new(ServerConfig {
+        workers: 4,
+        queue_bound: 64,
+        cache_capacity: 256,
+    });
+    server.register_database("disc", &db).expect("register");
+    let mut design = ViewDesign::new("topics", r#"SELECT Form = "Topic""#).expect("design");
+    design.columns = vec![ColumnSpec::new("Subject", "Subject")
+        .expect("col")
+        .sorted(SortDir::Ascending)];
+    server.add_view("disc", design).expect("view");
+    server.register_user("alice", "pw");
+    server
+}
+
+/// Read one HTTP response (head + `Content-Length` body) off `conn`.
+fn read_response(conn: &mut TcpStream, scratch: &mut Vec<u8>) {
+    scratch.clear();
+    let mut buf = [0u8; 4096];
+    let (head_end, body_len) = loop {
+        let n = conn.read(&mut buf).expect("read response");
+        assert!(n > 0, "server closed mid-response");
+        scratch.extend_from_slice(&buf[..n]);
+        if let Some(pos) = scratch.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&scratch[..pos]).expect("head utf8");
+            assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+            let len = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.parse::<usize>().ok())
+                .expect("Content-Length");
+            break (pos + 4, len);
+        }
+    };
+    while scratch.len() < head_end + body_len {
+        let n = conn.read(&mut buf).expect("read body");
+        assert!(n > 0, "server closed mid-body");
+        scratch.extend_from_slice(&buf[..n]);
+    }
+}
+
+/// Merge per-driver latency samples and report (mean, p50, p99) in µs.
+fn stats(mut micros: Vec<u64>) -> (f64, u64, u64) {
+    micros.sort_unstable();
+    let mean = micros.iter().sum::<u64>() as f64 / micros.len().max(1) as f64;
+    let p = |q: f64| micros[((micros.len() - 1) as f64 * q) as usize];
+    (mean, p(0.50), p(0.99))
+}
+
+/// Drive `reqs` requests through `conns` keep-alive sockets (round-robin
+/// from [`DRIVERS`] threads) and return client-side latency samples plus
+/// the elapsed wall time.
+fn socket_storm(addr: &str, auth: &str, conns: usize, reqs: usize) -> (Vec<u64>, f64) {
+    let request = format!(
+        "GET /disc.nsf/topics?OpenView&Count=5 HTTP/1.1\r\nAuthorization: Basic {auth}\r\n\r\n"
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..DRIVERS)
+        .map(|d| {
+            let addr = addr.to_string();
+            let request = request.clone();
+            let own = conns / DRIVERS + usize::from(d < conns % DRIVERS);
+            let per_driver = reqs / DRIVERS;
+            std::thread::spawn(move || {
+                let mut sockets: Vec<TcpStream> = (0..own.max(1))
+                    .map(|_| {
+                        let s = TcpStream::connect(&addr).expect("connect");
+                        s.set_nodelay(true).expect("nodelay");
+                        s
+                    })
+                    .collect();
+                let mut scratch = Vec::new();
+                let mut samples = Vec::with_capacity(per_driver);
+                for i in 0..per_driver {
+                    let slot = i % sockets.len();
+                    let conn = &mut sockets[slot];
+                    let t = Instant::now();
+                    conn.write_all(request.as_bytes()).expect("write");
+                    read_response(conn, &mut scratch);
+                    samples.push(t.elapsed().as_micros() as u64);
+                }
+                samples
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("driver"));
+    }
+    (all, t0.elapsed().as_secs_f64())
+}
+
+/// The same storm through the in-process front door (no sockets).
+fn inproc_storm(server: &DominoServer, reqs: usize) -> (Vec<u64>, f64) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..DRIVERS)
+        .map(|_| {
+            let server = server.clone();
+            let per_driver = reqs / DRIVERS;
+            std::thread::spawn(move || {
+                let mut samples = Vec::with_capacity(per_driver);
+                for _ in 0..per_driver {
+                    let req =
+                        Request::get("/disc.nsf/topics?OpenView&Count=5").as_user("alice", "pw");
+                    let t = Instant::now();
+                    let resp = server.serve(req);
+                    assert_eq!(resp.status.code(), 200, "{}", resp.body);
+                    samples.push(t.elapsed().as_micros() as u64);
+                }
+                samples
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().expect("driver"));
+    }
+    (all, t0.elapsed().as_secs_f64())
+}
+
+/// Mean µs per `Transport::deliver` round-trip over `n` deliveries.
+fn deliver_us(transport: &mut dyn Transport, n: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..n {
+        transport.deliver(16).expect("deliver");
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / n as f64
+}
+
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "e18",
+        "Table 12",
+        "Real sockets: req/s and tail latency vs keep-alive connections",
+        "Per-request latency stays bounded as keep-alive connections grow \
+         ~100x, but aggregate req/s collapses once thousands of idle \
+         connection threads share the core — the measured cost of \
+         thread-per-connection at scale; a TCP round-trip adds a bounded \
+         per-request tax over the in-process front door, and one \
+         replication Deliver/Ack wire exchange costs single-digit \
+         microseconds",
+    )
+    .columns(&[
+        "mode",
+        "conns",
+        "reqs",
+        "req_per_s",
+        "mean_us",
+        "p50_us",
+        "p99_us",
+    ]);
+
+    let docs = scale.pick(40, 80);
+    let reqs = scale.pick(1_600, 8_000);
+    let server = site(docs);
+
+    // Baseline: the same storm with no socket in the path.
+    let (samples, elapsed) = inproc_storm(&server, reqs);
+    let (mean, p50, p99) = stats(samples);
+    table.row(vec![
+        "inproc".into(),
+        "-".into(),
+        fmt(reqs as f64),
+        fmt(reqs as f64 / elapsed),
+        fmt(mean),
+        fmt(p50 as f64),
+        fmt(p99 as f64),
+    ]);
+
+    // Socket sweep: tens → thousands of keep-alive connections.
+    let auth = base64_encode(b"alice:pw");
+    let conn_counts: &[usize] = match scale {
+        Scale::Quick => &[8, 64],
+        Scale::Full => &[16, 128, 1024, 2048],
+    };
+    for &conns in conn_counts {
+        let listener = HttpListener::start(
+            server.clone(),
+            HttpConfig {
+                max_connections: conns + DRIVERS,
+                idle_timeout: std::time::Duration::from_secs(60),
+                ..HttpConfig::default()
+            },
+        )
+        .expect("listener");
+        let (samples, elapsed) = socket_storm(&listener.addr(), &auth, conns, reqs);
+        let (mean, p50, p99) = stats(samples);
+        table.row(vec![
+            "socket".into(),
+            conns.to_string(),
+            fmt(reqs as f64),
+            fmt(reqs as f64 / elapsed),
+            fmt(mean),
+            fmt(p50 as f64),
+            fmt(p99 as f64),
+        ]);
+        let report = listener.drain(std::time::Duration::from_secs(30));
+        assert_eq!(report.remaining, 0, "drain left connections behind");
+    }
+
+    // The replication wire: Deliver/Ack round-trips, socket vs in-process.
+    let deliveries = scale.pick(400, 4_000);
+    let wire = ReplicaListener::bind("127.0.0.1:0").expect("bind wire");
+    let mut socket_t = SocketTransport::connect(&wire.addr());
+    let socket_us = deliver_us(&mut socket_t, deliveries);
+    let mut clean = CleanTransport;
+    let clean_us = deliver_us(&mut clean, deliveries);
+    for (mode, us) in [("wire-socket", socket_us), ("wire-inproc", clean_us)] {
+        // An in-process deliver is a function call; round-trips/s only
+        // means something when there was a round trip.
+        let rate = if us < 0.01 {
+            "-".to_string()
+        } else {
+            fmt(1e6 / us)
+        };
+        table.row(vec![
+            mode.into(),
+            "1".into(),
+            fmt(deliveries as f64),
+            rate,
+            fmt(us),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+
+    table.takeaway(
+        "At tens-to-hundreds of connections req/s is set by the 8-driver \
+         in-flight degree; at thousands, aggregate throughput collapses \
+         while per-request latency stays flat — the poll-tick wakeups of \
+         idle connection threads starve the drivers of the core, which is \
+         exactly the argument for a reactor over thread-per-connection at \
+         that population. The socket path adds a per-request tax over the \
+         in-process front door (syscalls + parse + serialize + loopback \
+         TCP), and one replication Deliver/Ack wire round-trip costs \
+         single-digit microseconds where the in-process transport is a \
+         function call",
+    );
+    table
+}

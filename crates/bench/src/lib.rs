@@ -57,6 +57,7 @@ pub fn all_experiments(scale: Scale) -> Vec<Experiment> {
         ("e15", experiments::e15_http::run),
         ("e16", experiments::e16_concurrency::run),
         ("e17", experiments::e17_negotiation::run),
+        ("e18", experiments::e18_sockets::run),
         ("a1", experiments::a1_buffer_pool::run),
         ("a2", experiments::a2_lineage::run),
         ("a3", experiments::a3_checkpoint::run),

@@ -119,6 +119,35 @@ fn mixed_workload() {
     log.drain();
     log.rotate();
 
+    // Real sockets: one keep-alive HTTP request through the TCP listener
+    // and one wire-protocol round-trip through a loopback replica
+    // listener, so `Http.Conn.*` and `Net.Conn.*` register.
+    {
+        use std::io::{Read, Write};
+        let listener =
+            domino_netio::HttpListener::start(server.clone(), domino_netio::HttpConfig::default())
+                .unwrap();
+        let mut conn = std::net::TcpStream::connect(listener.addr()).unwrap();
+        conn.write_all(b"GET /a.nsf/topics?OpenView HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut out = Vec::new();
+        conn.read_to_end(&mut out).unwrap();
+        assert!(out.starts_with(b"HTTP/1.1 200"), "socket request failed");
+        listener.drain(std::time::Duration::from_secs(5));
+
+        let wire = domino_netio::ReplicaListener::bind("127.0.0.1:0").unwrap();
+        let mut transport = domino_netio::SocketTransport::connect(&wire.addr());
+        let c = Arc::new(
+            Database::open_in_memory(
+                DbConfig::new("a", ReplicaId(1), ReplicaId(5)),
+                clock.clone(),
+            )
+            .unwrap(),
+        );
+        let mut socket_pull = Replicator::new(ReplicationOptions::default());
+        socket_pull.pull_via(&c, &a, &mut transport).unwrap();
+    }
+
     // Mail routing across a small network.
     let mut net = Network::new(
         2,
@@ -192,6 +221,8 @@ fn every_registered_metric_name_conforms() {
         "Replica.Passes",
         "Cluster.Events.Pushed",
         "Http.Request.Served",
+        "Http.Conn.Accepted",
+        "Net.Conn.Frames",
         "Ft.Queries",
         "View.Rebuilds",
         "Mail.Delivered",

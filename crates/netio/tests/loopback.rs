@@ -1,0 +1,215 @@
+//! End-to-end loopback tests: a real browser-shaped TCP client against
+//! the [`HttpListener`], and the console `tell http quit` drain path.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use domino_core::{Database, DbConfig, Note};
+use domino_netio::{base64_encode, HttpConfig, HttpListener, ParserLimits};
+use domino_server::{Console, DominoServer, ServerConfig, ServerLog};
+use domino_types::{LogicalClock, ReplicaId, Value};
+use domino_views::{ColumnSpec, SortDir, ViewDesign};
+
+fn discussion_server() -> DominoServer {
+    let db = Arc::new(
+        Database::open_in_memory(
+            DbConfig::new("Discussion", ReplicaId(1), ReplicaId(9)),
+            LogicalClock::new(),
+        )
+        .unwrap(),
+    );
+    let mut acl = domino_security::Acl::new(domino_security::AccessLevel::Reader);
+    acl.set(
+        "alice",
+        domino_security::AclEntry::new(domino_security::AccessLevel::Editor),
+    );
+    db.set_acl(&acl).unwrap();
+    for i in 0..6 {
+        let mut n = Note::document("Topic");
+        n.set("Subject", Value::text(format!("topic {i:02}")));
+        db.save(&mut n).unwrap();
+    }
+    let server = DominoServer::new(ServerConfig {
+        workers: 2,
+        queue_bound: 32,
+        cache_capacity: 16,
+    });
+    server.register_database("disc", &db).unwrap();
+    let mut design = ViewDesign::new("topics", r#"SELECT Form = "Topic""#).unwrap();
+    design.columns = vec![ColumnSpec::new("Subject", "Subject")
+        .unwrap()
+        .sorted(SortDir::Ascending)];
+    server.add_view("disc", design).unwrap();
+    server.register_user("alice", "pw-a");
+    server
+}
+
+/// Read one full HTTP response (head + Content-Length body) off `stream`.
+fn read_response(stream: &mut TcpStream) -> (u16, String, String) {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let (head_end, body_len) = loop {
+        let n = stream.read(&mut buf).expect("read response");
+        assert!(n > 0, "peer closed mid-response: {raw:?}");
+        raw.extend_from_slice(&buf[..n]);
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&raw[..pos]).unwrap();
+            let len = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .and_then(|v| v.parse::<usize>().ok())
+                .expect("Content-Length header");
+            break (pos + 4, len);
+        }
+    };
+    while raw.len() < head_end + body_len {
+        let n = stream.read(&mut buf).expect("read body");
+        assert!(n > 0, "peer closed mid-body");
+        raw.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8(raw[..head_end].to_vec()).unwrap();
+    let body = String::from_utf8(raw[head_end..head_end + body_len].to_vec()).unwrap();
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head, body)
+}
+
+#[test]
+fn keep_alive_connection_serves_many_requests_and_sees_the_cache() {
+    let listener = HttpListener::start(discussion_server(), HttpConfig::default()).unwrap();
+    let mut conn = TcpStream::connect(listener.addr()).unwrap();
+
+    // Three requests down one connection, split awkwardly on purpose.
+    let req = b"GET /disc.nsf/topics?OpenView&Count=3 HTTP/1.1\r\nHost: x\r\n\r\n";
+    for round in 0..3 {
+        let (a, b) = req.split_at(17);
+        conn.write_all(a).unwrap();
+        conn.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        conn.write_all(b).unwrap();
+        let (status, head, body) = read_response(&mut conn);
+        assert_eq!(status, 200, "round {round}: {head}");
+        assert!(head.contains("Connection: keep-alive"));
+        assert!(body.contains("topic 00"));
+        // The command cache serves round 2+ (same page, same snapshot).
+        let want = if round == 0 { "miss" } else { "hit" };
+        assert!(
+            head.contains(&format!("X-Command-Cache: {want}")),
+            "round {round}: {head}"
+        );
+    }
+
+    // Basic auth and a POST with a body work over the same socket.
+    let auth = base64_encode(b"alice:pw-a");
+    let body = "Subject=from+the+wire";
+    conn.write_all(
+        format!(
+            "POST /disc.nsf/Topic?CreateDocument HTTP/1.1\r\nAuthorization: Basic {auth}\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let (status, head, body) = read_response(&mut conn);
+    assert_eq!(status, 200, "{head}\n{body}");
+    assert!(head.contains("Connection: close"));
+    assert!(body.contains("Document created"));
+}
+
+#[test]
+fn malformed_and_oversized_requests_get_400_and_413() {
+    let config = HttpConfig {
+        limits: ParserLimits {
+            max_head_bytes: 512,
+            max_body_bytes: 256,
+        },
+        ..HttpConfig::default()
+    };
+    let listener = HttpListener::start(discussion_server(), config).unwrap();
+
+    let mut conn = TcpStream::connect(listener.addr()).unwrap();
+    conn.write_all(b"FLORP /disc.nsf HTTP/1.1\r\n\r\n").unwrap();
+    let (status, ..) = read_response(&mut conn);
+    assert_eq!(status, 400);
+
+    let mut conn = TcpStream::connect(listener.addr()).unwrap();
+    conn.write_all(
+        b"POST /disc.nsf/Topic?CreateDocument HTTP/1.1\r\nContent-Length: 99999\r\n\r\n",
+    )
+    .unwrap();
+    let (status, ..) = read_response(&mut conn);
+    assert_eq!(status, 413);
+}
+
+#[test]
+fn over_capacity_connections_are_rejected_with_503() {
+    let config = HttpConfig {
+        max_connections: 2,
+        ..HttpConfig::default()
+    };
+    let listener = HttpListener::start(discussion_server(), config).unwrap();
+    // Two admitted keep-alive connections fill the cap...
+    let mut held: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(listener.addr()).unwrap())
+        .collect();
+    for conn in &mut held {
+        conn.write_all(b"GET /disc.nsf/topics?OpenView HTTP/1.1\r\n\r\n")
+            .unwrap();
+        let (status, ..) = read_response(conn);
+        assert_eq!(status, 200);
+    }
+    // ...so the third is answered 503 without being admitted.
+    let mut extra = TcpStream::connect(listener.addr()).unwrap();
+    let (status, head, _) = read_response(&mut extra);
+    assert_eq!(status, 503, "{head}");
+    assert_eq!(listener.active_connections(), 2);
+}
+
+#[test]
+fn tell_http_quit_drains_gracefully() {
+    let listener =
+        Arc::new(HttpListener::start(discussion_server(), HttpConfig::default()).unwrap());
+    let addr = listener.addr();
+
+    // An idle keep-alive connection that the drain must close.
+    let mut idle = TcpStream::connect(&addr).unwrap();
+    idle.write_all(b"GET /disc.nsf/topics?OpenView HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let (status, ..) = read_response(&mut idle);
+    assert_eq!(status, 200);
+
+    // The console verb a Domino admin would use.
+    let console = Console::new(ServerLog::open().unwrap());
+    let tell = listener.clone();
+    console.register_tell("http", move |words| match words {
+        ["quit"] => {
+            let report = tell.drain(Duration::from_secs(5));
+            format!(
+                "> tell http quit\n  drained: {} connections open at start, {} remaining\n",
+                report.connections_at_start, report.remaining
+            )
+        }
+        _ => String::from("> tell http\n  usage: tell http quit\n"),
+    });
+    let out = console.exec("tell http quit");
+    assert!(out.contains("0 remaining"), "{out}");
+    assert_eq!(listener.active_connections(), 0);
+
+    // The port no longer accepts new work.
+    let refused = TcpStream::connect(&addr)
+        .map(|mut s| {
+            // Accept backlog may still take the connection; it must be
+            // closed without a response.
+            let _ = s.write_all(b"GET /disc.nsf/topics?OpenView HTTP/1.1\r\n\r\n");
+            let mut buf = [0u8; 64];
+            matches!(s.read(&mut buf), Ok(0) | Err(_))
+        })
+        .unwrap_or(true);
+    assert!(refused, "a drained listener must not serve new requests");
+}

@@ -7,22 +7,50 @@
 //! returns the text a console would print, wiring the commands onto
 //! [`domino_obs`] (statistics, task roster, event tail) and the
 //! [`ServerLog`] (rotation).
+//!
+//! Tasks living in other crates (the HTTP listener in `domino-netio`,
+//! say) plug their own `tell <task> …` verbs in through
+//! [`Console::register_tell`] — the console owns the grammar, the task
+//! owns the behaviour, and no dependency edge points outward from here.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use domino_obs as obs;
 
 use crate::logger::ServerLog;
 
+/// A `tell <task> …` handler: receives the words after the task name
+/// (already lowercased) and returns the console text.
+pub type TellHandler = Box<dyn Fn(&[&str]) -> String + Send + Sync>;
+
 /// A console bound to a server log.
 pub struct Console {
     log: Arc<ServerLog>,
+    tells: Mutex<HashMap<String, TellHandler>>,
 }
 
 impl Console {
     /// A console over `log`.
     pub fn new(log: Arc<ServerLog>) -> Console {
-        Console { log }
+        Console {
+            log,
+            tells: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Route `tell <task> …` lines to `handler`. Registering a task name
+    /// again replaces the previous handler; the built-in `logger` verbs
+    /// cannot be shadowed.
+    pub fn register_tell(
+        &self,
+        task: &str,
+        handler: impl Fn(&[&str]) -> String + Send + Sync + 'static,
+    ) {
+        self.tells
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(task.to_lowercase(), Box::new(handler));
     }
 
     /// Execute one command line and return what the console prints.
@@ -36,6 +64,9 @@ impl Console {
     ///   `normal`, `info`).
     /// * `tell logger drain` — file pending bus events now.
     /// * `tell logger rotate` — force a log rotation now.
+    /// * `tell <task> …` — any verb registered with
+    ///   [`Console::register_tell`] (e.g. `tell http quit` once the
+    ///   socket listener is up).
     pub fn exec(&self, line: &str) -> String {
         let words: Vec<String> = line.split_whitespace().map(str::to_lowercase).collect();
         let words: Vec<&str> = words.iter().map(String::as_str).collect();
@@ -66,9 +97,18 @@ impl Console {
                     self.log.document_count()
                 )
             }
+            ["tell", task, rest @ ..] => {
+                let tells = self.tells.lock().unwrap_or_else(|p| p.into_inner());
+                match tells.get(*task) {
+                    Some(handler) => handler(rest),
+                    None => format!(
+                        "> {line}\n  no task {task:?} is listening (register_tell wires tasks in)\n"
+                    ),
+                }
+            }
             [] => String::from("> \n"),
             _ => format!(
-                "> {line}\n  unknown command (try: show statistics | show tasks | show events [severity] | tell logger drain | tell logger rotate)\n"
+                "> {line}\n  unknown command (try: show statistics | show tasks | show events [severity] | tell logger drain | tell logger rotate | tell <task> ...)\n"
             ),
         }
     }

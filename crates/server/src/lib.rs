@@ -78,7 +78,7 @@ mod server;
 pub mod url;
 
 pub use cache::{CacheKey, CachedPage, CommandCache, PageKind};
-pub use console::Console;
+pub use console::{Console, TellHandler};
 pub use ddm::{default_rules, ProbeCondition, ProbeEngine, ProbeOutcome, ProbeRule};
 pub use http::{Credentials, Method, Request, Response, Status};
 pub use logger::{DrainReport, LoggerConfig, LoggerHandle, ServerLog};

@@ -38,11 +38,16 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct State {
     queue: VecDeque<Job>,
     shutdown: bool,
+    /// Jobs currently executing on a worker (for [`WorkerPool::drain`]).
+    busy: usize,
 }
 
 struct Shared {
     state: Mutex<State>,
     work_ready: Condvar,
+    /// Signalled whenever the pool may have gone idle (queue empty and
+    /// no job executing).
+    idle: Condvar,
 }
 
 /// A fixed set of worker threads draining a bounded job queue.
@@ -60,8 +65,10 @@ impl WorkerPool {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 shutdown: false,
+                busy: 0,
             }),
             work_ready: Condvar::new(),
+            idle: Condvar::new(),
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -104,6 +111,18 @@ impl WorkerPool {
     pub fn worker_count(&self) -> usize {
         self.workers.len()
     }
+
+    /// Block until every job accepted so far has *finished executing* —
+    /// the queue is empty and no worker is mid-job. New submissions stay
+    /// possible throughout (drain is a fence, not a shutdown); the
+    /// listener's graceful-drain path calls this after its last
+    /// connection closes, and `Drop` still joins the threads afterwards.
+    pub fn drain(&self) {
+        let mut g = self.shared.state.lock().expect("pool lock");
+        while !(g.queue.is_empty() && g.busy == 0) {
+            g = self.shared.idle.wait(g).expect("pool wait");
+        }
+    }
 }
 
 fn worker_loop(shared: &Shared) {
@@ -113,6 +132,7 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(job) = g.queue.pop_front() {
                     m().queue_depth.set(g.queue.len() as i64);
+                    g.busy += 1;
                     break job;
                 }
                 if g.shutdown {
@@ -125,6 +145,12 @@ fn worker_loop(shared: &Shared) {
         job();
         m().busy.add(-1);
         m().executed.inc();
+        let mut g = shared.state.lock().expect("pool lock");
+        g.busy -= 1;
+        if g.queue.is_empty() && g.busy == 0 {
+            shared.idle.notify_all();
+        }
+        drop(g);
     }
 }
 
@@ -158,6 +184,32 @@ mod tests {
         }
         drop(pool); // join: all accepted jobs ran
         assert_eq!(done.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn drain_finishes_all_accepted_work_then_keeps_serving() {
+        let pool = WorkerPool::new(2, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let done = done.clone();
+            assert!(pool.try_execute(move || {
+                std::thread::sleep(Duration::from_millis(2));
+                done.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        pool.drain();
+        assert_eq!(
+            done.load(Ordering::SeqCst),
+            20,
+            "drain returns only after every accepted job finished"
+        );
+        // Drain is a fence, not a shutdown: the pool keeps working.
+        let after = done.clone();
+        assert!(pool.try_execute(move || {
+            after.fetch_add(1, Ordering::SeqCst);
+        }));
+        pool.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 21);
     }
 
     #[test]

@@ -286,6 +286,14 @@ impl DominoServer {
         self.pool.queue_depth()
     }
 
+    /// Block until every request accepted so far has finished executing
+    /// (see [`WorkerPool::drain`]). The listener's graceful-shutdown
+    /// path calls this after its last connection closes, so accepted
+    /// work is never abandoned mid-drain.
+    pub fn drain(&self) {
+        self.pool.drain();
+    }
+
     /// Rendered pages currently in the command cache.
     pub fn cached_pages(&self) -> usize {
         self.inner.cache.len()

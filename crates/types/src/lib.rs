@@ -24,6 +24,7 @@ pub mod id;
 pub mod item;
 pub mod time;
 pub mod value;
+pub mod wire;
 
 pub use datetime::{days_in_month, Civil, SECONDS_PER_DAY};
 pub use error::{DominoError, Result};
@@ -32,3 +33,4 @@ pub use id::{NoteClass, NoteId, Oid, ReplicaId, Unid};
 pub use item::{Item, ItemFlags};
 pub use time::{Clock, LogicalClock, Timestamp};
 pub use value::{DateTime, Value, ValueType};
+pub use wire::{Frame, FrameDecoder, Opcode, MAX_FRAME_LEN, WIRE_MAGIC, WIRE_VERSION};

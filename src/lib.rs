@@ -15,8 +15,10 @@
 //! * per-database full-text search ([`ftindex`]),
 //! * ACL + reader/author-field security ([`security`]),
 //! * a deterministic multi-server simulator with mail routing ([`net`]),
-//! * and the Domino HTTP task serving databases over URL commands
-//!   ([`server`]).
+//! * the Domino HTTP task serving databases over URL commands
+//!   ([`server`]),
+//! * and real sockets in front of it all — a TCP HTTP/1.1 listener and
+//!   the NRPC stand-in replication wire protocol ([`netio`]).
 //!
 //! ## Quick start
 //!
@@ -46,6 +48,7 @@ pub use domino_core as core;
 pub use domino_formula as formula;
 pub use domino_ftindex as ftindex;
 pub use domino_net as net;
+pub use domino_netio as netio;
 pub use domino_obs as obs;
 pub use domino_replica as replica;
 pub use domino_security as security;

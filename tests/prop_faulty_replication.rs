@@ -5,6 +5,15 @@
 //! deterministic across replicas that apply the same edit schedule, and
 //! retry-with-backoff must converge through a lossy link that defeats
 //! the zero-retry policy within the same budget.
+//!
+//! The interrupt/resume properties run through ONE shared harness
+//! ([`check_interrupted_resume`]) against two transports: the simulated
+//! [`ScriptedTransport`] and the real-socket
+//! [`SocketTransport`](domino::netio::SocketTransport) speaking the NRPC
+//! stand-in wire protocol to a [`ReplicaListener`] on loopback. The
+//! fault plans line up one-to-one (both count global 0-based delivery
+//! indices), so the byte-identity guarantee is proven transport-
+//! equivalent, not merely simulated.
 
 use std::sync::Arc;
 
@@ -12,8 +21,9 @@ use proptest::prelude::*;
 
 use domino::core::{Database, DbConfig, Note};
 use domino::net::{LinkSpec, Network, Topology};
+use domino::netio::{ReplicaListener, SocketTransport};
 use domino::replica::{
-    CleanTransport, ReplicationOptions, Replicator, RetryPolicy, ScriptedTransport,
+    CleanTransport, ReplicationOptions, Replicator, RetryPolicy, ScriptedTransport, Transport,
 };
 use domino::types::{ContentHash, LogicalClock, NoteClass, NoteId, ReplicaId, Timestamp, Value};
 
@@ -74,6 +84,54 @@ fn populate(src: &Database, docs: usize, deletes: usize) {
     }
 }
 
+/// The shared interrupt/resume harness, transport-agnostic.
+///
+/// Pulls `src` into a fresh destination over `faulty` (any transport
+/// that fails deliveries with transient `Unavailable` errors), resuming
+/// the parked cursor until the pass completes, then compares the result
+/// byte-for-byte against an uninterrupted [`CleanTransport`] pull (whose
+/// pass negotiates iff `clean_negotiate`). Panics on any divergence, so
+/// proptest shrinks the failing case whichever transport produced it.
+fn check_interrupted_resume(
+    docs: usize,
+    deletes: usize,
+    batch: usize,
+    negotiate: bool,
+    clean_negotiate: bool,
+    faulty_transport: &mut dyn Transport,
+) {
+    let src = make_db(1, 0);
+    populate(&src, docs, deletes.min(docs));
+
+    let faulty_dst = make_db(2, 100);
+    let mut faulty = Replicator::new(ReplicationOptions {
+        batch,
+        negotiate,
+        ..ReplicationOptions::default()
+    });
+    let mut guard = 0;
+    while faulty
+        .pull_via(&faulty_dst, &src, faulty_transport)
+        .is_err()
+    {
+        guard += 1;
+        assert!(guard <= 64, "pull never completed");
+    }
+    assert!(!faulty.has_pending(), "cursor must clear on completion");
+
+    let clean_dst = make_db(3, 200);
+    let mut clean = Replicator::new(ReplicationOptions {
+        batch,
+        negotiate: clean_negotiate,
+        ..ReplicationOptions::default()
+    });
+    clean
+        .pull_via(&clean_dst, &src, &mut CleanTransport)
+        .unwrap();
+
+    assert_eq!(dump(&faulty_dst), dump(&clean_dst));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
 
@@ -87,28 +145,8 @@ proptest! {
         batch in 1..9usize,
         fail_at in prop::collection::vec(0..30u64, 0..8),
     ) {
-        let src = make_db(1, 0);
-        populate(&src, docs, deletes.min(docs));
-
-        let options = ReplicationOptions { batch, ..ReplicationOptions::default() };
-
-        // Faulty path: scripted losses, pull resumed until it completes.
-        let faulty_dst = make_db(2, 100);
-        let mut faulty = Replicator::new(options.clone());
         let mut transport = ScriptedTransport::failing_at(fail_at);
-        let mut guard = 0;
-        while faulty.pull_via(&faulty_dst, &src, &mut transport).is_err() {
-            guard += 1;
-            prop_assert!(guard <= 64, "pull never completed");
-        }
-        prop_assert!(!faulty.has_pending(), "cursor must clear on completion");
-
-        // Clean path.
-        let clean_dst = make_db(3, 200);
-        let mut clean = Replicator::new(options);
-        clean.pull_via(&clean_dst, &src, &mut CleanTransport).unwrap();
-
-        prop_assert_eq!(dump(&faulty_dst), dump(&clean_dst));
+        check_interrupted_resume(docs, deletes, batch, false, false, &mut transport);
     }
 
     /// A digest-negotiated pull interrupted at arbitrary message indices
@@ -122,34 +160,8 @@ proptest! {
         batch in 1..9usize,
         fail_at in prop::collection::vec(0..40u64, 0..8),
     ) {
-        let src = make_db(1, 0);
-        populate(&src, docs, deletes.min(docs));
-
-        // Negotiated path, losses injected anywhere in the exchange.
-        let faulty_dst = make_db(2, 100);
-        let mut faulty = Replicator::new(ReplicationOptions {
-            batch,
-            negotiate: true,
-            ..ReplicationOptions::default()
-        });
         let mut transport = ScriptedTransport::failing_at(fail_at);
-        let mut guard = 0;
-        while faulty.pull_via(&faulty_dst, &src, &mut transport).is_err() {
-            guard += 1;
-            prop_assert!(guard <= 64, "pull never completed");
-        }
-        prop_assert!(!faulty.has_pending(), "cursor must clear on completion");
-
-        // Uninterrupted full-enumeration baseline.
-        let clean_dst = make_db(3, 200);
-        let mut clean = Replicator::new(ReplicationOptions {
-            batch,
-            negotiate: false,
-            ..ReplicationOptions::default()
-        });
-        clean.pull_via(&clean_dst, &src, &mut CleanTransport).unwrap();
-
-        prop_assert_eq!(dump(&faulty_dst), dump(&clean_dst));
+        check_interrupted_resume(docs, deletes, batch, true, false, &mut transport);
     }
 
     /// Two replicas with the same instance identity that apply an
@@ -185,6 +197,42 @@ proptest! {
         prop_assert_eq!(a.merkle_len(), docs);
     }
 
+}
+
+// The same interrupt/resume properties over a REAL socket: each case
+// boots a loopback `ReplicaListener` armed with the identical scripted
+// fault plan (it nacks the same global delivery indices the
+// `ScriptedTransport` would fail) and drives the shared harness through
+// a `SocketTransport`, reconnects and all. Fewer cases — each spins up
+// a listener thread — but the property and harness are the same.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn interrupted_resume_is_byte_identical_over_sockets(
+        docs in 1..40usize,
+        deletes in 0..5usize,
+        batch in 1..9usize,
+        fail_at in prop::collection::vec(0..30u64, 0..8),
+    ) {
+        let listener = ReplicaListener::bind("127.0.0.1:0").unwrap();
+        listener.fail_deliveries(fail_at);
+        let mut transport = SocketTransport::connect(&listener.addr());
+        check_interrupted_resume(docs, deletes, batch, false, false, &mut transport);
+    }
+
+    #[test]
+    fn negotiated_interrupted_matches_full_enumeration_over_sockets(
+        docs in 1..40usize,
+        deletes in 0..5usize,
+        batch in 1..9usize,
+        fail_at in prop::collection::vec(0..40u64, 0..8),
+    ) {
+        let listener = ReplicaListener::bind("127.0.0.1:0").unwrap();
+        listener.fail_deliveries(fail_at);
+        let mut transport = SocketTransport::connect(&listener.addr());
+        check_interrupted_resume(docs, deletes, batch, true, false, &mut transport);
+    }
 }
 
 /// Retrying with backoff converges across a 20%-drop link within a round

@@ -1,0 +1,191 @@
+//! Property tests for the incremental HTTP/1.1 request parser: whatever
+//! a socket delivers — valid requests split at arbitrary byte
+//! boundaries, pipelined bursts, or outright garbage — the parser must
+//! either produce requests or fail with a `400`/`413`, must never panic,
+//! and must keep its buffer bounded by the configured caps.
+
+use domino::netio::{base64_encode, HttpParser, ParsedRequest, ParserLimits};
+use domino::server::{Credentials, Method};
+use proptest::prelude::*;
+
+/// Drive `bytes` through a parser in chunks cut at `cuts`, collecting
+/// everything it produces until the stream is exhausted or it errors.
+fn feed_in_chunks(
+    limits: ParserLimits,
+    bytes: &[u8],
+    cuts: &[usize],
+) -> Result<Vec<ParsedRequest>, (u16, usize)> {
+    let mut parser = HttpParser::new(limits);
+    let mut got = Vec::new();
+    let mut consume = |parser: &mut HttpParser, chunk: &[u8]| -> Result<(), u16> {
+        let mut chunk = chunk;
+        loop {
+            match parser.feed(chunk) {
+                Ok(Some(req)) => {
+                    got.push(req);
+                    chunk = &[];
+                }
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e.status_code()),
+            }
+        }
+    };
+    let mut start = 0;
+    let mut cuts: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    cuts.sort_unstable();
+    for cut in cuts {
+        if cut > start {
+            consume(&mut parser, &bytes[start..cut]).map_err(|code| (code, parser.buffered()))?;
+            start = cut;
+        }
+    }
+    consume(&mut parser, &bytes[start..]).map_err(|code| (code, parser.buffered()))?;
+    Ok(got)
+}
+
+/// A syntactically valid request built from generated parts.
+fn render_request(
+    method: &str,
+    db: &str,
+    user: Option<(&str, &str)>,
+    body: &str,
+    keep_alive: bool,
+) -> String {
+    let mut head = format!("{method} /{db}.nsf/topics?OpenView HTTP/1.1\r\n");
+    if let Some((u, p)) = user {
+        head.push_str(&format!(
+            "Authorization: Basic {}\r\n",
+            base64_encode(format!("{u}:{p}").as_bytes())
+        ));
+    }
+    if !body.is_empty() {
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    if !keep_alive {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    head.push_str(body);
+    head
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// A pipeline of valid requests parses to the same sequence however
+    /// the byte stream is cut — split points inside the request line,
+    /// headers, or body must be invisible.
+    #[test]
+    fn valid_pipelines_parse_identically_at_any_split(
+        requests in prop::collection::vec(
+            ("[a-z]{1,8}", "[a-zA-Z0-9 =&+]{0,40}", any::<bool>(), any::<bool>()),
+            1..5,
+        ),
+        cuts in prop::collection::vec(0..4096usize, 0..12),
+    ) {
+        let mut wire = String::new();
+        let mut expected = Vec::new();
+        for (db, body, authed, keep_alive) in &requests {
+            let method = if body.is_empty() { "GET" } else { "POST" };
+            let user = authed.then_some(("alice", "pw-a"));
+            wire.push_str(&render_request(method, db, user, body, *keep_alive));
+            expected.push((
+                if body.is_empty() { Method::Get } else { Method::Post },
+                format!("/{db}.nsf/topics?OpenView"),
+                body.clone(),
+                *keep_alive,
+            ));
+        }
+        let whole = feed_in_chunks(ParserLimits::default(), wire.as_bytes(), &[])
+            .expect("valid requests must parse");
+        let split = feed_in_chunks(ParserLimits::default(), wire.as_bytes(), &cuts)
+            .expect("split points must be invisible");
+        prop_assert_eq!(&whole, &split);
+        prop_assert_eq!(whole.len(), expected.len());
+        for (got, (method, target, body, keep_alive)) in whole.iter().zip(&expected) {
+            prop_assert_eq!(got.request.method, *method);
+            prop_assert_eq!(&got.request.target, target);
+            prop_assert_eq!(&got.request.body, body);
+            prop_assert_eq!(got.keep_alive, *keep_alive);
+            if matches!(got.request.credentials, Credentials::Basic { .. }) {
+                prop_assert_eq!(
+                    &got.request.credentials,
+                    &Credentials::Basic { user: "alice".into(), password: "pw-a".into() }
+                );
+            }
+        }
+    }
+
+    /// Arbitrary bytes never panic the parser, any failure maps to 400
+    /// or 413, and the buffer stays bounded by the head/body caps
+    /// whatever arrives and however it is cut.
+    #[test]
+    fn garbage_never_panics_and_memory_stays_bounded(
+        bytes in prop::collection::vec(any::<u8>(), 0..2048),
+        cuts in prop::collection::vec(0..2048usize, 0..8),
+    ) {
+        let limits = ParserLimits { max_head_bytes: 256, max_body_bytes: 128 };
+        match feed_in_chunks(limits, &bytes, &cuts) {
+            Ok(reqs) => {
+                for r in reqs {
+                    prop_assert!(r.request.body.len() <= 128);
+                }
+            }
+            Err((code, buffered)) => {
+                prop_assert!(code == 400 || code == 413, "unexpected status {code}");
+                // One read chunk may overshoot the cap before the check
+                // runs; the bound is cap + the largest chunk we fed.
+                prop_assert!(
+                    buffered <= 256 + 128 + 2048,
+                    "buffer grew unboundedly: {buffered}"
+                );
+            }
+        }
+    }
+
+    /// Oversized heads are rejected with 413 even when the terminator
+    /// never arrives, and a Content-Length over the body cap is refused
+    /// before a single body byte is read.
+    #[test]
+    fn oversized_inputs_are_413(filler in "[A-Za-z0-9]{1,64}", declared in 129u64..u64::MAX / 2) {
+        let limits = ParserLimits { max_head_bytes: 256, max_body_bytes: 128 };
+
+        // An endless header line must trip the head cap, not grow forever.
+        let mut parser = HttpParser::new(limits);
+        let mut tripped = None;
+        for _ in 0..200 {
+            match parser.feed(format!("X-F: {filler}\r\n").as_bytes()) {
+                Ok(None) => {}
+                Ok(Some(r)) => prop_assert!(false, "unterminated head parsed: {r:?}"),
+                Err(e) => { tripped = Some(e); break; }
+            }
+        }
+        let e = tripped.expect("head cap never tripped");
+        prop_assert_eq!(e.status_code(), 413);
+        prop_assert!(parser.buffered() <= 256 + 70, "buffer kept growing");
+
+        // Declared body over the cap: refused at the header, 413.
+        let mut parser = HttpParser::new(limits);
+        let head = format!("POST /a.nsf?CreateDocument HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n");
+        match parser.feed(head.as_bytes()) {
+            Err(e) => prop_assert_eq!(e.status_code(), 413),
+            other => prop_assert!(false, "oversized declaration accepted: {other:?}"),
+        }
+    }
+
+    /// Bad Content-Length values (non-numeric, negative, overflowing)
+    /// are a 400, never a panic or a bogus body length.
+    #[test]
+    fn bad_content_length_is_400(value in "[a-z-]{1,12}") {
+        // The generated non-numeric value, plus a u64-overflowing one.
+        for value in [value.as_str(), "18446744073709551616"] {
+            let raw =
+                format!("POST /a.nsf?CreateDocument HTTP/1.1\r\nContent-Length: {value}\r\n\r\n");
+            let mut parser = HttpParser::new(ParserLimits::default());
+            match parser.feed(raw.as_bytes()) {
+                Err(e) => prop_assert_eq!(e.status_code(), 400),
+                other => prop_assert!(false, "bad Content-Length accepted: {other:?}"),
+            }
+        }
+    }
+}
